@@ -1,0 +1,53 @@
+//! Planner benchmarks: greedy vs exhaustive `Cost_Based_Optim` as the
+//! schema grows — the paper's "optimal program generation takes too long
+//! for XML Schemas with more than 40 nodes" wall, and the
+//! milliseconds-vs-80.9-seconds contrast of Section 5.4.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xdx_core::cost::{CostModel, SchemaStats};
+use xdx_core::gen::Generator;
+use xdx_core::{greedy, optimal};
+use xdx_sim::random_fragmentation;
+use xdx_xml::SchemaTree;
+
+fn setup(
+    height: usize,
+    fanout: usize,
+    frags: usize,
+    seed: u64,
+) -> (
+    SchemaTree,
+    xdx_core::Fragmentation,
+    xdx_core::Fragmentation,
+    CostModel,
+) {
+    let schema = SchemaTree::balanced(height, fanout, true);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = random_fragmentation(&schema, frags, "s", &mut rng);
+    let t = random_fragmentation(&schema, frags, "t", &mut rng);
+    let model = CostModel::fast_network(SchemaStats::multiplicative(&schema, 4, 16));
+    (schema, s, t, model)
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    // Schema sizes: 7 (h2 f2), 13 (h2 f3), 31 (h2 f5 — the Table-5 DTD).
+    for (height, fanout) in [(2usize, 2usize), (2, 3), (2, 5)] {
+        let nodes = (0..=height).map(|l| fanout.pow(l as u32)).sum::<usize>();
+        let (schema, s, t, model) = setup(height, fanout, 6, 42);
+        group.bench_with_input(BenchmarkId::new("greedy", nodes), &nodes, |b, _| {
+            let gen = Generator::new(&schema, &s, &t);
+            b.iter(|| greedy::greedy(&gen, &model).unwrap().1)
+        });
+        group.bench_with_input(BenchmarkId::new("optimal", nodes), &nodes, |b, _| {
+            let gen = Generator::new(&schema, &s, &t);
+            b.iter(|| optimal::optimal_program(&gen, &model, 20_000).unwrap().cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks of the publish&map halves: merge-and-tag publishing vs SAX
+//! parse+shred — the two costs whose asymmetry drives the paper's Table 2
+//! ("the cost of shredding the XML document is significant").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xdx_core::publish::publish;
+use xdx_core::shred::shred;
+
+fn bench_publish(c: &mut Criterion) {
+    let schema = xdx_xmark::schema();
+    let mut group = c.benchmark_group("publish");
+    for bytes in [64 * 1024usize, 256 * 1024] {
+        let doc = xdx_xmark::generate(xdx_xmark::GenConfig::sized(bytes));
+        for name in ["MF", "LF"] {
+            let frag = match name {
+                "MF" => xdx_xmark::mf(&schema),
+                _ => xdx_xmark::lf(&schema),
+            };
+            let db = xdx_xmark::load_source(&doc, &schema, &frag).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, bytes), &bytes, |b, _| {
+                b.iter_batched(
+                    || {
+                        // publish mutates counters only; reuse a clone.
+                        let mut fresh = xdx_relational::Database::new("s");
+                        for t in db.table_names() {
+                            fresh.load(t, db.table(t).unwrap().data.clone()).unwrap();
+                        }
+                        fresh
+                    },
+                    |mut fresh| publish(&schema, &frag, &mut fresh).unwrap().xml.len(),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_shred(c: &mut Criterion) {
+    let schema = xdx_xmark::schema();
+    let mut group = c.benchmark_group("shred");
+    for bytes in [64 * 1024usize, 256 * 1024] {
+        let doc = xdx_xmark::generate(xdx_xmark::GenConfig::sized(bytes));
+        for name in ["MF", "LF"] {
+            let frag = match name {
+                "MF" => xdx_xmark::mf(&schema),
+                _ => xdx_xmark::lf(&schema),
+            };
+            group.bench_with_input(BenchmarkId::new(name, bytes), &bytes, |b, _| {
+                b.iter(|| shred(&doc, &schema, &frag).unwrap().rows)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_publish, bench_shred);
+criterion_main!(benches);

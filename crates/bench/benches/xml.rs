@@ -1,0 +1,30 @@
+//! XML substrate throughput: parsing (the "times for parsing ... 0.87,
+//! 9.08 and 15.14 secs" the paper reports for expat) and serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xdx_xml::parser::parse_events;
+use xdx_xml::Document;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml-parse");
+    for bytes in [64 * 1024usize, 512 * 1024] {
+        let doc = xdx_xmark::generate(xdx_xmark::GenConfig::sized(bytes));
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("events", bytes), &bytes, |b, _| {
+            b.iter(|| parse_events(&doc).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("dom", bytes), &bytes, |b, _| {
+            b.iter(|| Document::parse(&doc).unwrap().root.count_elements())
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let doc = xdx_xmark::generate(xdx_xmark::GenConfig::sized(256 * 1024));
+    let tree = Document::parse(&doc).unwrap();
+    c.bench_function("xml-serialize/dom", |b| b.iter(|| tree.root.to_xml().len()));
+}
+
+criterion_group!(benches, bench_parse, bench_serialize);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 11: "Optimized Data Exchange versus Publishing for fast (×10)
+//! target" (simulator, Section 5.4.1).
+//!
+//! Paper finding: "the optimized data exchange program provides saving of
+//! 85% because it takes advantage of the very fast client and places all
+//! combines there."
+
+use xdx_sim::{exchange_vs_publish, SimConfig};
+
+fn main() {
+    let trials = 10u64;
+    let mut rel_sum = 0.0;
+    println!("# Figure 11 — DE vs publishing, target 10× faster\n");
+    xdx_bench::header(&[
+        "seed", "DE comp", "DE comm", "PUB comp", "PUB comm", "relative",
+    ]);
+    for t in 0..trials {
+        let cfg = SimConfig {
+            seed: 0x000F_1610 + t,
+            ..SimConfig::figure11()
+        };
+        let r = exchange_vs_publish(&cfg).expect("simulation runs");
+        rel_sum += r.relative();
+        xdx_bench::row(&[
+            format!("{t}"),
+            format!("{:.0}", r.exchange.computation),
+            format!("{:.0}", r.exchange.communication),
+            format!("{:.0}", r.publish.computation),
+            format!("{:.0}", r.publish.communication),
+            format!("{:.3}", r.relative()),
+        ]);
+    }
+    let avg = rel_sum / trials as f64;
+    println!(
+        "\naverage relative cost {:.3} → {:.0}% reduction (paper: ~85% reduction)",
+        avg,
+        (1.0 - avg) * 100.0
+    );
+}

@@ -1,0 +1,44 @@
+//! Table 1: "Times (secs) to execute queries (Step 1) in Optimized Data
+//! Exchange" — the source/target query time of the optimized exchange for
+//! all four scenarios at 2.5/12.5/25 MB.
+//!
+//! Paper values (secs):
+//! `MF→MF 5.37/25.21/50.42 · MF→LF 6.67/32.89/66.06 · LF→MF
+//! 4.21/20.64/41.77 · LF→LF 1.25/14.11/28.55`. Absolute numbers differ
+//! (2004 MySQL vs an in-memory engine); the expected *shape* is
+//! `LF→LF < LF→MF < MF→MF < MF→LF` within each size.
+
+use xdx_bench::{header, row, scale_from_args, secs, sizes, Workload, SCENARIOS};
+use xdx_net::NetworkProfile;
+
+fn main() {
+    let scale = scale_from_args();
+    let sizes = sizes(scale);
+    println!("# Table 1 — optimized DE query times (Step 1), scale {scale}\n");
+    let mut cells = vec!["Scenario".to_string()];
+    cells.extend(sizes.iter().map(|(l, _)| l.clone()));
+    header(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+    let paper = [
+        ("MF->MF", [5.37, 25.21, 50.42]),
+        ("MF->LF", [6.67, 32.89, 66.06]),
+        ("LF->MF", [4.21, 20.64, 41.77]),
+        ("LF->LF", [1.25, 14.11, 28.55]),
+    ];
+    let mut results: Vec<Vec<String>> = vec![Vec::new(); SCENARIOS.len()];
+    for (_, bytes) in &sizes {
+        let w = Workload::new(*bytes);
+        for (i, (src, tgt)) in SCENARIOS.iter().enumerate() {
+            let report = w.run_de(src, tgt, NetworkProfile::lan());
+            results[i].push(secs(
+                report.times.source_queries + report.times.target_queries,
+            ));
+        }
+    }
+    for (i, (src, tgt)) in SCENARIOS.iter().enumerate() {
+        let mut cells = vec![format!("{src}->{tgt}")];
+        cells.extend(results[i].clone());
+        row(&cells);
+        let p = paper[i].1;
+        println!("|   (paper) | {} | {} | {} |", p[0], p[1], p[2]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Table 3: "Communication Times (secs)" — time to ship the data over the
+//! wide-area link for (a) optimized DE with an MF target, (b) optimized DE
+//! with an LF target, (c) publish&map.
+//!
+//! Paper values at 25 MB: DE/MF 131.45, DE/LF 101.75, PM 158.65. Expected
+//! shape: `DE(target LF) < DE(target MF) < PM` — fragment feeds beat
+//! tagged XML, and MF feeds carry more ID/PARENT columns than LF feeds.
+
+use xdx_bench::{header, row, scale_from_args, secs, sizes, Workload};
+use xdx_net::NetworkProfile;
+
+fn main() {
+    let scale = scale_from_args();
+    let sizes = sizes(scale);
+    println!("# Table 3 — communication times over the simulated 2004 Internet, scale {scale}\n");
+    let mut cells = vec!["Strategy".to_string()];
+    cells.extend(sizes.iter().map(|(l, _)| l.clone()));
+    header(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let profile = NetworkProfile::internet_2004();
+    let paper = [
+        ("DE (target MF)", [17.85, 65.02, 131.45]),
+        ("DE (target LF)", [14.96, 52.82, 101.75]),
+        ("Publish&Map", [22.98, 81.37, 158.65]),
+    ];
+    let mut ours: Vec<Vec<String>> = vec![Vec::new(); 3];
+    for (_, bytes) in &sizes {
+        let w = Workload::new(*bytes);
+        // Source fragmentation LF (all combines at source either way; the
+        // communicated fragments "depend only on the fragmentation of the
+        // target").
+        ours[0].push(secs(w.run_de("LF", "MF", profile).times.communication));
+        ours[1].push(secs(w.run_de("LF", "LF", profile).times.communication));
+        ours[2].push(secs(w.run_pm("LF", "LF", profile).times.communication));
+    }
+    for (i, (label, p)) in paper.iter().enumerate() {
+        let mut cells = vec![label.to_string()];
+        cells.extend(ours[i].clone());
+        row(&cells);
+        println!("|   (paper) | {} | {} | {} |", p[0], p[1], p[2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 4: "Times (secs) to load target db (first value) and create
+//! indices (second value)" — identical between DE and PM, depending only
+//! on the target fragmentation and document size.
+//!
+//! Paper values at 25 MB: MF 49.74+121.57, LF 24.79+33.50. Expected shape:
+//! loading and indexing an MF target (24 tables) costs clearly more than
+//! an LF target (3 tables).
+
+use xdx_bench::{header, row, scale_from_args, secs, sizes, Workload};
+use xdx_net::NetworkProfile;
+
+fn main() {
+    let scale = scale_from_args();
+    let sizes = sizes(scale);
+    println!("# Table 4 — target load + index creation, scale {scale}\n");
+    let mut cells = vec!["Target".to_string()];
+    cells.extend(sizes.iter().map(|(l, _)| l.clone()));
+    header(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+    let paper = [
+        ("MF", ["3.00+8.20", "29.12+40.32", "49.74+121.57"]),
+        ("LF", ["1.06+2.36", "10.20+11.62", "24.79+33.50"]),
+    ];
+    for (i, tgt) in ["MF", "LF"].iter().enumerate() {
+        let mut cells = vec![tgt.to_string()];
+        for (_, bytes) in &sizes {
+            let w = Workload::new(*bytes);
+            let report = w.run_de("LF", tgt, NetworkProfile::lan());
+            cells.push(format!(
+                "{}+{}",
+                secs(report.times.loading),
+                secs(report.times.indexing)
+            ));
+        }
+        row(&cells);
+        let p = paper[i].1;
+        println!("|   (paper) | {} | {} | {} |", p[0], p[1], p[2]);
+    }
+}

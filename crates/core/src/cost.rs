@@ -1,0 +1,499 @@
+//! The cost model (paper Section 4.1).
+//!
+//! `cost(G) = w_comp · Σ comp_cost(OP) + w_comm · Σ comm_cost(e)` —
+//! formula (1). Computation costs are estimated from per-element
+//! statistics ([`SchemaStats`], obtained by probing the source system),
+//! scaled by each system's processing speed ([`SystemProfile`]); a system
+//! that cannot run an operation (the "dumb client") reports an infinite
+//! cost. Communication cost of a cross-edge is the estimated wire size of
+//! the region it ships, exactly the paper's `comm_cost(e) = size(OP1.out)`.
+
+use crate::program::{Location, Op, Program, Region};
+use xdx_relational::{ColRole, Database};
+use xdx_xml::{NodeId, SchemaTree};
+
+use crate::error::{Error, Result};
+use crate::fragment::Fragmentation;
+
+/// Per-element statistics of the document(s) being exchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaStats {
+    /// The schema the statistics describe (owned copy; estimates need the
+    /// tree structure to follow repetition chains).
+    pub schema: SchemaTree,
+    /// Instance count per element (indexed by `NodeId::index`).
+    pub counts: Vec<u64>,
+    /// Total text bytes per element.
+    pub text_bytes: Vec<u64>,
+}
+
+impl SchemaStats {
+    /// Uniform synthetic statistics: every element has `count` instances
+    /// and `avg_text` bytes of text per instance. Used by the simulator.
+    pub fn uniform(schema: &SchemaTree, count: u64, avg_text: u64) -> SchemaStats {
+        SchemaStats {
+            schema: schema.clone(),
+            counts: vec![count; schema.len()],
+            text_bytes: vec![count * avg_text; schema.len()],
+        }
+    }
+
+    /// Statistics where each element's count is the product of the
+    /// repetition factors along its path: root = 1, each repeated element
+    /// multiplies by `fanout`. Closer to real documents than `uniform`.
+    pub fn multiplicative(schema: &SchemaTree, fanout: u64, avg_text: u64) -> SchemaStats {
+        let mut counts = vec![0u64; schema.len()];
+        for id in schema.ids() {
+            let parent_count = schema
+                .node(id)
+                .parent
+                .map(|p| counts[p.index()])
+                .unwrap_or(1);
+            let factor = if schema.node(id).occurs.is_repeated() {
+                fanout
+            } else {
+                1
+            };
+            counts[id.index()] = parent_count.max(1) * factor;
+        }
+        let text_bytes = counts.iter().map(|c| c * avg_text).collect();
+        SchemaStats {
+            schema: schema.clone(),
+            counts,
+            text_bytes,
+        }
+    }
+
+    /// Probes a live source database: element counts are distinct ids in
+    /// the stored fragment tables; text bytes are summed value lengths.
+    /// This is the middleware's Step-3 probe against real data.
+    pub fn probe(
+        schema: &SchemaTree,
+        db: &Database,
+        fragmentation: &Fragmentation,
+    ) -> Result<SchemaStats> {
+        let mut counts = vec![0u64; schema.len()];
+        let mut text_bytes = vec![0u64; schema.len()];
+        for frag in &fragmentation.fragments {
+            let table = db
+                .table(&frag.name)
+                .map_err(|e| Error::Engine(e.to_string()))?;
+            let feed = &table.data;
+            for (ci, col) in feed.schema.columns.iter().enumerate() {
+                let Some(elem) = schema.by_name(&col.element) else {
+                    continue;
+                };
+                match col.role {
+                    ColRole::NodeId => {
+                        // Ids repeat when siblings are inlined; count
+                        // distinct by exploiting nothing — a linear pass
+                        // with a set would be exact, but sorted feeds
+                        // cluster duplicates, so count value changes.
+                        let mut last = None;
+                        let mut distinct = 0u64;
+                        for row in &feed.rows {
+                            let v = &row[ci];
+                            if v.is_null() {
+                                continue;
+                            }
+                            if last != Some(v) {
+                                distinct += 1;
+                                last = Some(v);
+                            }
+                        }
+                        counts[elem.index()] = counts[elem.index()].max(distinct);
+                    }
+                    ColRole::Value => {
+                        let total: u64 = feed.rows.iter().map(|r| r[ci].wire_len() as u64).sum();
+                        text_bytes[elem.index()] = text_bytes[elem.index()].max(total);
+                    }
+                    ColRole::ParentRef => {}
+                }
+            }
+        }
+        Ok(SchemaStats {
+            schema: schema.clone(),
+            counts,
+            text_bytes,
+        })
+    }
+
+    /// Instance count of one element.
+    pub fn count(&self, e: NodeId) -> u64 {
+        self.counts[e.index()]
+    }
+
+    /// Estimated rows of a region's feed, matching the executor's
+    /// materialized-feed semantics: a single repeated chain multiplies
+    /// (inlining), while independent repeated sibling branches *add*
+    /// (outer-union alignment). Recursively, the rows contributed per
+    /// instance of an element are `max(1, Σ over expanding branches)`.
+    pub fn region_rows(&self, region: &Region) -> u64 {
+        let rows = self.counts[region.root.index()].max(1) as f64
+            * self.per_instance_rows(region, region.root);
+        rows.round().max(1.0) as u64
+    }
+
+    fn per_instance_rows(&self, region: &Region, e: NodeId) -> f64 {
+        let parent_count = self.counts[e.index()].max(1) as f64;
+        let mut expanding = 0.0;
+        for &c in &self.schema.node(e).children {
+            if !region.elements.contains(&c) {
+                continue;
+            }
+            let k = self.counts[c.index()] as f64 / parent_count;
+            let branch = k * self.per_instance_rows(region, c);
+            if branch > 1.0 {
+                expanding += branch;
+            }
+        }
+        expanding.max(1.0)
+    }
+
+    /// Estimated cells of a region's feed: rows × element count. The
+    /// engine touches every cell of every row it scans, merges, projects
+    /// or stores, so computation costs scale with cells, not rows.
+    pub fn region_cells(&self, region: &Region) -> u64 {
+        self.region_rows(region) * region.elements.len() as u64
+    }
+
+    /// Estimated wire size of a region's feed: rows × per-row width,
+    /// where each element contributes its id (≈ 2 bytes per tree level)
+    /// plus its average text. Inlining repetition inflates this exactly
+    /// like the paper's "repeated elements due to inlining".
+    pub fn region_bytes(&self, schema: &SchemaTree, region: &Region) -> u64 {
+        let rows = self.region_rows(region);
+        let width: u64 = region
+            .elements
+            .iter()
+            .map(|&e| {
+                let id_len = 2 * (schema.depth(e) as u64) + 2;
+                let avg_text = if self.counts[e.index()] > 0 {
+                    self.text_bytes[e.index()] / self.counts[e.index()]
+                } else {
+                    0
+                };
+                id_len + avg_text
+            })
+            .sum();
+        rows * width
+    }
+}
+
+/// Capabilities and speed of one participating system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemProfile {
+    /// Relative processing speed (2.0 = twice the baseline). The paper's
+    /// Section 5.4.1 varies this from 1/5 to 5×.
+    pub speed: f64,
+    /// Whether the system can execute `Combine`. "In a publishing
+    /// scenario, the target system might not have the capability to
+    /// implement a Combine (a dumb client)."
+    pub can_combine: bool,
+    /// Whether the system can execute `Split`. "We expect the service
+    /// endpoints to be able to split fragments in order to store them."
+    pub can_split: bool,
+}
+
+impl Default for SystemProfile {
+    fn default() -> Self {
+        SystemProfile {
+            speed: 1.0,
+            can_combine: true,
+            can_split: true,
+        }
+    }
+}
+
+impl SystemProfile {
+    /// A full-capability system at the given relative speed.
+    pub fn with_speed(speed: f64) -> SystemProfile {
+        SystemProfile {
+            speed,
+            ..Default::default()
+        }
+    }
+
+    /// A consumer that can split (to store) but not combine.
+    pub fn dumb_client() -> SystemProfile {
+        SystemProfile {
+            speed: 1.0,
+            can_combine: false,
+            can_split: true,
+        }
+    }
+}
+
+/// The weighted cost model of formula (1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Weight of computation cost (`w_comp`).
+    pub w_comp: f64,
+    /// Weight of communication cost per byte (`w_comm`).
+    pub w_comm: f64,
+    /// Source system profile.
+    pub source: SystemProfile,
+    /// Target system profile.
+    pub target: SystemProfile,
+    /// Document statistics driving the estimates.
+    pub stats: SchemaStats,
+}
+
+/// Relative expense of a `Write` next to a `Scan` (loads cost more than
+/// reads — Table 4 vs Table 1 in the paper).
+const WRITE_FACTOR: f64 = 2.0;
+/// Sort factor applied per input row of a merge combine.
+const SORT_FACTOR: f64 = 0.15;
+/// Per-cell multiplier of a `Combine` relative to a `Scan`. Joins are "the
+/// most expensive operations when building XML documents from relational
+/// data" (paper §1.1 citing [5, 6]): a merge join re-sorts, compares and
+/// materializes every cell it touches, where a scan just streams it.
+const COMBINE_FACTOR: f64 = 4.0;
+
+impl CostModel {
+    /// A model with a fast interconnect (computation dominates), the
+    /// setting of the paper's simulator experiments (Section 5.4.2).
+    pub fn fast_network(stats: SchemaStats) -> CostModel {
+        CostModel {
+            w_comp: 1.0,
+            w_comm: 0.05,
+            source: SystemProfile::default(),
+            target: SystemProfile::default(),
+            stats,
+        }
+    }
+
+    /// A model matching the paper's real wide-area experiments: shipping a
+    /// byte costs considerably more than handling a row.
+    pub fn internet(stats: SchemaStats) -> CostModel {
+        CostModel {
+            w_comm: 20.0,
+            ..CostModel::fast_network(stats)
+        }
+    }
+
+    /// `comp_cost(OP, location)`: estimated computation cost of executing
+    /// `node` of `program` at `location`. Infinite when the location lacks
+    /// the capability.
+    pub fn comp_cost(&self, program: &Program, node: usize, location: Location) -> f64 {
+        let profile = match location {
+            Location::Source => &self.source,
+            Location::Target => &self.target,
+            Location::Unassigned => return f64::INFINITY,
+        };
+        let n = &program.nodes[node];
+        let region_of =
+            |p: &crate::program::PortRef| program.port_region(*p).expect("validated program");
+        let cells_of = |p: &crate::program::PortRef| self.stats.region_cells(region_of(p)) as f64;
+        let rows_of = |p: &crate::program::PortRef| self.stats.region_rows(region_of(p)) as f64;
+        let raw = match &n.op {
+            Op::Scan { .. } => self.stats.region_cells(&n.outputs[0]) as f64,
+            Op::Combine { .. } => {
+                if !profile.can_combine {
+                    return f64::INFINITY;
+                }
+                let c1 = cells_of(&n.inputs[0]);
+                let c2 = cells_of(&n.inputs[1]);
+                let co = self.stats.region_cells(&n.outputs[0]) as f64;
+                let r1 = rows_of(&n.inputs[0]);
+                let r2 = rows_of(&n.inputs[1]);
+                let sort = SORT_FACTOR * (r1 * log2(r1) + r2 * log2(r2));
+                COMBINE_FACTOR * (c1 + c2 + co) + sort
+            }
+            Op::Split => {
+                if !profile.can_split {
+                    return f64::INFINITY;
+                }
+                let cin = cells_of(&n.inputs[0]);
+                let cout: f64 = n
+                    .outputs
+                    .iter()
+                    .map(|r| self.stats.region_cells(r) as f64)
+                    .sum();
+                cin + cout
+            }
+            Op::Write { .. } => WRITE_FACTOR * cells_of(&n.inputs[0]),
+        };
+        raw / profile.speed
+    }
+
+    /// `comm_cost(e)` for the edge feeding `consumer` from `port`: the
+    /// wire size of the shipped region if it is a cross-edge, else 0.
+    pub fn comm_cost(
+        &self,
+        schema: &SchemaTree,
+        program: &Program,
+        port: crate::program::PortRef,
+        consumer: usize,
+    ) -> f64 {
+        let producer_loc = program.nodes[port.node].location;
+        let consumer_loc = program.nodes[consumer].location;
+        if producer_loc == Location::Source && consumer_loc == Location::Target {
+            let region = program.port_region(port).expect("validated program");
+            self.stats.region_bytes(schema, region) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Total cost of a fully placed program (formula 1).
+    pub fn program_cost(&self, schema: &SchemaTree, program: &Program) -> f64 {
+        let mut comp = 0.0;
+        let mut comm = 0.0;
+        for (i, n) in program.nodes.iter().enumerate() {
+            comp += self.comp_cost(program, i, n.location);
+            for p in &n.inputs {
+                comm += self.comm_cost(schema, program, *p, i);
+            }
+        }
+        self.w_comp * comp + self.w_comm * comm
+    }
+}
+
+fn log2(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::testutil::customer_schema;
+    use crate::program::PortRef;
+    use std::collections::BTreeSet;
+
+    fn region(schema: &SchemaTree, names: &[&str]) -> Region {
+        let elements: BTreeSet<NodeId> = names.iter().map(|n| schema.by_name(n).unwrap()).collect();
+        Region {
+            root: schema.by_name(names[0]).unwrap(),
+            elements,
+        }
+    }
+
+    #[test]
+    fn uniform_and_multiplicative_stats() {
+        let schema = customer_schema();
+        let u = SchemaStats::uniform(&schema, 10, 5);
+        assert_eq!(u.count(schema.root()), 10);
+        let m = SchemaStats::multiplicative(&schema, 3, 5);
+        assert_eq!(m.count(schema.root()), 1);
+        let order = schema.by_name("Order").unwrap();
+        assert_eq!(m.count(order), 3);
+        let line = schema.by_name("Line").unwrap();
+        assert_eq!(m.count(line), 9); // order* × line*
+        let feature = schema.by_name("Feature").unwrap();
+        assert_eq!(m.count(feature), 27);
+    }
+
+    #[test]
+    fn region_rows_take_max() {
+        let schema = customer_schema();
+        let m = SchemaStats::multiplicative(&schema, 3, 5);
+        let r = region(&schema, &["Order", "Service", "ServiceName"]);
+        assert_eq!(m.region_rows(&r), 3);
+        let deep = region(
+            &schema,
+            &[
+                "Line",
+                "TelNo",
+                "Switch",
+                "SwitchID",
+                "Feature",
+                "FeatureID",
+            ],
+        );
+        assert_eq!(m.region_rows(&deep), 27);
+    }
+
+    #[test]
+    fn region_bytes_grow_with_inlining() {
+        let schema = customer_schema();
+        let m = SchemaStats::multiplicative(&schema, 3, 5);
+        let narrow = region(&schema, &["Line", "TelNo"]);
+        let wide = region(
+            &schema,
+            &[
+                "Line",
+                "TelNo",
+                "Switch",
+                "SwitchID",
+                "Feature",
+                "FeatureID",
+            ],
+        );
+        // The wide region inlines Feature (27 instances) with Line (9):
+        // its rows triple AND its width grows.
+        assert!(m.region_bytes(&schema, &wide) > 3 * m.region_bytes(&schema, &narrow));
+    }
+
+    fn tiny_program(schema: &SchemaTree) -> Program {
+        let mut p = Program::new();
+        let a = p.add_scan(0, region(schema, &["Order"]));
+        let b = p.add_scan(1, region(schema, &["Service", "ServiceName"]));
+        let c = p
+            .add_combine(
+                schema,
+                PortRef { node: a, port: 0 },
+                PortRef { node: b, port: 0 },
+            )
+            .unwrap();
+        p.add_write(0, PortRef { node: c, port: 0 }).unwrap();
+        p
+    }
+
+    #[test]
+    fn dumb_client_makes_target_combine_infinite() {
+        let schema = customer_schema();
+        let p = tiny_program(&schema);
+        let mut model = CostModel::fast_network(SchemaStats::uniform(&schema, 100, 10));
+        model.target = SystemProfile::dumb_client();
+        assert!(model.comp_cost(&p, 2, Location::Target).is_infinite());
+        assert!(model.comp_cost(&p, 2, Location::Source).is_finite());
+    }
+
+    #[test]
+    fn faster_system_is_cheaper() {
+        let schema = customer_schema();
+        let p = tiny_program(&schema);
+        let mut model = CostModel::fast_network(SchemaStats::uniform(&schema, 100, 10));
+        model.target = SystemProfile::with_speed(10.0);
+        let at_source = model.comp_cost(&p, 2, Location::Source);
+        let at_target = model.comp_cost(&p, 2, Location::Target);
+        assert!((at_source / at_target - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn program_cost_counts_cross_edges() {
+        let schema = customer_schema();
+        let mut p = tiny_program(&schema);
+        // With equal speeds and uniform stats the placements tie exactly
+        // (same rows, same shipped bytes either side of the combine); a
+        // faster target must break the tie in favor of combining there.
+        let mut model = CostModel::fast_network(SchemaStats::uniform(&schema, 100, 10));
+        model.target = SystemProfile::with_speed(4.0);
+        for n in &mut p.nodes {
+            n.location = match n.op {
+                Op::Write { .. } => Location::Target,
+                _ => Location::Source,
+            };
+        }
+        let all_source = model.program_cost(&schema, &p);
+        // Move the combine to the target: two cross-edges instead of one,
+        // shipping the two smaller inputs.
+        p.nodes[2].location = Location::Target;
+        let combine_at_target = model.program_cost(&schema, &p);
+        assert!(combine_at_target < all_source);
+        assert!(all_source.is_finite() && combine_at_target.is_finite());
+    }
+
+    #[test]
+    fn unassigned_costs_infinite() {
+        let schema = customer_schema();
+        let p = tiny_program(&schema);
+        let model = CostModel::fast_network(SchemaStats::uniform(&schema, 10, 1));
+        assert!(model.comp_cost(&p, 0, Location::Unassigned).is_infinite());
+    }
+}

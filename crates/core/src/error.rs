@@ -1,0 +1,77 @@
+//! Error type for the exchange middleware.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while planning or executing an exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A fragmentation violates validity (Def. 3.4) or references unknown
+    /// schema elements.
+    InvalidFragmentation { detail: String },
+    /// A program DAG is structurally broken (cycle, dangling edge, ...).
+    InvalidProgram { detail: String },
+    /// The optimizer hit its search-space budget.
+    SearchBudgetExceeded { programs_considered: usize },
+    /// An operation could not be placed (e.g. a dumb client asked to run
+    /// a Combine it declared impossible).
+    Unplaceable { detail: String },
+    /// Substrate failure.
+    Engine(String),
+    /// XML failure.
+    Xml(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidFragmentation { detail } => {
+                write!(f, "invalid fragmentation: {detail}")
+            }
+            Error::InvalidProgram { detail } => write!(f, "invalid program: {detail}"),
+            Error::SearchBudgetExceeded {
+                programs_considered,
+            } => {
+                write!(
+                    f,
+                    "optimizer budget exceeded after {programs_considered} programs"
+                )
+            }
+            Error::Unplaceable { detail } => write!(f, "no feasible placement: {detail}"),
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::Xml(e) => write!(f, "xml error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<xdx_relational::Error> for Error {
+    fn from(e: xdx_relational::Error) -> Self {
+        Error::Engine(e.to_string())
+    }
+}
+
+impl From<xdx_xml::Error> for Error {
+    fn from(e: xdx_xml::Error) -> Self {
+        Error::Xml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: Error = xdx_relational::Error::UnknownTable { name: "T".into() }.into();
+        assert!(e.to_string().contains('T'));
+        let e: Error = xdx_xml::Error::Schema {
+            detail: "boom".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,405 @@
+//! Program generation (paper Section 4.2).
+//!
+//! From a mapping, generation proceeds exactly as the paper describes:
+//!
+//! 1. **G0** — a `Scan` per source fragment, a `Write` per target fragment,
+//!    and a direct edge wherever a scan's fragment *is* a write's fragment.
+//! 2. **G1** — a `Split` for every source fragment whose elements span
+//!    several target fragments, its outputs being the mapping's pieces;
+//!    pieces that coincide with a whole target fragment connect straight to
+//!    that fragment's `Write` (Figure 6).
+//! 3. **Combine ordering** — every target fed by several pieces needs a
+//!    series of pair-wise `Combine`s contracting the edges of its *piece
+//!    tree*. "Each possible combine order results in a different graph
+//!    instance G" — [`Generator::enumerate_orderings`] walks that space
+//!    (the tree constraint is what keeps it "considerably" smaller than
+//!    general join ordering), [`Generator::canonical`] picks the pre-order
+//!    contraction, and the greedy module picks orders cost-first.
+
+use crate::error::{Error, Result};
+use crate::fragment::Fragmentation;
+use crate::mapping::Mapping;
+use crate::program::{PortRef, Program, Region};
+use std::collections::HashMap;
+use xdx_xml::SchemaTree;
+
+/// A piece-tree edge within one target: contract `child` piece into
+/// `parent` piece (indices into `Mapping::pieces`).
+pub type PieceEdge = (usize, usize);
+
+/// Program generator for one (schema, source, target) mapping.
+pub struct Generator<'a> {
+    /// Schema both fragmentations partition.
+    pub schema: &'a SchemaTree,
+    /// Source fragmentation.
+    pub source: &'a Fragmentation,
+    /// Target fragmentation.
+    pub target: &'a Fragmentation,
+    /// The derived mapping.
+    pub mapping: Mapping,
+}
+
+impl<'a> Generator<'a> {
+    /// Derives the mapping and prepares generation.
+    pub fn new(
+        schema: &'a SchemaTree,
+        source: &'a Fragmentation,
+        target: &'a Fragmentation,
+    ) -> Generator<'a> {
+        let mapping = Mapping::derive(schema, source, target);
+        Generator {
+            schema,
+            source,
+            target,
+            mapping,
+        }
+    }
+
+    fn piece_region(&self, piece: usize) -> Region {
+        let p = &self.mapping.pieces[piece];
+        Region {
+            root: p.root,
+            elements: p.elements.clone(),
+        }
+    }
+
+    /// Builds the shared prefix (G1 of the paper): scans and splits, and
+    /// returns the port delivering each piece.
+    fn base(&self) -> Result<(Program, HashMap<usize, PortRef>)> {
+        let mut program = Program::new();
+        let mut piece_port: HashMap<usize, PortRef> = HashMap::new();
+        for (s_idx, frag) in self.source.fragments.iter().enumerate() {
+            let scan = program.add_scan(
+                s_idx,
+                Region {
+                    root: frag.root,
+                    elements: frag.elements.clone(),
+                },
+            );
+            let pieces = &self.mapping.by_source[s_idx];
+            if pieces.len() == 1 {
+                piece_port.insert(
+                    pieces[0],
+                    PortRef {
+                        node: scan,
+                        port: 0,
+                    },
+                );
+            } else {
+                let outputs: Vec<Region> = pieces.iter().map(|&p| self.piece_region(p)).collect();
+                let split = program.add_split(
+                    PortRef {
+                        node: scan,
+                        port: 0,
+                    },
+                    outputs,
+                )?;
+                for (port, &p) in pieces.iter().enumerate() {
+                    piece_port.insert(p, PortRef { node: split, port });
+                }
+            }
+        }
+        Ok((program, piece_port))
+    }
+
+    /// The piece-tree edges of target `t`, child-first in pre-order of the
+    /// child piece's root. Contracting all of them (in any order) fuses the
+    /// target fragment.
+    pub fn edges_of_target(&self, t: usize) -> Vec<PieceEdge> {
+        self.mapping
+            .piece_parents_in_target(self.schema, t)
+            .into_iter()
+            .filter_map(|(piece, parent)| parent.map(|p| (piece, p)))
+            .collect()
+    }
+
+    /// Builds a complete (unplaced) program applying, for each target, the
+    /// given permutation of its piece-tree edges. `orders[t]` must be a
+    /// permutation of [`Generator::edges_of_target`]`(t)`.
+    pub fn build_with_orders(&self, orders: &[Vec<PieceEdge>]) -> Result<Program> {
+        if orders.len() != self.target.len() {
+            return Err(Error::InvalidProgram {
+                detail: format!(
+                    "expected {} edge orders, got {}",
+                    self.target.len(),
+                    orders.len()
+                ),
+            });
+        }
+        let (mut program, piece_port) = self.base()?;
+        for (t, order) in orders.iter().enumerate() {
+            // Union-find over pieces of this target: group → current port.
+            let mut group: HashMap<usize, usize> = HashMap::new(); // piece → representative
+            let mut port: HashMap<usize, PortRef> = HashMap::new(); // representative → port
+            for &p in &self.mapping.by_target[t] {
+                group.insert(p, p);
+                port.insert(p, piece_port[&p]);
+            }
+            let find = |group: &HashMap<usize, usize>, mut x: usize| {
+                while group[&x] != x {
+                    x = group[&x];
+                }
+                x
+            };
+            for &(child, parent) in order {
+                let c = find(&group, child);
+                let p = find(&group, parent);
+                if c == p {
+                    return Err(Error::InvalidProgram {
+                        detail: "edge order contracts within one group (not a permutation of the piece tree)"
+                            .into(),
+                    });
+                }
+                let combined = program.add_combine(self.schema, port[&p], port[&c])?;
+                group.insert(c, p);
+                port.insert(
+                    p,
+                    PortRef {
+                        node: combined,
+                        port: 0,
+                    },
+                );
+            }
+            // All pieces must now be one group; its port feeds the write.
+            let reps: std::collections::BTreeSet<usize> = self.mapping.by_target[t]
+                .iter()
+                .map(|&p| find(&group, p))
+                .collect();
+            if reps.len() != 1 {
+                return Err(Error::InvalidProgram {
+                    detail: format!("target {t}: edge order leaves {} groups", reps.len()),
+                });
+            }
+            let rep = *reps.iter().next().expect("nonempty");
+            program.add_write(t, port[&rep])?;
+        }
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// The canonical program: every target contracts its piece tree in
+    /// pre-order of the child pieces (top-down, left-to-right). This is
+    /// the order the paper's Figure 8 uses for `MF → LF`.
+    pub fn canonical(&self) -> Result<Program> {
+        let orders: Vec<Vec<PieceEdge>> = (0..self.target.len())
+            .map(|t| self.edges_of_target(t))
+            .collect();
+        self.build_with_orders(&orders)
+    }
+
+    /// Number of distinct combine orderings (the product over targets of
+    /// `k_t!` for `k_t` piece-tree edges).
+    pub fn ordering_space(&self) -> u128 {
+        (0..self.target.len())
+            .map(|t| factorial(self.edges_of_target(t).len() as u128))
+            .product()
+    }
+
+    /// Enumerates complete programs for **all** combine orderings, up to
+    /// `cap` programs. Errors with [`Error::SearchBudgetExceeded`] when the
+    /// space is larger — callers then fall back to the greedy generator,
+    /// matching the paper's observation that exhaustive generation "takes
+    /// too long for XML Schemas with more than 40 nodes".
+    pub fn enumerate_orderings(&self, cap: usize) -> Result<Vec<Program>> {
+        let space = self.ordering_space();
+        if space > cap as u128 {
+            return Err(Error::SearchBudgetExceeded {
+                programs_considered: cap,
+            });
+        }
+        let per_target: Vec<Vec<Vec<PieceEdge>>> = (0..self.target.len())
+            .map(|t| permutations(&self.edges_of_target(t)))
+            .collect();
+        let mut programs = Vec::with_capacity(space as usize);
+        let mut indices = vec![0usize; per_target.len()];
+        loop {
+            let orders: Vec<Vec<PieceEdge>> = indices
+                .iter()
+                .enumerate()
+                .map(|(t, &i)| per_target[t][i].clone())
+                .collect();
+            programs.push(self.build_with_orders(&orders)?);
+            // Odometer increment.
+            let mut t = 0;
+            loop {
+                if t == indices.len() {
+                    return Ok(programs);
+                }
+                indices[t] += 1;
+                if indices[t] < per_target[t].len() {
+                    break;
+                }
+                indices[t] = 0;
+                t += 1;
+            }
+        }
+    }
+}
+
+fn factorial(n: u128) -> u128 {
+    (1..=n).product::<u128>().max(1)
+}
+
+/// All permutations of `items` (Heap's algorithm, iterative).
+pub(crate) fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut arr: Vec<T> = items.to_vec();
+    let n = arr.len();
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut c = vec![0usize; n];
+    out.push(arr.clone());
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                arr.swap(0, i);
+            } else {
+                arr.swap(c[i], i);
+            }
+            out.push(arr.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::testutil::{customer_schema, t_fragmentation};
+    use crate::program::Op;
+
+    #[test]
+    fn identity_is_scan_write_series() {
+        let schema = customer_schema();
+        let t = t_fragmentation(&schema);
+        let g = Generator::new(&schema, &t, &t);
+        let p = g.canonical().unwrap();
+        assert_eq!(p.op_counts(), (4, 0, 0, 4));
+        assert_eq!(g.ordering_space(), 1);
+        // "the program simply transfers the corresponding fragment
+        // instances from one system to the other".
+        for n in &p.nodes {
+            match &n.op {
+                Op::Write { .. } => {
+                    let producer = &p.nodes[n.inputs[0].node];
+                    assert!(matches!(producer.op, Op::Scan { .. }));
+                }
+                Op::Scan { .. } => {}
+                other => panic!("unexpected op {}", other.kind()),
+            }
+        }
+    }
+
+    #[test]
+    fn mf_to_t_builds_combines() {
+        let schema = customer_schema();
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let t = t_fragmentation(&schema);
+        let g = Generator::new(&schema, &mf, &t);
+        let p = g.canonical().unwrap();
+        let (scans, combines, splits, writes) = p.op_counts();
+        assert_eq!(scans, schema.len());
+        assert_eq!(splits, 0); // MF pieces are single source fragments
+        assert_eq!(writes, 4);
+        // Combines = (elements - targets) contractions.
+        assert_eq!(combines, schema.len() - 4);
+    }
+
+    #[test]
+    fn whole_to_t_builds_one_split() {
+        let schema = customer_schema();
+        let whole = Fragmentation::whole_document("W", &schema);
+        let t = t_fragmentation(&schema);
+        let g = Generator::new(&schema, &whole, &t);
+        let p = g.canonical().unwrap();
+        let (scans, combines, splits, writes) = p.op_counts();
+        assert_eq!((scans, combines, splits, writes), (1, 0, 1, 4));
+        // Split has one output per target fragment (Figure 4's loading
+        // program, flattened to one n-way split).
+        let split = p.nodes.iter().find(|n| matches!(n.op, Op::Split)).unwrap();
+        assert_eq!(split.outputs.len(), 4);
+    }
+
+    #[test]
+    fn t_to_mf_splits_every_fragment() {
+        let schema = customer_schema();
+        let t = t_fragmentation(&schema);
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let g = Generator::new(&schema, &t, &mf);
+        let p = g.canonical().unwrap();
+        let (scans, combines, splits, writes) = p.op_counts();
+        assert_eq!(scans, 4);
+        assert_eq!(combines, 0);
+        // Every T fragment has ≥2 elements, so all 4 must split.
+        assert_eq!(splits, 4);
+        assert_eq!(writes, schema.len());
+    }
+
+    #[test]
+    fn ordering_space_and_enumeration() {
+        let schema = customer_schema();
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let t = t_fragmentation(&schema);
+        let g = Generator::new(&schema, &mf, &t);
+        // Piece-tree edges per target: Customer=1, Order_Service=2,
+        // Line_Switch=3, Feature=1 → 1!·2!·3!·1! = 12 orderings.
+        assert_eq!(g.ordering_space(), 12);
+        let programs = g.enumerate_orderings(100).unwrap();
+        assert_eq!(programs.len(), 12);
+        for p in &programs {
+            p.validate().unwrap();
+            assert_eq!(p.op_counts().1, schema.len() - 4);
+        }
+        // All programs are distinct DAGs.
+        let unique: std::collections::HashSet<String> = programs
+            .iter()
+            .map(|p| format!("{}", p.display(&schema)))
+            .collect();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn enumeration_respects_cap() {
+        let schema = customer_schema();
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let t = t_fragmentation(&schema);
+        let g = Generator::new(&schema, &mf, &t);
+        assert!(matches!(
+            g.enumerate_orderings(5),
+            Err(Error::SearchBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_order_rejected() {
+        let schema = customer_schema();
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let t = t_fragmentation(&schema);
+        let g = Generator::new(&schema, &mf, &t);
+        let mut orders: Vec<Vec<PieceEdge>> = (0..t.len()).map(|i| g.edges_of_target(i)).collect();
+        // Duplicate an edge: contraction within one group must fail.
+        let dup = orders[2][0];
+        orders[2].push(dup);
+        assert!(g.build_with_orders(&orders).is_err());
+        // Dropping an edge leaves the target unassembled.
+        let mut orders2: Vec<Vec<PieceEdge>> = (0..t.len()).map(|i| g.edges_of_target(i)).collect();
+        orders2[2].pop();
+        assert!(g.build_with_orders(&orders2).is_err());
+    }
+
+    #[test]
+    fn permutations_cover_space() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations::<u8>(&[]).len(), 1);
+        let unique: std::collections::HashSet<Vec<u8>> =
+            permutations(&[1, 2, 3, 4]).into_iter().collect();
+        assert_eq!(unique.len(), 24);
+    }
+}

@@ -1,0 +1,61 @@
+//! # xdx-core — fragmented XML data exchange
+//!
+//! The primary contribution of Amer-Yahia & Kotidis (ICDE 2004): a
+//! middle-tier architecture in which the source and target of an XML data
+//! exchange register *fragmentations* of the agreed-upon XML Schema, and a
+//! discovery agency compiles and optimizes a distributed *data-transfer
+//! program* between them instead of shipping whole published documents.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`fragment`] — fragments, fragmentations, validity (Defs. 3.1–3.4)
+//! * [`mapping`] — source↔target mappings and overlap *pieces* (Def. 3.5)
+//! * [`program`] — data-transfer DAGs over `Scan`/`Combine`/`Split`/`Write`
+//!   (Defs. 3.6–3.10)
+//! * [`gen`] — program generation: G0 → G1 → combine orderings (§4.2)
+//! * [`advisor`] — cost-driven fragmentation design (the paper's future
+//!   work: "derive the best fragmentation for a system")
+//! * [`cost`] — the cost model, system profiles, statistics (§4.1)
+//! * [`optimal`] — exhaustive cost-based placement, `Cost_Based_Optim` (§4.2)
+//! * [`greedy`] — greedy ordering + placement heuristics (§4.3)
+//! * [`exec`] — the runtime: executes a placed program against real stores
+//!   over a simulated link (§5.2)
+//! * [`exec_parallel`] — component-parallel execution (the parallelism
+//!   opportunity §5.2 notes but does not pursue)
+//! * [`selection`] — parameterized services: argument-driven subsetting
+//!   with selectivity-aware costing (§3.2, §4.1)
+//! * [`derived`] — fragments computed by service calls, e.g. the
+//!   `TotalMRCService` of §1.1
+//! * [`publish`] — merge-and-tag XML publishing from feeds (§5.1, after [6])
+//! * [`shred`] — SAX shredding of documents into fragment feeds (§5.1)
+//! * [`pm`] — the publish&map baseline pipeline (§5.1)
+//! * [`exchange`] — the optimized end-to-end exchange orchestrator (§5.2),
+//!   i.e. Figure 2's steps 1–4
+//! * [`report`] — step-by-step timing breakdowns shared by both pipelines
+
+pub mod advisor;
+pub mod cost;
+pub mod derived;
+pub mod error;
+pub mod exchange;
+pub mod exec;
+pub mod exec_parallel;
+pub mod fragment;
+pub mod gen;
+pub mod greedy;
+pub mod mapping;
+pub mod optimal;
+pub mod pm;
+pub mod program;
+pub mod publish;
+pub mod report;
+pub mod selection;
+pub mod shred;
+
+pub use cost::{CostModel, SchemaStats, SystemProfile};
+pub use error::{Error, Result};
+pub use exchange::{DataExchange, Optimizer};
+pub use fragment::{Fragment, Fragmentation};
+pub use mapping::Mapping;
+pub use program::{Location, Op, OpNode, Program};
+pub use report::{ExchangeReport, StepTimes};

@@ -1,0 +1,281 @@
+//! Mappings between fragmentations (paper Definition 3.5) and the *pieces*
+//! the program generator works on.
+//!
+//! A mapping `(XMLSchema, S, T, M)` associates each target fragment with
+//! the source fragments it draws from. We compute it structurally: both
+//! fragmentations partition the same schema tree, so the function `M` is
+//! induced by element overlap. The unit of data movement is the **piece**:
+//! a maximal set of elements owned by one source fragment *and* one target
+//! fragment. Pieces are connected regions (the intersection of two
+//! subtrees of a tree is a subtree), so each has a well-defined root.
+//!
+//! * a source fragment overlapping several targets must be **Split** into
+//!   its pieces;
+//! * a target fragment drawing from several pieces needs those pieces
+//!   **Combine**d (in some order — that's the optimizer's job);
+//! * a piece that is simultaneously a whole source fragment and a whole
+//!   target fragment flows `Scan → Write` untouched.
+
+use crate::fragment::Fragmentation;
+use std::collections::BTreeSet;
+use xdx_xml::{NodeId, SchemaTree};
+
+/// A maximal region owned by one (source fragment, target fragment) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Piece {
+    /// Index of the owning source fragment.
+    pub source: usize,
+    /// Index of the owning target fragment.
+    pub target: usize,
+    /// Root element of the region.
+    pub root: NodeId,
+    /// Elements of the region.
+    pub elements: BTreeSet<NodeId>,
+}
+
+impl Piece {
+    /// Conventional display name (joined element names).
+    pub fn name(&self, schema: &SchemaTree) -> String {
+        crate::fragment::Fragment::conventional_name(schema, self.root, &self.elements)
+    }
+
+    /// True when this piece covers its source fragment exactly.
+    pub fn is_whole_source(&self, s: &Fragmentation) -> bool {
+        self.elements == s.fragments[self.source].elements
+    }
+
+    /// True when this piece covers its target fragment exactly.
+    pub fn is_whole_target(&self, t: &Fragmentation) -> bool {
+        self.elements == t.fragments[self.target].elements
+    }
+}
+
+/// The mapping between a source and a target fragmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// All pieces, in schema pre-order of their roots.
+    pub pieces: Vec<Piece>,
+    /// Per source-fragment index: indices into `pieces`.
+    pub by_source: Vec<Vec<usize>>,
+    /// Per target-fragment index: indices into `pieces`.
+    pub by_target: Vec<Vec<usize>>,
+}
+
+impl Mapping {
+    /// Derives the mapping induced by element overlap (Figure 2, Step 2:
+    /// "the discovery agency generates a mapping between the two
+    /// fragmentations").
+    pub fn derive(schema: &SchemaTree, s: &Fragmentation, t: &Fragmentation) -> Mapping {
+        // Group elements by (source owner, target owner); the groups are
+        // discovered in pre-order, so the first element of each group is
+        // its root (the shallowest element — any other member's parent
+        // chain passes through it).
+        let mut pieces: Vec<Piece> = Vec::new();
+        let mut group_of: Vec<Option<usize>> = vec![None; schema.len()];
+        for e in schema.ids() {
+            let key = (s.fragment_of(e), t.fragment_of(e));
+            // The piece this element continues, if any: its parent's piece
+            // when the parent has the same owners (maximality within the
+            // connected region).
+            let continues = schema.node(e).parent.and_then(|p| {
+                let pg = group_of[p.index()]?;
+                (pieces[pg].source == key.0 && pieces[pg].target == key.1).then_some(pg)
+            });
+            match continues {
+                Some(g) => {
+                    pieces[g].elements.insert(e);
+                    group_of[e.index()] = Some(g);
+                }
+                None => {
+                    group_of[e.index()] = Some(pieces.len());
+                    pieces.push(Piece {
+                        source: key.0,
+                        target: key.1,
+                        root: e,
+                        elements: BTreeSet::from([e]),
+                    });
+                }
+            }
+        }
+        let mut by_source = vec![Vec::new(); s.len()];
+        let mut by_target = vec![Vec::new(); t.len()];
+        for (i, p) in pieces.iter().enumerate() {
+            by_source[p.source].push(i);
+            by_target[p.target].push(i);
+        }
+        Mapping {
+            pieces,
+            by_source,
+            by_target,
+        }
+    }
+
+    /// `M(t)`: the set of source-fragment indices target `t` draws from
+    /// (Def. 3.5).
+    pub fn sources_of(&self, target: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self.by_target[target]
+            .iter()
+            .map(|&p| self.pieces[p].source)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Within target `t`, the *piece tree*: for each piece of `t`, the
+    /// index (into `pieces`) of its parent piece in the same target, or
+    /// `None` for the piece containing the target fragment's root.
+    /// Combines contract the edges of this tree.
+    pub fn piece_parents_in_target(
+        &self,
+        schema: &SchemaTree,
+        target: usize,
+    ) -> Vec<(usize, Option<usize>)> {
+        self.by_target[target]
+            .iter()
+            .map(|&pi| {
+                let piece = &self.pieces[pi];
+                let parent = schema.node(piece.root).parent.and_then(|pe| {
+                    self.by_target[target]
+                        .iter()
+                        .copied()
+                        .find(|&qi| self.pieces[qi].elements.contains(&pe))
+                });
+                (pi, parent)
+            })
+            .collect()
+    }
+
+    /// True when the two fragmentations coincide (every piece is both a
+    /// whole source and a whole target fragment) — the `MF → MF` /
+    /// `LF → LF` scenarios whose program is a pure `Scan → Write` series.
+    pub fn is_identity(&self, s: &Fragmentation, t: &Fragmentation) -> bool {
+        self.pieces
+            .iter()
+            .all(|p| p.is_whole_source(s) && p.is_whole_target(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::testutil::{customer_schema, t_fragmentation};
+    use crate::fragment::Fragmentation;
+
+    #[test]
+    fn identity_mapping() {
+        let schema = customer_schema();
+        let t = t_fragmentation(&schema);
+        let m = Mapping::derive(&schema, &t, &t);
+        assert_eq!(m.pieces.len(), t.len());
+        assert!(m.is_identity(&t, &t));
+        for (i, _) in t.fragments.iter().enumerate() {
+            assert_eq!(m.sources_of(i), vec![i]);
+        }
+    }
+
+    #[test]
+    fn mf_to_t_requires_combines() {
+        let schema = customer_schema();
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let t = t_fragmentation(&schema);
+        let m = Mapping::derive(&schema, &mf, &t);
+        // With MF as source, every element is its own piece.
+        assert_eq!(m.pieces.len(), schema.len());
+        assert!(!m.is_identity(&mf, &t));
+        // Order_Service (index 1) draws from Order, Service, ServiceName.
+        let sources = m.sources_of(1);
+        assert_eq!(sources.len(), 3);
+        // Its piece tree: Order root piece, Service under it, ServiceName
+        // under Service.
+        let parents = m.piece_parents_in_target(&schema, 1);
+        let roots: Vec<_> = parents.iter().filter(|(_, p)| p.is_none()).collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(schema.name(m.pieces[roots[0].0].root), "Order");
+    }
+
+    #[test]
+    fn whole_to_t_requires_splits() {
+        let schema = customer_schema();
+        let whole = Fragmentation::whole_document("W", &schema);
+        let t = t_fragmentation(&schema);
+        let m = Mapping::derive(&schema, &whole, &t);
+        // One piece per target fragment, all from source fragment 0.
+        assert_eq!(m.pieces.len(), t.len());
+        assert_eq!(m.by_source[0].len(), t.len());
+        for (i, tf) in t.fragments.iter().enumerate() {
+            assert_eq!(m.sources_of(i), vec![0]);
+            let piece = &m.pieces[m.by_target[i][0]];
+            assert_eq!(&piece.elements, &tf.elements);
+            assert!(piece.is_whole_target(&t));
+            assert!(!piece.is_whole_source(&whole));
+        }
+    }
+
+    #[test]
+    fn lf_to_mf_pieces_are_single_elements() {
+        let schema = customer_schema();
+        let lf = Fragmentation::least_fragmented("LF", &schema);
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let m = Mapping::derive(&schema, &lf, &mf);
+        assert_eq!(m.pieces.len(), schema.len());
+        assert!(m.pieces.iter().all(|p| p.elements.len() == 1));
+        // Every LF fragment must be split into as many pieces as it has
+        // elements.
+        for (i, f) in lf.fragments.iter().enumerate() {
+            assert_eq!(m.by_source[i].len(), f.elements.len());
+        }
+    }
+
+    #[test]
+    fn piece_roots_in_preorder() {
+        let schema = customer_schema();
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let t = t_fragmentation(&schema);
+        let m = Mapping::derive(&schema, &mf, &t);
+        let depths: Vec<usize> = m.pieces.iter().map(|p| schema.depth(p.root)).collect();
+        // Pre-order means a parent's piece precedes its descendants'.
+        assert_eq!(depths[0], 0);
+    }
+
+    #[test]
+    fn partial_overlap_splits_and_combines() {
+        // Source groups (Customer,CustName,Order); target groups
+        // (Customer,CustName) + (Order,Service...). The source fragment
+        // must split, and the target Order fragment combines pieces from
+        // two different source fragments.
+        let schema = customer_schema();
+        use crate::fragment::Fragment;
+        use std::collections::BTreeSet;
+        let by = |n: &str| schema.by_name(n).unwrap();
+        let s = Fragmentation::new(
+            "S",
+            &schema,
+            vec![
+                Fragment::new(
+                    &schema,
+                    "top",
+                    by("Customer"),
+                    BTreeSet::from([by("Customer"), by("CustName"), by("Order")]),
+                )
+                .unwrap(),
+                Fragment::new(
+                    &schema,
+                    "rest",
+                    by("Service"),
+                    schema.subtree(by("Service")).into_iter().collect(),
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap();
+        let t = t_fragmentation(&schema);
+        let m = Mapping::derive(&schema, &s, &t);
+        // Target Order_Service (idx 1) draws from both source fragments.
+        assert_eq!(m.sources_of(1), vec![0, 1]);
+        // Source "top" splits into (Customer,CustName) and (Order).
+        assert_eq!(m.by_source[0].len(), 2);
+        // Source "rest" splits into (Service,ServiceName), (Line...), (Feature...).
+        assert_eq!(m.by_source[1].len(), 3);
+    }
+}

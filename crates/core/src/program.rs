@@ -1,0 +1,554 @@
+//! Data-transfer programs (paper Definition 3.10): DAGs whose nodes are
+//! primitive operations and whose edges describe data flow.
+//!
+//! Nodes are stored in topological order by construction (an operation may
+//! only consume outputs of earlier nodes). A node produces zero or more
+//! *regions* — connected element sets with a root — matching the fragments
+//! flowing along the paper's edges: `Scan` and `Combine` produce one,
+//! `Split` several, `Write` none.
+//!
+//! Each node carries a [`Location`]: where it executes. An edge whose
+//! producer runs at the source and whose consumer runs at the target is a
+//! *cross-edge* and incurs communication cost; the reverse direction is
+//! illegal (the paper considers one-way shipping only).
+
+use crate::error::{Error, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+use xdx_xml::{NodeId, SchemaTree};
+
+/// Where an operation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Location {
+    /// Not yet decided (input to the placement algorithms).
+    #[default]
+    Unassigned,
+    /// At the data producer.
+    Source,
+    /// At the data consumer.
+    Target,
+}
+
+/// A connected element region flowing along an edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Root element.
+    pub root: NodeId,
+    /// All elements (including the root).
+    pub elements: BTreeSet<NodeId>,
+}
+
+impl Region {
+    /// Display name (joined element names, uppercase).
+    pub fn name(&self, schema: &SchemaTree) -> String {
+        crate::fragment::Fragment::conventional_name(schema, self.root, &self.elements)
+    }
+}
+
+/// A reference to one output port of an earlier node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// Producing node index.
+    pub node: usize,
+    /// Output port on that node (0 except for `Split`).
+    pub port: usize,
+}
+
+/// The primitive operations (paper Definitions 3.6–3.9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Reads a stored source fragment and computes ID/PARENT.
+    Scan {
+        /// Index into the source fragmentation.
+        fragment: usize,
+    },
+    /// Inlines a child region into its parent region. `anchor` is the
+    /// schema element (inside the parent region) that is the parent of
+    /// the child region's root.
+    Combine {
+        /// Join anchor element.
+        anchor: NodeId,
+    },
+    /// Projects the input region into disjoint sub-regions.
+    Split,
+    /// Stores its input as a target fragment.
+    Write {
+        /// Index into the target fragmentation.
+        fragment: usize,
+    },
+}
+
+impl Op {
+    /// Short operation name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Scan { .. } => "Scan",
+            Op::Combine { .. } => "Combine",
+            Op::Split => "Split",
+            Op::Write { .. } => "Write",
+        }
+    }
+}
+
+/// One node of the program DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpNode {
+    /// The operation.
+    pub op: Op,
+    /// Consumed ports, in operation-specific order (`Combine`: parent
+    /// first, child second).
+    pub inputs: Vec<PortRef>,
+    /// Produced regions, one per output port.
+    pub outputs: Vec<Region>,
+    /// Assigned execution site.
+    pub location: Location,
+}
+
+/// A data-transfer program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Nodes in topological order.
+    pub nodes: Vec<OpNode>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    fn push(&mut self, node: OpNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds `Scan(fragment)` producing `region`.
+    pub fn add_scan(&mut self, fragment: usize, region: Region) -> usize {
+        self.push(OpNode {
+            op: Op::Scan { fragment },
+            inputs: Vec::new(),
+            outputs: vec![region],
+            location: Location::Unassigned,
+        })
+    }
+
+    /// Adds `Combine(parent, child)`; the anchor is derived from the child
+    /// region's root. The output region is the union of both inputs.
+    pub fn add_combine(
+        &mut self,
+        schema: &SchemaTree,
+        parent: PortRef,
+        child: PortRef,
+    ) -> Result<usize> {
+        let parent_region = self.port_region(parent)?.clone();
+        let child_region = self.port_region(child)?.clone();
+        let anchor =
+            schema
+                .node(child_region.root)
+                .parent
+                .ok_or_else(|| Error::InvalidProgram {
+                    detail: "combine child rooted at schema root".into(),
+                })?;
+        if !parent_region.elements.contains(&anchor) {
+            return Err(Error::InvalidProgram {
+                detail: format!(
+                    "combine: anchor {} not in parent region {}",
+                    schema.name(anchor),
+                    parent_region.name(schema)
+                ),
+            });
+        }
+        let mut elements = parent_region.elements;
+        elements.extend(child_region.elements.iter().copied());
+        let out = Region {
+            root: parent_region.root,
+            elements,
+        };
+        Ok(self.push(OpNode {
+            op: Op::Combine { anchor },
+            inputs: vec![parent, child],
+            outputs: vec![out],
+            location: Location::Unassigned,
+        }))
+    }
+
+    /// Adds `Split(input, regions...)`.
+    pub fn add_split(&mut self, input: PortRef, outputs: Vec<Region>) -> Result<usize> {
+        let in_region = self.port_region(input)?;
+        for r in &outputs {
+            if !r.elements.is_subset(&in_region.elements) {
+                return Err(Error::InvalidProgram {
+                    detail: "split output region not contained in input".into(),
+                });
+            }
+        }
+        Ok(self.push(OpNode {
+            op: Op::Split,
+            inputs: vec![input],
+            outputs,
+            location: Location::Unassigned,
+        }))
+    }
+
+    /// Adds `Write(fragment)` consuming `input`.
+    pub fn add_write(&mut self, fragment: usize, input: PortRef) -> Result<usize> {
+        self.port_region(input)?; // existence check
+        Ok(self.push(OpNode {
+            op: Op::Write { fragment },
+            inputs: vec![input],
+            outputs: Vec::new(),
+            location: Location::Unassigned,
+        }))
+    }
+
+    /// The region produced at `port`.
+    pub fn port_region(&self, port: PortRef) -> Result<&Region> {
+        self.nodes
+            .get(port.node)
+            .and_then(|n| n.outputs.get(port.port))
+            .ok_or_else(|| Error::InvalidProgram {
+                detail: format!("dangling port reference {port:?}"),
+            })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Count of nodes of each kind: (scans, combines, splits, writes).
+    pub fn op_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for n in &self.nodes {
+            match n.op {
+                Op::Scan { .. } => c.0 += 1,
+                Op::Combine { .. } => c.1 += 1,
+                Op::Split => c.2 += 1,
+                Op::Write { .. } => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Direct consumers of each node (node index → consumer indices).
+    pub fn consumers(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for p in &n.inputs {
+                out[p.node].push(i);
+            }
+        }
+        out
+    }
+
+    /// Validates DAG structure: topological input references, arity per
+    /// operation kind, every non-`Write` output consumed, every `Write`
+    /// fed.
+    pub fn validate(&self) -> Result<()> {
+        let mut consumed = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let arity_ok = match n.op {
+                Op::Scan { .. } => n.inputs.is_empty() && n.outputs.len() == 1,
+                Op::Combine { .. } => n.inputs.len() == 2 && n.outputs.len() == 1,
+                Op::Split => n.inputs.len() == 1 && n.outputs.len() >= 2,
+                Op::Write { .. } => n.inputs.len() == 1 && n.outputs.is_empty(),
+            };
+            if !arity_ok {
+                return Err(Error::InvalidProgram {
+                    detail: format!("node {i} ({}) has wrong arity", n.op.kind()),
+                });
+            }
+            for p in &n.inputs {
+                if p.node >= i {
+                    return Err(Error::InvalidProgram {
+                        detail: format!("node {i} consumes later/own node {}", p.node),
+                    });
+                }
+                self.port_region(*p)?;
+                consumed[p.node] = true;
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !matches!(n.op, Op::Write { .. }) && !consumed[i] {
+                return Err(Error::InvalidProgram {
+                    detail: format!("node {i} ({}) output never consumed", n.op.kind()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a complete placement: nothing unassigned, scans at the
+    /// source, writes at the target, and no target→source edge (one-way
+    /// shipping).
+    pub fn validate_placement(&self) -> Result<()> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            match (&n.op, n.location) {
+                (_, Location::Unassigned) => {
+                    return Err(Error::InvalidProgram {
+                        detail: format!("node {i} unassigned"),
+                    })
+                }
+                (Op::Scan { .. }, Location::Target) => {
+                    return Err(Error::InvalidProgram {
+                        detail: format!("node {i}: Scan cannot run at target"),
+                    })
+                }
+                (Op::Write { .. }, Location::Source) => {
+                    return Err(Error::InvalidProgram {
+                        detail: format!("node {i}: Write cannot run at source"),
+                    })
+                }
+                _ => {}
+            }
+            for p in &n.inputs {
+                if self.nodes[p.node].location == Location::Target && n.location == Location::Source
+                {
+                    return Err(Error::InvalidProgram {
+                        detail: format!("edge {}→{i} ships target→source", p.node),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-edges under the current placement: `(producer port, consumer)`.
+    pub fn cross_edges(&self) -> Vec<(PortRef, usize)> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for p in &n.inputs {
+                if self.nodes[p.node].location == Location::Source && n.location == Location::Target
+                {
+                    out.push((*p, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the program in the style of the paper's Figure 5 (one line
+    /// per node, with input references).
+    pub fn display<'a>(&'a self, schema: &'a SchemaTree) -> ProgramDisplay<'a> {
+        ProgramDisplay {
+            program: self,
+            schema,
+        }
+    }
+}
+
+/// Pretty-printer returned by [`Program::display`].
+pub struct ProgramDisplay<'a> {
+    program: &'a Program,
+    schema: &'a SchemaTree,
+}
+
+impl fmt::Display for ProgramDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.program.nodes.iter().enumerate() {
+            let loc = match n.location {
+                Location::Unassigned => "?",
+                Location::Source => "S",
+                Location::Target => "T",
+            };
+            let args: Vec<String> = n
+                .inputs
+                .iter()
+                .map(|p| format!("#{}.{}", p.node, p.port))
+                .collect();
+            let outs: Vec<String> = n.outputs.iter().map(|r| r.name(self.schema)).collect();
+            writeln!(
+                f,
+                "#{i} [{loc}] {}({}) -> [{}]",
+                n.op.kind(),
+                args.join(", "),
+                outs.join("; ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::testutil::customer_schema;
+
+    fn region(schema: &SchemaTree, names: &[&str]) -> Region {
+        let elements: BTreeSet<NodeId> = names.iter().map(|n| schema.by_name(n).unwrap()).collect();
+        Region {
+            root: schema.by_name(names[0]).unwrap(),
+            elements,
+        }
+    }
+
+    /// Builds the Figure-5-style plan: Scan(Customer)→Write;
+    /// Combine(Scan(Order), Scan(Service…))→Write.
+    fn sample_program(schema: &SchemaTree) -> Program {
+        let mut p = Program::new();
+        let cust = p.add_scan(0, region(schema, &["Customer", "CustName"]));
+        p.add_write(
+            0,
+            PortRef {
+                node: cust,
+                port: 0,
+            },
+        )
+        .unwrap();
+        let order = p.add_scan(1, region(schema, &["Order"]));
+        let service = p.add_scan(2, region(schema, &["Service", "ServiceName"]));
+        let comb = p
+            .add_combine(
+                schema,
+                PortRef {
+                    node: order,
+                    port: 0,
+                },
+                PortRef {
+                    node: service,
+                    port: 0,
+                },
+            )
+            .unwrap();
+        p.add_write(
+            1,
+            PortRef {
+                node: comb,
+                port: 0,
+            },
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let schema = customer_schema();
+        let p = sample_program(&schema);
+        p.validate().unwrap();
+        assert_eq!(p.op_counts(), (3, 1, 0, 2));
+    }
+
+    #[test]
+    fn combine_region_is_union() {
+        let schema = customer_schema();
+        let p = sample_program(&schema);
+        let comb = &p.nodes[4];
+        assert_eq!(comb.outputs[0].elements.len(), 3); // Order+Service+ServiceName
+        assert_eq!(schema.name(comb.outputs[0].root), "Order");
+        match comb.op {
+            Op::Combine { anchor } => assert_eq!(schema.name(anchor), "Order"),
+            _ => panic!("not a combine"),
+        }
+    }
+
+    #[test]
+    fn combine_requires_anchor_in_parent() {
+        let schema = customer_schema();
+        let mut p = Program::new();
+        let cust = p.add_scan(0, region(&schema, &["Customer"]));
+        let feature = p.add_scan(1, region(&schema, &["Feature", "FeatureID"]));
+        // Feature's parent is Line, which is not in the Customer region.
+        let err = p.add_combine(
+            &schema,
+            PortRef {
+                node: cust,
+                port: 0,
+            },
+            PortRef {
+                node: feature,
+                port: 0,
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn split_outputs_must_be_contained() {
+        let schema = customer_schema();
+        let mut p = Program::new();
+        let cust = p.add_scan(0, region(&schema, &["Customer", "CustName"]));
+        let err = p.add_split(
+            PortRef {
+                node: cust,
+                port: 0,
+            },
+            vec![region(&schema, &["Customer"]), region(&schema, &["Order"])],
+        );
+        assert!(err.is_err());
+        let ok = p.add_split(
+            PortRef {
+                node: cust,
+                port: 0,
+            },
+            vec![
+                region(&schema, &["Customer"]),
+                region(&schema, &["CustName"]),
+            ],
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unconsumed_output() {
+        let schema = customer_schema();
+        let mut p = Program::new();
+        p.add_scan(0, region(&schema, &["Customer"]));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn placement_validation() {
+        let schema = customer_schema();
+        let mut p = sample_program(&schema);
+        assert!(p.validate_placement().is_err()); // unassigned
+        for n in &mut p.nodes {
+            n.location = match n.op {
+                Op::Write { .. } => Location::Target,
+                _ => Location::Source,
+            };
+        }
+        p.validate_placement().unwrap();
+        assert_eq!(p.cross_edges().len(), 2); // each write's input ships
+
+        // Combine at target pulls the ship point earlier.
+        p.nodes[4].location = Location::Target;
+        p.validate_placement().unwrap();
+        assert_eq!(p.cross_edges().len(), 3);
+
+        // Scan at target is illegal.
+        p.nodes[0].location = Location::Target;
+        assert!(p.validate_placement().is_err());
+        p.nodes[0].location = Location::Source;
+
+        // target→source edge is illegal.
+        p.nodes[4].location = Location::Source;
+        p.nodes[2].location = Location::Target;
+        assert!(p.validate_placement().is_err());
+    }
+
+    #[test]
+    fn display_renders_every_node() {
+        let schema = customer_schema();
+        let p = sample_program(&schema);
+        let text = p.display(&schema).to_string();
+        assert_eq!(text.lines().count(), p.len());
+        assert!(text.contains("Combine"));
+        assert!(text.contains("ORDER_SERVICE_SERVICENAME"));
+    }
+
+    #[test]
+    fn consumers_map() {
+        let schema = customer_schema();
+        let p = sample_program(&schema);
+        let cons = p.consumers();
+        assert_eq!(cons[0], vec![1]); // scan Customer → write
+        assert_eq!(cons[2], vec![4]); // scan Order → combine
+        assert!(cons[5].is_empty()); // write has no consumers
+    }
+}

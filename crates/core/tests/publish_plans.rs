@@ -1,0 +1,138 @@
+//! The publishing-plan spectrum of [6]: the single-query and outer-union
+//! endpoints must produce byte-identical documents, and the cost-based
+//! default must pick the cheaper one on fragmented sources.
+
+use std::collections::BTreeSet;
+use xdx_core::fragment::Fragment;
+use xdx_core::publish::{publish_with_plan, PublishPlan};
+use xdx_core::shred::shred;
+use xdx_core::Fragmentation;
+use xdx_relational::Database;
+use xdx_xml::{Occurs, SchemaTree, Writer};
+
+fn schema() -> SchemaTree {
+    let mut t = SchemaTree::new("lib");
+    let shelf = t.add_child(t.root(), "shelf", Occurs::Many).unwrap();
+    let book = t.add_child(shelf, "book", Occurs::Many).unwrap();
+    let title = t.add_child(book, "title", Occurs::One).unwrap();
+    t.set_text(title);
+    let author = t.add_child(book, "author", Occurs::Optional).unwrap();
+    t.set_text(author);
+    let label = t.add_child(shelf, "label", Occurs::One).unwrap();
+    t.set_text(label);
+    t
+}
+
+fn doc() -> String {
+    let mut w = Writer::new();
+    w.start("lib");
+    for s in 0..3 {
+        w.start("shelf");
+        for b in 0..(s + 1) {
+            w.start("book");
+            w.text_element("title", &format!("title {s}.{b}"));
+            if b % 2 == 0 {
+                w.text_element("author", &format!("author {b}"));
+            }
+            w.end();
+        }
+        w.text_element("label", &format!("shelf-{s}"));
+        w.end();
+    }
+    w.end();
+    w.finish()
+}
+
+fn load(schema: &SchemaTree, frag: &Fragmentation) -> Database {
+    let shredded = shred(&doc(), schema, frag).unwrap();
+    let mut db = Database::new("s");
+    for (f, feed) in frag.fragments.iter().zip(shredded.feeds) {
+        db.load(&f.name, feed).unwrap();
+    }
+    db
+}
+
+#[test]
+fn all_plans_produce_the_same_document() {
+    let schema = schema();
+    let frags = [
+        Fragmentation::most_fragmented("MF", &schema),
+        Fragmentation::least_fragmented("LF", &schema),
+        Fragmentation::whole_document("W", &schema),
+        Fragmentation::new(
+            "custom",
+            &schema,
+            vec![
+                Fragment::new(
+                    &schema,
+                    "top",
+                    schema.root(),
+                    BTreeSet::from([schema.root(), schema.by_name("shelf").unwrap()]),
+                )
+                .unwrap(),
+                Fragment::new(
+                    &schema,
+                    "books",
+                    schema.by_name("book").unwrap(),
+                    ["book", "title", "author"]
+                        .iter()
+                        .map(|n| schema.by_name(n).unwrap())
+                        .collect(),
+                )
+                .unwrap(),
+                Fragment::new(
+                    &schema,
+                    "labels",
+                    schema.by_name("label").unwrap(),
+                    BTreeSet::from([schema.by_name("label").unwrap()]),
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap(),
+    ];
+    for frag in frags {
+        let mut outputs = Vec::new();
+        for plan in [
+            PublishPlan::SingleQuery,
+            PublishPlan::OuterUnion,
+            PublishPlan::CostBased,
+        ] {
+            let mut db = load(&schema, &frag);
+            let p = publish_with_plan(&schema, &frag, &mut db, plan).unwrap();
+            outputs.push(p.xml);
+        }
+        assert_eq!(outputs[0], outputs[1], "fragmentation {}", frag.name);
+        assert_eq!(outputs[0], outputs[2], "fragmentation {}", frag.name);
+        // And the document is the original.
+        let body = outputs[0].split_once("?>").unwrap().1;
+        assert_eq!(body, doc(), "fragmentation {}", frag.name);
+    }
+}
+
+#[test]
+fn outer_union_skips_combines() {
+    let schema = schema();
+    let mf = Fragmentation::most_fragmented("MF", &schema);
+    let mut db = load(&schema, &mf);
+    let before = db.counters.comparisons;
+    publish_with_plan(&schema, &mf, &mut db, PublishPlan::OuterUnion).unwrap();
+    // No merge joins ran: no sort/merge comparisons were charged.
+    assert_eq!(db.counters.comparisons, before);
+
+    let mut db2 = load(&schema, &mf);
+    publish_with_plan(&schema, &mf, &mut db2, PublishPlan::SingleQuery).unwrap();
+    assert!(db2.counters.comparisons > 0);
+}
+
+#[test]
+fn cost_based_prefers_outer_union_on_fragmented_sources() {
+    let schema = schema();
+    let mf = Fragmentation::most_fragmented("MF", &schema);
+    let mut db = load(&schema, &mf);
+    publish_with_plan(&schema, &mf, &mut db, PublishPlan::CostBased).unwrap();
+    assert_eq!(
+        db.counters.comparisons, 0,
+        "cost-based should avoid joins here"
+    );
+}

@@ -1,0 +1,271 @@
+//! Minimal HTTP/1.1 message framing.
+//!
+//! Just enough to deploy a SOAP service "over HTTP" the way the paper's
+//! WSDL binding declares: POST requests with a `SOAPAction` header and
+//! `text/xml` bodies, plus the matching responses.
+
+use std::fmt;
+
+/// Errors from HTTP parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError(pub String);
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "http error: {}", self.0)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method (`POST` for SOAP calls).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 500, ...).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a SOAP-style POST.
+    pub fn soap_post(path: &str, soap_action: &str, body: Vec<u8>) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![
+                ("Content-Type".into(), "text/xml; charset=utf-8".into()),
+                ("SOAPAction".into(), format!("\"{soap_action}\"")),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.path).into_bytes();
+        write_headers(&mut out, &self.headers, self.body.len());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        let (start, headers, body) = parse_message(bytes)?;
+        let mut parts = start.split(' ');
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError("missing method".into()))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError("missing path".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError("missing version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError(format!("unsupported version {version}")));
+        }
+        Ok(Request {
+            method: method.into(),
+            path: path.into(),
+            headers,
+            body,
+        })
+    }
+}
+
+impl Response {
+    /// A 200 response with a `text/xml` body.
+    pub fn ok_xml(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![
+                ("Content-Type".into(), "text/xml; charset=utf-8".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// A 500 response (SOAP faults ride on 500 per SOAP 1.1 §6.2).
+    pub fn server_error_xml(body: Vec<u8>) -> Response {
+        Response {
+            status: 500,
+            reason: "Internal Server Error".into(),
+            headers: vec![
+                ("Content-Type".into(), "text/xml; charset=utf-8".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+        write_headers(&mut out, &self.headers, self.body.len());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Response, HttpError> {
+        let (start, headers, body) = parse_message(bytes)?;
+        let mut parts = start.splitn(3, ' ');
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError("missing version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError(format!("unsupported version {version}")));
+        }
+        let status = parts
+            .next()
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| HttpError("bad status".into()))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        Ok(Response {
+            status,
+            reason,
+            headers,
+            body,
+        })
+    }
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn write_headers(out: &mut Vec<u8>, headers: &[(String, String)], body_len: usize) {
+    let mut has_len = false;
+    for (n, v) in headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            has_len = true;
+        }
+        out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+    }
+    if !has_len {
+        out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_message(bytes: &[u8]) -> Result<(String, Vec<(String, String)>, Vec<u8>), HttpError> {
+    let split = find_header_end(bytes).ok_or_else(|| HttpError("no header terminator".into()))?;
+    let head =
+        std::str::from_utf8(&bytes[..split]).map_err(|_| HttpError("non-utf8 headers".into()))?;
+    let mut lines = head.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError("empty message".into()))?
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (n, v) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError(format!("bad header {line:?}")))?;
+        headers.push((n.trim().to_string(), v.trim().to_string()));
+    }
+    let body_start = split + 4;
+    let body = bytes[body_start..].to_vec();
+    if let Some(len) = header_of(&headers, "content-length") {
+        let expected: usize = len
+            .parse()
+            .map_err(|_| HttpError(format!("bad content-length {len:?}")))?;
+        if expected != body.len() {
+            return Err(HttpError(format!(
+                "content-length {expected} but body has {} bytes",
+                body.len()
+            )));
+        }
+    }
+    Ok((start, headers, body))
+}
+
+fn find_header_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::soap_post("/customerinfo", "urn:GetCustomers", b"<x/>".to_vec());
+        let parsed = Request::parse(&req.to_bytes()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.header("soapaction"), Some("\"urn:GetCustomers\""));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok_xml(b"<r/>".to_vec());
+        let parsed = Response::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed, resp);
+        assert_eq!(parsed.status, 200);
+    }
+
+    #[test]
+    fn fault_uses_500() {
+        let resp = Response::server_error_xml(b"<f/>".to_vec());
+        assert_eq!(Response::parse(&resp.to_bytes()).unwrap().status, 500);
+    }
+
+    #[test]
+    fn content_length_checked() {
+        let mut bytes = Request::soap_post("/", "a", b"1234".to_vec()).to_bytes();
+        bytes.pop(); // truncate body
+        assert!(Request::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Request::parse(b"not http").is_err());
+        assert!(Response::parse(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET / SPDY/9\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn binary_body_preserved() {
+        let body: Vec<u8> = (0u8..=255).collect();
+        let req = Request::soap_post("/bin", "x", body.clone());
+        assert_eq!(Request::parse(&req.to_bytes()).unwrap().body, body);
+    }
+}

@@ -1,0 +1,93 @@
+//! Secondary indexes on stored tables.
+//!
+//! The paper measures index creation at the target (Table 4: "create
+//! indices") as a separate end-to-end step. Indexes here are ordered maps
+//! from a column value to row positions — the moral equivalent of MySQL's
+//! B-tree indexes on the key columns of each shredded relation.
+
+use crate::stats::Counters;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// An ordered index over one column of a table.
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    /// Indexed column position.
+    pub column: usize,
+    map: BTreeMap<Value, Vec<u32>>,
+}
+
+impl Index {
+    /// Builds an index over `column` of `rows`, charging one
+    /// `index_inserts` unit per row to `counters`.
+    pub fn build(rows: &[Vec<Value>], column: usize, counters: &mut Counters) -> Index {
+        let mut map: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+        for (pos, row) in rows.iter().enumerate() {
+            map.entry(row[column].clone()).or_default().push(pos as u32);
+            counters.index_inserts += 1;
+        }
+        Index { column, map }
+    }
+
+    /// Row positions whose indexed column equals `key`.
+    pub fn lookup(&self, key: &Value) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of indexed entries.
+    pub fn entries(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// True when every key maps to exactly one row (a unique/primary key).
+    pub fn is_unique(&self) -> bool {
+        self.map.values().all(|v| v.len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Dewey;
+
+    fn rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::Dewey(Dewey(vec![1])), Value::Str("a".into())],
+            vec![Value::Dewey(Dewey(vec![2])), Value::Str("b".into())],
+            vec![Value::Dewey(Dewey(vec![3])), Value::Str("a".into())],
+        ]
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let mut c = Counters::new();
+        let idx = Index::build(&rows(), 1, &mut c);
+        assert_eq!(c.index_inserts, 3);
+        assert_eq!(idx.lookup(&Value::Str("a".into())), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Str("zzz".into())), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.entries(), 3);
+        assert!(!idx.is_unique());
+    }
+
+    #[test]
+    fn unique_on_pk() {
+        let mut c = Counters::new();
+        let idx = Index::build(&rows(), 0, &mut c);
+        assert!(idx.is_unique());
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn empty_table() {
+        let mut c = Counters::new();
+        let idx = Index::build(&[], 0, &mut c);
+        assert_eq!(idx.entries(), 0);
+        assert!(idx.is_unique());
+    }
+}

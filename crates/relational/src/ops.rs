@@ -1,0 +1,520 @@
+//! Physical operators over feeds: the engine-side implementations of the
+//! paper's `Combine` and `Split` primitives.
+//!
+//! `Combine(f1, f2)` "modifies the input fragment f1 by combining its child
+//! fragment f2 with it" (Def. 3.7) — relationally, an outer merge join of
+//! the child feed's `PARENT` reference against the parent feed's id column
+//! for the child's anchor element, followed by inlining of the child's
+//! columns. `Split(f, f1..fn)` (Def. 3.8) "resembles projection" and
+//! "introduces distinct ID and PARENT attributes in each projected
+//! fragment" — a projection per output group plus duplicate elimination.
+
+use crate::error::{Error, Result};
+use crate::feed::{ColRole, Feed, FeedColumn, FeedSchema};
+use crate::stats::Counters;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Looks up the parent feed's join column for combining `child` into
+/// `parent`: the `NodeId` column of the child root's anchor element.
+fn join_columns(parent: &Feed, child: &Feed, anchor_element: &str) -> Result<(usize, usize)> {
+    let pcol = parent
+        .schema
+        .col(anchor_element, ColRole::NodeId)
+        .ok_or_else(|| Error::UnknownColumn {
+            name: format!("{anchor_element}.ID in parent feed"),
+        })?;
+    let ccol = child
+        .schema
+        .parent_ref_col()
+        .ok_or_else(|| Error::UnknownColumn {
+            name: format!("{}.PARENT in child feed", child.schema.root_element),
+        })?;
+    Ok((pcol, ccol))
+}
+
+/// Output schema of a combine: parent columns, then child columns minus
+/// the child root's `PARENT` (Def. 3.7: "Combine removes the ID and PARENT
+/// attributes of f2" — we keep the child's id as a grouping column, which
+/// the tagger and further combines need, but drop the now-redundant
+/// parent reference).
+fn combined_schema(parent: &FeedSchema, child: &FeedSchema, child_parent_col: usize) -> FeedSchema {
+    let mut columns = parent.columns.clone();
+    for (i, c) in child.columns.iter().enumerate() {
+        if i != child_parent_col {
+            columns.push(c.clone());
+        }
+    }
+    FeedSchema::new(parent.root_element.clone(), columns)
+}
+
+/// Emits the combined rows for one parent group `pgroup` (all rows sharing
+/// the join key) and its matching child rows `cgroup` (with `ccol`
+/// projected away on output).
+///
+/// Semantics follow materialized sorted feeds:
+/// * no children → parent rows padded with `Null` (outer),
+/// * a single parent row → classic inlining: one output row per child,
+///   parent values repeated ("repeated elements due to inlining"),
+/// * several parent rows (the parent group was already expanded by an
+///   earlier repeated branch) → *outer-union alignment*: the parent rows
+///   pass through padded, and each child row is emitted on a skeleton row
+///   carrying only the parent's identifier columns. This avoids the
+///   cartesian blow-up a naive join would produce across independent
+///   repeated sibling branches — the reason single-query publishing loses
+///   to optimized publishing in [6].
+fn emit_group(
+    out: &mut Feed,
+    parent_schema: &FeedSchema,
+    pgroup: &[&Vec<Value>],
+    cgroup: &[&Vec<Value>],
+    ccol: usize,
+    child_arity: usize,
+) {
+    let pad = |row: &Vec<Value>, out: &mut Feed| {
+        let mut r = row.clone();
+        r.extend(std::iter::repeat_with(|| Value::Null).take(child_arity));
+        out.rows.push(r);
+    };
+    if cgroup.is_empty() {
+        for prow in pgroup {
+            pad(prow, out);
+        }
+        return;
+    }
+    let attach = |base: &Vec<Value>, crow: &Vec<Value>, out: &mut Feed| {
+        let mut r = base.clone();
+        for (i, v) in crow.iter().enumerate() {
+            if i != ccol {
+                r.push(v.clone());
+            }
+        }
+        out.rows.push(r);
+    };
+    if pgroup.len() == 1 {
+        for crow in cgroup {
+            attach(pgroup[0], crow, out);
+        }
+        return;
+    }
+    // Outer-union alignment: skeleton = first parent row with value
+    // columns blanked (identifiers stay for grouping/tagging).
+    for prow in pgroup {
+        pad(prow, out);
+    }
+    let mut skeleton = pgroup[0].clone();
+    for (i, col) in parent_schema.columns.iter().enumerate() {
+        if col.role == ColRole::Value {
+            skeleton[i] = Value::Null;
+        }
+    }
+    for crow in cgroup {
+        attach(&skeleton, crow, out);
+    }
+}
+
+/// Sort-merge implementation of `Combine`.
+///
+/// Left-outer semantics: parent rows with no matching child are padded
+/// with `Null` (an optional/absent child). Orphan child rows (no parent)
+/// are dropped. Inputs are re-sorted on the join keys; the comparisons are
+/// charged to `counters`, mirroring the sort-heavy cost profile of the
+/// paper's relational sources. See [`emit_group`] for the per-group
+/// inlining/alignment semantics.
+pub fn merge_combine(
+    parent: &Feed,
+    child: &Feed,
+    anchor_element: &str,
+    counters: &mut Counters,
+) -> Result<Feed> {
+    let (pcol, ccol) = join_columns(parent, child, anchor_element)?;
+    counters.rows_read += (parent.len() + child.len()) as u64;
+
+    let mut psorted = parent.clone();
+    counters.comparisons += psorted.sort_by(&[pcol]);
+    let mut csorted = child.clone();
+    counters.comparisons += csorted.sort_by(&[ccol]);
+
+    let out_schema = combined_schema(&parent.schema, &child.schema, ccol);
+    let mut out = Feed::new(out_schema);
+    let child_arity = child.schema.arity() - 1;
+
+    let mut ci = 0usize;
+    let mut pi = 0usize;
+    while pi < psorted.rows.len() {
+        let key = psorted.rows[pi][pcol].clone();
+        // Gather the parent group for this key.
+        let mut pgroup: Vec<&Vec<Value>> = Vec::new();
+        while pi < psorted.rows.len() {
+            counters.comparisons += 1;
+            if psorted.rows[pi][pcol] == key {
+                pgroup.push(&psorted.rows[pi]);
+                pi += 1;
+            } else {
+                break;
+            }
+        }
+        // Advance child cursor past smaller keys (orphans dropped).
+        while ci < csorted.rows.len() {
+            counters.comparisons += 1;
+            if csorted.rows[ci][ccol] < key {
+                ci += 1;
+            } else {
+                break;
+            }
+        }
+        let mut cgroup: Vec<&Vec<Value>> = Vec::new();
+        if !key.is_null() {
+            let mut cj = ci;
+            while cj < csorted.rows.len() {
+                counters.comparisons += 1;
+                if csorted.rows[cj][ccol] == key {
+                    cgroup.push(&csorted.rows[cj]);
+                    cj += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        emit_group(
+            &mut out,
+            &parent.schema,
+            &pgroup,
+            &cgroup,
+            ccol,
+            child_arity,
+        );
+    }
+    counters.rows_out += out.len() as u64;
+    Ok(out)
+}
+
+/// Hash-join implementation of `Combine` (same semantics as
+/// [`merge_combine`]); provided for the ablation benches comparing join
+/// strategies.
+pub fn hash_combine(
+    parent: &Feed,
+    child: &Feed,
+    anchor_element: &str,
+    counters: &mut Counters,
+) -> Result<Feed> {
+    let (pcol, ccol) = join_columns(parent, child, anchor_element)?;
+    counters.rows_read += (parent.len() + child.len()) as u64;
+
+    let mut by_parent: HashMap<&Value, Vec<usize>> = HashMap::with_capacity(child.len());
+    for (i, row) in child.rows.iter().enumerate() {
+        by_parent.entry(&row[ccol]).or_default().push(i);
+    }
+
+    let out_schema = combined_schema(&parent.schema, &child.schema, ccol);
+    let mut out = Feed::new(out_schema);
+    let child_arity = child.schema.arity() - 1;
+
+    // Group parent rows by key (first-occurrence order) so the emit
+    // semantics match the merge implementation exactly.
+    let mut key_order: Vec<&Value> = Vec::new();
+    let mut pgroups: HashMap<&Value, Vec<&Vec<Value>>> = HashMap::new();
+    for prow in &parent.rows {
+        counters.hash_probes += 1;
+        let entry = pgroups.entry(&prow[pcol]).or_default();
+        if entry.is_empty() {
+            key_order.push(&prow[pcol]);
+        }
+        entry.push(prow);
+    }
+    for key in key_order {
+        let pgroup = &pgroups[key];
+        let empty = Vec::new();
+        let cgroup: Vec<&Vec<Value>> = if key.is_null() {
+            Vec::new()
+        } else {
+            by_parent
+                .get(key)
+                .unwrap_or(&empty)
+                .iter()
+                .map(|&i| &child.rows[i])
+                .collect()
+        };
+        emit_group(&mut out, &parent.schema, pgroup, &cgroup, ccol, child_arity);
+    }
+    counters.rows_out += out.len() as u64;
+    Ok(out)
+}
+
+/// Specification of one output group of a `Split`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitSpec {
+    /// Root element of the projected fragment.
+    pub root_element: String,
+    /// Element (inside the input feed) whose instance id becomes the new
+    /// fragment's `PARENT`; `None` re-uses the input feed's own `PARENT`
+    /// column (the group containing the input's root).
+    pub anchor_element: Option<String>,
+    /// Elements to keep, pre-order, root first.
+    pub elements: Vec<String>,
+}
+
+/// Projection implementation of `Split` (Def. 3.8): one output feed per
+/// spec, with fresh `PARENT` references and duplicates eliminated (an
+/// element instance inlined alongside a repeated sibling appears in many
+/// input rows but must appear once per distinct instance combination in
+/// the projected fragment).
+pub fn split(feed: &Feed, specs: &[SplitSpec], counters: &mut Counters) -> Result<Vec<Feed>> {
+    let mut outputs = Vec::with_capacity(specs.len());
+    for spec in specs {
+        counters.rows_read += feed.len() as u64;
+        // Resolve input columns for this group.
+        let parent_src = match &spec.anchor_element {
+            Some(el) => {
+                feed.schema
+                    .col(el, ColRole::NodeId)
+                    .ok_or_else(|| Error::UnknownColumn {
+                        name: format!("{el}.ID"),
+                    })?
+            }
+            None => feed
+                .schema
+                .parent_ref_col()
+                .ok_or_else(|| Error::UnknownColumn {
+                    name: format!("{}.PARENT", feed.schema.root_element),
+                })?,
+        };
+        let mut src_cols = vec![parent_src];
+        let mut columns = vec![FeedColumn::new(
+            spec.root_element.clone(),
+            ColRole::ParentRef,
+        )];
+        let mut id_cols_out = Vec::new(); // output positions of NodeId cols
+        let mut root_id_out = None;
+        for el in &spec.elements {
+            // A leaf inlined 1-1 with an ancestor may carry only a Value
+            // column; the group root must have an id.
+            let idc = feed.schema.col(el, ColRole::NodeId);
+            let vc = feed.schema.col(el, ColRole::Value);
+            if idc.is_none() && vc.is_none() {
+                return Err(Error::UnknownColumn {
+                    name: format!("{el} (no ID or value)"),
+                });
+            }
+            if let Some(idc) = idc {
+                if el == &spec.root_element {
+                    root_id_out = Some(src_cols.len());
+                }
+                id_cols_out.push(src_cols.len());
+                src_cols.push(idc);
+                columns.push(FeedColumn::new(el.clone(), ColRole::NodeId));
+            }
+            if let Some(vc) = vc {
+                src_cols.push(vc);
+                columns.push(FeedColumn::new(el.clone(), ColRole::Value));
+            }
+        }
+        let root_id_out = root_id_out.ok_or_else(|| Error::UnknownColumn {
+            name: format!("{}.ID (group root must be identified)", spec.root_element),
+        })?;
+        let mut out = Feed::new(FeedSchema::new(spec.root_element.clone(), columns));
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        for row in &feed.rows {
+            let projected: Vec<Value> = src_cols.iter().map(|&c| row[c].clone()).collect();
+            if projected[root_id_out].is_null() {
+                continue; // absent optional subtree: no instance to emit
+            }
+            let key: Vec<Value> = id_cols_out.iter().map(|&c| projected[c].clone()).collect();
+            counters.hash_probes += 1;
+            if seen.insert(key) {
+                out.rows.push(projected);
+            }
+        }
+        counters.rows_out += out.len() as u64;
+        outputs.push(out);
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Dewey;
+
+    fn dv(path: &[u32]) -> Value {
+        Value::Dewey(Dewey(path.to_vec()))
+    }
+
+    /// Customers feed: 2 customers under root [].
+    fn customers() -> Feed {
+        let schema = FeedSchema::new(
+            "Customer",
+            vec![
+                FeedColumn::new("Customer", ColRole::ParentRef),
+                FeedColumn::new("Customer", ColRole::NodeId),
+                FeedColumn::new("CustName", ColRole::Value),
+            ],
+        );
+        let mut f = Feed::new(schema);
+        f.push_row(vec![dv(&[]), dv(&[1]), Value::Str("alice".into())])
+            .unwrap();
+        f.push_row(vec![dv(&[]), dv(&[2]), Value::Str("bob".into())])
+            .unwrap();
+        f
+    }
+
+    /// Orders feed: alice has orders 1.2 and 1.3, bob has none.
+    fn orders() -> Feed {
+        let schema = FeedSchema::new(
+            "Order",
+            vec![
+                FeedColumn::new("Order", ColRole::ParentRef),
+                FeedColumn::new("Order", ColRole::NodeId),
+                FeedColumn::new("OrderKey", ColRole::Value),
+            ],
+        );
+        let mut f = Feed::new(schema);
+        f.push_row(vec![dv(&[1]), dv(&[1, 2]), Value::Str("o1".into())])
+            .unwrap();
+        f.push_row(vec![dv(&[1]), dv(&[1, 3]), Value::Str("o2".into())])
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn merge_combine_inlines_children() {
+        let mut c = Counters::new();
+        let out = merge_combine(&customers(), &orders(), "Customer", &mut c).unwrap();
+        // alice x 2 orders + bob padded = 3 rows.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema.arity(), 5); // 3 parent + 2 child (PARENT dropped)
+        assert_eq!(out.schema.root_element, "Customer");
+        // bob's row is null-padded.
+        let bob = out
+            .rows
+            .iter()
+            .find(|r| r[2] == Value::Str("bob".into()))
+            .unwrap();
+        assert!(bob[3].is_null() && bob[4].is_null());
+        assert!(c.comparisons > 0);
+        assert_eq!(c.rows_out, 3);
+    }
+
+    #[test]
+    fn hash_combine_agrees_with_merge() {
+        let mut c1 = Counters::new();
+        let mut c2 = Counters::new();
+        let mut a = merge_combine(&customers(), &orders(), "Customer", &mut c1).unwrap();
+        let mut b = hash_combine(&customers(), &orders(), "Customer", &mut c2).unwrap();
+        a.sort_by(&[1, 3]);
+        b.sort_by(&[1, 3]);
+        assert_eq!(a, b);
+        assert!(c2.hash_probes > 0);
+    }
+
+    #[test]
+    fn combine_missing_anchor_errors() {
+        let mut c = Counters::new();
+        assert!(merge_combine(&customers(), &orders(), "Nope", &mut c).is_err());
+    }
+
+    #[test]
+    fn orphan_children_dropped() {
+        let mut c = Counters::new();
+        let mut orphans = orders();
+        orphans.rows[0][0] = dv(&[99]); // no customer 99
+        let out = merge_combine(&customers(), &orphans, "Customer", &mut c).unwrap();
+        // alice keeps o2, bob padded; orphan o1 gone.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn split_projects_and_dedups() {
+        let mut c = Counters::new();
+        let combined =
+            merge_combine(&customers(), &orders(), "Customer", &mut Counters::new()).unwrap();
+        let outs = split(
+            &combined,
+            &[
+                SplitSpec {
+                    root_element: "Customer".into(),
+                    anchor_element: None,
+                    elements: vec!["Customer".into(), "CustName".into()],
+                },
+                SplitSpec {
+                    root_element: "Order".into(),
+                    anchor_element: Some("Customer".into()),
+                    elements: vec!["Order".into(), "OrderKey".into()],
+                },
+            ],
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(outs.len(), 2);
+        // Customers deduped back to 2 (alice appeared twice in the join).
+        assert_eq!(outs[0].len(), 2);
+        assert_eq!(outs[0].schema.arity(), 3); // PARENT + ID + CustName
+                                               // Orders: 2, each with PARENT = customer id.
+        assert_eq!(outs[1].len(), 2);
+        assert_eq!(outs[1].rows[0][0], dv(&[1]));
+    }
+
+    #[test]
+    fn split_skips_null_instances() {
+        let mut c = Counters::new();
+        let combined =
+            merge_combine(&customers(), &orders(), "Customer", &mut Counters::new()).unwrap();
+        let outs = split(
+            &combined,
+            &[SplitSpec {
+                root_element: "Order".into(),
+                anchor_element: Some("Customer".into()),
+                elements: vec!["Order".into(), "OrderKey".into()],
+            }],
+            &mut c,
+        )
+        .unwrap();
+        // bob's padded row contributes no order instance.
+        assert_eq!(outs[0].len(), 2);
+    }
+
+    #[test]
+    fn split_unknown_element_errors() {
+        let mut c = Counters::new();
+        let err = split(
+            &customers(),
+            &[SplitSpec {
+                root_element: "X".into(),
+                anchor_element: None,
+                elements: vec!["X".into()],
+            }],
+            &mut c,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn combine_then_split_roundtrips() {
+        // Split(Combine(parent, child)) must recover both inputs modulo order.
+        let mut c = Counters::new();
+        let combined = merge_combine(&customers(), &orders(), "Customer", &mut c).unwrap();
+        let outs = split(
+            &combined,
+            &[
+                SplitSpec {
+                    root_element: "Customer".into(),
+                    anchor_element: None,
+                    elements: vec!["Customer".into(), "CustName".into()],
+                },
+                SplitSpec {
+                    root_element: "Order".into(),
+                    anchor_element: Some("Customer".into()),
+                    elements: vec!["Order".into(), "OrderKey".into()],
+                },
+            ],
+            &mut c,
+        )
+        .unwrap();
+        let mut got_customers = outs[0].clone();
+        got_customers.sort_by(&[1]);
+        assert_eq!(got_customers.rows, customers().rows);
+        let mut got_orders = outs[1].clone();
+        got_orders.sort_by(&[1]);
+        assert_eq!(got_orders.rows, orders().rows);
+    }
+}

@@ -1,0 +1,184 @@
+//! On-disk persistence for databases: one wire-format file per table.
+//!
+//! The wire format already round-trips feeds exactly (with integrity
+//! checksums), so a persisted database is simply a directory of `.feed`
+//! files plus a small manifest. This is what lets the CLI shred a document
+//! once and run many exchanges against the same source, the way the
+//! paper's experiments reuse a loaded MySQL instance across runs.
+
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::feed::Feed;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File extension for persisted feeds.
+const FEED_EXT: &str = "feed";
+/// Manifest file name.
+const MANIFEST: &str = "MANIFEST";
+
+/// Serializes table names for the manifest (one per line; names are
+/// fragment names, which never contain newlines).
+fn manifest_body(db: &Database) -> String {
+    let mut out = format!("xdx-database\t{}\n", db.name);
+    for name in db.table_names() {
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+/// A table name is used as a file name; fragment names are `[A-Z0-9_.]`
+/// by construction, but be defensive about separators.
+fn file_name_for(table: &str) -> String {
+    let safe: String = table
+        .chars()
+        .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+        .collect();
+    format!("{safe}.{FEED_EXT}")
+}
+
+/// Persists `db` into `dir` (created if missing; existing feed files are
+/// replaced). Returns the number of tables written.
+pub fn save(db: &Database, dir: &Path) -> Result<usize> {
+    fs::create_dir_all(dir).map_err(|e| Error::Decode {
+        detail: format!("create {dir:?}: {e}"),
+    })?;
+    let mut written = 0;
+    for name in db.table_names() {
+        let table = db.table(name)?;
+        let path = dir.join(file_name_for(name));
+        let mut file = fs::File::create(&path).map_err(|e| Error::Decode {
+            detail: format!("create {path:?}: {e}"),
+        })?;
+        file.write_all(table.data.to_wire().as_bytes())
+            .map_err(|e| Error::Decode {
+                detail: format!("write {path:?}: {e}"),
+            })?;
+        written += 1;
+    }
+    fs::write(dir.join(MANIFEST), manifest_body(db)).map_err(|e| Error::Decode {
+        detail: format!("write manifest: {e}"),
+    })?;
+    Ok(written)
+}
+
+/// Loads a database persisted by [`save`].
+pub fn load(dir: &Path) -> Result<Database> {
+    let manifest = fs::read_to_string(dir.join(MANIFEST)).map_err(|e| Error::Decode {
+        detail: format!("read manifest in {dir:?}: {e}"),
+    })?;
+    let mut lines = manifest.lines();
+    let header = lines.next().unwrap_or_default();
+    let name = header
+        .strip_prefix("xdx-database\t")
+        .ok_or_else(|| Error::Decode {
+            detail: "not an xdx database directory (bad manifest header)".into(),
+        })?;
+    let mut db = Database::new(name);
+    for table in lines {
+        if table.is_empty() {
+            continue;
+        }
+        let path = dir.join(file_name_for(table));
+        let text = fs::read_to_string(&path).map_err(|e| Error::Decode {
+            detail: format!("read {path:?}: {e}"),
+        })?;
+        let feed = Feed::from_wire(&text)?;
+        db.load(table, feed)?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::{ColRole, FeedColumn, FeedSchema};
+    use crate::value::{Dewey, Value};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("persisted");
+        for (tname, rows) in [("ALPHA", 3u32), ("BETA_GAMMA", 5)] {
+            let schema = FeedSchema::new(
+                "e",
+                vec![
+                    FeedColumn::new("e", ColRole::ParentRef),
+                    FeedColumn::new("e", ColRole::NodeId),
+                    FeedColumn::new("v", ColRole::Value),
+                ],
+            );
+            let mut f = Feed::new(schema);
+            for i in 1..=rows {
+                f.push_row(vec![
+                    Value::Dewey(Dewey(vec![])),
+                    Value::Dewey(Dewey(vec![i])),
+                    Value::Str(format!("{tname}-{i} with\ttab and \\slash")),
+                ])
+                .unwrap();
+            }
+            db.load(tname, f).unwrap();
+        }
+        db
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("xdx-storage-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let db = sample_db();
+        assert_eq!(save(&db, &dir).unwrap(), 2);
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.name, "persisted");
+        assert_eq!(loaded.table_names(), db.table_names());
+        for t in db.table_names() {
+            assert_eq!(
+                loaded.table(t).unwrap().data,
+                db.table(t).unwrap().data,
+                "table {t}"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_non_database_dirs() {
+        let dir = tmpdir("bad");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load(&dir).is_err()); // no manifest
+        fs::write(dir.join(MANIFEST), "something else\n").unwrap();
+        assert!(load(&dir).is_err()); // wrong header
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_feed_file_fails_loudly() {
+        let dir = tmpdir("corrupt");
+        let db = sample_db();
+        save(&db, &dir).unwrap();
+        // Damage one stored feed.
+        let victim = dir.join(file_name_for("ALPHA"));
+        let mut text = fs::read_to_string(&victim).unwrap();
+        text = text.replace("ALPHA-1", "ALPHA-X");
+        fs::write(&victim, text).unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(err.to_string().contains("corrupted"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resave_overwrites() {
+        let dir = tmpdir("resave");
+        let db = sample_db();
+        save(&db, &dir).unwrap();
+        save(&db, &dir).unwrap(); // idempotent
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.total_rows(), db.total_rows());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

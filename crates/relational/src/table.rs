@@ -1,0 +1,229 @@
+//! Stored tables: materialized feeds plus their indexes.
+//!
+//! In this system a registered fragmentation *is* the storage schema: the
+//! source (target) stores one table per fragment it produces (consumes),
+//! and the table layout is the fragment's feed schema. That is exactly the
+//! setup of the paper's experiments, where "each schema is seen as a
+//! fragmentation registered by a system".
+
+use crate::error::{Error, Result};
+use crate::feed::{Feed, FeedSchema};
+use crate::index::Index;
+use crate::stats::Counters;
+use crate::value::Value;
+
+/// A stored table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table name (conventionally the fragment name).
+    pub name: String,
+    /// Rows + layout; the table is a materialized feed.
+    pub data: Feed,
+    /// Secondary indexes built so far.
+    pub indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: FeedSchema) -> Self {
+        Table {
+            name: name.into(),
+            data: Feed::new(schema),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Bulk-loads `feed` into the table (the engine half of `Write`).
+    ///
+    /// Indexes are *not* maintained incrementally — the paper's pipeline
+    /// loads first and creates indexes afterwards (Table 4 separates the
+    /// two), so existing indexes are dropped and must be rebuilt.
+    pub fn bulk_load(&mut self, feed: Feed, counters: &mut Counters) -> Result<()> {
+        if feed.schema.arity() != self.data.schema.arity() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "table {} has arity {}, feed has {}",
+                    self.name,
+                    self.data.schema.arity(),
+                    feed.schema.arity()
+                ),
+            });
+        }
+        counters.rows_written += feed.len() as u64;
+        self.indexes.clear();
+        if self.data.is_empty() {
+            self.data.rows = feed.rows;
+        } else {
+            self.data.rows.extend(feed.rows);
+        }
+        Ok(())
+    }
+
+    /// Builds an index on `column`.
+    pub fn build_index(&mut self, column: usize, counters: &mut Counters) -> Result<()> {
+        if column >= self.data.schema.arity() {
+            return Err(Error::UnknownColumn {
+                name: format!("#{column}"),
+            });
+        }
+        let idx = Index::build(&self.data.rows, column, counters);
+        self.indexes.retain(|i| i.column != column);
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Builds the conventional key indexes: the root element's `ID`
+    /// (primary key) and `PARENT` (foreign key), when those columns exist.
+    pub fn build_key_indexes(&mut self, counters: &mut Counters) -> Result<()> {
+        let cols: Vec<usize> = [
+            self.data.schema.root_id_col(),
+            self.data.schema.parent_ref_col(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        for c in cols {
+            self.build_index(c, counters)?;
+        }
+        Ok(())
+    }
+
+    /// Full scan: copies the stored feed out (the engine half of `Scan`).
+    pub fn scan(&self, counters: &mut Counters) -> Feed {
+        counters.rows_read += self.data.len() as u64;
+        counters.rows_out += self.data.len() as u64;
+        self.data.clone()
+    }
+
+    /// Scan with a selection: keeps rows where `predicate` holds on
+    /// `column`. Models parameterized services ("the source system will
+    /// filter the data accordingly", paper Section 3.2).
+    pub fn scan_where(
+        &self,
+        column: usize,
+        predicate: impl Fn(&Value) -> bool,
+        counters: &mut Counters,
+    ) -> Result<Feed> {
+        if column >= self.data.schema.arity() {
+            return Err(Error::UnknownColumn {
+                name: format!("#{column}"),
+            });
+        }
+        counters.rows_read += self.data.len() as u64;
+        let mut out = Feed::new(self.data.schema.clone());
+        for row in &self.data.rows {
+            if predicate(&row[column]) {
+                out.rows.push(row.clone());
+            }
+        }
+        counters.rows_out += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::{ColRole, FeedColumn};
+    use crate::value::Dewey;
+
+    fn schema() -> FeedSchema {
+        FeedSchema::new(
+            "item",
+            vec![
+                FeedColumn::new("item", ColRole::ParentRef),
+                FeedColumn::new("item", ColRole::NodeId),
+                FeedColumn::new("iname", ColRole::Value),
+            ],
+        )
+    }
+
+    fn feed(n: usize) -> Feed {
+        let mut f = Feed::new(schema());
+        for i in 0..n {
+            f.push_row(vec![
+                Value::Dewey(Dewey(vec![1])),
+                Value::Dewey(Dewey(vec![1, i as u32 + 1])),
+                Value::Str(format!("thing{i}")),
+            ])
+            .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn load_scan_roundtrip() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        t.bulk_load(feed(5), &mut c).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(c.rows_written, 5);
+        let out = t.scan(&mut c);
+        assert_eq!(out.len(), 5);
+        assert_eq!(c.rows_read, 5);
+    }
+
+    #[test]
+    fn load_appends() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        t.bulk_load(feed(3), &mut c).unwrap();
+        t.bulk_load(feed(2), &mut c).unwrap();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn load_rejects_wrong_arity() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        let bad = Feed::new(FeedSchema::new(
+            "x",
+            vec![FeedColumn::new("x", ColRole::Value)],
+        ));
+        assert!(t.bulk_load(bad, &mut c).is_err());
+    }
+
+    #[test]
+    fn key_indexes_cover_id_and_parent() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        t.bulk_load(feed(4), &mut c).unwrap();
+        t.build_key_indexes(&mut c).unwrap();
+        assert_eq!(t.indexes.len(), 2);
+        assert_eq!(c.index_inserts, 8);
+        let id_idx = t.indexes.iter().find(|i| i.column == 1).unwrap();
+        assert!(id_idx.is_unique());
+    }
+
+    #[test]
+    fn load_drops_indexes() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        t.bulk_load(feed(2), &mut c).unwrap();
+        t.build_key_indexes(&mut c).unwrap();
+        t.bulk_load(feed(1), &mut c).unwrap();
+        assert!(t.indexes.is_empty());
+    }
+
+    #[test]
+    fn scan_where_filters() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        t.bulk_load(feed(10), &mut c).unwrap();
+        let out = t
+            .scan_where(2, |v| v.as_str().is_some_and(|s| s.ends_with('3')), &mut c)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(t.scan_where(99, |_| true, &mut c).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The discovery agency's registry (Figure 2, Step 1).
+//!
+//! "Discovery agencies are repositories of WSDL specifications which may
+//! be mapped to UDDI for publishing and discovery of existing services."
+//! Source and target systems independently register their WSDL definition
+//! and, optionally, a fragmentation; requesters look services up by name.
+//! "Systems should not have to specify a fragmentation. The initial XML
+//! Schema would be used by default if no fragmentation is provided as in
+//! publish&map" — an absent fragmentation is therefore represented as
+//! `None` and interpreted downstream as the whole-document fragment.
+
+use crate::fragmentation::FragmentationDecl;
+use crate::model::WsdlDefinition;
+use std::collections::BTreeMap;
+
+/// What one system registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// The registering system's name.
+    pub system: String,
+    /// Its WSDL description.
+    pub wsdl: WsdlDefinition,
+    /// Its declared fragmentation, when it chose to provide one.
+    pub fragmentation: Option<FragmentationDecl>,
+}
+
+/// The registry: system name → registration.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: BTreeMap<String, Registration>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or re-registers) a system's WSDL with an optional
+    /// fragmentation. Re-registration overwrites: a system may refine its
+    /// fragmentation over time.
+    pub fn register(
+        &mut self,
+        system: &str,
+        wsdl: WsdlDefinition,
+        fragmentation: Option<FragmentationDecl>,
+    ) {
+        self.entries.insert(
+            system.to_string(),
+            Registration {
+                system: system.to_string(),
+                wsdl,
+                fragmentation,
+            },
+        );
+    }
+
+    /// Looks a system up.
+    pub fn lookup(&self, system: &str) -> Option<&Registration> {
+        self.entries.get(system)
+    }
+
+    /// All systems offering a service with the given name — discovery in
+    /// the UDDI sense.
+    pub fn find_service(&self, service_name: &str) -> Vec<&Registration> {
+        self.entries
+            .values()
+            .filter(|r| r.wsdl.services.iter().any(|s| s.name == service_name))
+            .collect()
+    }
+
+    /// Registered system names.
+    pub fn systems(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragmentation::FragmentDecl;
+    use xdx_xml::{Occurs, SchemaTree};
+
+    fn wsdl() -> WsdlDefinition {
+        let mut schema = SchemaTree::new("a");
+        schema.add_child(schema.root(), "b", Occurs::Many).unwrap();
+        WsdlDefinition::single_service("D", "urn:d", schema, "Svc", "http://svc")
+    }
+
+    fn frag() -> FragmentationDecl {
+        FragmentationDecl {
+            name: "F".into(),
+            fragments: vec![FragmentDecl {
+                name: "all".into(),
+                root: "a".into(),
+                elements: vec!["a".into(), "b".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = Registry::new();
+        reg.register("source", wsdl(), Some(frag()));
+        reg.register("target", wsdl(), None);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.systems(), vec!["source", "target"]);
+        assert!(reg.lookup("source").unwrap().fragmentation.is_some());
+        assert!(reg.lookup("target").unwrap().fragmentation.is_none());
+        assert!(reg.lookup("nobody").is_none());
+    }
+
+    #[test]
+    fn reregistration_overwrites() {
+        let mut reg = Registry::new();
+        reg.register("s", wsdl(), None);
+        reg.register("s", wsdl(), Some(frag()));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.lookup("s").unwrap().fragmentation.is_some());
+    }
+
+    #[test]
+    fn find_service_by_name() {
+        let mut reg = Registry::new();
+        reg.register("s1", wsdl(), None);
+        reg.register("s2", wsdl(), None);
+        assert_eq!(reg.find_service("Svc").len(), 2);
+        assert!(reg.find_service("Other").is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: the WSDL layer must round-trip arbitrary definitions
+//! and fragmentation declarations through their XML forms exactly.
+
+use proptest::prelude::*;
+use xdx_wsdl::{FragmentDecl, FragmentationDecl, Plumbing, WsdlDefinition};
+use xdx_xml::{Occurs, SchemaTree};
+
+/// A random schema tree with `n` nodes chained/forked at random.
+fn schema_strategy() -> impl Strategy<Value = SchemaTree> {
+    (2usize..14, any::<u64>()).prop_map(|(n, seed)| {
+        let mut tree = SchemaTree::new("e0");
+        let mut state = seed;
+        let mut ids = vec![tree.root()];
+        for i in 1..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let parent = ids[(state >> 33) as usize % ids.len()];
+            let occurs = match i % 3 {
+                0 => Occurs::Many,
+                1 => Occurs::One,
+                _ => Occurs::OneOrMore,
+            };
+            let id = tree.add_child(parent, format!("e{i}"), occurs).unwrap();
+            ids.push(id);
+        }
+        for leaf in tree.leaves() {
+            tree.set_text(leaf);
+        }
+        tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wsdl_roundtrip(schema in schema_strategy()) {
+        let def = WsdlDefinition::single_service(
+            "Def", "urn:test", schema.clone(), "Svc", "http://svc",
+        );
+        let back = WsdlDefinition::parse(&def.to_xml()).unwrap();
+        prop_assert_eq!(back.schema.len(), schema.len());
+        prop_assert_eq!(&back.services, &def.services);
+        prop_assert_eq!(&back.plumbing, &def.plumbing);
+        back.plumbing.validate().unwrap();
+        for id in schema.ids() {
+            let b = back.schema.by_name(schema.name(id)).unwrap();
+            prop_assert_eq!(back.schema.node(b).occurs, schema.node(id).occurs);
+        }
+    }
+
+    #[test]
+    fn fragmentation_decl_roundtrip(schema in schema_strategy(), cut_seed in any::<u64>()) {
+        // Cut at a pseudo-random subset of nodes (always include the root).
+        let mut state = cut_seed;
+        let mut fragments = Vec::new();
+        let mut current: Vec<(String, Vec<String>)> = Vec::new();
+        // Build fragments greedily along pre-order: start a new fragment
+        // at the root and wherever the coin says so.
+        for id in schema.subtree(schema.root()) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let start_new = id == schema.root() || (state >> 60) % 2 == 0;
+            let name = schema.name(id).to_string();
+            if start_new {
+                current.push((name.clone(), vec![name]));
+            } else {
+                // Attach to the fragment containing the parent; otherwise
+                // start a new one (keeps the regions connected without
+                // extra bookkeeping).
+                let parent = schema.name(schema.node(id).parent.unwrap()).to_string();
+                match current.iter_mut().find(|(_, els)| els.contains(&parent)) {
+                    Some((_, els)) => els.push(name),
+                    None => current.push((name.clone(), vec![name])),
+                }
+            }
+        }
+        fragments.extend(current.into_iter().map(|(root, elements)| FragmentDecl {
+            name: format!("{root}.xsd"),
+            root,
+            elements,
+        }));
+        let decl = FragmentationDecl { name: "F".into(), fragments };
+        let xml = decl.to_xml(&schema).unwrap();
+        let back = FragmentationDecl::parse(&xml).unwrap();
+        // Same fragments with the same element sets (order within a
+        // fragment follows schema nesting on re-parse).
+        prop_assert_eq!(back.fragments.len(), decl.fragments.len());
+        for (b, d) in back.fragments.iter().zip(&decl.fragments) {
+            prop_assert_eq!(&b.name, &d.name);
+            prop_assert_eq!(&b.root, &d.root);
+            let mut be = b.elements.clone();
+            let mut de = d.elements.clone();
+            be.sort();
+            de.sort();
+            prop_assert_eq!(be, de);
+        }
+    }
+
+    #[test]
+    fn plumbing_roundtrip(args in proptest::collection::vec("[a-z]{1,8}", 0..4)) {
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let p = Plumbing::for_service("Svc", "root", &arg_refs);
+        p.validate().unwrap();
+        let xml = xdx_wsdl::plumbing::to_xml(&p);
+        let back = xdx_wsdl::plumbing::from_xml(&xml).unwrap();
+        prop_assert_eq!(back, p);
+    }
+}

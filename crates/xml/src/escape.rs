@@ -1,0 +1,159 @@
+//! Escaping and unescaping of XML character data and attribute values.
+//!
+//! Only the five predefined entities (`&amp;`, `&lt;`, `&gt;`, `&apos;`,
+//! `&quot;`) and numeric character references are supported, which matches
+//! what a non-validating processor without an external DTD may resolve.
+
+use crate::error::{Error, Result};
+use std::borrow::Cow;
+
+/// Escapes `text` for use as element character data.
+///
+/// `&` and `<` must be escaped; we also escape `>` so that the sequence
+/// `]]>` can never appear un-escaped. Returns `Cow::Borrowed` when no
+/// escaping is needed, avoiding an allocation on the (dominant) clean path.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, false)
+}
+
+/// Escapes `value` for use inside a double-quoted attribute value.
+pub fn escape_attr(value: &str) -> Cow<'_, str> {
+    escape_with(value, true)
+}
+
+fn escape_with(text: &str, attr: bool) -> Cow<'_, str> {
+    let needs = text
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\n' | b'\t')));
+    if !needs {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            // Whitespace in attribute values would be normalized away by a
+            // conforming parser; keep it round-trippable with char refs.
+            '\n' if attr => out.push_str("&#10;"),
+            '\t' if attr => out.push_str("&#9;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves entity and character references in raw character data.
+///
+/// `offset` is the byte position of `raw` in the enclosing document and is
+/// only used to report precise error locations.
+pub fn unescape(raw: &str, offset: usize) -> Result<Cow<'_, str>> {
+    if !raw.contains('&') {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    let mut consumed = 0usize;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or(Error::UnexpectedEof {
+            offset: offset + consumed + amp,
+            context: "entity reference",
+        })?;
+        let entity = &after[..semi];
+        out.push(resolve_entity(entity, offset + consumed + amp)?);
+        let step = amp + 1 + semi + 1;
+        consumed += step;
+        rest = &rest[step..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+/// Resolves a single entity body (the text between `&` and `;`).
+fn resolve_entity(entity: &str, offset: usize) -> Result<char> {
+    let bad = || Error::BadEntity {
+        offset,
+        entity: entity.to_string(),
+    };
+    match entity {
+        "amp" => Ok('&'),
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "apos" => Ok('\''),
+        "quot" => Ok('"'),
+        _ => {
+            let body = entity.strip_prefix('#').ok_or_else(bad)?;
+            let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).map_err(|_| bad())?
+            } else {
+                body.parse::<u32>().map_err(|_| bad())?
+            };
+            char::from_u32(code).ok_or_else(bad)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_text_borrows() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello", 0).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn attr_escapes_whitespace() {
+        assert_eq!(escape_attr("a\tb\nc"), "a&#9;b&#10;c");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(
+            unescape("a&lt;b&amp;c&gt;d&quot;&apos;", 0).unwrap(),
+            "a<b&c>d\"'"
+        );
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_reports_position() {
+        let err = unescape("xy&bogus;", 100).unwrap_err();
+        assert_eq!(err.offset(), Some(102));
+    }
+
+    #[test]
+    fn unterminated_entity_is_error() {
+        assert!(unescape("a&amp", 0).is_err());
+    }
+
+    #[test]
+    fn bad_char_ref_is_error() {
+        assert!(unescape("&#xD800;", 0).is_err()); // surrogate
+        assert!(unescape("&#zz;", 0).is_err());
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        for s in ["", "plain", "a<b>&c", "quotes \" and ' mix", "unicode é✓"] {
+            let escaped = escape_text(s);
+            assert_eq!(unescape(&escaped, 0).unwrap(), s);
+        }
+    }
+}

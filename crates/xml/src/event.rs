@@ -1,0 +1,103 @@
+//! Pull-parser events.
+
+/// One attribute on a start tag, with entities already resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written (no namespace processing).
+    pub name: String,
+    /// Attribute value with entity/character references resolved.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// An event produced by [`crate::parser::Parser`].
+///
+/// The parser is non-validating: it checks well-formedness (tag balance,
+/// attribute uniqueness, entity syntax) but performs no DTD validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<?xml version="1.0" ...?>` — at most one, at the start.
+    XmlDecl {
+        version: String,
+        encoding: Option<String>,
+    },
+    /// `<name attr="v" ...>`; `empty` is true for `<name/>`, in which case
+    /// no matching [`Event::End`] follows.
+    Start {
+        name: String,
+        attributes: Vec<Attribute>,
+        empty: bool,
+    },
+    /// `</name>` (not emitted for self-closing tags).
+    End { name: String },
+    /// Character data with entities resolved. Whitespace-only runs between
+    /// elements are still reported; callers filter as needed.
+    Text(String),
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData(String),
+    /// `<!-- ... -->` content, verbatim.
+    Comment(String),
+    /// `<?target data?>` other than the XML declaration.
+    ProcessingInstruction { target: String, data: String },
+    /// `<!DOCTYPE ...>` raw body (between the keyword and the closing `>`),
+    /// including an internal subset if present. Parsed further by
+    /// [`crate::dtd`] when the caller wants the content model.
+    Doctype(String),
+    /// End of input; returned exactly once, after the document element has
+    /// been closed.
+    Eof,
+}
+
+impl Event {
+    /// True for events that carry no markup information (comments, PIs).
+    pub fn is_ignorable(&self) -> bool {
+        matches!(
+            self,
+            Event::Comment(_) | Event::ProcessingInstruction { .. }
+        )
+    }
+
+    /// If this is a `Start` event, its element name.
+    pub fn start_name(&self) -> Option<&str> {
+        match self {
+            Event::Start { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignorable_classification() {
+        assert!(Event::Comment("c".into()).is_ignorable());
+        assert!(Event::ProcessingInstruction {
+            target: "t".into(),
+            data: String::new()
+        }
+        .is_ignorable());
+        assert!(!Event::Text("x".into()).is_ignorable());
+    }
+
+    #[test]
+    fn start_name_accessor() {
+        let e = Event::Start {
+            name: "a".into(),
+            attributes: vec![],
+            empty: false,
+        };
+        assert_eq!(e.start_name(), Some("a"));
+        assert_eq!(Event::Eof.start_name(), None);
+    }
+}

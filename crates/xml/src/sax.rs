@@ -1,0 +1,137 @@
+//! SAX-style push interface over the pull parser.
+//!
+//! The paper's publish&map baseline shreds documents with the expat SAX C
+//! API, maintaining a stack of open paths and flushing tuples as elements
+//! close. [`Handler`] + [`drive`] reproduce that programming model so the
+//! shredder in `xdx-core` reads like the original.
+
+use crate::error::Result;
+use crate::event::{Attribute, Event};
+use crate::parser::Parser;
+
+/// Callbacks invoked by [`drive`] as the document is parsed.
+///
+/// All methods have default no-op implementations, so a handler only
+/// implements what it needs (like expat's optional callbacks).
+pub trait Handler {
+    /// Called for `<name ...>` and self-closing `<name .../>` alike.
+    fn start_element(&mut self, name: &str, attributes: &[Attribute]) -> Result<()> {
+        let _ = (name, attributes);
+        Ok(())
+    }
+    /// Called for `</name>`, and immediately after `start_element` for
+    /// self-closing tags.
+    fn end_element(&mut self, name: &str) -> Result<()> {
+        let _ = name;
+        Ok(())
+    }
+    /// Character data (entities resolved) and CDATA content.
+    fn characters(&mut self, text: &str) -> Result<()> {
+        let _ = text;
+        Ok(())
+    }
+    /// Comments; rarely needed.
+    fn comment(&mut self, text: &str) -> Result<()> {
+        let _ = text;
+        Ok(())
+    }
+    /// Processing instructions other than the XML declaration.
+    fn processing_instruction(&mut self, target: &str, data: &str) -> Result<()> {
+        let _ = (target, data);
+        Ok(())
+    }
+}
+
+/// Parses `src` and pushes every structural event into `handler`.
+///
+/// Returns the number of elements seen (start tags), which callers use as a
+/// cheap progress metric.
+pub fn drive<H: Handler>(src: &str, handler: &mut H) -> Result<u64> {
+    let mut parser = Parser::new(src);
+    let mut elements = 0u64;
+    loop {
+        match parser.next_event()? {
+            Event::Start {
+                name,
+                attributes,
+                empty,
+            } => {
+                elements += 1;
+                handler.start_element(&name, &attributes)?;
+                if empty {
+                    handler.end_element(&name)?;
+                }
+            }
+            Event::End { name } => handler.end_element(&name)?,
+            Event::Text(t) | Event::CData(t) => handler.characters(&t)?,
+            Event::Comment(c) => handler.comment(&c)?,
+            Event::ProcessingInstruction { target, data } => {
+                handler.processing_instruction(&target, &data)?
+            }
+            Event::XmlDecl { .. } | Event::Doctype(_) => {}
+            Event::Eof => return Ok(elements),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<String>,
+    }
+
+    impl Handler for Recorder {
+        fn start_element(&mut self, name: &str, attributes: &[Attribute]) -> Result<()> {
+            self.log.push(format!("+{}({})", name, attributes.len()));
+            Ok(())
+        }
+        fn end_element(&mut self, name: &str) -> Result<()> {
+            self.log.push(format!("-{name}"));
+            Ok(())
+        }
+        fn characters(&mut self, text: &str) -> Result<()> {
+            if !text.trim().is_empty() {
+                self.log.push(format!("t:{}", text.trim()));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drives_events_in_order() {
+        let mut r = Recorder::default();
+        let n = drive("<a x=\"1\"><b/>hi</a>", &mut r).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(r.log, vec!["+a(1)", "+b(0)", "-b", "t:hi", "-a"]);
+    }
+
+    #[test]
+    fn self_closing_gets_end_callback() {
+        let mut r = Recorder::default();
+        drive("<root/>", &mut r).unwrap();
+        assert_eq!(r.log, vec!["+root(0)", "-root"]);
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        struct Failing;
+        impl Handler for Failing {
+            fn start_element(&mut self, _: &str, _: &[Attribute]) -> Result<()> {
+                Err(crate::Error::Schema {
+                    detail: "boom".into(),
+                })
+            }
+        }
+        assert!(drive("<a/>", &mut Failing).is_err());
+    }
+
+    #[test]
+    fn cdata_reaches_characters() {
+        let mut r = Recorder::default();
+        drive("<a><![CDATA[x<y]]></a>", &mut r).unwrap();
+        assert!(r.log.contains(&"t:x<y".to_string()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the XML substrate: serialization and parsing
+//! must be exact inverses on the constructs this system produces.
+
+use proptest::prelude::*;
+use xdx_xml::escape::{escape_attr, escape_text, unescape};
+use xdx_xml::{Document, Element, Occurs, SchemaTree};
+
+/// Strategy for text content (any printable unicode including specials).
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~é✓&<>\"']{0,40}").unwrap()
+}
+
+/// Strategy for XML names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z_][A-Za-z0-9_.-]{0,12}").unwrap()
+}
+
+/// Recursive strategy for random element trees.
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), text_strategy()).prop_map(|(name, text)| {
+        let mut e = Element::new(name);
+        if !text.trim().is_empty() {
+            e = e.with_text(text);
+        }
+        e
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                let mut seen = std::collections::HashSet::new();
+                for (an, av) in attrs {
+                    if seen.insert(an.clone()) {
+                        e = e.with_attr(an, av);
+                    }
+                }
+                for c in children {
+                    e = e.with_child(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn escape_unescape_roundtrip(s in text_strategy()) {
+        let escaped_text = escape_text(&s);
+        prop_assert_eq!(unescape(&escaped_text, 0).unwrap(), s.as_str());
+        let escaped_attr = escape_attr(&s);
+        prop_assert_eq!(unescape(&escaped_attr, 0).unwrap(), s.as_str());
+    }
+
+    #[test]
+    fn dom_serialization_roundtrip(root in element_strategy()) {
+        let xml = root.to_xml();
+        let parsed = Document::parse(&xml).unwrap();
+        // Whitespace-only text runs are dropped on parse; our generator
+        // never produces them, so trees must match exactly.
+        prop_assert_eq!(parsed.root, root);
+    }
+
+    #[test]
+    fn pretty_and_compact_parse_identically(root in element_strategy()) {
+        // Pretty-printing inserts insignificant whitespace only; element
+        // structure and attributes must survive.
+        let compact = Document::parse(&root.to_xml()).unwrap();
+        let pretty = Document::parse(&root.to_xml_pretty()).unwrap();
+        prop_assert_eq!(compact.root.count_elements(), pretty.root.count_elements());
+        prop_assert_eq!(compact.root.name, pretty.root.name);
+    }
+
+    #[test]
+    fn balanced_schema_xsd_roundtrip(height in 0usize..4, fanout in 1usize..4) {
+        let tree = SchemaTree::balanced(height, fanout, true);
+        let back = SchemaTree::from_xsd(&tree.to_xsd()).unwrap();
+        prop_assert_eq!(back.len(), tree.len());
+        for id in tree.ids() {
+            let b = back.by_name(tree.name(id)).unwrap();
+            prop_assert_eq!(back.node(b).occurs, tree.node(id).occurs);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        // Any input must produce Ok or Err, never a panic.
+        let _ = xdx_xml::parser::parse_events(&s);
+    }
+
+    #[test]
+    fn subtree_sizes_partition(height in 1usize..4, fanout in 1usize..4) {
+        let tree = SchemaTree::balanced(height, fanout, false);
+        let root_subtree = tree.subtree(tree.root());
+        prop_assert_eq!(root_subtree.len(), tree.len());
+        // Children's subtrees partition the root's subtree minus the root.
+        let child_total: usize = tree
+            .node(tree.root())
+            .children
+            .iter()
+            .map(|&c| tree.subtree(c).len())
+            .sum();
+        prop_assert_eq!(child_total + 1, tree.len());
+    }
+}
+
+#[test]
+fn occurs_suffix_matrix() {
+    assert_eq!(Occurs::One.dtd_suffix(), "");
+    assert_eq!(Occurs::Optional.dtd_suffix(), "?");
+    assert_eq!(Occurs::OneOrMore.dtd_suffix(), "+");
+}

@@ -1,0 +1,211 @@
+//! The paper's motivating example (Section 1.1): a telecom sales &
+//! ordering system backed by a relational store (schema S) feeds a
+//! provisioning system backed by an LDAP directory (schema T).
+//!
+//! Both register the `CustomerInfoService` WSDL at a discovery agency; the
+//! target additionally registers the **T-fragmentation** so that orders
+//! and services arrive combined (`ORDER_SERVICE_T`) while customers and
+//! features arrive as their own fragments — avoiding the combines
+//! publish&map would force the source to perform and the target to undo.
+//!
+//! Run with: `cargo run --release --example customer_provisioning`
+
+use std::collections::BTreeSet;
+use xdx::core::{DataExchange, Fragment, Fragmentation};
+use xdx::directory::{Directory, ObjectClass};
+use xdx::net::{Link, NetworkProfile};
+use xdx::relational::Database;
+use xdx::wsdl::{Registry, WsdlDefinition};
+use xdx::xml::{Occurs, SchemaTree, Writer};
+
+/// The agreed-upon Customer schema of the paper's Figure 1.
+fn customer_schema() -> SchemaTree {
+    let mut t = SchemaTree::new("Customer");
+    let n = t.add_child(t.root(), "CustName", Occurs::One).unwrap();
+    t.set_text(n);
+    let order = t.add_child(t.root(), "Order", Occurs::Many).unwrap();
+    let service = t.add_child(order, "Service", Occurs::One).unwrap();
+    let sn = t.add_child(service, "ServiceName", Occurs::One).unwrap();
+    t.set_text(sn);
+    let line = t.add_child(service, "Line", Occurs::Many).unwrap();
+    let tel = t.add_child(line, "TelNo", Occurs::One).unwrap();
+    t.set_text(tel);
+    let switch = t.add_child(line, "Switch", Occurs::One).unwrap();
+    let sid = t.add_child(switch, "SwitchID", Occurs::One).unwrap();
+    t.set_text(sid);
+    let feature = t.add_child(line, "Feature", Occurs::Many).unwrap();
+    let fid = t.add_child(feature, "FeatureID", Occurs::One).unwrap();
+    t.set_text(fid);
+    t
+}
+
+/// The T-fragmentation of Section 3.1.
+fn t_fragmentation(schema: &SchemaTree) -> Fragmentation {
+    let frag = |name: &str, names: &[&str]| {
+        let ids: BTreeSet<_> = names.iter().map(|n| schema.by_name(n).unwrap()).collect();
+        Fragment::new(schema, name, schema.by_name(names[0]).unwrap(), ids).unwrap()
+    };
+    Fragmentation::new(
+        "T-fragmentation",
+        schema,
+        vec![
+            frag("Customer.xsd", &["Customer", "CustName"]),
+            frag("Order_Service.xsd", &["Order", "Service", "ServiceName"]),
+            frag("Line_Switch.xsd", &["Line", "TelNo", "Switch", "SwitchID"]),
+            frag("Feature.xsd", &["Feature", "FeatureID"]),
+        ],
+    )
+    .unwrap()
+}
+
+/// Synthesizes the sales system's customer document.
+fn sales_document() -> String {
+    let mut w = Writer::new();
+    w.start("Customer");
+    w.text_element("CustName", "ACME Manufacturing");
+    for o in 0..3 {
+        w.start("Order");
+        w.start("Service");
+        w.text_element(
+            "ServiceName",
+            ["local", "long-distance", "international"][o],
+        );
+        for l in 0..2 {
+            w.start("Line");
+            w.text_element("TelNo", &format!("973-360-8{o}{l}7"));
+            w.start("Switch");
+            w.text_element("SwitchID", &format!("NJ-5ESS-{o}{l}"));
+            w.end();
+            for feat in ["caller-id", "call-waiting"].iter().take(l + 1) {
+                w.start("Feature");
+                w.text_element("FeatureID", feat);
+                w.end();
+            }
+            w.end();
+        }
+        w.end();
+        w.end();
+    }
+    w.end();
+    w.finish()
+}
+
+fn main() {
+    let schema = customer_schema();
+
+    // --- Step 1 (Figure 2): both systems register at the agency. -------
+    let wsdl = WsdlDefinition::single_service(
+        "CustomerInfo",
+        "http://customers.wsdl",
+        schema.clone(),
+        "CustomerInfoService",
+        "http://customerinfo",
+    );
+    let source_frag = Fragmentation::most_fragmented("S-fragmentation", &schema);
+    let target_frag = t_fragmentation(&schema);
+    let mut registry = Registry::new();
+    registry.register("sales", wsdl.clone(), Some(source_frag.to_decl(&schema)));
+    registry.register("provisioning", wsdl, Some(target_frag.to_decl(&schema)));
+
+    println!("=== WSDL registered by both systems ===");
+    println!("{}", registry.lookup("sales").unwrap().wsdl.to_xml());
+    println!("\n=== The provisioning system's fragmentation extension ===");
+    println!(
+        "{}",
+        target_frag
+            .to_decl(&schema)
+            .to_xml(&schema)
+            .expect("declaration renders")
+    );
+
+    // --- Load the sales system (schema S, stored per element). ---------
+    let doc = sales_document();
+    let shredded = xdx::core::shred::shred(&doc, &schema, &source_frag).expect("shreds");
+    let mut source = Database::new("sales");
+    for (f, feed) in source_frag.fragments.iter().zip(shredded.feeds) {
+        source.load(&f.name, feed).expect("loads");
+    }
+
+    // --- Steps 2–4: the agency plans and runs the exchange. ------------
+    let exchange =
+        DataExchange::from_registry(&schema, &registry, "sales", "provisioning").expect("plan");
+    let mut staging = Database::new("provisioning-staging");
+    let mut link = Link::new(NetworkProfile::internet_2004());
+    let (report, program) = exchange
+        .run(&mut source, &mut staging, &mut link)
+        .expect("runs");
+    println!(
+        "\n=== Optimized exchange program ===\n{}",
+        program.display(&schema)
+    );
+    println!("{report}");
+
+    // --- The provisioning adapter stores the arrived fragments in LDAP.
+    let mut directory = Directory::new("provisioning");
+    directory.declare_class(ObjectClass::strings("CUSTOMER_T", &["CustName"]));
+    directory.declare_class(ObjectClass::strings("ORDER_SERVICE_T", &["ServiceName"]));
+    directory.declare_class(ObjectClass::strings(
+        "LINE_SWITCH_T",
+        &["TelNo", "SwitchID"],
+    ));
+    directory.declare_class(ObjectClass::strings("FEATURE_T", &["FeatureID"]));
+    for (frag, class) in [
+        ("Customer.xsd", "CUSTOMER_T"),
+        ("Order_Service.xsd", "ORDER_SERVICE_T"),
+        ("Line_Switch.xsd", "LINE_SWITCH_T"),
+        ("Feature.xsd", "FEATURE_T"),
+    ] {
+        let feed = staging.table(frag).expect("staged").data.clone();
+        let n = directory.load_feed(class, &feed).expect("directory loads");
+        println!("loaded {n} {class} entries");
+    }
+
+    println!("\n=== LDAP view (first lines) ===");
+    for class in directory.class_names() {
+        for entry in directory.entries_of_class(class).take(2) {
+            println!(
+                "dn={} objectclass={} {:?}",
+                entry.dn, entry.object_class, entry.attributes
+            );
+        }
+    }
+    assert_eq!(directory.entries_of_class("LINE_SWITCH_T").count(), 6);
+    assert_eq!(directory.entries_of_class("FEATURE_T").count(), 9);
+    println!(
+        "\nprovisioning directory populated: {} entries",
+        directory.len()
+    );
+
+    // --- A derived fragment: the paper's TotalMRCService. --------------
+    // The sales system offers a computed fragment (here: count of lines
+    // per customer as a stand-in for total monthly recurring charges)
+    // "without revealing how this fragment is computed".
+    use xdx::core::derived::{AggregateKind, DerivedFragment};
+    let total_mrc = DerivedFragment::new(
+        &schema,
+        "TotalMRC",
+        "Customer",
+        "TelNo",
+        AggregateKind::Count,
+    )
+    .expect("valid spec");
+    let feed = total_mrc
+        .compute(&schema, &source, &source_frag)
+        .expect("computes");
+    directory.declare_class(xdx::directory::ObjectClass::strings(
+        "CUSTOMER_MRC_T",
+        &["TotalMRC"],
+    ));
+    let n = directory.load_feed("CUSTOMER_MRC_T", &feed).expect("loads");
+    println!(
+        "TotalMRCService delivered {n} derived entr{}:",
+        if n == 1 { "y" } else { "ies" }
+    );
+    for e in directory.entries_of_class("CUSTOMER_MRC_T") {
+        println!(
+            "  dn={} TotalMRC={}",
+            e.dn,
+            e.attr("TotalMRC").unwrap_or("?")
+        );
+    }
+}

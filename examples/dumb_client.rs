@@ -1,0 +1,62 @@
+//! Capability- and speed-aware placement (paper Sections 4.1 and 5.4.1).
+//!
+//! The same MF→LF exchange is planned three times:
+//!
+//! 1. equal systems — combines stay at the source (shipping combined
+//!    fragments is no worse, and the source is just as fast),
+//! 2. a 10× faster target — the optimizer moves every combine to the
+//!    target ("takes advantage of the very fast client and places all
+//!    combines there"),
+//! 3. a *dumb client* that cannot combine — combines are forced back to
+//!    the source no matter how slow it is.
+//!
+//! Run with: `cargo run --release --example dumb_client`
+
+use xdx::core::cost::SystemProfile;
+use xdx::core::{DataExchange, Location, Op};
+use xdx::net::{Link, NetworkProfile};
+use xdx::relational::Database;
+
+fn main() {
+    let schema = xdx::xmark::schema();
+    let doc = xdx::xmark::generate(xdx::xmark::GenConfig::sized(200_000));
+    let mf = xdx::xmark::mf(&schema);
+    let lf = xdx::xmark::lf(&schema);
+
+    let cases = [
+        ("equal systems", SystemProfile::with_speed(1.0)),
+        ("target 10x faster", SystemProfile::with_speed(10.0)),
+        ("dumb client (no Combine)", SystemProfile::dumb_client()),
+    ];
+    for (label, target_profile) in cases {
+        let mut source = xdx::xmark::load_source(&doc, &schema, &mf).expect("loads");
+        let mut target = Database::new("target");
+        let mut link = Link::new(NetworkProfile::lan());
+        let exchange = DataExchange::new(&schema, mf.clone(), lf.clone())
+            .with_profiles(SystemProfile::with_speed(1.0), target_profile);
+        let (report, program) = exchange
+            .run(&mut source, &mut target, &mut link)
+            .expect("runs");
+
+        let combines_at = |loc: Location| {
+            program
+                .nodes
+                .iter()
+                .filter(|n| matches!(n.op, Op::Combine { .. }) && n.location == loc)
+                .count()
+        };
+        println!("=== {label} ===");
+        println!(
+            "combines: {} at source, {} at target; {} messages, {} bytes shipped",
+            combines_at(Location::Source),
+            combines_at(Location::Target),
+            report.messages,
+            report.bytes_shipped
+        );
+        println!(
+            "source queries {:.1} ms, target queries {:.1} ms\n",
+            report.times.source_queries.as_secs_f64() * 1000.0,
+            report.times.target_queries.as_secs_f64() * 1000.0
+        );
+    }
+}
