@@ -1,0 +1,120 @@
+//! Runtime throughput: N concurrent XMark `MF → LF` sessions through the
+//! `xdx-runtime` worker pool, swept over worker counts.
+//!
+//! Reports, per worker count: completed sessions/sec, p50/p99
+//! submit→done latency, plan-cache hit rate, and retry overhead on a
+//! lossy link. Usage:
+//!
+//! ```text
+//! throughput [sessions] [doc_bytes] [drop_probability]
+//! ```
+//!
+//! Defaults: 24 sessions of ~60 KB each, 5% message drops.
+
+use std::time::Instant;
+use xdx_net::FaultProfile;
+use xdx_runtime::{ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy};
+use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+
+fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
+    match args.next() {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: cannot parse {name} from {raw:?}");
+            eprintln!("usage: throughput [sessions] [doc_bytes] [drop_probability]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sessions: usize = arg(&mut args, "sessions", 24);
+    let doc_bytes: usize = arg(&mut args, "doc_bytes", 60_000);
+    let drop_p: f64 = arg(&mut args, "drop_probability", 0.05);
+    if !(0.0..=1.0).contains(&drop_p) {
+        eprintln!("error: drop_probability {drop_p} out of [0, 1]");
+        std::process::exit(2);
+    }
+
+    let schema = schema();
+    let doc = generate(GenConfig::sized(doc_bytes));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    println!(
+        "# runtime throughput: {sessions} MF→LF sessions, ~{} KB docs, {:.0}% drops",
+        doc_bytes / 1024,
+        drop_p * 100.0
+    );
+    println!(
+        "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7}",
+        "workers", "sessions/s", "p50 ms", "p99 ms", "cache hit", "retries"
+    );
+    println!("{}", "-".repeat(70));
+
+    for workers in [1, 2, 4, 8] {
+        // Sources are loaded outside the measured window: the runtime's
+        // job is scheduling, planning and shipping, not shredding.
+        let sources: Vec<_> = (0..sessions)
+            .map(|_| load_source(&doc, &schema, &mf).expect("load source"))
+            .collect();
+        let config = RuntimeConfig::default()
+            .with_workers(workers)
+            .with_max_queue_depth(sessions)
+            .with_fault_profile(FaultProfile::drops(drop_p, 0x1CDE_2004))
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 8 * 1024,
+                ..ShippingPolicy::default()
+            });
+        let runtime = Runtime::start(schema.clone(), config);
+
+        let started = Instant::now();
+        let handles: Vec<_> = sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, source)| {
+                runtime
+                    .submit(ExchangeRequest::new(
+                        format!("w{workers}-s{i}"),
+                        source,
+                        mf.clone(),
+                        lf.clone(),
+                    ))
+                    .expect("queue sized to hold every session")
+            })
+            .collect();
+        let mut failed = 0usize;
+        let mut first_diagnostic = None;
+        for handle in handles {
+            let result = handle.wait();
+            if result.state != SessionState::Done {
+                failed += 1;
+                first_diagnostic = first_diagnostic.or(result.diagnostic);
+            }
+        }
+        let wall = started.elapsed();
+        let stats = runtime.shutdown();
+        if failed > 0 {
+            eprintln!(
+                "warning: {failed}/{sessions} sessions did not complete ({}); \
+                 rates below cover completed sessions only",
+                first_diagnostic.as_deref().unwrap_or("no diagnostic")
+            );
+        }
+
+        let p50 = stats.latency_percentile(50.0).unwrap_or_default();
+        let p99 = stats.latency_percentile(99.0).unwrap_or_default();
+        let hit_rate = stats.plan_cache_hits as f64
+            / (stats.plan_cache_hits + stats.plan_cache_misses).max(1) as f64;
+        println!(
+            "{:>7} | {:>12.1} | {:>10.2} | {:>10.2} | {:>8.0}% | {:>7}",
+            workers,
+            stats.sessions_per_sec(wall),
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+            hit_rate * 100.0,
+            stats.chunks_retried,
+        );
+    }
+}

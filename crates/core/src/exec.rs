@@ -17,13 +17,37 @@ use crate::program::{Location, Op, PortRef, Program};
 use crate::report::StepTimes;
 use crate::selection::Selection;
 use std::collections::{BTreeSet, HashMap};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xdx_net::http::Request;
 use xdx_net::Link;
 use xdx_relational::ops::{merge_combine, split, SplitSpec};
 use xdx_relational::Dewey as WireDewey;
 use xdx_relational::{Database, Feed};
 use xdx_xml::SchemaTree;
+
+/// How serialized cross-edge messages reach the target system.
+///
+/// [`execute`] historically shipped straight over a [`Link`]; the
+/// runtime layer needs to interpose chunking, fault handling and retry
+/// policies without re-implementing the executor, so the executor talks
+/// to this seam instead. Implementations return the simulated transfer
+/// duration plus the bytes as delivered at the far side (which the
+/// executor then decodes, surfacing any damage as an explicit error).
+pub trait Transport {
+    /// Ships one message; returns (simulated duration, delivered bytes).
+    /// An `Err` means delivery gave up entirely (e.g. a retry budget ran
+    /// out) and aborts the exchange.
+    fn ship(&mut self, label: &str, message: &[u8]) -> Result<(Duration, Vec<u8>)>;
+}
+
+/// The trivial transport: one message, one transmission, whatever
+/// arrives arrives.
+impl Transport for Link {
+    fn ship(&mut self, label: &str, message: &[u8]) -> Result<(Duration, Vec<u8>)> {
+        let (duration, delivered) = self.transmit(label, message);
+        Ok((duration, delivered))
+    }
+}
 
 /// Outcome of executing a program.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +104,32 @@ pub fn execute_with_selection(
     link: &mut Link,
     selection: Option<(&Selection, &BTreeSet<WireDewey>)>,
 ) -> Result<ExecOutcome> {
+    execute_with_transport(
+        schema,
+        source_frag,
+        target_frag,
+        program,
+        source,
+        target,
+        link,
+        selection,
+    )
+}
+
+/// [`execute_with_selection`] over an arbitrary [`Transport`] — the
+/// integration point for runtimes that chunk, retry or otherwise manage
+/// shipment themselves.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_transport(
+    schema: &SchemaTree,
+    source_frag: &Fragmentation,
+    target_frag: &Fragmentation,
+    program: &Program,
+    source: &mut Database,
+    target: &mut Database,
+    transport: &mut dyn Transport,
+    selection: Option<(&Selection, &BTreeSet<WireDewey>)>,
+) -> Result<ExecOutcome> {
     program.validate()?;
     program.validate_placement()?;
     let mut outcome = ExecOutcome::default();
@@ -113,7 +163,7 @@ pub fn execute_with_selection(
                             .unwrap_or_default();
                         let body = f.to_wire().into_bytes();
                         let message = Request::soap_post("/exchange", &label, body).to_bytes();
-                        let (duration, delivered) = link.transmit(label, &message);
+                        let (duration, delivered) = transport.ship(&label, &message)?;
                         outcome.times.communication += duration;
                         outcome.bytes_shipped += message.len() as u64;
                         outcome.messages += 1;

@@ -205,20 +205,19 @@ pub fn execute_parallel(
     }
 
     let compute_start = Instant::now();
-    let results: Vec<Result<WorkerOut>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<WorkerOut>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
                 let source_ref: &Database = source;
-                scope.spawn(move |_| run_component(schema, source_frag, program, chunk, source_ref))
+                scope.spawn(move || run_component(schema, source_frag, program, chunk, source_ref))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("scope");
+    });
     let compute_time = compute_start.elapsed();
 
     let mut outcome = ExecOutcome::default();

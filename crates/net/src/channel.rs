@@ -36,6 +36,19 @@ impl NetworkProfile {
     pub fn transfer_time(&self, bytes: u64) -> Duration {
         self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
     }
+
+    /// Transfer time for `bytes` shipped as `ceil(bytes / chunk_size)`
+    /// separate messages: the fixed per-message latency is charged once
+    /// per chunk, not once per payload — [`transfer_time`] under-charges
+    /// chunked shipment by `(chunks - 1) × latency`.
+    ///
+    /// [`transfer_time`]: NetworkProfile::transfer_time
+    pub fn chunked_transfer_time(&self, bytes: u64, chunk_size: u64) -> Duration {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let chunks = bytes.div_ceil(chunk_size).max(1);
+        self.latency * chunks as u32
+            + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
 }
 
 /// One recorded transfer.
@@ -61,6 +74,105 @@ pub enum Fault {
     TruncateEveryNth(usize),
 }
 
+/// Probabilistic, seed-driven fault model for an unreliable link: every
+/// message independently draws drop / timeout / corruption outcomes from
+/// a deterministic stream, so a run is fully reproducible from the seed.
+///
+/// This is the runtime-facing counterpart of the deterministic [`Fault`]
+/// schedules: schedules pin failures to exact message indices (good for
+/// unit tests), a profile models a lossy wide-area path (good for
+/// shipping-layer retry logic and fleet-scale soak tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability a message silently never arrives.
+    pub drop_probability: f64,
+    /// Probability the message stalls past the receiver's patience; the
+    /// sender observes it exactly like a drop but pays
+    /// [`FaultProfile::TIMEOUT_FACTOR`]× the transfer time waiting.
+    pub timeout_probability: f64,
+    /// Probability the payload arrives with a flipped byte.
+    pub corrupt_probability: f64,
+    /// Seed of the per-message outcome stream.
+    pub seed: u64,
+}
+
+impl FaultProfile {
+    /// Simulated wait, as a multiple of the message transfer time, before
+    /// a sender gives up on a timed-out message.
+    pub const TIMEOUT_FACTOR: u32 = 3;
+
+    /// A lossless profile (every message delivered intact).
+    pub fn healthy() -> FaultProfile {
+        FaultProfile {
+            drop_probability: 0.0,
+            timeout_probability: 0.0,
+            corrupt_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A profile that only drops messages, with probability `p`.
+    pub fn drops(p: f64, seed: u64) -> FaultProfile {
+        FaultProfile {
+            drop_probability: p,
+            ..FaultProfile::healthy()
+        }
+        .with_seed(seed)
+    }
+
+    /// Rebinds the outcome-stream seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultProfile {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop", self.drop_probability),
+            ("timeout", self.timeout_probability),
+            ("corrupt", self.corrupt_probability),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} out of [0, 1]"
+            );
+        }
+        assert!(
+            self.drop_probability + self.timeout_probability + self.corrupt_probability <= 1.0,
+            "fault probabilities must sum to at most 1"
+        );
+    }
+}
+
+/// What a [`FaultProfile`]-governed transmission did to one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Arrived intact.
+    Delivered(Vec<u8>),
+    /// Never arrived; the sender learns nothing.
+    Dropped,
+    /// Stalled past the receiver's patience; the sender waited
+    /// [`FaultProfile::TIMEOUT_FACTOR`]× the transfer time for nothing.
+    TimedOut,
+    /// Arrived with damaged bytes (one flipped byte).
+    Corrupted(Vec<u8>),
+}
+
+impl Delivery {
+    /// The payload as the receiver saw it, if anything arrived.
+    pub fn payload(&self) -> Option<&[u8]> {
+        match self {
+            Delivery::Delivered(p) | Delivery::Corrupted(p) => Some(p),
+            Delivery::Dropped | Delivery::TimedOut => None,
+        }
+    }
+
+    /// True only for an intact arrival.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Delivery::Delivered(_))
+    }
+}
+
 /// A one-way link from source to target (the paper considers only one-way
 /// shipping). Accumulates every transfer for the communication tables.
 #[derive(Debug, Clone)]
@@ -69,6 +181,10 @@ pub struct Link {
     pub profile: NetworkProfile,
     /// Injected fault model (testing only; defaults to none).
     pub fault: Fault,
+    /// Probabilistic fault model consulted by [`Link::transmit_faulty`].
+    fault_profile: FaultProfile,
+    /// SplitMix64 state of the fault-outcome stream.
+    fault_state: u64,
     transfers: Vec<TransferRecord>,
 }
 
@@ -78,6 +194,8 @@ impl Link {
         Link {
             profile,
             fault: Fault::None,
+            fault_profile: FaultProfile::healthy(),
+            fault_state: 0,
             transfers: Vec::new(),
         }
     }
@@ -86,6 +204,69 @@ impl Link {
     pub fn with_fault(mut self, fault: Fault) -> Link {
         self.fault = fault;
         self
+    }
+
+    /// Builder: injects a probabilistic [`FaultProfile`] consulted by
+    /// [`Link::transmit_faulty`]. Panics on out-of-range probabilities.
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> Link {
+        profile.validate();
+        self.fault_profile = profile;
+        self.fault_state = profile.seed;
+        self
+    }
+
+    /// The probabilistic fault model in force.
+    pub fn fault_profile(&self) -> &FaultProfile {
+        &self.fault_profile
+    }
+
+    /// Next uniform draw in `[0, 1)` from the fault-outcome stream.
+    fn fault_draw(&mut self) -> f64 {
+        self.fault_state = self.fault_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.fault_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Ships `payload` through the probabilistic fault model: the message
+    /// may be delivered, dropped, timed out or corrupted, per the link's
+    /// [`FaultProfile`]. The returned duration is what the *sender*
+    /// experienced: the transfer time for deliveries, drops and
+    /// corruptions, [`FaultProfile::TIMEOUT_FACTOR`]× it for timeouts.
+    /// Every attempt is recorded in the transfer log, including failed
+    /// ones — wasted bytes are real bytes.
+    pub fn transmit_faulty(
+        &mut self,
+        label: impl Into<String>,
+        payload: &[u8],
+    ) -> (Duration, Delivery) {
+        let bytes = payload.len() as u64;
+        let base = self.profile.transfer_time(bytes);
+        let draw = self.fault_draw();
+        let p = self.fault_profile;
+        let (duration, delivery) = if draw < p.drop_probability {
+            (base, Delivery::Dropped)
+        } else if draw < p.drop_probability + p.timeout_probability {
+            (base * FaultProfile::TIMEOUT_FACTOR, Delivery::TimedOut)
+        } else if draw < p.drop_probability + p.timeout_probability + p.corrupt_probability {
+            let mut damaged = payload.to_vec();
+            if !damaged.is_empty() {
+                let idx =
+                    ((self.fault_draw() * damaged.len() as f64) as usize).min(damaged.len() - 1);
+                damaged[idx] ^= 0x40;
+            }
+            (base, Delivery::Corrupted(damaged))
+        } else {
+            (base, Delivery::Delivered(payload.to_vec()))
+        };
+        self.transfers.push(TransferRecord {
+            label: label.into(),
+            bytes,
+            duration,
+        });
+        (duration, delivery)
     }
 
     /// Ships `payload`, returning the simulated transfer duration.
@@ -200,6 +381,114 @@ mod tests {
         let mut trunc = Link::new(NetworkProfile::lan()).with_fault(Fault::TruncateEveryNth(1));
         let (_, t) = trunc.transmit("c", b"0123456789");
         assert_eq!(t, b"01234");
+    }
+
+    #[test]
+    fn chunked_transfer_charges_latency_per_chunk() {
+        let p = NetworkProfile {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency: Duration::from_millis(100),
+        };
+        // 10 chunks of 100 bytes: 10 latencies + 1s of wire time.
+        assert_eq!(
+            p.chunked_transfer_time(1000, 100),
+            Duration::from_millis(2000)
+        );
+        // A single chunk matches the whole-message accounting.
+        assert_eq!(p.chunked_transfer_time(1000, 1000), p.transfer_time(1000));
+        assert_eq!(p.chunked_transfer_time(1000, 4000), p.transfer_time(1000));
+        // Zero bytes still occupy one round trip.
+        assert_eq!(p.chunked_transfer_time(0, 100), Duration::from_millis(100));
+        // Partial last chunk rounds up: 1001 bytes at 500/chunk = 3 chunks.
+        let t = p.chunked_transfer_time(1001, 500);
+        assert!(t > Duration::from_millis(300 + 1001) - Duration::from_millis(1));
+    }
+
+    #[test]
+    fn fault_profile_outcomes_are_seed_deterministic() {
+        let profile = FaultProfile {
+            drop_probability: 0.2,
+            timeout_probability: 0.1,
+            corrupt_probability: 0.1,
+            seed: 99,
+        };
+        let run = |seed: u64| {
+            let mut link =
+                Link::new(NetworkProfile::lan()).with_fault_profile(profile.with_seed(seed));
+            (0..200)
+                .map(|i| link.transmit_faulty(format!("m{i}"), b"payload").1)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(99), run(99), "same seed must replay identically");
+        assert_ne!(run(99), run(100), "different seeds must diverge");
+    }
+
+    #[test]
+    fn fault_profile_rates_track_probabilities() {
+        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
+            drop_probability: 0.3,
+            timeout_probability: 0.1,
+            corrupt_probability: 0.1,
+            seed: 7,
+        });
+        let mut counts = [0usize; 4]; // delivered, dropped, timed out, corrupted
+        for i in 0..2000 {
+            match link.transmit_faulty(format!("m{i}"), b"0123456789").1 {
+                Delivery::Delivered(p) => {
+                    assert_eq!(p, b"0123456789");
+                    counts[0] += 1;
+                }
+                Delivery::Dropped => counts[1] += 1,
+                Delivery::TimedOut => counts[2] += 1,
+                Delivery::Corrupted(p) => {
+                    assert_eq!(p.len(), 10);
+                    assert_ne!(p, b"0123456789");
+                    counts[3] += 1;
+                }
+            }
+        }
+        assert!((900..1500).contains(&counts[0]), "delivered {counts:?}");
+        assert!((450..750).contains(&counts[1]), "dropped {counts:?}");
+        assert!((100..350).contains(&counts[2]), "timed out {counts:?}");
+        assert!((100..350).contains(&counts[3]), "corrupted {counts:?}");
+        // Every attempt — failed or not — hit the transfer log.
+        assert_eq!(link.message_count(), 2000);
+    }
+
+    #[test]
+    fn timeouts_cost_more_than_drops() {
+        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
+            drop_probability: 0.0,
+            timeout_probability: 1.0,
+            corrupt_probability: 0.0,
+            seed: 1,
+        });
+        let (waited, outcome) = link.transmit_faulty("t", &[0u8; 1000]);
+        assert_eq!(outcome, Delivery::TimedOut);
+        assert_eq!(
+            waited,
+            link.profile.transfer_time(1000) * FaultProfile::TIMEOUT_FACTOR
+        );
+    }
+
+    #[test]
+    fn healthy_profile_always_delivers() {
+        let mut link = Link::new(NetworkProfile::lan());
+        for i in 0..100 {
+            let (_, outcome) = link.transmit_faulty(format!("m{i}"), b"x");
+            assert!(outcome.is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must sum")]
+    fn oversubscribed_fault_profile_rejected() {
+        let _ = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
+            drop_probability: 0.6,
+            timeout_probability: 0.3,
+            corrupt_probability: 0.2,
+            seed: 0,
+        });
     }
 
     #[test]

@@ -30,12 +30,17 @@ impl ServiceHost {
     }
 
     /// Registers `handler` for calls whose `SOAPAction` is `action`.
+    ///
+    /// Registration is last-wins: re-routing an action replaces its
+    /// handler, and the previous one is *returned* rather than silently
+    /// discarded, so callers can detect (or assert against) accidental
+    /// double registration. Returns `None` for a first registration.
     pub fn route(
         &mut self,
         action: &str,
         handler: impl FnMut(&SoapEnvelope) -> Result<SoapEnvelope, SoapFault> + 'static,
-    ) {
-        self.routes.insert(action.to_string(), Box::new(handler));
+    ) -> Option<Handler> {
+        self.routes.insert(action.to_string(), Box::new(handler))
     }
 
     /// Registered actions, sorted.
@@ -198,5 +203,29 @@ mod tests {
     #[test]
     fn actions_listing() {
         assert_eq!(host().actions(), vec!["urn:Echo", "urn:Fail"]);
+    }
+
+    #[test]
+    fn rerouting_returns_the_displaced_handler() {
+        let mut h = ServiceHost::new();
+        assert!(
+            h.route("urn:Op", |_| Ok(SoapEnvelope::new(
+                Element::new("First").with_text("1")
+            )))
+            .is_none(),
+            "first registration displaces nothing"
+        );
+        let mut old = h
+            .route("urn:Op", |_| {
+                Ok(SoapEnvelope::new(Element::new("Second").with_text("2")))
+            })
+            .expect("second registration returns the first handler");
+        // The displaced handler still works standalone...
+        let probe = SoapEnvelope::new(Element::new("Probe"));
+        assert_eq!(old(&probe).unwrap().body.name, "First");
+        // ...and dispatch now reaches the replacement (last wins).
+        let mut link = Link::new(NetworkProfile::lan());
+        let reply = call(&mut link, &mut h, "/svc", "urn:Op", &probe).unwrap();
+        assert_eq!(reply.body.name, "Second");
     }
 }

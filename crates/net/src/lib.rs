@@ -21,6 +21,6 @@ pub mod endpoint;
 pub mod http;
 pub mod soap;
 
-pub use channel::{Link, NetworkProfile, TransferRecord};
+pub use channel::{Delivery, FaultProfile, Link, NetworkProfile, TransferRecord};
 pub use endpoint::ServiceHost;
 pub use soap::{SoapEnvelope, SoapFault};

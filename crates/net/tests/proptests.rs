@@ -1,0 +1,153 @@
+//! Property tests for the transport layer: HTTP framing and SOAP
+//! envelopes must round-trip arbitrary well-formed messages exactly, and
+//! neither parser may panic on arbitrary bytes.
+
+use proptest::prelude::*;
+use xdx_net::http::{Request, Response};
+use xdx_net::{SoapEnvelope, SoapFault};
+use xdx_xml::Element;
+
+/// HTTP header tokens (RFC 7230 `tchar` subset).
+fn token_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,15}").unwrap()
+}
+
+/// Header values: printable ASCII without CR/LF (colons are legal).
+fn header_value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}").unwrap()
+}
+
+/// Arbitrary binary bodies.
+fn body_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..200)
+}
+
+/// Extra headers to layer on top of the SOAP defaults. Content-Length is
+/// reserved: the framing layer owns it.
+fn extra_headers_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((token_strategy(), header_value_strategy()), 0..4).prop_map(|hs| {
+        hs.into_iter()
+            .filter(|(n, _)| !n.eq_ignore_ascii_case("content-length"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrips_arbitrary_bodies_and_headers(
+        path in "/[a-z0-9/]{0,20}",
+        action in "[a-zA-Z:._-]{1,24}",
+        extra in extra_headers_strategy(),
+        body in body_strategy(),
+    ) {
+        let mut req = Request::soap_post(&path, &action, body);
+        req.headers.extend(extra);
+        // Values are stored trimmed on re-parse; normalize the
+        // expectation the same way the parser does.
+        let expected_headers: Vec<(String, String)> = req
+            .headers
+            .iter()
+            .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+            .collect();
+        let parsed = Request::parse(&req.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.method, req.method);
+        prop_assert_eq!(parsed.path, req.path);
+        prop_assert_eq!(parsed.headers, expected_headers);
+        prop_assert_eq!(parsed.body, req.body);
+    }
+
+    #[test]
+    fn response_roundtrips_arbitrary_bodies(
+        ok in any::<bool>(),
+        extra in extra_headers_strategy(),
+        body in body_strategy(),
+    ) {
+        let mut resp = if ok {
+            Response::ok_xml(body)
+        } else {
+            Response::server_error_xml(body)
+        };
+        resp.headers.extend(extra);
+        let expected_headers: Vec<(String, String)> = resp
+            .headers
+            .iter()
+            .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+            .collect();
+        let parsed = Response::parse(&resp.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.status, resp.status);
+        prop_assert_eq!(parsed.reason, resp.reason);
+        prop_assert_eq!(parsed.headers, expected_headers);
+        prop_assert_eq!(parsed.body, resp.body);
+    }
+
+    #[test]
+    fn truncated_requests_never_parse_as_complete(
+        body in proptest::collection::vec(any::<u8>(), 1..100),
+        cut in 1usize..40,
+    ) {
+        let wire = Request::soap_post("/svc", "urn:Op", body).to_bytes();
+        let cut = cut.min(wire.len() - 1);
+        // Any strict prefix must fail: either the header terminator is
+        // gone or the content-length no longer matches.
+        prop_assert!(Request::parse(&wire[..wire.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn http_parsers_never_panic_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = Request::parse(&bytes);
+        let _ = Response::parse(&bytes);
+    }
+
+    #[test]
+    fn soap_envelope_roundtrips_structured_bodies(
+        op in "[A-Za-z][A-Za-z0-9]{0,12}",
+        params in proptest::collection::vec(
+            ("[a-z][a-z0-9]{0,8}", "[ -~é&<>\"']{0,20}"),
+            0..5,
+        ),
+    ) {
+        let pairs: Vec<(&str, &str)> = params
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let env = SoapEnvelope::request(&op, &pairs);
+        let back = SoapEnvelope::parse(&env.to_xml()).unwrap();
+        prop_assert!(!back.is_fault());
+        prop_assert_eq!(back.body.name.as_str(), op.as_str());
+        let children: Vec<&Element> = back.body.elements().collect();
+        prop_assert_eq!(children.len(), pairs.len());
+        for (child, (k, v)) in children.iter().zip(&pairs) {
+            prop_assert_eq!(child.name.as_str(), *k);
+            // Whitespace-only text is dropped by the XML parser; other
+            // values must survive exactly.
+            if v.trim().is_empty() {
+                prop_assert_eq!(child.text(), v.trim());
+            } else {
+                prop_assert_eq!(child.text(), *v);
+            }
+        }
+    }
+
+    #[test]
+    fn soap_fault_roundtrips(
+        code in "[A-Za-z]{1,12}",
+        string in "[ -~é&<>\"']{0,40}",
+    ) {
+        let fault = SoapFault { code, string };
+        let env = SoapEnvelope::fault(&fault);
+        prop_assert!(env.is_fault());
+        let back = SoapEnvelope::parse(&env.to_xml()).unwrap();
+        let got = back.as_fault().expect("fault survives the wire");
+        prop_assert_eq!(got.code, fault.code);
+        prop_assert_eq!(got.string.trim(), fault.string.trim());
+    }
+
+    #[test]
+    fn soap_parser_never_panics_on_arbitrary_text(s in "\\PC{0,200}") {
+        let _ = SoapEnvelope::parse(&s);
+    }
+}

@@ -1,0 +1,190 @@
+//! The plan cache: concurrent sessions exchanging the same *shape* of
+//! data reuse one optimized program instead of re-running the optimizer.
+//!
+//! The cache key is a stable FNV-64 hash over everything the optimizer's
+//! answer depends on: both fragmentations (roots and element sets, not
+//! names — renaming a fragment does not change the plan), the cost-model
+//! weights, both system profiles, and the probed document statistics.
+//! Two requests with the same key would receive byte-identical programs
+//! from the optimizer, so sharing the cached one is safe.
+
+use crate::shipper::fnv64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use xdx_core::{CostModel, Fragmentation, Program};
+
+/// A cached optimizer answer.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The placed data-transfer program.
+    pub program: Program,
+    /// Its estimated cost under the keying model.
+    pub cost: f64,
+}
+
+/// Thread-shared map from plan key to optimized program, with hit/miss
+/// counters.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<u64, Arc<CachedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Looks `key` up, counting a hit or a miss. On a miss the caller
+    /// plans outside any lock and [`insert`](PlanCache::insert)s; two
+    /// sessions racing the same key may both plan — the duplicate work is
+    /// bounded by the worker count and both arrive at the same program.
+    pub fn lookup(&self, key: u64) -> Option<Arc<CachedPlan>> {
+        let found = self.map.lock().unwrap().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a freshly planned program and returns the shared copy
+    /// (the already-present one if a racing session inserted first).
+    pub fn insert(&self, key: u64, plan: CachedPlan) -> Arc<CachedPlan> {
+        Arc::clone(
+            self.map
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(plan)),
+        )
+    }
+
+    /// Lookups satisfied from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct plans cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Computes the stable cache key of an exchange: a hash of (source
+/// fragmentation shape, target fragmentation shape, cost-model
+/// parameters, document statistics).
+pub fn plan_key(source: &Fragmentation, target: &Fragmentation, model: &CostModel) -> u64 {
+    let mut bytes = Vec::with_capacity(256);
+    let mut push = |v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+    for (tag, frag) in [(0x5Cu64, source), (0x7Au64, target)] {
+        push(tag);
+        push(frag.fragments.len() as u64);
+        for f in &frag.fragments {
+            push(f.root.index() as u64);
+            push(f.elements.len() as u64);
+            for &e in &f.elements {
+                push(e.index() as u64);
+            }
+        }
+    }
+    push(model.w_comp.to_bits());
+    push(model.w_comm.to_bits());
+    for profile in [&model.source, &model.target] {
+        push(profile.speed.to_bits());
+        push(profile.can_combine as u64);
+        push(profile.can_split as u64);
+    }
+    push(model.stats.counts.len() as u64);
+    for &c in &model.stats.counts {
+        push(c);
+    }
+    for &t in &model.stats.text_bytes {
+        push(t);
+    }
+    fnv64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdx_core::SchemaStats;
+    use xdx_xml::SchemaTree;
+
+    fn schema() -> SchemaTree {
+        SchemaTree::balanced(3, 2, true)
+    }
+
+    fn model(schema: &SchemaTree, w_comm: f64) -> CostModel {
+        let mut m = CostModel::fast_network(SchemaStats::multiplicative(schema, 3, 10));
+        m.w_comm = w_comm;
+        m
+    }
+
+    #[test]
+    fn same_shape_same_key_regardless_of_names() {
+        let s = schema();
+        let mf_a = Fragmentation::most_fragmented("MF", &s);
+        let mf_b = Fragmentation::most_fragmented("renamed", &s);
+        let lf = Fragmentation::least_fragmented("LF", &s);
+        let m = model(&s, 0.05);
+        assert_eq!(plan_key(&mf_a, &lf, &m), plan_key(&mf_b, &lf, &m));
+    }
+
+    #[test]
+    fn direction_weights_and_stats_all_discriminate() {
+        let s = schema();
+        let mf = Fragmentation::most_fragmented("MF", &s);
+        let lf = Fragmentation::whole_document("WD", &s);
+        let m = model(&s, 0.05);
+        let base = plan_key(&mf, &lf, &m);
+        // Reversed direction is a different plan.
+        assert_ne!(base, plan_key(&lf, &mf, &m));
+        // A different communication weight is a different plan.
+        assert_ne!(base, plan_key(&mf, &lf, &model(&s, 5.0)));
+        // Different statistics are a different plan.
+        let mut fatter = m.clone();
+        fatter.stats.counts[2] += 100;
+        assert_ne!(base, plan_key(&mf, &lf, &fatter));
+        // A dumb-client target is a different plan.
+        let mut dumb = m.clone();
+        dumb.target.can_combine = false;
+        assert_ne!(base, plan_key(&mf, &lf, &dumb));
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let s = schema();
+        let mf = Fragmentation::most_fragmented("MF", &s);
+        let lf = Fragmentation::least_fragmented("LF", &s);
+        let m = model(&s, 0.05);
+        let key = plan_key(&mf, &lf, &m);
+
+        let cache = PlanCache::new();
+        assert!(cache.lookup(key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        use xdx_core::gen::Generator;
+        let gen = Generator::new(&s, &mf, &lf);
+        let (program, cost) = xdx_core::greedy::greedy(&gen, &m).unwrap();
+        let shared = cache.insert(key, CachedPlan { program, cost });
+        assert_eq!(cache.len(), 1);
+
+        let again = cache.lookup(key).expect("second lookup hits");
+        assert!(Arc::ptr_eq(&shared, &again));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+}

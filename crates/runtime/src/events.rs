@@ -1,0 +1,119 @@
+//! Structured event log of a runtime instance.
+//!
+//! Every session-lifecycle transition and every shipping retry appends an
+//! [`Event`] with a timestamp relative to runtime start. The log is the
+//! runtime's flight recorder: tests assert ordering properties against
+//! it, and operators read it to reconstruct what a fleet of concurrent
+//! sessions actually did.
+
+use crate::session::SessionId;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request was admitted to the queue.
+    Submitted,
+    /// A request was refused at admission (queue full or shut down).
+    Rejected,
+    /// A worker picked the session up and started planning.
+    PlanningStarted,
+    /// Planning was satisfied from the plan cache.
+    PlanCacheHit,
+    /// Planning ran the optimizer and populated the cache.
+    PlanCacheMiss,
+    /// The planned program started executing.
+    ExecutionStarted,
+    /// A shipment chunk failed (drop/timeout/corruption) and was retried.
+    ChunkRetried,
+    /// The session reached `Done`.
+    Completed,
+    /// The session reached `Failed`.
+    Failed,
+    /// The session reached `Cancelled`.
+    Cancelled,
+}
+
+/// One log entry.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Time since the runtime started.
+    pub at: Duration,
+    /// The session the event belongs to (0 for pre-admission rejects).
+    pub session: SessionId,
+    /// What happened.
+    pub kind: EventKind,
+    /// Free-form context (session name, retry cause, diagnostic, ...).
+    pub detail: String,
+}
+
+/// Append-only, thread-shared event log.
+#[derive(Debug)]
+pub struct EventLog {
+    started: Instant,
+    entries: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    /// An empty log whose clock starts now.
+    pub fn new() -> EventLog {
+        EventLog {
+            started: Instant::now(),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(&self, session: SessionId, kind: EventKind, detail: impl Into<String>) {
+        let event = Event {
+            at: self.started.elapsed(),
+            session,
+            kind,
+            detail: detail.into(),
+        };
+        self.entries.lock().unwrap().push(event);
+    }
+
+    /// A copy of the log so far, in append order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.entries.lock().unwrap().clone()
+    }
+
+    /// How many events of `kind` have been logged.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_preserves_append_order_and_counts() {
+        let log = EventLog::new();
+        log.push(1, EventKind::Submitted, "s1");
+        log.push(2, EventKind::Submitted, "s2");
+        log.push(1, EventKind::Completed, "");
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].session, 1);
+        assert_eq!(events[1].session, 2);
+        assert!(events[2].at >= events[0].at);
+        assert_eq!(log.count(EventKind::Submitted), 2);
+        assert_eq!(log.count(EventKind::Completed), 1);
+        assert_eq!(log.count(EventKind::Failed), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # xdx-runtime — a multi-tenant exchange-session runtime
+//!
+//! The paper evaluates one data exchange at a time: a source, a target,
+//! a single optimized program over a quiet wide-area link. A deployed
+//! discovery agency serves a *fleet* — many source/target pairs
+//! exchanging concurrently, contending for the same wide-area path,
+//! re-planning the same shapes over and over, and occasionally losing
+//! messages to a real network. This crate provides that operational
+//! layer on top of `xdx-core`:
+//!
+//! * **Session manager** — [`Runtime::submit`] admits
+//!   [`ExchangeRequest`]s into a bounded priority/FIFO queue (admission
+//!   control via [`RuntimeConfig::max_queue_depth`]); sessions move
+//!   `Queued → Planning → Executing ⇄ Shipping → Done/Failed`, support
+//!   cooperative cancellation, and hand back a [`SessionResult`] through
+//!   their [`SessionHandle`].
+//! * **Worker pool** — a fixed number of threads drain the queue;
+//!   cross-edge shipments serialize over one shared [`xdx_net::Link`]
+//!   at chunk granularity.
+//! * **Fault-tolerant shipping** — serialized messages are chunked,
+//!   checksummed and retried with exponential backoff against the
+//!   link's probabilistic fault model ([`xdx_net::FaultProfile`]); a
+//!   per-session retry budget degrades hopeless sessions to `Failed`
+//!   with a diagnostic instead of wedging the link. Either the target
+//!   receives exactly the bytes the source sent, or the session fails
+//!   loudly — never silent row loss.
+//! * **Plan cache** — optimizer answers are shared across sessions via
+//!   a stable shape-keyed [`PlanCache`] with hit/miss counters.
+//! * **Observability** — per-session [`SessionMetrics`], aggregate
+//!   [`RuntimeStats`] (with latency percentiles), and a structured
+//!   [`EventLog`].
+//!
+//! ```
+//! use xdx_runtime::{ExchangeRequest, Runtime, RuntimeConfig};
+//!
+//! let schema = xdx_xmark::schema();
+//! let doc = xdx_xmark::generate(xdx_xmark::GenConfig::sized(20_000));
+//! let mf = xdx_xmark::mf(&schema);
+//! let lf = xdx_xmark::lf(&schema);
+//!
+//! let runtime = Runtime::start(schema.clone(), RuntimeConfig::default());
+//! let handles: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let source = xdx_xmark::load_source(&doc, &schema, &mf).unwrap();
+//!         let request =
+//!             ExchangeRequest::new(format!("s{i}"), source, mf.clone(), lf.clone());
+//!         runtime.submit(request).unwrap()
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     assert!(handle.wait().target.is_some());
+//! }
+//! let stats = runtime.shutdown();
+//! assert_eq!(stats.completed, 4);
+//! assert!(stats.plan_cache_hits > 0); // same shape, shared plan
+//! ```
+
+pub mod cache;
+pub mod events;
+pub mod runtime;
+pub mod session;
+pub mod shipper;
+
+pub use cache::{plan_key, CachedPlan, PlanCache};
+pub use events::{Event, EventKind, EventLog};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError};
+pub use session::{
+    ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,
+    SessionState,
+};
+pub use shipper::ShippingPolicy;

@@ -1,0 +1,587 @@
+//! The multi-tenant exchange-session runtime.
+//!
+//! One [`Runtime`] hosts many concurrent exchanges against a single
+//! agreed-upon schema: requests are admitted into a bounded
+//! priority/FIFO queue, a fixed pool of workers plans them (through the
+//! shared [`PlanCache`]) and executes them, and all cross-edge shipments
+//! serialize over one shared wide-area [`Link`] — the paper's
+//! single-path deployment, now contended by a fleet of sessions instead
+//! of exercised one exchange at a time.
+
+use crate::cache::{plan_key, CachedPlan, PlanCache};
+use crate::events::{Event, EventKind, EventLog};
+use crate::session::{
+    ExchangeRequest, Priority, SessionHandle, SessionMetrics, SessionResult, SessionShared,
+    SessionState,
+};
+use crate::shipper::{FaultTolerantShipper, ShippingPolicy};
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xdx_core::exec::execute_with_transport;
+use xdx_core::{DataExchange, Optimizer};
+use xdx_net::{FaultProfile, Link, NetworkProfile};
+use xdx_relational::Database;
+use xdx_xml::SchemaTree;
+
+/// Tunables of a runtime instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads executing sessions.
+    pub workers: usize,
+    /// Maximum sessions waiting in the queue; submissions beyond this
+    /// are rejected at admission (back-pressure, not unbounded memory).
+    pub max_queue_depth: usize,
+    /// The shared link's bandwidth/latency model.
+    pub network: NetworkProfile,
+    /// The shared link's fault model.
+    pub fault_profile: FaultProfile,
+    /// Chunking/retry policy of the shipping layer.
+    pub shipping: ShippingPolicy,
+    /// Optimizer every session is planned with.
+    pub optimizer: Optimizer,
+    /// Communication weight of the cost model.
+    pub w_comm: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            workers: 4,
+            max_queue_depth: 64,
+            network: NetworkProfile::lan(),
+            fault_profile: FaultProfile::healthy(),
+            shipping: ShippingPolicy::default(),
+            optimizer: Optimizer::Greedy,
+            w_comm: 0.05,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Sets the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> RuntimeConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission bound.
+    pub fn with_max_queue_depth(mut self, depth: usize) -> RuntimeConfig {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Sets the link model.
+    pub fn with_network(mut self, network: NetworkProfile) -> RuntimeConfig {
+        self.network = network;
+        self
+    }
+
+    /// Sets the link fault model.
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> RuntimeConfig {
+        self.fault_profile = profile;
+        self
+    }
+
+    /// Sets the shipping policy.
+    pub fn with_shipping(mut self, shipping: ShippingPolicy) -> RuntimeConfig {
+        self.shipping = shipping;
+        self
+    }
+
+    /// Sets the optimizer.
+    pub fn with_optimizer(mut self, optimizer: Optimizer) -> RuntimeConfig {
+        self.optimizer = optimizer;
+        self
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue already holds `max_queue_depth` sessions.
+    QueueFull {
+        /// The bound that was hit.
+        depth: usize,
+    },
+    /// The runtime is shutting down.
+    ShutDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "admission refused: queue full ({depth} sessions)")
+            }
+            SubmitError::ShutDown => write!(f, "admission refused: runtime shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Aggregate counters across the runtime's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Sessions admitted to the queue.
+    pub admitted: u64,
+    /// Submissions refused at admission.
+    pub rejected: u64,
+    /// Sessions that reached `Done`.
+    pub completed: u64,
+    /// Sessions that reached `Failed`.
+    pub failed: u64,
+    /// Sessions that reached `Cancelled`.
+    pub cancelled: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// Wire bytes transmitted, including failed attempts.
+    pub bytes_shipped: u64,
+    /// Chunks delivered intact.
+    pub chunks_shipped: u64,
+    /// Chunk transmissions retried.
+    pub chunks_retried: u64,
+    /// Per-session submit→done wall latencies of completed sessions.
+    pub latencies: Vec<Duration>,
+}
+
+impl RuntimeStats {
+    /// The `p`-th latency percentile (0–100) over completed sessions.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        Some(sorted[rank.round() as usize])
+    }
+
+    /// Completed sessions per second of the given wall-clock window.
+    pub fn sessions_per_sec(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / wall.as_secs_f64()
+    }
+}
+
+/// A queued session, ordered by (priority, FIFO within priority).
+struct QueuedSession {
+    priority: Priority,
+    seq: u64,
+    enqueued: Instant,
+    request: ExchangeRequest,
+    shared: Arc<SessionShared>,
+}
+
+impl PartialEq for QueuedSession {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedSession {}
+impl PartialOrd for QueuedSession {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedSession {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then lower seq (earlier
+        // submission) first.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<QueuedSession>,
+    open: bool,
+}
+
+#[derive(Default)]
+struct Aggregate {
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    bytes_shipped: u64,
+    chunks_shipped: u64,
+    chunks_retried: u64,
+    latencies: Vec<Duration>,
+}
+
+struct Inner {
+    config: RuntimeConfig,
+    schema: SchemaTree,
+    link: Mutex<Link>,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: PlanCache,
+    events: EventLog,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    agg: Mutex<Aggregate>,
+}
+
+/// A running multi-session exchange runtime. Dropping (or
+/// [`shutdown`](Runtime::shutdown)ting) it drains the queue and joins
+/// the workers.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts the worker pool for exchanges over `schema`.
+    ///
+    /// # Panics
+    /// If `config.workers` is zero or the fault profile is invalid.
+    pub fn start(schema: SchemaTree, config: RuntimeConfig) -> Runtime {
+        assert!(config.workers > 0, "runtime needs at least one worker");
+        let link = Link::new(config.network).with_fault_profile(config.fault_profile);
+        let inner = Arc::new(Inner {
+            config,
+            schema,
+            link: Mutex::new(link),
+            queue: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+            cache: PlanCache::new(),
+            events: EventLog::new(),
+            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            agg: Mutex::new(Aggregate::default()),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("xdx-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+
+    /// Admits a request. Returns the session handle, or an error when
+    /// the queue is full or the runtime is shutting down.
+    pub fn submit(&self, request: ExchangeRequest) -> Result<SessionHandle, SubmitError> {
+        let inner = &*self.inner;
+        let mut queue = inner.queue.lock().unwrap();
+        if !queue.open {
+            return Err(SubmitError::ShutDown);
+        }
+        if queue.heap.len() >= inner.config.max_queue_depth {
+            inner.agg.lock().unwrap().rejected += 1;
+            inner.events.push(
+                0,
+                EventKind::Rejected,
+                format!("{}: queue full", request.name),
+            );
+            return Err(SubmitError::QueueFull {
+                depth: inner.config.max_queue_depth,
+            });
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let shared = SessionShared::new(id, request.name.clone());
+        inner.events.push(
+            id,
+            EventKind::Submitted,
+            format!("{} ({:?})", request.name, request.priority),
+        );
+        inner.agg.lock().unwrap().admitted += 1;
+        queue.heap.push(QueuedSession {
+            priority: request.priority,
+            seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
+            enqueued: Instant::now(),
+            request,
+            shared: Arc::clone(&shared),
+        });
+        drop(queue);
+        inner.available.notify_one();
+        Ok(SessionHandle { shared })
+    }
+
+    /// A snapshot of the aggregate statistics so far.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.stats()
+    }
+
+    /// A copy of the structured event log so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.snapshot()
+    }
+
+    /// Stops admitting, drains the queue, joins the workers and returns
+    /// the final statistics.
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.close_and_join();
+        self.inner.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        self.inner.queue.lock().unwrap().open = false;
+        self.inner.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.heap.pop() {
+                    break Some(job);
+                }
+                if !queue.open {
+                    break None;
+                }
+                queue = inner.available.wait(queue).unwrap();
+            }
+        };
+        match job {
+            Some(job) => inner.run_session(job),
+            None => return,
+        }
+    }
+}
+
+impl Inner {
+    fn stats(&self) -> RuntimeStats {
+        let agg = self.agg.lock().unwrap();
+        RuntimeStats {
+            admitted: agg.admitted,
+            rejected: agg.rejected,
+            completed: agg.completed,
+            failed: agg.failed,
+            cancelled: agg.cancelled,
+            plan_cache_hits: self.cache.hits(),
+            plan_cache_misses: self.cache.misses(),
+            bytes_shipped: agg.bytes_shipped,
+            chunks_shipped: agg.chunks_shipped,
+            chunks_retried: agg.chunks_retried,
+            latencies: agg.latencies.clone(),
+        }
+    }
+
+    /// Runs one session start to finish on the calling worker thread.
+    fn run_session(&self, job: QueuedSession) {
+        let QueuedSession {
+            enqueued,
+            mut request,
+            shared,
+            ..
+        } = job;
+        let mut metrics = SessionMetrics {
+            queue_wait: enqueued.elapsed(),
+            ..SessionMetrics::default()
+        };
+        if shared.is_cancelled() {
+            self.finish(
+                &shared,
+                enqueued,
+                SessionState::Cancelled,
+                metrics,
+                None,
+                Some("cancelled while queued".into()),
+            );
+            return;
+        }
+
+        // Plan (Figure 2, Steps 2–3), consulting the shared cache.
+        shared.set_state(SessionState::Planning);
+        self.events
+            .push(shared.id, EventKind::PlanningStarted, &shared.name);
+        let mut exchange = DataExchange::new(
+            &self.schema,
+            request.source_frag.clone(),
+            request.target_frag.clone(),
+        )
+        .with_optimizer(self.config.optimizer)
+        .with_profiles(request.source_profile, request.target_profile);
+        exchange.w_comm = self.config.w_comm;
+        let planning_started = Instant::now();
+        let model = match exchange.probe(&request.source) {
+            Ok(model) => model,
+            Err(e) => {
+                metrics.planning = planning_started.elapsed();
+                self.finish(
+                    &shared,
+                    enqueued,
+                    SessionState::Failed,
+                    metrics,
+                    None,
+                    Some(format!("statistics probe failed: {e}")),
+                );
+                return;
+            }
+        };
+        let key = plan_key(&exchange.source_frag, &exchange.target_frag, &model);
+        let plan = match self.cache.lookup(key) {
+            Some(cached) => {
+                metrics.plan_cache_hit = true;
+                self.events.push(
+                    shared.id,
+                    EventKind::PlanCacheHit,
+                    format!("key {key:016x}"),
+                );
+                cached
+            }
+            None => {
+                self.events.push(
+                    shared.id,
+                    EventKind::PlanCacheMiss,
+                    format!("key {key:016x}"),
+                );
+                match exchange.plan(&model) {
+                    Ok((program, cost)) => self.cache.insert(key, CachedPlan { program, cost }),
+                    Err(e) => {
+                        metrics.planning = planning_started.elapsed();
+                        self.finish(
+                            &shared,
+                            enqueued,
+                            SessionState::Failed,
+                            metrics,
+                            None,
+                            Some(format!("planning failed: {e}")),
+                        );
+                        return;
+                    }
+                }
+            }
+        };
+        metrics.planning = planning_started.elapsed();
+        if shared.is_cancelled() {
+            self.finish(
+                &shared,
+                enqueued,
+                SessionState::Cancelled,
+                metrics,
+                None,
+                Some("cancelled after planning".into()),
+            );
+            return;
+        }
+
+        // Execute (Step 4) over the fault-tolerant shipper.
+        shared.set_state(SessionState::Executing);
+        self.events.push(
+            shared.id,
+            EventKind::ExecutionStarted,
+            format!("estimated cost {:.1}", plan.cost),
+        );
+        let mut target = Database::new(format!("{}-target", shared.name));
+        let mut shipper =
+            FaultTolerantShipper::new(&self.link, self.config.shipping, &shared, &self.events);
+        let outcome = execute_with_transport(
+            &self.schema,
+            &exchange.source_frag,
+            &exchange.target_frag,
+            &plan.program,
+            &mut request.source,
+            &mut target,
+            &mut shipper,
+            None,
+        );
+        let ship = shipper.stats;
+        metrics.communication = match &outcome {
+            Ok(out) => out.times.communication,
+            Err(_) => Duration::ZERO,
+        };
+        metrics.retry_backoff = ship.retry_backoff;
+        metrics.bytes_shipped = ship.wire_bytes;
+        metrics.chunks_shipped = ship.chunks_shipped;
+        metrics.chunks_retried = ship.chunks_retried;
+        metrics.source_counters = request.source.counters;
+        metrics.target_counters = target.counters;
+        match outcome {
+            Ok(out) => {
+                metrics.messages = out.messages;
+                metrics.rows_loaded = out.rows_loaded;
+                self.finish(
+                    &shared,
+                    enqueued,
+                    SessionState::Done,
+                    metrics,
+                    Some(target),
+                    None,
+                );
+            }
+            Err(e) => {
+                let state = if shared.is_cancelled() {
+                    SessionState::Cancelled
+                } else {
+                    SessionState::Failed
+                };
+                self.finish(&shared, enqueued, state, metrics, None, Some(e.to_string()));
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        shared: &SessionShared,
+        enqueued: Instant,
+        state: SessionState,
+        mut metrics: SessionMetrics,
+        target: Option<Database>,
+        diagnostic: Option<String>,
+    ) {
+        metrics.total_wall = enqueued.elapsed();
+        {
+            let mut agg = self.agg.lock().unwrap();
+            agg.bytes_shipped += metrics.bytes_shipped;
+            agg.chunks_shipped += metrics.chunks_shipped;
+            agg.chunks_retried += metrics.chunks_retried;
+            match state {
+                SessionState::Done => {
+                    agg.completed += 1;
+                    agg.latencies.push(metrics.total_wall);
+                }
+                SessionState::Failed => agg.failed += 1,
+                SessionState::Cancelled => agg.cancelled += 1,
+                _ => unreachable!("finish takes a terminal state"),
+            }
+        }
+        let kind = match state {
+            SessionState::Done => EventKind::Completed,
+            SessionState::Failed => EventKind::Failed,
+            _ => EventKind::Cancelled,
+        };
+        let detail = diagnostic.clone().unwrap_or_else(|| {
+            format!(
+                "{} rows, {} chunks, {} retries",
+                metrics.rows_loaded, metrics.chunks_shipped, metrics.chunks_retried
+            )
+        });
+        self.events.push(shared.id, kind, detail);
+        shared.finish(SessionResult {
+            state,
+            metrics,
+            target,
+            diagnostic,
+        });
+    }
+}

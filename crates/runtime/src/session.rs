@@ -1,0 +1,321 @@
+//! Exchange sessions: the unit of work the runtime admits, queues,
+//! plans, executes and accounts for.
+//!
+//! A session's public face is the [`SessionHandle`] returned by
+//! `Runtime::submit`: callers observe state transitions, request
+//! cancellation, and block on the terminal [`SessionResult`]. Internally
+//! the runtime and the submitting thread share a [`SessionShared`] cell
+//! guarded by a mutex + condvar.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use xdx_core::{Fragmentation, SystemProfile};
+use xdx_relational::{Counters, Database};
+
+/// Runtime-assigned session identifier (1-based, monotonically
+/// increasing per runtime instance).
+pub type SessionId = u64;
+
+/// Scheduling priority. Higher priorities are dequeued first; within a
+/// priority class the queue is FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Background work: bulk refreshes, backfills.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Interactive or deadline-driven exchanges.
+    High,
+}
+
+/// Lifecycle of a session.
+///
+/// ```text
+/// Queued → Planning → Executing ⇄ Shipping → Done
+///    \         \          \________________→ Failed
+///     \________ \___________________________→ Cancelled
+/// ```
+///
+/// `Executing` and `Shipping` alternate: the executor computes feeds,
+/// ships each cross-edge (state `Shipping` while a shipment is in
+/// flight), then resumes computing. `Done`, `Failed` and `Cancelled` are
+/// terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is probing statistics and optimizing the program.
+    Planning,
+    /// The data-transfer program is running.
+    Executing,
+    /// A cross-edge shipment is in flight (chunks, possibly retries).
+    Shipping,
+    /// All rows landed and indexes were rebuilt.
+    Done,
+    /// The session gave up; `SessionResult::diagnostic` says why.
+    Failed,
+    /// Cancellation was observed before completion.
+    Cancelled,
+}
+
+impl SessionState {
+    /// True for `Done`, `Failed` and `Cancelled`.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SessionState::Done | SessionState::Failed | SessionState::Cancelled
+        )
+    }
+}
+
+/// One exchange to run: a source database plus the two registered
+/// fragmentations, exactly the ingredients of a `DataExchange`.
+///
+/// The request *owns* its source database — sessions run concurrently,
+/// and the executor mutates source-side scan counters — and receives a
+/// freshly created target database back in the [`SessionResult`].
+#[derive(Debug)]
+pub struct ExchangeRequest {
+    /// Human-readable session name (used in logs and the target DB name).
+    pub name: String,
+    /// The source system's stored fragments.
+    pub source: Database,
+    /// Source fragmentation (Step-1 registration).
+    pub source_frag: Fragmentation,
+    /// Target fragmentation (Step-1 registration).
+    pub target_frag: Fragmentation,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Source system capabilities/speed.
+    pub source_profile: SystemProfile,
+    /// Target system capabilities/speed.
+    pub target_profile: SystemProfile,
+}
+
+impl ExchangeRequest {
+    /// A normal-priority request with default system profiles.
+    pub fn new(
+        name: impl Into<String>,
+        source: Database,
+        source_frag: Fragmentation,
+        target_frag: Fragmentation,
+    ) -> ExchangeRequest {
+        ExchangeRequest {
+            name: name.into(),
+            source,
+            source_frag,
+            target_frag,
+            priority: Priority::Normal,
+            source_profile: SystemProfile::default(),
+            target_profile: SystemProfile::default(),
+        }
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> ExchangeRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the system profiles the planner costs against.
+    pub fn with_profiles(
+        mut self,
+        source: SystemProfile,
+        target: SystemProfile,
+    ) -> ExchangeRequest {
+        self.source_profile = source;
+        self.target_profile = target;
+        self
+    }
+}
+
+/// Everything measured about one session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionMetrics {
+    /// Admission to worker pickup.
+    pub queue_wait: Duration,
+    /// Statistics probe + optimization (or cache lookup).
+    pub planning: Duration,
+    /// Whether planning was satisfied from the plan cache.
+    pub plan_cache_hit: bool,
+    /// Simulated link time, including timeout waits and retry backoff.
+    pub communication: Duration,
+    /// Simulated backoff waits alone (subset of `communication`).
+    pub retry_backoff: Duration,
+    /// Wire bytes actually transmitted, *including* failed attempts.
+    pub bytes_shipped: u64,
+    /// Logical cross-edge messages shipped.
+    pub messages: usize,
+    /// Chunks that arrived intact (failed attempts not counted).
+    pub chunks_shipped: u64,
+    /// Chunk transmissions that failed and were retried.
+    pub chunks_retried: u64,
+    /// Rows loaded into target tables.
+    pub rows_loaded: u64,
+    /// Source engine counters after the run.
+    pub source_counters: Counters,
+    /// Target engine counters after the run.
+    pub target_counters: Counters,
+    /// Admission to terminal state (host wall clock).
+    pub total_wall: Duration,
+}
+
+/// Terminal outcome of a session.
+#[derive(Debug)]
+pub struct SessionResult {
+    /// `Done`, `Failed` or `Cancelled`.
+    pub state: SessionState,
+    /// Measurements up to the terminal transition.
+    pub metrics: SessionMetrics,
+    /// The populated target database (`Done` only).
+    pub target: Option<Database>,
+    /// Why the session failed or was abandoned.
+    pub diagnostic: Option<String>,
+}
+
+/// State shared between the submitting thread and the worker.
+#[derive(Debug)]
+pub(crate) struct SessionShared {
+    pub(crate) id: SessionId,
+    pub(crate) name: String,
+    state: Mutex<SessionState>,
+    state_changed: Condvar,
+    pub(crate) cancelled: AtomicBool,
+    result: Mutex<Option<SessionResult>>,
+}
+
+impl SessionShared {
+    pub(crate) fn new(id: SessionId, name: String) -> Arc<SessionShared> {
+        Arc::new(SessionShared {
+            id,
+            name,
+            state: Mutex::new(SessionState::Queued),
+            state_changed: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            result: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn state(&self) -> SessionState {
+        *self.state.lock().unwrap()
+    }
+
+    pub(crate) fn set_state(&self, state: SessionState) {
+        *self.state.lock().unwrap() = state;
+        self.state_changed.notify_all();
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Stores the terminal result and wakes waiters. The result must be
+    /// stored before the terminal state becomes visible, so `wait` never
+    /// observes a terminal state with no result.
+    pub(crate) fn finish(&self, result: SessionResult) {
+        let state = result.state;
+        debug_assert!(state.is_terminal());
+        *self.result.lock().unwrap() = Some(result);
+        self.set_state(state);
+    }
+
+    fn wait_terminal(&self) -> SessionResult {
+        let mut state = self.state.lock().unwrap();
+        while !state.is_terminal() {
+            state = self.state_changed.wait(state).unwrap();
+        }
+        drop(state);
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("terminal session carries a result")
+    }
+}
+
+/// Caller-side view of a submitted session.
+pub struct SessionHandle {
+    pub(crate) shared: Arc<SessionShared>,
+}
+
+impl SessionHandle {
+    /// The runtime-assigned session id.
+    pub fn id(&self) -> SessionId {
+        self.shared.id
+    }
+
+    /// The request's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Current lifecycle state (racy by nature; terminal states are
+    /// stable).
+    pub fn state(&self) -> SessionState {
+        self.shared.state()
+    }
+
+    /// Requests cancellation. Best-effort: a queued session is abandoned
+    /// before planning; a running one stops at the next cancellation
+    /// point (between planning and execution, or between shipment
+    /// attempts). A session that already finished is unaffected.
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the session reaches a terminal state and returns its
+    /// result. Consumes the handle: the result (and its target database)
+    /// is handed over exactly once.
+    pub fn wait(self) -> SessionResult {
+        self.shared.wait_terminal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_order_low_to_high() {
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn terminal_states_are_exactly_done_failed_cancelled() {
+        for s in [
+            SessionState::Queued,
+            SessionState::Planning,
+            SessionState::Executing,
+            SessionState::Shipping,
+        ] {
+            assert!(!s.is_terminal(), "{s:?}");
+        }
+        for s in [
+            SessionState::Done,
+            SessionState::Failed,
+            SessionState::Cancelled,
+        ] {
+            assert!(s.is_terminal(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn wait_returns_result_finished_from_another_thread() {
+        let shared = SessionShared::new(7, "t".into());
+        let waiter = Arc::clone(&shared);
+        let t = std::thread::spawn(move || waiter.wait_terminal());
+        shared.finish(SessionResult {
+            state: SessionState::Done,
+            metrics: SessionMetrics::default(),
+            target: None,
+            diagnostic: None,
+        });
+        let result = t.join().unwrap();
+        assert_eq!(result.state, SessionState::Done);
+        assert_eq!(shared.state(), SessionState::Done);
+    }
+}

@@ -1,0 +1,363 @@
+//! Integration tests of the multi-session runtime: concurrency under an
+//! unreliable link, plan-cache sharing, scheduling, admission control,
+//! cancellation and graceful degradation.
+
+use std::time::Duration;
+use xdx_net::FaultProfile;
+use xdx_net::{Link, NetworkProfile};
+use xdx_relational::Database;
+use xdx_runtime::{
+    EventKind, ExchangeRequest, Priority, Runtime, RuntimeConfig, SessionState, ShippingPolicy,
+    SubmitError,
+};
+use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+
+/// Runs the same exchange fault-free through the single-session
+/// orchestrator — the ground truth the runtime's targets must match.
+fn reference_target(doc: &str) -> Database {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let mut source = load_source(doc, &schema, &mf).unwrap();
+    let mut target = Database::new("reference");
+    let mut link = Link::new(NetworkProfile::lan());
+    let exchange = xdx_core::DataExchange::new(&schema, mf, lf);
+    exchange.run(&mut source, &mut target, &mut link).unwrap();
+    target
+}
+
+fn assert_same_tables(reference: &Database, got: &Database, session: &str) {
+    let mut expected_names = reference.table_names();
+    let mut got_names = got.table_names();
+    expected_names.sort_unstable();
+    got_names.sort_unstable();
+    assert_eq!(expected_names, got_names, "{session}: table sets differ");
+    for name in expected_names {
+        let want = &reference.table(name).unwrap().data;
+        let have = &got.table(name).unwrap().data;
+        assert_eq!(
+            want.rows, have.rows,
+            "{session}: table {name} lost or corrupted rows"
+        );
+    }
+}
+
+/// The headline acceptance test: ≥8 concurrent sessions complete under
+/// 10% message drops with zero lost rows, and the plan cache is shared
+/// across the same-shape exchanges.
+#[test]
+fn eight_concurrent_sessions_survive_ten_percent_drops_without_losing_rows() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(40_000));
+    let reference = reference_target(&doc);
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    const SESSIONS: usize = 8;
+    const WORKERS: usize = 4;
+    let config = RuntimeConfig::default()
+        .with_workers(WORKERS)
+        .with_fault_profile(FaultProfile::drops(0.10, 0x1CDE_2004))
+        .with_shipping(ShippingPolicy {
+            chunk_bytes: 4 * 1024,
+            ..ShippingPolicy::default()
+        });
+    let runtime = Runtime::start(schema.clone(), config);
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let source = load_source(&doc, &schema, &mf).unwrap();
+            let request =
+                ExchangeRequest::new(format!("session-{i}"), source, mf.clone(), lf.clone());
+            runtime.submit(request).unwrap()
+        })
+        .collect();
+
+    let mut total_retries = 0;
+    for handle in handles {
+        let name = handle.name().to_string();
+        let result = handle.wait();
+        assert_eq!(
+            result.state,
+            SessionState::Done,
+            "{name}: {:?}",
+            result.diagnostic
+        );
+        let target = result.target.expect("done sessions carry their target");
+        assert_same_tables(&reference, &target, &name);
+        assert!(result.metrics.rows_loaded > 0);
+        assert!(result.metrics.bytes_shipped > 0);
+        assert!(result.metrics.chunks_shipped > 0);
+        assert!(result.metrics.total_wall >= result.metrics.queue_wait);
+        total_retries += result.metrics.chunks_retried;
+    }
+    // 10% drops across hundreds of chunks: retries must have happened,
+    // and the data above still arrived intact.
+    assert!(total_retries > 0, "faulty link produced no retries");
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, SESSIONS as u64);
+    assert_eq!(stats.failed + stats.cancelled + stats.rejected, 0);
+    assert_eq!(stats.chunks_retried, total_retries);
+    assert_eq!(stats.latencies.len(), SESSIONS);
+    assert!(stats.latency_percentile(50.0).unwrap() <= stats.latency_percentile(99.0).unwrap());
+
+    // All eight exchanges share one shape: every session past the racing
+    // first wave must hit the cache, and at least one plan is computed.
+    assert_eq!(
+        stats.plan_cache_hits + stats.plan_cache_misses,
+        SESSIONS as u64
+    );
+    assert!(stats.plan_cache_misses >= 1);
+    assert!(
+        stats.plan_cache_hits >= (SESSIONS - WORKERS) as u64,
+        "expected ≥{} cache hits, got {}",
+        SESSIONS - WORKERS,
+        stats.plan_cache_hits
+    );
+}
+
+/// With a single worker the cache race disappears: one miss, N−1 hits,
+/// and mixed shapes key separately.
+#[test]
+fn plan_cache_hits_are_exact_with_one_worker() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(10_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(schema.clone(), RuntimeConfig::default().with_workers(1));
+
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let source = load_source(&doc, &schema, &mf).unwrap();
+        handles.push(
+            runtime
+                .submit(ExchangeRequest::new(
+                    format!("mf-lf-{i}"),
+                    source,
+                    mf.clone(),
+                    lf.clone(),
+                ))
+                .unwrap(),
+        );
+    }
+    // A different shape (identity MF→MF) must key separately.
+    let source = load_source(&doc, &schema, &mf).unwrap();
+    handles.push(
+        runtime
+            .submit(ExchangeRequest::new(
+                "mf-mf",
+                source,
+                mf.clone(),
+                mf.clone(),
+            ))
+            .unwrap(),
+    );
+    for handle in handles {
+        assert_eq!(handle.wait().state, SessionState::Done);
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.plan_cache_misses, 2); // one per distinct shape
+    assert_eq!(stats.plan_cache_hits, 3);
+}
+
+/// High-priority sessions overtake queued normal/low ones.
+#[test]
+fn priority_sessions_overtake_queued_work() {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(schema.clone(), RuntimeConfig::default().with_workers(1));
+
+    // A heavy blocker occupies the single worker while the small
+    // requests pile up behind it in the queue.
+    let blocker_doc = generate(GenConfig::sized(400_000));
+    let blocker_source = load_source(&blocker_doc, &schema, &mf).unwrap();
+    let blocker = runtime
+        .submit(ExchangeRequest::new(
+            "blocker",
+            blocker_source,
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap();
+
+    let small_doc = generate(GenConfig::sized(4_000));
+    let low = runtime
+        .submit(
+            ExchangeRequest::new(
+                "low",
+                load_source(&small_doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_priority(Priority::Low),
+        )
+        .unwrap();
+    let high = runtime
+        .submit(
+            ExchangeRequest::new(
+                "high",
+                load_source(&small_doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_priority(Priority::High),
+        )
+        .unwrap();
+    let (blocker_id, low_id, high_id) = (blocker.id(), low.id(), high.id());
+
+    for handle in [blocker, low, high] {
+        assert_eq!(handle.wait().state, SessionState::Done);
+    }
+    let events = runtime.events();
+    let started: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::PlanningStarted)
+        .map(|e| e.session)
+        .collect();
+    assert_eq!(started[0], blocker_id);
+    let high_pos = started.iter().position(|&s| s == high_id).unwrap();
+    let low_pos = started.iter().position(|&s| s == low_id).unwrap();
+    assert!(
+        high_pos < low_pos,
+        "high priority ran after low: {started:?}"
+    );
+}
+
+/// The queue bound rejects submissions instead of growing unboundedly.
+#[test]
+fn admission_control_rejects_when_queue_is_full() {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_max_queue_depth(2),
+    );
+
+    let blocker_doc = generate(GenConfig::sized(300_000));
+    let small_doc = generate(GenConfig::sized(4_000));
+    let mut handles = Vec::new();
+    let mut rejections = 0;
+    for i in 0..5 {
+        let doc = if i == 0 { &blocker_doc } else { &small_doc };
+        let source = load_source(doc, &schema, &mf).unwrap();
+        match runtime.submit(ExchangeRequest::new(
+            format!("s{i}"),
+            source,
+            mf.clone(),
+            lf.clone(),
+        )) {
+            Ok(handle) => handles.push(handle),
+            Err(SubmitError::QueueFull { depth }) => {
+                assert_eq!(depth, 2);
+                rejections += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(rejections >= 1, "queue bound was never enforced");
+    for handle in handles {
+        assert_eq!(handle.wait().state, SessionState::Done);
+    }
+    let rejected_events = runtime
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Rejected)
+        .count() as u64;
+    assert_eq!(rejected_events, rejections);
+    let stats = runtime.shutdown();
+    assert_eq!(stats.rejected, rejections);
+    assert_eq!(stats.admitted, 5 - rejections);
+}
+
+/// Cancelling a queued session abandons it without running it.
+#[test]
+fn cancelled_queued_sessions_never_execute() {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(schema.clone(), RuntimeConfig::default().with_workers(1));
+
+    let blocker_doc = generate(GenConfig::sized(300_000));
+    let blocker = runtime
+        .submit(ExchangeRequest::new(
+            "blocker",
+            load_source(&blocker_doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap();
+    let small_doc = generate(GenConfig::sized(4_000));
+    let victim = runtime
+        .submit(ExchangeRequest::new(
+            "victim",
+            load_source(&small_doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap();
+    victim.cancel();
+    let victim_id = victim.id();
+    let result = victim.wait();
+    assert_eq!(result.state, SessionState::Cancelled);
+    assert!(result.target.is_none());
+    assert!(result.diagnostic.unwrap().contains("cancelled"));
+    assert_eq!(blocker.wait().state, SessionState::Done);
+
+    let events = runtime.events();
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.session == victim_id && e.kind == EventKind::ExecutionStarted),
+        "cancelled session still executed"
+    );
+    let stats = runtime.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// A hopeless link exhausts the retry budget and degrades the session to
+/// `Failed` with a diagnostic — the runtime itself keeps serving.
+#[test]
+fn hopeless_link_degrades_to_failed_with_diagnostic() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(8_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_fault_profile(FaultProfile::drops(0.97, 7))
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 1024,
+                max_attempts_per_chunk: 4,
+                retry_budget: 8,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    let source = load_source(&doc, &schema, &mf).unwrap();
+    let handle = runtime
+        .submit(ExchangeRequest::new("doomed", source, mf.clone(), lf))
+        .unwrap();
+    let result = handle.wait();
+    assert_eq!(result.state, SessionState::Failed);
+    let diagnostic = result.diagnostic.expect("failures carry a diagnostic");
+    assert!(
+        diagnostic.contains("retry budget") || diagnostic.contains("gave up"),
+        "unhelpful diagnostic: {diagnostic}"
+    );
+    assert!(result.target.is_none());
+    // Failed shipping still accounted for its wasted wire bytes.
+    assert!(result.metrics.bytes_shipped > 0);
+    assert!(result.metrics.chunks_retried > 0);
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 0);
+}

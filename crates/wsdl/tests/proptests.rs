@@ -58,7 +58,7 @@ proptest! {
         // at the root and wherever the coin says so.
         for id in schema.subtree(schema.root()) {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
-            let start_new = id == schema.root() || (state >> 60) % 2 == 0;
+            let start_new = id == schema.root() || (state >> 60).is_multiple_of(2);
             let name = schema.name(id).to_string();
             if start_new {
                 current.push((name.clone(), vec![name]));

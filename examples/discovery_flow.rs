@@ -60,10 +60,13 @@ fn main() {
         let schema = schema.clone();
         agency.route("urn:PlanExchange", move |req| {
             let get = |name: &str| {
-                req.body.child(name).map(|e| e.text()).ok_or_else(|| SoapFault {
-                    code: "Client".into(),
-                    string: format!("missing <{name}>"),
-                })
+                req.body
+                    .child(name)
+                    .map(|e| e.text())
+                    .ok_or_else(|| SoapFault {
+                        code: "Client".into(),
+                        string: format!("missing <{name}>"),
+                    })
             };
             let (source, target) = (get("source")?, get("target")?);
             let registry = registry.borrow();
@@ -110,8 +113,7 @@ fn main() {
         "PlanExchange",
         &[("source", "auction-source"), ("target", "auction-sink")],
     );
-    let reply =
-        call(&mut link, &mut agency, "/agency", "urn:PlanExchange", &req).expect("plans");
+    let reply = call(&mut link, &mut agency, "/agency", "urn:PlanExchange", &req).expect("plans");
     println!(
         "\nagency returned a plan (estimated cost {}):\n{}",
         reply.body.attr("estimated-cost").unwrap_or("?"),
@@ -120,8 +122,7 @@ fn main() {
 
     // A bad request comes back as a proper SOAP fault.
     let bad = SoapEnvelope::request("PlanExchange", &[("source", "nobody")]);
-    let fault =
-        call(&mut link, &mut agency, "/agency", "urn:PlanExchange", &bad).unwrap_err();
+    let fault = call(&mut link, &mut agency, "/agency", "urn:PlanExchange", &bad).unwrap_err();
     println!("fault for unknown system (as expected): {}", fault.string);
     println!(
         "\n{} messages crossed the simulated link in total",

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, `Throughput`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros and `black_box` — over a simple wall-clock
+//! sampler (fixed warm-up, then timed batches, median-of-samples
+//! reporting). No statistical analysis, plots or baselines: the point is
+//! that `cargo bench` runs and prints comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    NumBatches(u64),
+    NumIterations(u64),
+    PerIteration,
+}
+
+/// Units-of-work annotation for a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiples.
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(target_sample_time: Duration) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            target_sample_time,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration estimate.
+        let warmup = Instant::now();
+        black_box(routine());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.target_sample_time.as_nanos() / 8 / estimate.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..8 {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..8 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) | Throughput::BytesDecimal(b) => format!(
+            "  {:>10.2} MiB/s",
+            b as f64 / (1 << 20) as f64 / median.as_secs_f64().max(1e-12)
+        ),
+        Throughput::Elements(n) => format!(
+            "  {:>10.0} elem/s",
+            n as f64 / median.as_secs_f64().max(1e-12)
+        ),
+    });
+    println!(
+        "bench {id:<48} {:>12.3} µs{}",
+        median.as_secs_f64() * 1e6,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-of-work annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; sampling here is fixed.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one bench with an input parameter.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.target_sample_time);
+        f(&mut bencher, input);
+        let median = bencher.median();
+        report(&format!("{}/{}", self.name, id), median, self.throughput);
+        self
+    }
+
+    /// Runs one bench.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.target_sample_time);
+        f(&mut bencher);
+        let median = bencher.median();
+        report(&format!("{}/{name}", self.name), median, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; groups don't buffer).
+    pub fn finish(self) {}
+}
+
+/// The bench driver.
+pub struct Criterion {
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            target_sample_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.target_sample_time);
+        f(&mut bencher);
+        let median = bencher.median();
+        report(name, median, None);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+/// Bundles bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_run_all_shapes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

@@ -23,6 +23,8 @@
 //!   baseline
 //! * [`xmark`] — the Figure-7 XMark workload generator
 //! * [`sim`] — the Section-5.4 simulator
+//! * [`runtime`] — multi-tenant exchange-session runtime: concurrent
+//!   sessions, fault-tolerant chunked shipping, plan caching, metrics
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use xdx_core as core;
 pub use xdx_directory as directory;
 pub use xdx_net as net;
 pub use xdx_relational as relational;
+pub use xdx_runtime as runtime;
 pub use xdx_sim as sim;
 pub use xdx_wsdl as wsdl;
 pub use xdx_xmark as xmark;
