@@ -1,4 +1,4 @@
-//! Runtime throughput: N concurrent XMark `MF → LF` sessions through the
+//! Runtime throughput: N concurrent XMark sessions through the
 //! `xdx-runtime` worker pool, swept over worker counts.
 //!
 //! Reports, per worker count: completed sessions/sec, p50/p99
@@ -6,22 +6,30 @@
 //! lossy link. Usage:
 //!
 //! ```text
-//! throughput [sessions] [doc_bytes] [drop_probability]
+//! throughput [sessions] [doc_bytes] [drop_probability] [shapes] [optimizer]
 //! ```
 //!
-//! Defaults: 24 sessions of ~60 KB each, 5% message drops.
+//! * `shapes`: `forward` (all MF→LF) or `mixed` (alternating MF→LF and
+//!   LF→MF legs — two plan shapes contending for the cache).
+//! * `optimizer`: `greedy` or `optimal` / `optimal:<ordering_cap>`.
+//!
+//! Defaults: 24 forward sessions of ~60 KB each, 5% drops, greedy.
 
 use std::time::Instant;
+use xdx_core::Optimizer;
 use xdx_net::FaultProfile;
 use xdx_runtime::{ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy};
 use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+
+const USAGE: &str = "usage: throughput [sessions] [doc_bytes] [drop_probability] \
+                     [forward|mixed] [greedy|optimal[:cap]]";
 
 fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
     match args.next() {
         None => default,
         Some(raw) => raw.parse().unwrap_or_else(|_| {
             eprintln!("error: cannot parse {name} from {raw:?}");
-            eprintln!("usage: throughput [sessions] [doc_bytes] [drop_probability]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }),
     }
@@ -36,6 +44,32 @@ fn main() {
         eprintln!("error: drop_probability {drop_p} out of [0, 1]");
         std::process::exit(2);
     }
+    let shapes = args.next().unwrap_or_else(|| "forward".into());
+    let mixed = match shapes.as_str() {
+        "forward" => false,
+        "mixed" => true,
+        other => {
+            eprintln!("error: unknown shapes {other:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let optimizer_arg = args.next().unwrap_or_else(|| "greedy".into());
+    let optimizer = match optimizer_arg.split_once(':') {
+        None if optimizer_arg == "greedy" => Optimizer::Greedy,
+        None if optimizer_arg == "optimal" => Optimizer::Optimal { ordering_cap: 256 },
+        Some(("optimal", cap)) => Optimizer::Optimal {
+            ordering_cap: cap.parse().unwrap_or_else(|_| {
+                eprintln!("error: cannot parse ordering cap from {cap:?}");
+                std::process::exit(2);
+            }),
+        },
+        _ => {
+            eprintln!("error: unknown optimizer {optimizer_arg:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
     let schema = schema();
     let doc = generate(GenConfig::sized(doc_bytes));
@@ -43,9 +77,11 @@ fn main() {
     let lf = lf(&schema);
 
     println!(
-        "# runtime throughput: {sessions} MF→LF sessions, ~{} KB docs, {:.0}% drops",
+        "# runtime throughput: {sessions} {} sessions, ~{} KB docs, {:.0}% drops, {:?}",
+        if mixed { "mixed MF⇄LF" } else { "MF→LF" },
         doc_bytes / 1024,
-        drop_p * 100.0
+        drop_p * 100.0,
+        optimizer,
     );
     println!(
         "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7}",
@@ -55,13 +91,23 @@ fn main() {
 
     for workers in [1, 2, 4, 8] {
         // Sources are loaded outside the measured window: the runtime's
-        // job is scheduling, planning and shipping, not shredding.
-        let sources: Vec<_> = (0..sessions)
-            .map(|_| load_source(&doc, &schema, &mf).expect("load source"))
+        // job is scheduling, planning and shipping, not shredding. In
+        // mixed mode the odd legs run the reverse LF→MF direction.
+        let legs: Vec<_> = (0..sessions)
+            .map(|i| {
+                let (from, to) = if mixed && i % 2 == 1 {
+                    (&lf, &mf)
+                } else {
+                    (&mf, &lf)
+                };
+                let source = load_source(&doc, &schema, from).expect("load source");
+                (source, from.clone(), to.clone())
+            })
             .collect();
         let config = RuntimeConfig::default()
             .with_workers(workers)
             .with_max_queue_depth(sessions)
+            .with_optimizer(optimizer)
             .with_fault_profile(FaultProfile::drops(drop_p, 0x1CDE_2004))
             .with_shipping(ShippingPolicy {
                 chunk_bytes: 8 * 1024,
@@ -70,16 +116,16 @@ fn main() {
         let runtime = Runtime::start(schema.clone(), config);
 
         let started = Instant::now();
-        let handles: Vec<_> = sources
+        let handles: Vec<_> = legs
             .into_iter()
             .enumerate()
-            .map(|(i, source)| {
+            .map(|(i, (source, from, to))| {
                 runtime
                     .submit(ExchangeRequest::new(
                         format!("w{workers}-s{i}"),
                         source,
-                        mf.clone(),
-                        lf.clone(),
+                        from,
+                        to,
                     ))
                     .expect("queue sized to hold every session")
             })

@@ -133,8 +133,53 @@ pub fn execute_with_transport(
     program.validate()?;
     program.validate_placement()?;
     let mut outcome = ExecOutcome::default();
-    // Feeds produced so far, keyed by port; the bool records whether the
-    // feed has already been shipped to the target.
+    // Writes are *staged* at the target; only a run that completes every
+    // node commits them. A session dying mid-`Write` (transport gave up,
+    // damage detected, engine error) rolls back and leaves the target's
+    // tables exactly as they were — never half-loaded.
+    let result = run_nodes(
+        schema,
+        source_frag,
+        target_frag,
+        program,
+        source,
+        target,
+        transport,
+        selection,
+        &mut outcome,
+    );
+    if let Err(e) = result {
+        target.rollback_staged();
+        return Err(e);
+    }
+    let start = Instant::now();
+    target.commit_staged();
+    outcome.times.loading += start.elapsed();
+
+    // Final step: rebuild the target's key indexes.
+    let start = Instant::now();
+    target.build_all_key_indexes()?;
+    outcome.times.indexing += start.elapsed();
+    Ok(outcome)
+}
+
+/// The node loop of [`execute_with_transport`]: every `Write` lands in
+/// the target's staging area, so the caller can commit or roll back the
+/// whole program atomically.
+#[allow(clippy::too_many_arguments)]
+fn run_nodes(
+    schema: &SchemaTree,
+    source_frag: &Fragmentation,
+    target_frag: &Fragmentation,
+    program: &Program,
+    source: &mut Database,
+    target: &mut Database,
+    transport: &mut dyn Transport,
+    selection: Option<(&Selection, &BTreeSet<WireDewey>)>,
+    outcome: &mut ExecOutcome,
+) -> Result<()> {
+    // Feeds produced so far, keyed by port; `shipped` caches feeds that
+    // already crossed the link.
     let mut feeds: HashMap<PortRef, Feed> = HashMap::new();
     let mut shipped: HashMap<PortRef, Feed> = HashMap::new();
 
@@ -266,17 +311,12 @@ pub fn execute_with_transport(
                 let name = target_frag.fragments[*fragment].name.clone();
                 let feed = inputs.into_iter().next().expect("write has one input");
                 outcome.rows_loaded += feed.len() as u64;
-                db.load(&name, feed)?;
+                db.load_staged(&name, feed)?;
                 outcome.times.loading += start.elapsed();
             }
         }
     }
-
-    // Final step: rebuild the target's key indexes.
-    let start = Instant::now();
-    target.build_all_key_indexes()?;
-    outcome.times.indexing += start.elapsed();
-    Ok(outcome)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -468,6 +508,76 @@ mod tests {
             let t = target.table(&frag.name).unwrap();
             assert_eq!(s.data.rows, t.data.rows, "fragment {}", frag.name);
         }
+    }
+
+    /// Transport that delivers faithfully for `good_ships` calls, then
+    /// gives up — a session dying mid-exchange.
+    struct DyingTransport {
+        link: Link,
+        good_ships: usize,
+        ships: usize,
+    }
+
+    impl Transport for DyingTransport {
+        fn ship(&mut self, label: &str, message: &[u8]) -> Result<(Duration, Vec<u8>)> {
+            if self.ships >= self.good_ships {
+                return Err(Error::Engine("link died".into()));
+            }
+            self.ships += 1;
+            let (duration, delivered) = self.link.transmit(label, message);
+            Ok((duration, delivered))
+        }
+    }
+
+    #[test]
+    fn failed_exchange_rolls_back_every_write() {
+        let schema = customer_schema();
+        let mf = Fragmentation::most_fragmented("MF", &schema);
+        let t = t_fragmentation(&schema);
+        let gen = Generator::new(&schema, &mf, &t);
+        let mut program = gen.canonical().unwrap();
+        for n in &mut program.nodes {
+            n.location = match n.op {
+                Op::Write { .. } => Location::Target,
+                _ => Location::Source,
+            };
+        }
+        let mut source = setup_source(&schema, &mf);
+        let mut target = Database::new("target");
+        // Two of four shipments land (so two Writes stage rows), then the
+        // transport dies. Not one staged row may survive.
+        let mut transport = DyingTransport {
+            link: Link::new(NetworkProfile::lan()),
+            good_ships: 2,
+            ships: 0,
+        };
+        let err = execute_with_transport(
+            &schema,
+            &mf,
+            &t,
+            &program,
+            &mut source,
+            &mut target,
+            &mut transport,
+            None,
+        );
+        assert!(err.is_err());
+        assert_eq!(target.total_rows(), 0, "no partial tables after rollback");
+        assert!(target.table_names().is_empty(), "created tables dropped");
+        assert_eq!(target.counters.rows_written, 0);
+        // The same target can then host a clean retry end-to-end.
+        let mut link = Link::new(NetworkProfile::lan());
+        execute(
+            &schema,
+            &mf,
+            &t,
+            &program,
+            &mut source,
+            &mut target,
+            &mut link,
+        )
+        .unwrap();
+        assert_eq!(target.total_rows(), 14);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The simulated wide-area link between source and target.
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
 /// Bandwidth/latency model of a link.
@@ -74,9 +75,41 @@ pub enum Fault {
     TruncateEveryNth(usize),
 }
 
+/// Gilbert–Elliott burst-loss model: the link alternates between a good
+/// state (no burst losses) and a bad state (heavy losses), with seeded
+/// per-message transition draws. Models the wide-area reality that
+/// losses cluster — a congested router drops a *run* of packets, not an
+/// independent sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLoss {
+    /// Per-message probability of entering the bad state while good.
+    pub enter: f64,
+    /// Per-message probability of recovering while bad.
+    pub exit: f64,
+    /// Loss probability per message while in the bad state.
+    pub loss: f64,
+}
+
+impl BurstLoss {
+    fn validate(&self) {
+        for (name, p) in [
+            ("enter", self.enter),
+            ("exit", self.exit),
+            ("loss", self.loss),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "burst-loss {name} probability {p} out of [0, 1]"
+            );
+        }
+    }
+}
+
 /// Probabilistic, seed-driven fault model for an unreliable link: every
-/// message independently draws drop / timeout / corruption outcomes from
-/// a deterministic stream, so a run is fully reproducible from the seed.
+/// message independently draws drop / timeout / corruption / reorder /
+/// duplication outcomes from a deterministic stream (plus an optional
+/// Gilbert–Elliott burst-loss chain), so a run is fully reproducible
+/// from the seed.
 ///
 /// This is the runtime-facing counterpart of the deterministic [`Fault`]
 /// schedules: schedules pin failures to exact message indices (good for
@@ -90,8 +123,19 @@ pub struct FaultProfile {
     /// sender observes it exactly like a drop but pays
     /// [`FaultProfile::TIMEOUT_FACTOR`]× the transfer time waiting.
     pub timeout_probability: f64,
-    /// Probability the payload arrives with a flipped byte.
+    /// Probability the payload arrives with a damaged burst of bytes.
     pub corrupt_probability: f64,
+    /// Maximum bytes damaged per corruption event (the actual burst
+    /// length is a seeded draw in `1..=corrupt_burst`); must be ≥ 1.
+    pub corrupt_burst: usize,
+    /// Probability a message is deferred and delivered late, out of
+    /// order, attached to a later transmission.
+    pub reorder_probability: f64,
+    /// Probability a message arrives twice back to back.
+    pub duplicate_probability: f64,
+    /// Optional Gilbert–Elliott burst-loss chain, consulted before the
+    /// independent draws above.
+    pub burst_loss: Option<BurstLoss>,
     /// Seed of the per-message outcome stream.
     pub seed: u64,
 }
@@ -107,6 +151,10 @@ impl FaultProfile {
             drop_probability: 0.0,
             timeout_probability: 0.0,
             corrupt_probability: 0.0,
+            corrupt_burst: 4,
+            reorder_probability: 0.0,
+            duplicate_probability: 0.0,
+            burst_loss: None,
             seed: 0,
         }
     }
@@ -131,6 +179,8 @@ impl FaultProfile {
             ("drop", self.drop_probability),
             ("timeout", self.timeout_probability),
             ("corrupt", self.corrupt_probability),
+            ("reorder", self.reorder_probability),
+            ("duplicate", self.duplicate_probability),
         ] {
             assert!(
                 (0.0..=1.0).contains(&p),
@@ -138,36 +188,53 @@ impl FaultProfile {
             );
         }
         assert!(
-            self.drop_probability + self.timeout_probability + self.corrupt_probability <= 1.0,
+            self.drop_probability
+                + self.timeout_probability
+                + self.corrupt_probability
+                + self.reorder_probability
+                + self.duplicate_probability
+                <= 1.0,
             "fault probabilities must sum to at most 1"
         );
+        assert!(self.corrupt_burst >= 1, "corrupt_burst must be at least 1");
+        if let Some(burst) = &self.burst_loss {
+            burst.validate();
+        }
     }
 }
 
 /// What a [`FaultProfile`]-governed transmission did to one message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Delivery {
-    /// Arrived intact.
+    /// Arrived intact. On a reordering link these bytes may belong to an
+    /// *earlier* transmission that was deferred — receivers must verify
+    /// frame identity, not assume it is the message just sent.
     Delivered(Vec<u8>),
     /// Never arrived; the sender learns nothing.
     Dropped,
     /// Stalled past the receiver's patience; the sender waited
     /// [`FaultProfile::TIMEOUT_FACTOR`]× the transfer time for nothing.
     TimedOut,
-    /// Arrived with damaged bytes (one flipped byte).
+    /// Arrived with a damaged burst of bytes.
     Corrupted(Vec<u8>),
+    /// Deferred by the reordering model: nothing arrives now, the bytes
+    /// arrive out of order attached to a later transmission.
+    Deferred,
+    /// Arrived twice back to back; idempotent receivers must drop the
+    /// repeat.
+    Duplicated(Vec<u8>),
 }
 
 impl Delivery {
     /// The payload as the receiver saw it, if anything arrived.
     pub fn payload(&self) -> Option<&[u8]> {
         match self {
-            Delivery::Delivered(p) | Delivery::Corrupted(p) => Some(p),
-            Delivery::Dropped | Delivery::TimedOut => None,
+            Delivery::Delivered(p) | Delivery::Corrupted(p) | Delivery::Duplicated(p) => Some(p),
+            Delivery::Dropped | Delivery::TimedOut | Delivery::Deferred => None,
         }
     }
 
-    /// True only for an intact arrival.
+    /// True only for an intact single arrival.
     pub fn is_ok(&self) -> bool {
         matches!(self, Delivery::Delivered(_))
     }
@@ -185,8 +252,17 @@ pub struct Link {
     fault_profile: FaultProfile,
     /// SplitMix64 state of the fault-outcome stream.
     fault_state: u64,
+    /// Gilbert–Elliott chain state: true while the link is in the bad
+    /// (bursty-loss) state.
+    burst_bad: bool,
+    /// Frames deferred by the reordering model, awaiting late delivery.
+    deferred: VecDeque<Vec<u8>>,
     transfers: Vec<TransferRecord>,
 }
+
+/// Bound on deferred frames a reordering link holds; overflow frames are
+/// lost (the sender retries them like any other loss).
+const MAX_DEFERRED: usize = 8;
 
 impl Link {
     /// Creates an idle link.
@@ -196,6 +272,8 @@ impl Link {
             fault: Fault::None,
             fault_profile: FaultProfile::healthy(),
             fault_state: 0,
+            burst_bad: false,
+            deferred: VecDeque::new(),
             transfers: Vec::new(),
         }
     }
@@ -209,10 +287,21 @@ impl Link {
     /// Builder: injects a probabilistic [`FaultProfile`] consulted by
     /// [`Link::transmit_faulty`]. Panics on out-of-range probabilities.
     pub fn with_fault_profile(mut self, profile: FaultProfile) -> Link {
+        self.set_fault_profile(profile);
+        self
+    }
+
+    /// Swaps the probabilistic fault model in force (operations knob:
+    /// "the link was repaired" / "the link degraded"). Resets the
+    /// outcome stream to the new profile's seed and releases any frames
+    /// the old reordering model still held. Panics on out-of-range
+    /// probabilities.
+    pub fn set_fault_profile(&mut self, profile: FaultProfile) {
         profile.validate();
         self.fault_profile = profile;
         self.fault_state = profile.seed;
-        self
+        self.burst_bad = false;
+        self.deferred.clear();
     }
 
     /// The probabilistic fault model in force.
@@ -231,12 +320,18 @@ impl Link {
     }
 
     /// Ships `payload` through the probabilistic fault model: the message
-    /// may be delivered, dropped, timed out or corrupted, per the link's
-    /// [`FaultProfile`]. The returned duration is what the *sender*
-    /// experienced: the transfer time for deliveries, drops and
-    /// corruptions, [`FaultProfile::TIMEOUT_FACTOR`]× it for timeouts.
-    /// Every attempt is recorded in the transfer log, including failed
-    /// ones — wasted bytes are real bytes.
+    /// may be delivered, dropped (independently or in a Gilbert–Elliott
+    /// loss burst), timed out, corrupted, deferred out of order, or
+    /// duplicated, per the link's [`FaultProfile`]. The returned duration
+    /// is what the *sender* experienced: the transfer time for
+    /// deliveries, drops and corruptions,
+    /// [`FaultProfile::TIMEOUT_FACTOR`]× it for timeouts. Every attempt
+    /// is recorded in the transfer log, including failed ones — wasted
+    /// bytes are real bytes.
+    ///
+    /// On a reordering link the delivered bytes may belong to an earlier,
+    /// deferred transmission — possibly one from a *different* session
+    /// sharing the link. Receivers must verify frame identity.
     pub fn transmit_faulty(
         &mut self,
         label: impl Into<String>,
@@ -244,22 +339,71 @@ impl Link {
     ) -> (Duration, Delivery) {
         let bytes = payload.len() as u64;
         let base = self.profile.transfer_time(bytes);
-        let draw = self.fault_draw();
         let p = self.fault_profile;
-        let (duration, delivery) = if draw < p.drop_probability {
+        // Advance the Gilbert–Elliott chain first; a message caught in a
+        // loss burst never reaches the independent per-message draws.
+        let mut burst_lost = false;
+        if let Some(burst) = p.burst_loss {
+            let transition = self.fault_draw();
+            if self.burst_bad {
+                self.burst_bad = transition >= burst.exit;
+            } else {
+                self.burst_bad = transition < burst.enter;
+            }
+            burst_lost = self.burst_bad && self.fault_draw() < burst.loss;
+        }
+        let draw = self.fault_draw();
+        let drop_edge = p.drop_probability;
+        let timeout_edge = drop_edge + p.timeout_probability;
+        let corrupt_edge = timeout_edge + p.corrupt_probability;
+        let reorder_edge = corrupt_edge + p.reorder_probability;
+        let duplicate_edge = reorder_edge + p.duplicate_probability;
+        let (duration, delivery) = if burst_lost || draw < drop_edge {
             (base, Delivery::Dropped)
-        } else if draw < p.drop_probability + p.timeout_probability {
+        } else if draw < timeout_edge {
             (base * FaultProfile::TIMEOUT_FACTOR, Delivery::TimedOut)
-        } else if draw < p.drop_probability + p.timeout_probability + p.corrupt_probability {
+        } else if draw < corrupt_edge {
             let mut damaged = payload.to_vec();
             if !damaged.is_empty() {
-                let idx =
-                    ((self.fault_draw() * damaged.len() as f64) as usize).min(damaged.len() - 1);
-                damaged[idx] ^= 0x40;
+                let len = damaged.len();
+                let start = ((self.fault_draw() * len as f64) as usize).min(len - 1);
+                let max_burst = p.corrupt_burst.min(len);
+                let burst = 1 + (self.fault_draw() * max_burst as f64) as usize;
+                let end = (start + burst).min(len);
+                for (j, byte) in damaged[start..end].iter_mut().enumerate() {
+                    // XOR with a nonzero, position-dependent mask: every
+                    // byte in the burst is guaranteed to change.
+                    *byte ^= (((start + j) % 255) as u8).wrapping_add(1);
+                }
             }
             (base, Delivery::Corrupted(damaged))
-        } else {
+        } else if draw < reorder_edge {
+            // Defer this frame; if an older deferred frame is waiting,
+            // it arrives now in this one's place — out of order.
+            if self.deferred.len() >= MAX_DEFERRED {
+                self.deferred.pop_front(); // overflow: oldest frame lost
+            }
+            self.deferred.push_back(payload.to_vec());
+            if self.deferred.len() > 1 {
+                (
+                    base,
+                    Delivery::Delivered(self.deferred.pop_front().unwrap()),
+                )
+            } else {
+                (base, Delivery::Deferred)
+            }
+        } else if draw < duplicate_edge {
+            (base, Delivery::Duplicated(payload.to_vec()))
+        } else if self.deferred.is_empty() {
             (base, Delivery::Delivered(payload.to_vec()))
+        } else {
+            // Steady-state reordering pipeline: the oldest deferred frame
+            // arrives first, this one queues behind it.
+            self.deferred.push_back(payload.to_vec());
+            (
+                base,
+                Delivery::Delivered(self.deferred.pop_front().unwrap()),
+            )
         };
         self.transfers.push(TransferRecord {
             label: label.into(),
@@ -410,8 +554,9 @@ mod tests {
             drop_probability: 0.2,
             timeout_probability: 0.1,
             corrupt_probability: 0.1,
-            seed: 99,
-        };
+            ..FaultProfile::healthy()
+        }
+        .with_seed(99);
         let run = |seed: u64| {
             let mut link =
                 Link::new(NetworkProfile::lan()).with_fault_profile(profile.with_seed(seed));
@@ -425,12 +570,15 @@ mod tests {
 
     #[test]
     fn fault_profile_rates_track_probabilities() {
-        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
-            drop_probability: 0.3,
-            timeout_probability: 0.1,
-            corrupt_probability: 0.1,
-            seed: 7,
-        });
+        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(
+            FaultProfile {
+                drop_probability: 0.3,
+                timeout_probability: 0.1,
+                corrupt_probability: 0.1,
+                ..FaultProfile::healthy()
+            }
+            .with_seed(7),
+        );
         let mut counts = [0usize; 4]; // delivered, dropped, timed out, corrupted
         for i in 0..2000 {
             match link.transmit_faulty(format!("m{i}"), b"0123456789").1 {
@@ -445,6 +593,7 @@ mod tests {
                     assert_ne!(p, b"0123456789");
                     counts[3] += 1;
                 }
+                other => panic!("unconfigured outcome {other:?}"),
             }
         }
         assert!((900..1500).contains(&counts[0]), "delivered {counts:?}");
@@ -457,12 +606,13 @@ mod tests {
 
     #[test]
     fn timeouts_cost_more_than_drops() {
-        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
-            drop_probability: 0.0,
-            timeout_probability: 1.0,
-            corrupt_probability: 0.0,
-            seed: 1,
-        });
+        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(
+            FaultProfile {
+                timeout_probability: 1.0,
+                ..FaultProfile::healthy()
+            }
+            .with_seed(1),
+        );
         let (waited, outcome) = link.transmit_faulty("t", &[0u8; 1000]);
         assert_eq!(outcome, Delivery::TimedOut);
         assert_eq!(
@@ -487,8 +637,117 @@ mod tests {
             drop_probability: 0.6,
             timeout_probability: 0.3,
             corrupt_probability: 0.2,
-            seed: 0,
+            ..FaultProfile::healthy()
         });
+    }
+
+    #[test]
+    fn burst_loss_clusters_drops() {
+        // Always-bad chain with certain loss: everything is dropped.
+        let mut hopeless = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
+            burst_loss: Some(BurstLoss {
+                enter: 1.0,
+                exit: 0.0,
+                loss: 1.0,
+            }),
+            ..FaultProfile::healthy()
+        });
+        for i in 0..50 {
+            assert_eq!(
+                hopeless.transmit_faulty(format!("m{i}"), b"x").1,
+                Delivery::Dropped
+            );
+        }
+        // A bursty chain produces clustered losses: at least one run of
+        // ≥3 consecutive drops, yet an overall delivery majority.
+        let mut bursty = Link::new(NetworkProfile::lan()).with_fault_profile(
+            FaultProfile {
+                burst_loss: Some(BurstLoss {
+                    enter: 0.05,
+                    exit: 0.3,
+                    loss: 0.95,
+                }),
+                ..FaultProfile::healthy()
+            }
+            .with_seed(11),
+        );
+        let outcomes: Vec<bool> = (0..500)
+            .map(|i| bursty.transmit_faulty(format!("m{i}"), b"x").1.is_ok())
+            .collect();
+        let delivered = outcomes.iter().filter(|&&ok| ok).count();
+        assert!(delivered > 250, "delivered only {delivered}/500");
+        assert!(delivered < 500, "burst chain never lost anything");
+        let longest_run = outcomes
+            .split(|&ok| ok)
+            .map(<[bool]>::len)
+            .max()
+            .unwrap_or(0);
+        assert!(longest_run >= 3, "losses did not cluster: {longest_run}");
+    }
+
+    #[test]
+    fn reordering_defers_then_delivers_out_of_order() {
+        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
+            reorder_probability: 1.0,
+            ..FaultProfile::healthy()
+        });
+        // First frame is deferred; each further frame displaces the
+        // oldest waiting one.
+        assert_eq!(link.transmit_faulty("a", b"first").1, Delivery::Deferred);
+        assert_eq!(
+            link.transmit_faulty("b", b"second").1,
+            Delivery::Delivered(b"first".to_vec())
+        );
+        assert_eq!(
+            link.transmit_faulty("c", b"third").1,
+            Delivery::Delivered(b"second".to_vec())
+        );
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
+            duplicate_probability: 1.0,
+            ..FaultProfile::healthy()
+        });
+        let (_, outcome) = link.transmit_faulty("d", b"payload");
+        assert_eq!(outcome, Delivery::Duplicated(b"payload".to_vec()));
+        assert_eq!(outcome.payload(), Some(&b"payload"[..]));
+        assert!(!outcome.is_ok(), "a duplicate is not a clean delivery");
+    }
+
+    #[test]
+    fn corruption_damages_a_seeded_burst_of_bytes() {
+        let mut link = Link::new(NetworkProfile::lan()).with_fault_profile(
+            FaultProfile {
+                corrupt_probability: 1.0,
+                corrupt_burst: 8,
+                ..FaultProfile::healthy()
+            }
+            .with_seed(3),
+        );
+        let payload = vec![0u8; 256];
+        let mut multi_byte_seen = false;
+        for i in 0..50 {
+            match link.transmit_faulty(format!("m{i}"), &payload).1 {
+                Delivery::Corrupted(p) => {
+                    let damaged = p.iter().zip(&payload).filter(|(a, b)| a != b).count();
+                    assert!((1..=8).contains(&damaged), "burst of {damaged} bytes");
+                    multi_byte_seen |= damaged > 1;
+                }
+                other => panic!("expected corruption, got {other:?}"),
+            }
+        }
+        assert!(multi_byte_seen, "burst corruption never damaged >1 byte");
+    }
+
+    #[test]
+    fn set_fault_profile_repairs_a_link() {
+        let mut link =
+            Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 5));
+        assert_eq!(link.transmit_faulty("a", b"x").1, Delivery::Dropped);
+        link.set_fault_profile(FaultProfile::healthy());
+        assert!(link.transmit_faulty("b", b"x").1.is_ok());
     }
 
     #[test]

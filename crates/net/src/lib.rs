@@ -17,10 +17,12 @@
 //! that relationship.
 
 pub mod channel;
+pub mod chunk;
 pub mod endpoint;
 pub mod http;
 pub mod soap;
 
-pub use channel::{Delivery, FaultProfile, Link, NetworkProfile, TransferRecord};
+pub use channel::{BurstLoss, Delivery, FaultProfile, Link, NetworkProfile, TransferRecord};
+pub use chunk::{fnv64, frame_chunk, ChunkFrame};
 pub use endpoint::ServiceHost;
 pub use soap::{SoapEnvelope, SoapFault};

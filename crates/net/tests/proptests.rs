@@ -1,10 +1,13 @@
-//! Property tests for the transport layer: HTTP framing and SOAP
-//! envelopes must round-trip arbitrary well-formed messages exactly, and
-//! neither parser may panic on arbitrary bytes.
+//! Property tests for the transport layer: HTTP framing, SOAP envelopes
+//! and chunk frames must round-trip arbitrary well-formed messages
+//! exactly, no parser may panic on arbitrary bytes, and *any* byte
+//! damage to a chunk frame — single flips or multi-byte bursts, header
+//! or payload — must be rejected outright.
 
 use proptest::prelude::*;
+use xdx_net::chunk::frame_chunk;
 use xdx_net::http::{Request, Response};
-use xdx_net::{SoapEnvelope, SoapFault};
+use xdx_net::{ChunkFrame, SoapEnvelope, SoapFault};
 use xdx_xml::Element;
 
 /// HTTP header tokens (RFC 7230 `tchar` subset).
@@ -149,5 +152,61 @@ proptest! {
     #[test]
     fn soap_parser_never_panics_on_arbitrary_text(s in "\\PC{0,200}") {
         let _ = SoapEnvelope::parse(&s);
+    }
+
+    #[test]
+    fn chunk_frames_roundtrip_arbitrary_shipments(
+        session in 0u64..1_000_000,
+        shipment in 0u64..10_000,
+        index in 0usize..64,
+        extra in 0usize..64,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let total = index + 1 + extra;
+        let frame = frame_chunk(session, shipment, index, total, &payload);
+        let back = ChunkFrame::decode(&frame).expect("intact frame verifies");
+        prop_assert_eq!(back.session, session);
+        prop_assert_eq!(back.shipment, shipment);
+        prop_assert_eq!(back.index, index);
+        prop_assert_eq!(back.total, total);
+        prop_assert_eq!(back.payload, payload);
+    }
+
+    #[test]
+    fn burst_damaged_chunk_frames_are_always_rejected(
+        session in 0u64..1000,
+        shipment in 0u64..100,
+        index in 0usize..8,
+        extra in 0usize..8,
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        burst_start in 0usize..1000,
+        masks in proptest::collection::vec(1u8..=255, 1..16),
+    ) {
+        // The link's corruption model XORs a contiguous burst of bytes
+        // with nonzero masks; wherever the burst lands — header digits,
+        // checksum field, payload — the frame must fail verification.
+        let total = index + 1 + extra;
+        let frame = frame_chunk(session, shipment, index, total, &payload);
+        let start = burst_start % frame.len();
+        let mut damaged = frame.clone();
+        for (offset, mask) in masks.iter().enumerate() {
+            if let Some(byte) = damaged.get_mut(start + offset) {
+                *byte ^= mask;
+            }
+        }
+        prop_assert_ne!(&damaged, &frame);
+        prop_assert!(
+            ChunkFrame::decode(&damaged).is_none(),
+            "burst at {} of {} masks went undetected",
+            start,
+            masks.len()
+        );
+    }
+
+    #[test]
+    fn chunk_decoder_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = ChunkFrame::decode(&bytes);
     }
 }

@@ -7,7 +7,7 @@ use crate::error::{Error, Result};
 use crate::feed::{Feed, FeedSchema};
 use crate::stats::Counters;
 use crate::table::Table;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An in-memory database.
 #[derive(Debug, Default)]
@@ -17,6 +17,10 @@ pub struct Database {
     tables: BTreeMap<String, Table>,
     /// Work counters accumulated by all operations on this system.
     pub counters: Counters,
+    /// Tables created by [`Database::load_staged`] for rows that are not
+    /// yet committed; dropped wholesale on rollback so a failed exchange
+    /// leaves no empty husks behind.
+    staged_created: BTreeSet<String>,
 }
 
 impl Database {
@@ -26,6 +30,7 @@ impl Database {
             name: name.into(),
             tables: BTreeMap::new(),
             counters: Counters::new(),
+            staged_created: BTreeSet::new(),
         }
     }
 
@@ -48,6 +53,50 @@ impl Database {
         }
         let table = self.tables.get_mut(name).expect("just ensured");
         table.bulk_load(feed, &mut self.counters)
+    }
+
+    /// Creates the table if missing, then *stages* `feed` for a later
+    /// [`Database::commit_staged`]. The transactional twin of
+    /// [`Database::load`]: until commit, the rows are invisible to every
+    /// scan, and [`Database::rollback_staged`] restores the database to
+    /// exactly its pre-staging state — tables created only for staged
+    /// rows are dropped again.
+    pub fn load_staged(&mut self, name: &str, feed: Feed) -> Result<()> {
+        if !self.tables.contains_key(name) {
+            self.create_table(name, feed.schema.clone())?;
+            self.staged_created.insert(name.to_string());
+        }
+        let table = self.tables.get_mut(name).expect("just ensured");
+        table.stage_rows(feed)
+    }
+
+    /// Atomically swaps every staged row into its live table. Returns the
+    /// total number of rows committed.
+    pub fn commit_staged(&mut self) -> u64 {
+        let mut counters = self.counters;
+        let mut committed = 0;
+        for table in self.tables.values_mut() {
+            committed += table.commit_staged(&mut counters);
+        }
+        self.counters = counters;
+        self.staged_created.clear();
+        committed
+    }
+
+    /// Discards every staged row and drops tables that only existed to
+    /// hold them. Committed data is untouched.
+    pub fn rollback_staged(&mut self) {
+        for table in self.tables.values_mut() {
+            table.rollback_staged();
+        }
+        for name in std::mem::take(&mut self.staged_created) {
+            self.tables.remove(&name);
+        }
+    }
+
+    /// Total rows staged and awaiting commit across all tables.
+    pub fn staged_rows(&self) -> usize {
+        self.tables.values().map(Table::staged_len).sum()
     }
 
     /// Full scan of a table.
@@ -125,6 +174,7 @@ impl Database {
     pub fn reset(&mut self) {
         self.tables.clear();
         self.counters = Counters::new();
+        self.staged_created.clear();
     }
 }
 
@@ -196,6 +246,55 @@ mod tests {
         assert_eq!(db.total_rows(), 0);
         assert_eq!(db.counters, Counters::new());
         assert!(db.table_names().is_empty());
+    }
+
+    #[test]
+    fn staged_load_commits_atomically() {
+        let mut db = Database::new("tgt");
+        db.load("A", feed(2)).unwrap();
+        db.load_staged("A", feed(3)).unwrap();
+        db.load_staged("B", feed(4)).unwrap();
+        assert_eq!(db.total_rows(), 2, "staged rows are invisible");
+        assert_eq!(db.staged_rows(), 7);
+        assert_eq!(db.counters.rows_written, 2);
+        assert_eq!(db.commit_staged(), 7);
+        assert_eq!(db.total_rows(), 9);
+        assert_eq!(db.staged_rows(), 0);
+        assert_eq!(db.counters.rows_written, 9);
+        assert_eq!(db.scan("B").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn rollback_restores_pre_staging_state() {
+        let mut db = Database::new("tgt");
+        db.load("A", feed(2)).unwrap();
+        db.load_staged("A", feed(3)).unwrap();
+        db.load_staged("B", feed(4)).unwrap();
+        db.rollback_staged();
+        assert_eq!(db.total_rows(), 2);
+        assert_eq!(db.staged_rows(), 0);
+        assert!(
+            !db.has_table("B"),
+            "tables created only for staged rows are dropped"
+        );
+        assert_eq!(db.table_names(), vec!["A"]);
+        assert_eq!(db.counters.rows_written, 2);
+        // The database is reusable after rollback: B can be staged and
+        // committed again cleanly.
+        db.load_staged("B", feed(1)).unwrap();
+        assert_eq!(db.commit_staged(), 1);
+        assert!(db.has_table("B"));
+    }
+
+    #[test]
+    fn commit_after_partial_restaging_keeps_earlier_commits() {
+        let mut db = Database::new("tgt");
+        db.load_staged("A", feed(2)).unwrap();
+        db.commit_staged();
+        db.load_staged("A", feed(1)).unwrap();
+        db.rollback_staged();
+        assert!(db.has_table("A"), "committed table survives rollback");
+        assert_eq!(db.total_rows(), 2);
     }
 
     #[test]

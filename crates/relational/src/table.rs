@@ -21,6 +21,9 @@ pub struct Table {
     pub data: Feed,
     /// Secondary indexes built so far.
     pub indexes: Vec<Index>,
+    /// Rows staged by [`Table::stage_rows`], invisible to scans until
+    /// [`Table::commit_staged`] swaps them in.
+    staged: Vec<Vec<Value>>,
 }
 
 impl Table {
@@ -30,6 +33,7 @@ impl Table {
             name: name.into(),
             data: Feed::new(schema),
             indexes: Vec::new(),
+            staged: Vec::new(),
         }
     }
 
@@ -57,6 +61,51 @@ impl Table {
             self.data.rows.extend(feed.rows);
         }
         Ok(())
+    }
+
+    /// Stages `feed`'s rows for a later atomic [`Table::commit_staged`]
+    /// (the transactional half of `Write`): staged rows are invisible to
+    /// scans and indexes, cost nothing if rolled back, and only touch the
+    /// live table when the whole exchange commits. Schema mismatches are
+    /// rejected at staging time, before anything is at risk.
+    pub fn stage_rows(&mut self, feed: Feed) -> Result<()> {
+        if feed.schema.arity() != self.data.schema.arity() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "table {} has arity {}, staged feed has {}",
+                    self.name,
+                    self.data.schema.arity(),
+                    feed.schema.arity()
+                ),
+            });
+        }
+        self.staged.extend(feed.rows);
+        Ok(())
+    }
+
+    /// Atomically swaps staged rows into the live table, counting the
+    /// write work now (it only happens on commit). Like
+    /// [`Table::bulk_load`], existing indexes are dropped for the
+    /// post-load rebuild. Returns the number of rows committed.
+    pub fn commit_staged(&mut self, counters: &mut Counters) -> u64 {
+        if self.staged.is_empty() {
+            return 0;
+        }
+        let committed = self.staged.len() as u64;
+        counters.rows_written += committed;
+        self.indexes.clear();
+        self.data.rows.append(&mut self.staged);
+        committed
+    }
+
+    /// Discards staged rows; the live table is untouched.
+    pub fn rollback_staged(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Number of rows currently staged.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
     }
 
     /// Builds an index on `column`.
@@ -213,6 +262,49 @@ mod tests {
         t.build_key_indexes(&mut c).unwrap();
         t.bulk_load(feed(1), &mut c).unwrap();
         assert!(t.indexes.is_empty());
+    }
+
+    #[test]
+    fn staged_rows_invisible_until_commit() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        t.bulk_load(feed(2), &mut c).unwrap();
+        t.stage_rows(feed(3)).unwrap();
+        assert_eq!(t.len(), 2, "staged rows must not be scannable");
+        assert_eq!(t.staged_len(), 3);
+        assert_eq!(c.rows_written, 2, "write work is counted at commit");
+        assert_eq!(t.commit_staged(&mut c), 3);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.staged_len(), 0);
+        assert_eq!(c.rows_written, 5);
+    }
+
+    #[test]
+    fn rollback_discards_staged_rows_only() {
+        let mut c = Counters::new();
+        let mut t = Table::new("ITEM", schema());
+        t.bulk_load(feed(4), &mut c).unwrap();
+        t.build_key_indexes(&mut c).unwrap();
+        t.stage_rows(feed(2)).unwrap();
+        t.rollback_staged();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.staged_len(), 0);
+        assert_eq!(t.indexes.len(), 2, "rollback leaves indexes intact");
+        assert_eq!(c.rows_written, 4);
+        // An empty commit is a no-op and keeps indexes too.
+        assert_eq!(t.commit_staged(&mut c), 0);
+        assert_eq!(t.indexes.len(), 2);
+    }
+
+    #[test]
+    fn staging_rejects_wrong_arity() {
+        let mut t = Table::new("ITEM", schema());
+        let bad = Feed::new(FeedSchema::new(
+            "x",
+            vec![FeedColumn::new("x", ColRole::Value)],
+        ));
+        assert!(t.stage_rows(bad).is_err());
+        assert_eq!(t.staged_len(), 0);
     }
 
     #[test]

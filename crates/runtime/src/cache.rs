@@ -1,18 +1,34 @@
 //! The plan cache: concurrent sessions exchanging the same *shape* of
 //! data reuse one optimized program instead of re-running the optimizer.
 //!
-//! The cache key is a stable FNV-64 hash over everything the optimizer's
-//! answer depends on: both fragmentations (roots and element sets, not
-//! names — renaming a fragment does not change the plan), the cost-model
-//! weights, both system profiles, and the probed document statistics.
-//! Two requests with the same key would receive byte-identical programs
-//! from the optimizer, so sharing the cached one is safe.
+//! The cache key has two halves. The **shape** half hashes everything
+//! structural the optimizer's answer depends on: both fragmentations
+//! (roots and element sets, not names — renaming a fragment does not
+//! change the plan), the cost-model weights and both system profiles.
+//! The **stats** half hashes the probed document statistics. Entries are
+//! stored per shape and remember the stats they were planned under:
+//!
+//! * a lookup whose stats hash *drifted* (the source data changed enough
+//!   to re-probe differently) evicts the stale plan instead of serving a
+//!   program optimized for data that no longer exists,
+//! * an optional TTL expires entries outright, bounding how long a plan
+//!   can outlive the statistics snapshot it was built from.
 
-use crate::shipper::fnv64;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use xdx_core::{CostModel, Fragmentation, Program};
+use xdx_net::fnv64;
+
+/// The two-part cache key of an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Hash of both fragmentation shapes, cost weights and profiles.
+    pub shape: u64,
+    /// Hash of the probed document statistics.
+    pub stats: u64,
+}
 
 /// A cached optimizer answer.
 #[derive(Debug)]
@@ -23,44 +39,89 @@ pub struct CachedPlan {
     pub cost: f64,
 }
 
-/// Thread-shared map from plan key to optimized program, with hit/miss
-/// counters.
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CachedPlan>,
+    stats: u64,
+    inserted: Instant,
+}
+
+/// Thread-shared map from plan shape to optimized program, with
+/// hit/miss/expiry/eviction counters.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    map: Mutex<HashMap<u64, Arc<CachedPlan>>>,
+    map: Mutex<HashMap<u64, Entry>>,
+    ttl: Option<Duration>,
     hits: AtomicU64,
     misses: AtomicU64,
+    expired: AtomicU64,
+    stats_evicted: AtomicU64,
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache whose entries never expire by age.
     pub fn new() -> PlanCache {
         PlanCache::default()
     }
 
-    /// Looks `key` up, counting a hit or a miss. On a miss the caller
+    /// An empty cache whose entries expire `ttl` after insertion.
+    pub fn with_ttl(ttl: Duration) -> PlanCache {
+        PlanCache {
+            ttl: Some(ttl),
+            ..PlanCache::default()
+        }
+    }
+
+    /// Looks the key up, counting a hit or a miss. A shape entry that
+    /// aged past the TTL, or whose stats hash no longer matches the
+    /// probe, is evicted and counts as a miss. On a miss the caller
     /// plans outside any lock and [`insert`](PlanCache::insert)s; two
-    /// sessions racing the same key may both plan — the duplicate work is
-    /// bounded by the worker count and both arrive at the same program.
-    pub fn lookup(&self, key: u64) -> Option<Arc<CachedPlan>> {
-        let found = self.map.lock().unwrap().get(&key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// sessions racing the same key may both plan — the duplicate work
+    /// is bounded by the worker count and both arrive at the same
+    /// program.
+    pub fn lookup(&self, key: PlanKey) -> Option<Arc<CachedPlan>> {
+        let mut map = self.map.lock().unwrap();
+        if let Some(entry) = map.get(&key.shape) {
+            if self.ttl.is_some_and(|ttl| entry.inserted.elapsed() > ttl) {
+                map.remove(&key.shape);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+            } else if entry.stats != key.stats {
+                map.remove(&key.shape);
+                self.stats_evicted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(&entry.plan));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Stores a freshly planned program and returns the shared copy
-    /// (the already-present one if a racing session inserted first).
-    pub fn insert(&self, key: u64, plan: CachedPlan) -> Arc<CachedPlan> {
-        Arc::clone(
-            self.map
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert_with(|| Arc::new(plan)),
-        )
+    /// (the already-present one if a racing session with the same stats
+    /// inserted first; drifted or expired residents are replaced).
+    pub fn insert(&self, key: PlanKey, plan: CachedPlan) -> Arc<CachedPlan> {
+        let mut map = self.map.lock().unwrap();
+        match map.get(&key.shape) {
+            Some(entry)
+                if entry.stats == key.stats
+                    && self.ttl.is_none_or(|ttl| entry.inserted.elapsed() <= ttl) =>
+            {
+                Arc::clone(&entry.plan)
+            }
+            _ => {
+                let plan = Arc::new(plan);
+                map.insert(
+                    key.shape,
+                    Entry {
+                        plan: Arc::clone(&plan),
+                        stats: key.stats,
+                        inserted: Instant::now(),
+                    },
+                );
+                plan
+            }
+        }
     }
 
     /// Lookups satisfied from the cache.
@@ -71,6 +132,16 @@ impl PlanCache {
     /// Lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because they aged past the TTL.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because the probed statistics drifted.
+    pub fn stats_evicted(&self) -> u64 {
+        self.stats_evicted.load(Ordering::Relaxed)
     }
 
     /// Distinct plans cached.
@@ -84,38 +155,40 @@ impl PlanCache {
     }
 }
 
-/// Computes the stable cache key of an exchange: a hash of (source
-/// fragmentation shape, target fragmentation shape, cost-model
-/// parameters, document statistics).
-pub fn plan_key(source: &Fragmentation, target: &Fragmentation, model: &CostModel) -> u64 {
-    let mut bytes = Vec::with_capacity(256);
-    let mut push = |v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+/// Computes the stable two-part cache key of an exchange.
+pub fn plan_key(source: &Fragmentation, target: &Fragmentation, model: &CostModel) -> PlanKey {
+    let mut shape = Vec::with_capacity(256);
+    let push = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
     for (tag, frag) in [(0x5Cu64, source), (0x7Au64, target)] {
-        push(tag);
-        push(frag.fragments.len() as u64);
+        push(&mut shape, tag);
+        push(&mut shape, frag.fragments.len() as u64);
         for f in &frag.fragments {
-            push(f.root.index() as u64);
-            push(f.elements.len() as u64);
+            push(&mut shape, f.root.index() as u64);
+            push(&mut shape, f.elements.len() as u64);
             for &e in &f.elements {
-                push(e.index() as u64);
+                push(&mut shape, e.index() as u64);
             }
         }
     }
-    push(model.w_comp.to_bits());
-    push(model.w_comm.to_bits());
+    push(&mut shape, model.w_comp.to_bits());
+    push(&mut shape, model.w_comm.to_bits());
     for profile in [&model.source, &model.target] {
-        push(profile.speed.to_bits());
-        push(profile.can_combine as u64);
-        push(profile.can_split as u64);
+        push(&mut shape, profile.speed.to_bits());
+        push(&mut shape, profile.can_combine as u64);
+        push(&mut shape, profile.can_split as u64);
     }
-    push(model.stats.counts.len() as u64);
+    let mut stats = Vec::with_capacity(2 + 16 * model.stats.counts.len());
+    push(&mut stats, model.stats.counts.len() as u64);
     for &c in &model.stats.counts {
-        push(c);
+        push(&mut stats, c);
     }
     for &t in &model.stats.text_bytes {
-        push(t);
+        push(&mut stats, t);
     }
-    fnv64(&bytes)
+    PlanKey {
+        shape: fnv64(&shape),
+        stats: fnv64(&stats),
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +205,15 @@ mod tests {
         let mut m = CostModel::fast_network(SchemaStats::multiplicative(schema, 3, 10));
         m.w_comm = w_comm;
         m
+    }
+
+    fn plan_for(s: &SchemaTree, m: &CostModel) -> CachedPlan {
+        use xdx_core::gen::Generator;
+        let mf = Fragmentation::most_fragmented("MF", s);
+        let lf = Fragmentation::least_fragmented("LF", s);
+        let gen = Generator::new(s, &mf, &lf);
+        let (program, cost) = xdx_core::greedy::greedy(&gen, m).unwrap();
+        CachedPlan { program, cost }
     }
 
     #[test]
@@ -151,18 +233,20 @@ mod tests {
         let lf = Fragmentation::whole_document("WD", &s);
         let m = model(&s, 0.05);
         let base = plan_key(&mf, &lf, &m);
-        // Reversed direction is a different plan.
-        assert_ne!(base, plan_key(&lf, &mf, &m));
-        // A different communication weight is a different plan.
-        assert_ne!(base, plan_key(&mf, &lf, &model(&s, 5.0)));
-        // Different statistics are a different plan.
+        // Reversed direction is a different plan shape.
+        assert_ne!(base.shape, plan_key(&lf, &mf, &m).shape);
+        // A different communication weight is a different plan shape.
+        assert_ne!(base.shape, plan_key(&mf, &lf, &model(&s, 5.0)).shape);
+        // Different statistics keep the shape but move the stats hash.
         let mut fatter = m.clone();
         fatter.stats.counts[2] += 100;
-        assert_ne!(base, plan_key(&mf, &lf, &fatter));
-        // A dumb-client target is a different plan.
+        let drifted = plan_key(&mf, &lf, &fatter);
+        assert_eq!(base.shape, drifted.shape);
+        assert_ne!(base.stats, drifted.stats);
+        // A dumb-client target is a different plan shape.
         let mut dumb = m.clone();
         dumb.target.can_combine = false;
-        assert_ne!(base, plan_key(&mf, &lf, &dumb));
+        assert_ne!(base.shape, plan_key(&mf, &lf, &dumb).shape);
     }
 
     #[test]
@@ -177,14 +261,56 @@ mod tests {
         assert!(cache.lookup(key).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
 
-        use xdx_core::gen::Generator;
-        let gen = Generator::new(&s, &mf, &lf);
-        let (program, cost) = xdx_core::greedy::greedy(&gen, &m).unwrap();
-        let shared = cache.insert(key, CachedPlan { program, cost });
+        let shared = cache.insert(key, plan_for(&s, &m));
         assert_eq!(cache.len(), 1);
 
         let again = cache.lookup(key).expect("second lookup hits");
         assert!(Arc::ptr_eq(&shared, &again));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn drifted_stats_evict_the_stale_plan() {
+        let s = schema();
+        let mf = Fragmentation::most_fragmented("MF", &s);
+        let lf = Fragmentation::least_fragmented("LF", &s);
+        let m = model(&s, 0.05);
+        let key = plan_key(&mf, &lf, &m);
+        let cache = PlanCache::new();
+        cache.lookup(key);
+        cache.insert(key, plan_for(&s, &m));
+
+        // The source grew: a re-probe hashes differently.
+        let mut grown = m.clone();
+        grown.stats.counts[1] *= 7;
+        let drifted = plan_key(&mf, &lf, &grown);
+        assert!(cache.lookup(drifted).is_none(), "stale plan not served");
+        assert_eq!(cache.stats_evicted(), 1);
+        assert!(cache.is_empty(), "the drifted entry is gone");
+        // Re-planning under the new stats repopulates the shape slot.
+        cache.insert(drifted, plan_for(&s, &grown));
+        assert!(cache.lookup(drifted).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let s = schema();
+        let mf = Fragmentation::most_fragmented("MF", &s);
+        let lf = Fragmentation::least_fragmented("LF", &s);
+        let m = model(&s, 0.05);
+        let key = plan_key(&mf, &lf, &m);
+        let cache = PlanCache::with_ttl(Duration::ZERO);
+        cache.lookup(key);
+        cache.insert(key, plan_for(&s, &m));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(cache.lookup(key).is_none(), "aged entry not served");
+        assert_eq!(cache.expired(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+
+        let unlimited = PlanCache::new();
+        unlimited.lookup(key);
+        unlimited.insert(key, plan_for(&s, &m));
+        assert!(unlimited.lookup(key).is_some(), "no TTL, no expiry");
     }
 }

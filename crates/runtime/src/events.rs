@@ -27,6 +27,19 @@ pub enum EventKind {
     ExecutionStarted,
     /// A shipment chunk failed (drop/timeout/corruption) and was retried.
     ChunkRetried,
+    /// A failed session was re-admitted with its original id.
+    Resumed,
+    /// A shipment found checkpointed chunks in the reassembly ledger and
+    /// skipped re-shipping them.
+    ShipmentResumed,
+    /// The session ran past its wall-clock deadline.
+    DeadlineExceeded,
+    /// The link circuit breaker opened: admissions refused.
+    CircuitOpened,
+    /// The breaker's cooldown elapsed: one probe session admitted.
+    CircuitHalfOpened,
+    /// A probe succeeded: the breaker closed again.
+    CircuitClosed,
     /// The session reached `Done`.
     Completed,
     /// The session reached `Failed`.

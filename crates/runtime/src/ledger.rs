@@ -1,0 +1,230 @@
+//! The receiver-side reassembly ledger: checkpoint state for resumable
+//! shipments.
+//!
+//! Every verified chunk frame is filed under its `(session, shipment,
+//! index)` coordinates — the identity travels in the frame header, not
+//! the connection, so the ledger can accept chunks that arrive late,
+//! reordered, duplicated, cross-delivered during another session's
+//! transmission, or re-shipped by a resumed session. Exact repeats are
+//! dropped idempotently.
+//!
+//! Entries persist after a session *fails*: that is the shipping
+//! checkpoint. When the session is resumed, `begin_shipment` reports
+//! which chunks already landed, and the shipper skips them — only the
+//! never-acknowledged chunks cross the link again. Entries are dropped
+//! when the session finally completes ([`ReassemblyLedger::forget_session`]).
+
+use crate::session::SessionId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
+use xdx_net::{fnv64, ChunkFrame};
+
+/// Outcome of filing one verified frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Filed {
+    /// The chunk was new and is now checkpointed.
+    Accepted,
+    /// The exact chunk was already present; dropped idempotently.
+    Duplicate,
+    /// No live shipment matches the frame (its session already
+    /// completed, or the shipment was restarted with different content);
+    /// the frame is discarded.
+    Stale,
+}
+
+/// Reassembly state of one shipment.
+#[derive(Debug)]
+struct ShipmentBuffer {
+    /// Chunk count announced by the frames.
+    total: usize,
+    /// FNV-64 of the full serialized message; a resubmitted shipment
+    /// whose content changed must not inherit stale chunks.
+    message_fnv: u64,
+    /// Verified chunks landed so far.
+    chunks: BTreeMap<usize, Vec<u8>>,
+}
+
+/// Thread-shared ledger of in-flight (and checkpointed) shipments,
+/// keyed by `(session, shipment sequence number)`.
+#[derive(Debug, Default)]
+pub struct ReassemblyLedger {
+    map: Mutex<HashMap<(SessionId, u64), ShipmentBuffer>>,
+}
+
+impl ReassemblyLedger {
+    /// An empty ledger.
+    pub fn new() -> ReassemblyLedger {
+        ReassemblyLedger::default()
+    }
+
+    /// Opens (or re-opens) a shipment and returns the indexes of chunks
+    /// that already landed in a previous attempt — the resume
+    /// checkpoint. A buffer whose `total` or `message_fnv` disagrees is
+    /// stale (the message changed) and is reset.
+    pub fn begin_shipment(
+        &self,
+        session: SessionId,
+        shipment: u64,
+        total: usize,
+        message_fnv: u64,
+    ) -> BTreeSet<usize> {
+        let mut map = self.map.lock().unwrap();
+        let buffer = map
+            .entry((session, shipment))
+            .or_insert_with(|| ShipmentBuffer {
+                total,
+                message_fnv,
+                chunks: BTreeMap::new(),
+            });
+        if buffer.total != total || buffer.message_fnv != message_fnv {
+            buffer.total = total;
+            buffer.message_fnv = message_fnv;
+            buffer.chunks.clear();
+        }
+        buffer.chunks.keys().copied().collect()
+    }
+
+    /// True when the chunk already landed.
+    pub fn has_chunk(&self, session: SessionId, shipment: u64, index: usize) -> bool {
+        self.map
+            .lock()
+            .unwrap()
+            .get(&(session, shipment))
+            .is_some_and(|b| b.chunks.contains_key(&index))
+    }
+
+    /// Files one verified frame under its own coordinates. Duplicates
+    /// are detected and dropped; frames for unknown shipments are stale.
+    pub fn file(&self, frame: &ChunkFrame) -> Filed {
+        let mut map = self.map.lock().unwrap();
+        let Some(buffer) = map.get_mut(&(frame.session, frame.shipment)) else {
+            return Filed::Stale;
+        };
+        if frame.total != buffer.total || frame.index >= buffer.total {
+            return Filed::Stale;
+        }
+        if buffer.chunks.contains_key(&frame.index) {
+            return Filed::Duplicate;
+        }
+        buffer.chunks.insert(frame.index, frame.payload.clone());
+        Filed::Accepted
+    }
+
+    /// Reassembles a complete shipment: every chunk present and the
+    /// whole message hashing back to the announced FNV-64. The buffer is
+    /// retained — it is the checkpoint a resumed session skips over.
+    pub fn assemble(&self, session: SessionId, shipment: u64) -> Option<Vec<u8>> {
+        let map = self.map.lock().unwrap();
+        let buffer = map.get(&(session, shipment))?;
+        if buffer.chunks.len() != buffer.total {
+            return None;
+        }
+        let message: Vec<u8> = buffer.chunks.values().flatten().copied().collect();
+        (fnv64(&message) == buffer.message_fnv).then_some(message)
+    }
+
+    /// Drops every buffer of `session` — called when the session
+    /// completes and its checkpoints are no longer needed.
+    pub fn forget_session(&self, session: SessionId) {
+        self.map.lock().unwrap().retain(|(s, _), _| *s != session);
+    }
+
+    /// Chunks currently checkpointed for `session` across all shipments.
+    pub fn checkpointed_chunks(&self, session: SessionId) -> usize {
+        self.map
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|((s, _), _)| *s == session)
+            .map(|(_, b)| b.chunks.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(
+        session: u64,
+        shipment: u64,
+        index: usize,
+        total: usize,
+        payload: &[u8],
+    ) -> ChunkFrame {
+        ChunkFrame {
+            session,
+            shipment,
+            index,
+            total,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn files_assembles_and_dedupes() {
+        let ledger = ReassemblyLedger::new();
+        let message = b"abcdef";
+        let prior = ledger.begin_shipment(1, 0, 2, fnv64(message));
+        assert!(prior.is_empty());
+        assert_eq!(ledger.file(&frame(1, 0, 0, 2, b"abc")), Filed::Accepted);
+        assert_eq!(ledger.file(&frame(1, 0, 0, 2, b"abc")), Filed::Duplicate);
+        assert!(ledger.assemble(1, 0).is_none(), "incomplete shipment");
+        assert_eq!(ledger.file(&frame(1, 0, 1, 2, b"def")), Filed::Accepted);
+        assert_eq!(ledger.assemble(1, 0).unwrap(), message);
+        // Out-of-order arrival assembles identically.
+        let ledger2 = ReassemblyLedger::new();
+        ledger2.begin_shipment(1, 0, 2, fnv64(message));
+        ledger2.file(&frame(1, 0, 1, 2, b"def"));
+        ledger2.file(&frame(1, 0, 0, 2, b"abc"));
+        assert_eq!(ledger2.assemble(1, 0).unwrap(), message);
+    }
+
+    #[test]
+    fn reopening_reports_the_checkpoint() {
+        let ledger = ReassemblyLedger::new();
+        let sum = fnv64(b"abcdef");
+        ledger.begin_shipment(1, 0, 3, sum);
+        ledger.file(&frame(1, 0, 1, 3, b"cd"));
+        // The "session" fails here; the buffer survives. A resumed
+        // attempt learns chunk 1 already landed.
+        let prior = ledger.begin_shipment(1, 0, 3, sum);
+        assert_eq!(prior.into_iter().collect::<Vec<_>>(), vec![1]);
+        assert!(ledger.has_chunk(1, 0, 1));
+        assert_eq!(ledger.checkpointed_chunks(1), 1);
+    }
+
+    #[test]
+    fn changed_message_resets_the_checkpoint() {
+        let ledger = ReassemblyLedger::new();
+        ledger.begin_shipment(1, 0, 2, fnv64(b"old message"));
+        ledger.file(&frame(1, 0, 0, 2, b"old "));
+        let prior = ledger.begin_shipment(1, 0, 2, fnv64(b"new message"));
+        assert!(prior.is_empty(), "stale chunks must not survive");
+    }
+
+    #[test]
+    fn stale_and_mismatched_frames_are_discarded() {
+        let ledger = ReassemblyLedger::new();
+        assert_eq!(ledger.file(&frame(9, 0, 0, 1, b"x")), Filed::Stale);
+        ledger.begin_shipment(1, 0, 2, fnv64(b"ab"));
+        assert_eq!(
+            ledger.file(&frame(1, 0, 0, 5, b"a")),
+            Filed::Stale,
+            "total disagrees with the open shipment"
+        );
+    }
+
+    #[test]
+    fn forgetting_a_session_drops_only_its_buffers() {
+        let ledger = ReassemblyLedger::new();
+        ledger.begin_shipment(1, 0, 1, fnv64(b"a"));
+        ledger.file(&frame(1, 0, 0, 1, b"a"));
+        ledger.begin_shipment(2, 0, 1, fnv64(b"b"));
+        ledger.file(&frame(2, 0, 0, 1, b"b"));
+        ledger.forget_session(1);
+        assert_eq!(ledger.checkpointed_chunks(1), 0);
+        assert_eq!(ledger.file(&frame(1, 0, 0, 1, b"a")), Filed::Stale);
+        assert_eq!(ledger.checkpointed_chunks(2), 1);
+    }
+}

@@ -55,14 +55,18 @@
 //! assert!(stats.plan_cache_hits > 0); // same shape, shared plan
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod events;
+pub mod ledger;
 pub mod runtime;
 pub mod session;
 pub mod shipper;
 
-pub use cache::{plan_key, CachedPlan, PlanCache};
+pub use breaker::{BreakerTransition, CircuitBreaker};
+pub use cache::{plan_key, CachedPlan, PlanCache, PlanKey};
 pub use events::{Event, EventKind, EventLog};
+pub use ledger::{Filed, ReassemblyLedger};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError};
 pub use session::{
     ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,

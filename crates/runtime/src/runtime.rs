@@ -8,14 +8,16 @@
 //! single-path deployment, now contended by a fleet of sessions instead
 //! of exercised one exchange at a time.
 
+use crate::breaker::{BreakerTransition, CircuitBreaker};
 use crate::cache::{plan_key, CachedPlan, PlanCache};
 use crate::events::{Event, EventKind, EventLog};
+use crate::ledger::ReassemblyLedger;
 use crate::session::{
-    ExchangeRequest, Priority, SessionHandle, SessionMetrics, SessionResult, SessionShared,
-    SessionState,
+    ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,
+    SessionShared, SessionState,
 };
 use crate::shipper::{FaultTolerantShipper, ShippingPolicy};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -45,6 +47,16 @@ pub struct RuntimeConfig {
     pub optimizer: Optimizer,
     /// Communication weight of the cost model.
     pub w_comm: f64,
+    /// Age at which cached plans expire (None = never); expired and
+    /// stats-drifted entries are re-planned, so a long-lived runtime
+    /// never serves a program optimized for data that no longer exists.
+    pub plan_ttl: Option<Duration>,
+    /// Consecutive link-failed sessions before the circuit breaker
+    /// opens and refuses new admissions.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses admissions before letting one
+    /// probe session through.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -57,6 +69,9 @@ impl Default for RuntimeConfig {
             shipping: ShippingPolicy::default(),
             optimizer: Optimizer::Greedy,
             w_comm: 0.05,
+            plan_ttl: None,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_secs(5),
         }
     }
 }
@@ -97,6 +112,19 @@ impl RuntimeConfig {
         self.optimizer = optimizer;
         self
     }
+
+    /// Sets the plan-cache TTL.
+    pub fn with_plan_ttl(mut self, ttl: Duration) -> RuntimeConfig {
+        self.plan_ttl = Some(ttl);
+        self
+    }
+
+    /// Sets the circuit-breaker policy.
+    pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> RuntimeConfig {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
 }
 
 /// Why a submission was refused.
@@ -107,6 +135,18 @@ pub enum SubmitError {
         /// The bound that was hit.
         depth: usize,
     },
+    /// The link circuit breaker is open: too many consecutive shipment
+    /// failures. Retry after the hinted cooldown remainder.
+    CircuitOpen {
+        /// Time until the breaker half-opens and admits a probe.
+        retry_after: Duration,
+    },
+    /// `resume` was asked for a session the runtime has no checkpoint
+    /// for (unknown id, never failed, or already resumed).
+    UnknownSession {
+        /// The id that did not resolve.
+        id: SessionId,
+    },
     /// The runtime is shutting down.
     ShutDown,
 }
@@ -116,6 +156,13 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { depth } => {
                 write!(f, "admission refused: queue full ({depth} sessions)")
+            }
+            SubmitError::CircuitOpen { retry_after } => write!(
+                f,
+                "admission refused: link circuit open, retry in {retry_after:?}"
+            ),
+            SubmitError::UnknownSession { id } => {
+                write!(f, "resume refused: no resumable session {id}")
             }
             SubmitError::ShutDown => write!(f, "admission refused: runtime shut down"),
         }
@@ -137,14 +184,24 @@ pub struct RuntimeStats {
     pub failed: u64,
     /// Sessions that reached `Cancelled`.
     pub cancelled: u64,
+    /// Failed sessions re-admitted through [`Runtime::resume`].
+    pub resumed: u64,
     /// Plan-cache hits.
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
     pub plan_cache_misses: u64,
+    /// Cached plans evicted for outliving the TTL.
+    pub plan_cache_expired: u64,
+    /// Cached plans evicted because the probed statistics drifted.
+    pub plan_cache_stats_evicted: u64,
     /// Wire bytes transmitted, including failed attempts.
     pub bytes_shipped: u64,
     /// Chunks delivered intact.
     pub chunks_shipped: u64,
+    /// Chunks resumed sessions found checkpointed and did not re-ship.
+    pub chunks_resumed: u64,
+    /// Duplicate chunk deliveries dropped idempotently.
+    pub chunks_deduped: u64,
     /// Chunk transmissions retried.
     pub chunks_retried: u64,
     /// Per-session submit→done wall latencies of completed sessions.
@@ -214,8 +271,11 @@ struct Aggregate {
     completed: u64,
     failed: u64,
     cancelled: u64,
+    resumed: u64,
     bytes_shipped: u64,
     chunks_shipped: u64,
+    chunks_resumed: u64,
+    chunks_deduped: u64,
     chunks_retried: u64,
     latencies: Vec<Duration>,
 }
@@ -228,6 +288,13 @@ struct Inner {
     available: Condvar,
     cache: PlanCache,
     events: EventLog,
+    ledger: ReassemblyLedger,
+    breaker: CircuitBreaker,
+    /// Requests of failed sessions, kept for [`Runtime::resume`]. An
+    /// entry is consumed by the resume (the same request cannot be
+    /// resumed twice concurrently) and re-deposited if the retry fails
+    /// again.
+    resumables: Mutex<HashMap<SessionId, ExchangeRequest>>,
     next_id: AtomicU64,
     next_seq: AtomicU64,
     agg: Mutex<Aggregate>,
@@ -258,8 +325,14 @@ impl Runtime {
                 open: true,
             }),
             available: Condvar::new(),
-            cache: PlanCache::new(),
+            cache: match config.plan_ttl {
+                Some(ttl) => PlanCache::with_ttl(ttl),
+                None => PlanCache::new(),
+            },
             events: EventLog::new(),
+            ledger: ReassemblyLedger::new(),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            resumables: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             agg: Mutex::new(Aggregate::default()),
@@ -277,42 +350,72 @@ impl Runtime {
     }
 
     /// Admits a request. Returns the session handle, or an error when
-    /// the queue is full or the runtime is shutting down.
+    /// the queue is full, the link circuit breaker is open, or the
+    /// runtime is shutting down.
     pub fn submit(&self, request: ExchangeRequest) -> Result<SessionHandle, SubmitError> {
         let inner = &*self.inner;
-        let mut queue = inner.queue.lock().unwrap();
-        if !queue.open {
-            return Err(SubmitError::ShutDown);
-        }
-        if queue.heap.len() >= inner.config.max_queue_depth {
-            inner.agg.lock().unwrap().rejected += 1;
-            inner.events.push(
-                0,
-                EventKind::Rejected,
-                format!("{}: queue full", request.name),
-            );
-            return Err(SubmitError::QueueFull {
-                depth: inner.config.max_queue_depth,
-            });
+        match inner.breaker.try_admit() {
+            Ok(None) => {}
+            Ok(Some(BreakerTransition::HalfOpened)) => {
+                inner
+                    .events
+                    .push(0, EventKind::CircuitHalfOpened, "probe admitted");
+            }
+            Ok(Some(_)) => unreachable!("try_admit only half-opens"),
+            Err(retry_after) => {
+                inner.agg.lock().unwrap().rejected += 1;
+                inner.events.push(
+                    0,
+                    EventKind::Rejected,
+                    format!("{}: circuit open", request.name),
+                );
+                return Err(SubmitError::CircuitOpen { retry_after });
+            }
         }
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let shared = SessionShared::new(id, request.name.clone());
-        inner.events.push(
-            id,
-            EventKind::Submitted,
-            format!("{} ({:?})", request.name, request.priority),
-        );
-        inner.agg.lock().unwrap().admitted += 1;
-        queue.heap.push(QueuedSession {
-            priority: request.priority,
-            seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
-            enqueued: Instant::now(),
-            request,
-            shared: Arc::clone(&shared),
-        });
-        drop(queue);
-        inner.available.notify_one();
-        Ok(SessionHandle { shared })
+        inner
+            .enqueue(request, id, false)
+            .map_err(|refused| refused.0)
+    }
+
+    /// Re-admits a *failed* session under its original id, reusing the
+    /// cached plan and the shipping checkpoint: chunks that already
+    /// landed are not re-shipped — only the unacknowledged remainder
+    /// crosses the link. The original deadline is lifted: resume is an
+    /// explicit operator decision to finish the exchange, made after the
+    /// deadline already had its say.
+    ///
+    /// Resume is the operator's recovery probe, so it intentionally
+    /// bypasses the circuit breaker.
+    pub fn resume(&self, session_id: SessionId) -> Result<SessionHandle, SubmitError> {
+        let inner = &*self.inner;
+        let mut request = inner
+            .resumables
+            .lock()
+            .unwrap()
+            .remove(&session_id)
+            .ok_or(SubmitError::UnknownSession { id: session_id })?;
+        request.deadline = None;
+        match inner.enqueue(request, session_id, true) {
+            Ok(handle) => {
+                inner.agg.lock().unwrap().resumed += 1;
+                Ok(handle)
+            }
+            Err(refused) => {
+                // Not admitted: keep the checkpoint resumable.
+                let (e, request) = *refused;
+                inner.resumables.lock().unwrap().insert(session_id, request);
+                Err(e)
+            }
+        }
+    }
+
+    /// Swaps the shared link's fault model at runtime — the operator's
+    /// "the network was repaired / degraded" knob. In-flight chunk
+    /// transmissions finish under the old model; subsequent ones use the
+    /// new one.
+    pub fn set_fault_profile(&self, profile: FaultProfile) {
+        self.inner.link.lock().unwrap().set_fault_profile(profile);
     }
 
     /// A snapshot of the aggregate statistics so far.
@@ -369,6 +472,57 @@ fn worker_loop(inner: &Inner) {
 }
 
 impl Inner {
+    /// Queues `request` as session `id` (fresh or resumed), or hands the
+    /// request back with the refusal (boxed: the request embeds a whole
+    /// source database, too big for an inline `Err`).
+    fn enqueue(
+        &self,
+        request: ExchangeRequest,
+        id: SessionId,
+        resumed: bool,
+    ) -> Result<SessionHandle, Box<(SubmitError, ExchangeRequest)>> {
+        let mut queue = self.queue.lock().unwrap();
+        if !queue.open {
+            return Err(Box::new((SubmitError::ShutDown, request)));
+        }
+        if queue.heap.len() >= self.config.max_queue_depth {
+            self.agg.lock().unwrap().rejected += 1;
+            self.events.push(
+                id,
+                EventKind::Rejected,
+                format!("{}: queue full", request.name),
+            );
+            return Err(Box::new((
+                SubmitError::QueueFull {
+                    depth: self.config.max_queue_depth,
+                },
+                request,
+            )));
+        }
+        let shared = SessionShared::new(id, request.name.clone(), request.deadline);
+        let kind = if resumed {
+            EventKind::Resumed
+        } else {
+            EventKind::Submitted
+        };
+        self.events.push(
+            id,
+            kind,
+            format!("{} ({:?})", request.name, request.priority),
+        );
+        self.agg.lock().unwrap().admitted += 1;
+        queue.heap.push(QueuedSession {
+            priority: request.priority,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            enqueued: Instant::now(),
+            request,
+            shared: Arc::clone(&shared),
+        });
+        drop(queue);
+        self.available.notify_one();
+        Ok(SessionHandle { shared })
+    }
+
     fn stats(&self) -> RuntimeStats {
         let agg = self.agg.lock().unwrap();
         RuntimeStats {
@@ -377,10 +531,15 @@ impl Inner {
             completed: agg.completed,
             failed: agg.failed,
             cancelled: agg.cancelled,
+            resumed: agg.resumed,
             plan_cache_hits: self.cache.hits(),
             plan_cache_misses: self.cache.misses(),
+            plan_cache_expired: self.cache.expired(),
+            plan_cache_stats_evicted: self.cache.stats_evicted(),
             bytes_shipped: agg.bytes_shipped,
             chunks_shipped: agg.chunks_shipped,
+            chunks_resumed: agg.chunks_resumed,
+            chunks_deduped: agg.chunks_deduped,
             chunks_retried: agg.chunks_retried,
             latencies: agg.latencies.clone(),
         }
@@ -406,6 +565,20 @@ impl Inner {
                 metrics,
                 None,
                 Some("cancelled while queued".into()),
+            );
+            return;
+        }
+        if shared.deadline_exceeded() {
+            self.events
+                .push(shared.id, EventKind::DeadlineExceeded, "while queued");
+            self.resumables.lock().unwrap().insert(shared.id, request);
+            self.finish(
+                &shared,
+                enqueued,
+                SessionState::Failed,
+                metrics,
+                None,
+                Some("deadline exceeded while queued".into()),
             );
             return;
         }
@@ -445,7 +618,7 @@ impl Inner {
                 self.events.push(
                     shared.id,
                     EventKind::PlanCacheHit,
-                    format!("key {key:016x}"),
+                    format!("key {:016x}/{:016x}", key.shape, key.stats),
                 );
                 cached
             }
@@ -453,7 +626,7 @@ impl Inner {
                 self.events.push(
                     shared.id,
                     EventKind::PlanCacheMiss,
-                    format!("key {key:016x}"),
+                    format!("key {:016x}/{:016x}", key.shape, key.stats),
                 );
                 match exchange.plan(&model) {
                     Ok((program, cost)) => self.cache.insert(key, CachedPlan { program, cost }),
@@ -484,8 +657,23 @@ impl Inner {
             );
             return;
         }
+        if shared.deadline_exceeded() {
+            self.events
+                .push(shared.id, EventKind::DeadlineExceeded, "after planning");
+            self.resumables.lock().unwrap().insert(shared.id, request);
+            self.finish(
+                &shared,
+                enqueued,
+                SessionState::Failed,
+                metrics,
+                None,
+                Some("deadline exceeded after planning".into()),
+            );
+            return;
+        }
 
-        // Execute (Step 4) over the fault-tolerant shipper.
+        // Execute (Step 4) over the fault-tolerant shipper. Writes are
+        // staged: a run that dies mid-exchange rolls the target back.
         shared.set_state(SessionState::Executing);
         self.events.push(
             shared.id,
@@ -493,8 +681,13 @@ impl Inner {
             format!("estimated cost {:.1}", plan.cost),
         );
         let mut target = Database::new(format!("{}-target", shared.name));
-        let mut shipper =
-            FaultTolerantShipper::new(&self.link, self.config.shipping, &shared, &self.events);
+        let mut shipper = FaultTolerantShipper::new(
+            &self.link,
+            self.config.shipping,
+            &shared,
+            &self.events,
+            &self.ledger,
+        );
         let outcome = execute_with_transport(
             &self.schema,
             &exchange.source_frag,
@@ -513,6 +706,8 @@ impl Inner {
         metrics.retry_backoff = ship.retry_backoff;
         metrics.bytes_shipped = ship.wire_bytes;
         metrics.chunks_shipped = ship.chunks_shipped;
+        metrics.chunks_resumed = ship.chunks_resumed;
+        metrics.chunks_deduped = ship.chunks_deduped;
         metrics.chunks_retried = ship.chunks_retried;
         metrics.source_counters = request.source.counters;
         metrics.target_counters = target.counters;
@@ -520,6 +715,12 @@ impl Inner {
             Ok(out) => {
                 metrics.messages = out.messages;
                 metrics.rows_loaded = out.rows_loaded;
+                // The checkpoint served its purpose; drop it.
+                self.ledger.forget_session(shared.id);
+                if let Some(BreakerTransition::Closed) = self.breaker.record_success() {
+                    self.events
+                        .push(shared.id, EventKind::CircuitClosed, "probe succeeded");
+                }
                 self.finish(
                     &shared,
                     enqueued,
@@ -530,12 +731,44 @@ impl Inner {
                 );
             }
             Err(e) => {
-                let state = if shared.is_cancelled() {
-                    SessionState::Cancelled
-                } else {
-                    SessionState::Failed
-                };
-                self.finish(&shared, enqueued, state, metrics, None, Some(e.to_string()));
+                let diagnostic = e.to_string();
+                if shared.is_cancelled() {
+                    self.finish(
+                        &shared,
+                        enqueued,
+                        SessionState::Cancelled,
+                        metrics,
+                        None,
+                        Some(diagnostic),
+                    );
+                    return;
+                }
+                if shared.deadline_exceeded() {
+                    self.events
+                        .push(shared.id, EventKind::DeadlineExceeded, &diagnostic);
+                }
+                if ship.link_gave_up {
+                    if let Some(BreakerTransition::Opened) = self.breaker.record_failure() {
+                        self.events.push(
+                            shared.id,
+                            EventKind::CircuitOpened,
+                            format!("cooldown {:?}", self.config.breaker_cooldown),
+                        );
+                    }
+                }
+                // Keep the request resumable: the shipping checkpoint
+                // (ledger) and the cached plan make the retry cheap.
+                self.resumables.lock().unwrap().insert(shared.id, request);
+                // The rolled-back target travels with the result as
+                // observable proof that no partial tables survived.
+                self.finish(
+                    &shared,
+                    enqueued,
+                    SessionState::Failed,
+                    metrics,
+                    Some(target),
+                    Some(diagnostic),
+                );
             }
         }
     }
@@ -554,6 +787,8 @@ impl Inner {
             let mut agg = self.agg.lock().unwrap();
             agg.bytes_shipped += metrics.bytes_shipped;
             agg.chunks_shipped += metrics.chunks_shipped;
+            agg.chunks_resumed += metrics.chunks_resumed;
+            agg.chunks_deduped += metrics.chunks_deduped;
             agg.chunks_retried += metrics.chunks_retried;
             match state {
                 SessionState::Done => {

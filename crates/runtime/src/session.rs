@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xdx_core::{Fragmentation, SystemProfile};
 use xdx_relational::{Counters, Database};
 
@@ -92,6 +92,10 @@ pub struct ExchangeRequest {
     pub source_profile: SystemProfile,
     /// Target system capabilities/speed.
     pub target_profile: SystemProfile,
+    /// Wall-clock budget from admission to completion; a session that
+    /// overruns it fails with a `deadline exceeded` diagnostic (and can
+    /// be resumed with a fresh budget).
+    pub deadline: Option<Duration>,
 }
 
 impl ExchangeRequest {
@@ -110,12 +114,19 @@ impl ExchangeRequest {
             priority: Priority::Normal,
             source_profile: SystemProfile::default(),
             target_profile: SystemProfile::default(),
+            deadline: None,
         }
     }
 
     /// Sets the scheduling priority.
     pub fn with_priority(mut self, priority: Priority) -> ExchangeRequest {
         self.priority = priority;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> ExchangeRequest {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -148,8 +159,14 @@ pub struct SessionMetrics {
     pub bytes_shipped: u64,
     /// Logical cross-edge messages shipped.
     pub messages: usize,
-    /// Chunks that arrived intact (failed attempts not counted).
+    /// Chunks that arrived intact *during this run* (failed attempts
+    /// not counted).
     pub chunks_shipped: u64,
+    /// Chunks found already checkpointed in the reassembly ledger and
+    /// not re-shipped (nonzero only for resumed sessions).
+    pub chunks_resumed: u64,
+    /// Duplicate chunk deliveries detected and dropped idempotently.
+    pub chunks_deduped: u64,
     /// Chunk transmissions that failed and were retried.
     pub chunks_retried: u64,
     /// Rows loaded into target tables.
@@ -169,7 +186,10 @@ pub struct SessionResult {
     pub state: SessionState,
     /// Measurements up to the terminal transition.
     pub metrics: SessionMetrics,
-    /// The populated target database (`Done` only).
+    /// The target database: populated for `Done`; present but *rolled
+    /// back* (no tables, no rows) for a session that failed during
+    /// execution — observable proof that a dying `Write` left nothing
+    /// half-loaded. `None` when execution never started.
     pub target: Option<Database>,
     /// Why the session failed or was abandoned.
     pub diagnostic: Option<String>,
@@ -180,6 +200,11 @@ pub struct SessionResult {
 pub(crate) struct SessionShared {
     pub(crate) id: SessionId,
     pub(crate) name: String,
+    /// Admission instant; the deadline clock starts here, so queue wait
+    /// counts against the budget (a deadline is a promise to the caller,
+    /// not to the worker).
+    submitted_at: Instant,
+    deadline: Option<Duration>,
     state: Mutex<SessionState>,
     state_changed: Condvar,
     pub(crate) cancelled: AtomicBool,
@@ -187,15 +212,27 @@ pub(crate) struct SessionShared {
 }
 
 impl SessionShared {
-    pub(crate) fn new(id: SessionId, name: String) -> Arc<SessionShared> {
+    pub(crate) fn new(
+        id: SessionId,
+        name: String,
+        deadline: Option<Duration>,
+    ) -> Arc<SessionShared> {
         Arc::new(SessionShared {
             id,
             name,
+            submitted_at: Instant::now(),
+            deadline,
             state: Mutex::new(SessionState::Queued),
             state_changed: Condvar::new(),
             cancelled: AtomicBool::new(false),
             result: Mutex::new(None),
         })
+    }
+
+    /// True once the wall-clock budget is spent.
+    pub(crate) fn deadline_exceeded(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| self.submitted_at.elapsed() > d)
     }
 
     pub(crate) fn state(&self) -> SessionState {
@@ -304,8 +341,18 @@ mod tests {
     }
 
     #[test]
+    fn deadline_clock_starts_at_admission() {
+        let shared = SessionShared::new(1, "d".into(), Some(Duration::from_millis(5)));
+        assert!(!shared.deadline_exceeded());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(shared.deadline_exceeded());
+        let unbounded = SessionShared::new(2, "u".into(), None);
+        assert!(!unbounded.deadline_exceeded());
+    }
+
+    #[test]
     fn wait_returns_result_finished_from_another_thread() {
-        let shared = SessionShared::new(7, "t".into());
+        let shared = SessionShared::new(7, "t".into(), None);
         let waiter = Arc::clone(&shared);
         let t = std::thread::spawn(move || waiter.wait_terminal());
         shared.finish(SessionResult {

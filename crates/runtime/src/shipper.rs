@@ -1,14 +1,21 @@
-//! Fault-tolerant chunked shipping over an unreliable shared link.
+//! Fault-tolerant, *checkpointed* chunked shipping over an unreliable
+//! shared link.
 //!
 //! The executor hands the shipper one serialized cross-edge message at a
 //! time (already framed as an HTTP POST). The shipper slices it into
-//! chunks, frames each with an index/total/length/checksum header, and
-//! transmits them through the shared [`Link`]'s probabilistic fault
-//! model, retrying damaged or lost chunks with exponential backoff until
-//! the chunk lands, the per-chunk attempt cap is hit, or the session's
-//! retry budget runs out. Because every chunk is checksum-verified, a
-//! shipment either reassembles to *exactly* the bytes that were sent or
-//! fails loudly — rows are never silently lost or corrupted.
+//! chunks, frames each with its full shipment identity — session,
+//! per-session shipment sequence number, index, total, length, checksum
+//! ([`xdx_net::ChunkFrame`]) — and transmits them through the shared
+//! [`Link`]'s probabilistic fault model, retrying damaged or lost chunks
+//! with exponential backoff.
+//!
+//! Every verified frame is filed in the receiver-side
+//! [`ReassemblyLedger`] under the coordinates *in the frame*, so chunks
+//! that arrive reordered, duplicated, or cross-delivered during another
+//! session's transmission all land in the right slot, and exact repeats
+//! are dropped idempotently. Because the ledger outlives a failed
+//! session, a resumed session re-ships only the chunks that never
+//! arrived: everything checkpointed is skipped (`chunks_resumed`).
 //!
 //! The link is a serialized shared resource (the paper's single
 //! wide-area path): concurrent sessions interleave at chunk granularity,
@@ -16,12 +23,13 @@
 //! simulated transfer.
 
 use crate::events::{EventKind, EventLog};
+use crate::ledger::{Filed, ReassemblyLedger};
 use crate::session::{SessionShared, SessionState};
 use std::sync::Mutex;
 use std::time::Duration;
 use xdx_core::error::{Error, Result};
 use xdx_core::Transport;
-use xdx_net::{Delivery, Link};
+use xdx_net::{fnv64, frame_chunk, ChunkFrame, Delivery, Link};
 
 /// Retry/chunking policy of the shipping layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,69 +73,34 @@ impl ShippingPolicy {
 /// Shipping-side tallies, folded into the session metrics afterwards.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct ShipStats {
+    pub shipments: u64,
     pub chunks_shipped: u64,
+    pub chunks_resumed: u64,
+    pub chunks_deduped: u64,
     pub chunks_retried: u64,
     pub retry_backoff: Duration,
     pub wire_bytes: u64,
+    /// True when the shipment failed because the *link* defeated the
+    /// policy (attempt cap or retry budget) — the signal the circuit
+    /// breaker listens for. Cancellations and deadlines leave it false.
+    pub link_gave_up: bool,
 }
 
-/// FNV-1a 64-bit hash; also used by the plan cache for stable keys.
-pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// A transmission consumed the link but delivered a *different* verified
+/// frame (reordering pipeline) or parked ours in the deferred queue.
+/// Bounded: the link's deferred queue holds at most a handful of frames,
+/// so a parked chunk reappears within that many transmissions. The cap
+/// turns a hypothetically livelocked loop into a counted failure.
+const MAX_STALLS_PER_CHUNK: u32 = 32;
 
-const CHUNK_MAGIC: &str = "XDXCHUNK";
-
-/// Frames one chunk: `XDXCHUNK <index> <total> <len> <fnv64:016x>\n`
-/// followed by the raw payload bytes.
-fn frame_chunk(index: usize, total: usize, payload: &[u8]) -> Vec<u8> {
-    let header = format!(
-        "{CHUNK_MAGIC} {index} {total} {len} {sum:016x}\n",
-        len = payload.len(),
-        sum = fnv64(payload),
-    );
-    let mut frame = Vec::with_capacity(header.len() + payload.len());
-    frame.extend_from_slice(header.as_bytes());
-    frame.extend_from_slice(payload);
-    frame
-}
-
-/// Parses and verifies a received chunk frame. Returns `(index, total,
-/// payload)` only when the header is intact, the length matches and the
-/// checksum verifies — any byte damage anywhere in the frame fails it.
-fn parse_chunk(frame: &[u8]) -> Option<(usize, usize, Vec<u8>)> {
-    let newline = frame.iter().position(|&b| b == b'\n')?;
-    let header = std::str::from_utf8(&frame[..newline]).ok()?;
-    let mut parts = header.split(' ');
-    if parts.next()? != CHUNK_MAGIC {
-        return None;
-    }
-    let index: usize = parts.next()?.parse().ok()?;
-    let total: usize = parts.next()?.parse().ok()?;
-    let len: usize = parts.next()?.parse().ok()?;
-    let sum = u64::from_str_radix(parts.next()?, 16).ok()?;
-    if parts.next().is_some() {
-        return None;
-    }
-    let payload = &frame[newline + 1..];
-    if payload.len() != len || fnv64(payload) != sum || index >= total {
-        return None;
-    }
-    Some((index, total, payload.to_vec()))
-}
-
-/// The runtime's [`Transport`]: chunked, checksummed, retrying shipment
-/// over a link shared by all sessions.
+/// The runtime's [`Transport`]: chunked, checksummed, checkpointed,
+/// retrying shipment over a link shared by all sessions.
 pub(crate) struct FaultTolerantShipper<'a> {
     link: &'a Mutex<Link>,
     policy: ShippingPolicy,
     session: &'a SessionShared,
     events: &'a EventLog,
+    ledger: &'a ReassemblyLedger,
     budget_left: u32,
     pub(crate) stats: ShipStats,
 }
@@ -138,34 +111,51 @@ impl<'a> FaultTolerantShipper<'a> {
         policy: ShippingPolicy,
         session: &'a SessionShared,
         events: &'a EventLog,
+        ledger: &'a ReassemblyLedger,
     ) -> FaultTolerantShipper<'a> {
         FaultTolerantShipper {
             link,
             policy,
             session,
             events,
+            ledger,
             budget_left: policy.retry_budget,
             stats: ShipStats::default(),
         }
     }
 
-    /// Transmits one framed chunk until it arrives intact or the policy
-    /// gives up. Returns the verified payload plus the simulated time
-    /// spent (transfers, timeout waits, backoff).
+    /// Files a verified frame in the ledger, tallying duplicates.
+    fn file(&mut self, frame: &ChunkFrame) {
+        if self.ledger.file(frame) == Filed::Duplicate {
+            self.stats.chunks_deduped += 1;
+        }
+    }
+
+    /// Transmits the chunk at `index` until a copy of it lands in the
+    /// ledger or the policy gives up. Returns the simulated time spent
+    /// (transfers, timeout waits, backoff).
     fn ship_chunk(
         &mut self,
         label: &str,
+        shipment: u64,
         index: usize,
         total: usize,
         payload: &[u8],
-    ) -> Result<(Duration, Vec<u8>)> {
-        let frame = frame_chunk(index, total, payload);
+    ) -> Result<Duration> {
+        let session_id = self.session.id;
+        let frame = frame_chunk(session_id, shipment, index, total, payload);
         let mut elapsed = Duration::ZERO;
         let mut failed_attempts = 0u32;
+        let mut stalls = 0u32;
         loop {
             if self.session.is_cancelled() {
                 return Err(Error::Engine(format!(
                     "session cancelled while shipping {label} chunk {index}/{total}"
+                )));
+            }
+            if self.session.deadline_exceeded() {
+                return Err(Error::Engine(format!(
+                    "deadline exceeded while shipping {label} chunk {index}/{total}"
                 )));
             }
             let (duration, delivery) = self
@@ -175,28 +165,46 @@ impl<'a> FaultTolerantShipper<'a> {
                 .transmit_faulty(format!("{label}[{index}/{total}]"), &frame);
             elapsed += duration;
             self.stats.wire_bytes += frame.len() as u64;
-            let verified = delivery
-                .payload()
-                .and_then(parse_chunk)
-                .filter(|(got_index, got_total, _)| *got_index == index && *got_total == total);
-            if let Some((_, _, payload)) = verified {
+            // File whatever verified frame the link produced — ours, an
+            // older deferred one, even another session's. Duplicated
+            // deliveries are filed twice; the ledger drops the repeat.
+            let verified = delivery.payload().and_then(ChunkFrame::decode);
+            if let Some(arrived) = &verified {
+                self.file(arrived);
+                if matches!(delivery, Delivery::Duplicated(_)) {
+                    self.file(arrived);
+                }
+            }
+            if self.ledger.has_chunk(session_id, shipment, index) {
                 self.stats.chunks_shipped += 1;
-                return Ok((elapsed, payload));
+                return Ok(elapsed);
+            }
+            // The link consumed the transmission without landing our
+            // chunk. A verified *other* frame or a deferral is progress
+            // — the reorder pipeline will surface our copy shortly — so
+            // it does not burn attempts or budget (up to a cap).
+            let progressed = verified.is_some() || matches!(delivery, Delivery::Deferred);
+            if progressed && stalls < MAX_STALLS_PER_CHUNK {
+                stalls += 1;
+                continue;
             }
             failed_attempts += 1;
             let cause = match delivery {
                 Delivery::Dropped => "dropped",
                 Delivery::TimedOut => "timed out",
                 Delivery::Corrupted(_) => "corrupted",
-                Delivery::Delivered(_) => "frame damaged",
+                Delivery::Deferred => "deferred livelock",
+                Delivery::Delivered(_) | Delivery::Duplicated(_) => "frame damaged",
             };
             if failed_attempts >= self.policy.max_attempts_per_chunk {
+                self.stats.link_gave_up = true;
                 return Err(Error::Engine(format!(
                     "shipping {label} chunk {index}/{total}: gave up after \
                      {failed_attempts} attempts (last outcome: {cause})"
                 )));
             }
             if self.budget_left == 0 {
+                self.stats.link_gave_up = true;
                 return Err(Error::Engine(format!(
                     "shipping {label} chunk {index}/{total}: session retry \
                      budget ({}) exhausted (last outcome: {cause})",
@@ -209,7 +217,7 @@ impl<'a> FaultTolerantShipper<'a> {
             self.stats.retry_backoff += backoff;
             elapsed += backoff;
             self.events.push(
-                self.session.id,
+                session_id,
                 EventKind::ChunkRetried,
                 format!("{label} chunk {index}/{total} {cause}, retry {failed_attempts}"),
             );
@@ -220,17 +228,47 @@ impl<'a> FaultTolerantShipper<'a> {
 impl Transport for FaultTolerantShipper<'_> {
     fn ship(&mut self, label: &str, message: &[u8]) -> Result<(Duration, Vec<u8>)> {
         self.session.set_state(SessionState::Shipping);
+        let session_id = self.session.id;
+        let shipment = self.stats.shipments;
+        self.stats.shipments += 1;
         let chunk_bytes = self.policy.chunk_bytes.max(1);
         let total = message.len().div_ceil(chunk_bytes).max(1);
-        let mut assembled = Vec::with_capacity(message.len());
+        // Open the shipment in the ledger; chunks checkpointed by a
+        // previous (failed) attempt are skipped, not re-shipped.
+        let prior = self
+            .ledger
+            .begin_shipment(session_id, shipment, total, fnv64(message));
+        if !prior.is_empty() {
+            self.stats.chunks_resumed += prior.len() as u64;
+            self.events.push(
+                session_id,
+                EventKind::ShipmentResumed,
+                format!(
+                    "{label}: {} of {total} chunks checkpointed, re-shipping {}",
+                    prior.len(),
+                    total - prior.len()
+                ),
+            );
+        }
         let mut elapsed = Duration::ZERO;
         let mut result = Ok(());
-        for (index, chunk) in message.chunks(chunk_bytes).enumerate() {
-            match self.ship_chunk(label, index, total, chunk) {
-                Ok((duration, payload)) => {
-                    elapsed += duration;
-                    assembled.extend_from_slice(&payload);
-                }
+        let chunks: Vec<&[u8]> = if message.is_empty() {
+            vec![&[]]
+        } else {
+            message.chunks(chunk_bytes).collect()
+        };
+        for (index, chunk) in chunks.into_iter().enumerate() {
+            if prior.contains(&index) {
+                continue;
+            }
+            if self.ledger.has_chunk(session_id, shipment, index) {
+                // Landed meanwhile via the reorder pipeline (possibly
+                // transmitted by another session sharing the link).
+                self.stats.chunks_shipped += 1;
+                continue;
+            }
+            match self.ship_chunk(label, shipment, index, total, chunk) {
+                Ok(duration) => elapsed += duration,
                 Err(e) => {
                     result = Err(e);
                     break;
@@ -239,6 +277,10 @@ impl Transport for FaultTolerantShipper<'_> {
         }
         self.session.set_state(SessionState::Executing);
         result?;
+        let assembled = self
+            .ledger
+            .assemble(session_id, shipment)
+            .ok_or_else(|| Error::Engine(format!("shipment {shipment} did not reassemble")))?;
         debug_assert_eq!(assembled, message, "verified chunks reassemble exactly");
         Ok((elapsed, assembled))
     }
@@ -250,32 +292,11 @@ mod tests {
     use xdx_net::{FaultProfile, NetworkProfile};
 
     fn session() -> std::sync::Arc<SessionShared> {
-        SessionShared::new(1, "test".into())
+        SessionShared::new(1, "test".into(), None)
     }
 
-    #[test]
-    fn chunk_frames_roundtrip() {
-        let payload = b"hello, fragmented world";
-        let frame = frame_chunk(3, 7, payload);
-        let (index, total, back) = parse_chunk(&frame).unwrap();
-        assert_eq!((index, total), (3, 7));
-        assert_eq!(back, payload);
-        // Empty payloads frame too.
-        let (_, _, empty) = parse_chunk(&frame_chunk(0, 1, b"")).unwrap();
-        assert!(empty.is_empty());
-    }
-
-    #[test]
-    fn any_single_byte_flip_is_detected() {
-        let frame = frame_chunk(0, 2, b"sensitive payload");
-        for i in 0..frame.len() {
-            let mut damaged = frame.clone();
-            damaged[i] ^= 0x40;
-            let still_ok = parse_chunk(&damaged)
-                .map(|(index, total, p)| index == 0 && total == 2 && p == b"sensitive payload")
-                .unwrap_or(false);
-            assert!(!still_ok, "flip at byte {i} went undetected");
-        }
+    fn shipper_parts() -> (std::sync::Arc<SessionShared>, EventLog, ReassemblyLedger) {
+        (session(), EventLog::new(), ReassemblyLedger::new())
     }
 
     #[test]
@@ -286,20 +307,21 @@ mod tests {
                 timeout_probability: 0.05,
                 corrupt_probability: 0.10,
                 seed: 42,
+                ..FaultProfile::healthy()
             }),
         );
-        let session = session();
-        let events = EventLog::new();
+        let (session, events, ledger) = shipper_parts();
         let policy = ShippingPolicy {
             chunk_bytes: 64,
             ..ShippingPolicy::default()
         };
-        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events);
+        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
         let message: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
         let (elapsed, delivered) = shipper.ship("feed ITEM", &message).unwrap();
         assert_eq!(delivered, message);
         assert!(elapsed > Duration::ZERO);
         assert_eq!(shipper.stats.chunks_shipped, 2000usize.div_ceil(64) as u64);
+        assert_eq!(shipper.stats.chunks_resumed, 0);
         // A 30% fault rate over 32 chunks virtually guarantees retries.
         assert!(shipper.stats.chunks_retried > 0);
         assert_eq!(
@@ -310,6 +332,69 @@ mod tests {
         assert!(shipper.stats.wire_bytes > message.len() as u64);
         // The shipper leaves the session back in Executing.
         assert_eq!(session.state(), SessionState::Executing);
+        assert!(!shipper.stats.link_gave_up);
+    }
+
+    #[test]
+    fn reordering_and_duplication_still_reassemble_exactly() {
+        let link = Mutex::new(
+            Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
+                reorder_probability: 0.25,
+                duplicate_probability: 0.15,
+                seed: 7,
+                ..FaultProfile::healthy()
+            }),
+        );
+        let (session, events, ledger) = shipper_parts();
+        let policy = ShippingPolicy {
+            chunk_bytes: 32,
+            ..ShippingPolicy::default()
+        };
+        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let message: Vec<u8> = (0..3000u32).map(|i| (i * 7 % 256) as u8).collect();
+        let (_, delivered) = shipper.ship("feed R", &message).unwrap();
+        assert_eq!(delivered, message);
+        // Duplicated deliveries were filed twice and dropped once.
+        assert!(shipper.stats.chunks_deduped > 0, "{:?}", shipper.stats);
+    }
+
+    #[test]
+    fn checkpointed_chunks_are_not_reshipped() {
+        let network = NetworkProfile::lan();
+        let (session, events, ledger) = shipper_parts();
+        let policy = ShippingPolicy {
+            chunk_bytes: 64,
+            max_attempts_per_chunk: 3,
+            ..ShippingPolicy::default()
+        };
+        let message: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let total = 1000usize.div_ceil(64) as u64;
+
+        // First attempt: a drop-heavy link defeats the tight attempt
+        // cap partway through the shipment.
+        let link = Mutex::new(Link::new(network).with_fault_profile(FaultProfile {
+            drop_probability: 0.35,
+            seed: 3,
+            ..FaultProfile::healthy()
+        }));
+        let mut first = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let err = first.ship("feed C", &message).unwrap_err();
+        assert!(err.to_string().contains("gave up"), "{err}");
+        assert!(first.stats.link_gave_up);
+        let landed = first.stats.chunks_shipped;
+        assert!(landed > 0 && landed < total, "partial landing: {landed}");
+        assert_eq!(ledger.checkpointed_chunks(session.id), landed as usize);
+
+        // Second attempt over a repaired link: only the remainder ships.
+        link.lock()
+            .unwrap()
+            .set_fault_profile(FaultProfile::healthy());
+        let mut second = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let (_, delivered) = second.ship("feed C", &message).unwrap();
+        assert_eq!(delivered, message);
+        assert_eq!(second.stats.chunks_resumed, landed);
+        assert_eq!(second.stats.chunks_shipped, total - landed);
+        assert_eq!(events.count(EventKind::ShipmentResumed), 1);
     }
 
     #[test]
@@ -317,18 +402,18 @@ mod tests {
         let link = Mutex::new(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
-        let session = session();
-        let events = EventLog::new();
+        let (session, events, ledger) = shipper_parts();
         let policy = ShippingPolicy {
             chunk_bytes: 64,
             max_attempts_per_chunk: 100,
             retry_budget: 5,
             ..ShippingPolicy::default()
         };
-        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events);
+        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
         let err = shipper.ship("feed X", b"some payload").unwrap_err();
         assert!(err.to_string().contains("retry budget"), "{err}");
         assert_eq!(shipper.stats.chunks_retried, 5);
+        assert!(shipper.stats.link_gave_up);
     }
 
     #[test]
@@ -336,13 +421,12 @@ mod tests {
         let link = Mutex::new(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
-        let session = session();
-        let events = EventLog::new();
+        let (session, events, ledger) = shipper_parts();
         let policy = ShippingPolicy {
             max_attempts_per_chunk: 3,
             ..ShippingPolicy::default()
         };
-        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events);
+        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
         let err = shipper.ship("feed X", b"payload").unwrap_err();
         assert!(err.to_string().contains("gave up after 3"), "{err}");
     }
@@ -352,15 +436,31 @@ mod tests {
         let link = Mutex::new(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
-        let session = session();
+        let (session, events, ledger) = shipper_parts();
         session
             .cancelled
             .store(true, std::sync::atomic::Ordering::Relaxed);
-        let events = EventLog::new();
         let mut shipper =
-            FaultTolerantShipper::new(&link, ShippingPolicy::default(), &session, &events);
+            FaultTolerantShipper::new(&link, ShippingPolicy::default(), &session, &events, &ledger);
         let err = shipper.ship("feed X", b"payload").unwrap_err();
         assert!(err.to_string().contains("cancelled"), "{err}");
+        assert!(!shipper.stats.link_gave_up, "cancellation is not the link");
+    }
+
+    #[test]
+    fn deadline_interrupts_shipping_without_blaming_the_link() {
+        let link = Mutex::new(
+            Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
+        );
+        let session = SessionShared::new(1, "t".into(), Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(2));
+        let events = EventLog::new();
+        let ledger = ReassemblyLedger::new();
+        let mut shipper =
+            FaultTolerantShipper::new(&link, ShippingPolicy::default(), &session, &events, &ledger);
+        let err = shipper.ship("feed X", b"payload").unwrap_err();
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+        assert!(!shipper.stats.link_gave_up);
     }
 
     #[test]

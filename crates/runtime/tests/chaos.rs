@@ -1,0 +1,452 @@
+//! Seeded chaos harness: adversarial link models against the recovery
+//! layer.
+//!
+//! Every adversarial [`FaultProfile`] — Gilbert–Elliott burst loss,
+//! reordering, duplication, multi-byte burst corruption, and all of them
+//! at once — is run across several deterministic seeds, and the surviving
+//! target databases must be **byte-identical** (same wire serialization)
+//! to a healthy-link baseline. On top of the matrix: resume re-ships only
+//! the never-acknowledged chunks, the circuit breaker opens/half-opens/
+//! closes around a link outage, and deadlines fail sessions without
+//! blaming the link.
+//!
+//! Set `XDX_CHAOS_SEED=<u64>` to extend the seed list (the CI chaos job
+//! feeds its matrix through this).
+
+use std::time::Duration;
+use xdx_net::{BurstLoss, FaultProfile, Link, NetworkProfile};
+use xdx_relational::Database;
+use xdx_runtime::{
+    EventKind, ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy, SubmitError,
+};
+use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+
+/// The ground truth: the same exchange over a perfect link.
+fn reference_target(doc: &str) -> Database {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let mut source = load_source(doc, &schema, &mf).unwrap();
+    let mut target = Database::new("reference");
+    let mut link = Link::new(NetworkProfile::lan());
+    let exchange = xdx_core::DataExchange::new(&schema, mf, lf);
+    exchange.run(&mut source, &mut target, &mut link).unwrap();
+    target
+}
+
+/// Serializes a database to its canonical wire form: table names in
+/// sorted order, each followed by its feed's wire serialization. Two
+/// databases with equal wire state are byte-identical for our purposes.
+fn wire_state(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    for name in db.table_names() {
+        out.extend_from_slice(name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(db.table(name).unwrap().data.to_wire().as_bytes());
+    }
+    out
+}
+
+/// The adversarial profiles of the matrix. Severities are chosen so the
+/// retry policy can still win — the *data* must survive, that is the
+/// point — while leaving each failure mode clearly exercised.
+fn adversarial_profiles(seed: u64) -> Vec<(&'static str, FaultProfile)> {
+    vec![
+        (
+            "burst-loss",
+            FaultProfile {
+                burst_loss: Some(BurstLoss {
+                    enter: 0.08,
+                    exit: 0.35,
+                    loss: 0.9,
+                }),
+                seed,
+                ..FaultProfile::healthy()
+            },
+        ),
+        (
+            "reorder",
+            FaultProfile {
+                reorder_probability: 0.25,
+                seed,
+                ..FaultProfile::healthy()
+            },
+        ),
+        (
+            "duplicate",
+            FaultProfile {
+                duplicate_probability: 0.25,
+                seed,
+                ..FaultProfile::healthy()
+            },
+        ),
+        (
+            "corrupt-burst",
+            FaultProfile {
+                corrupt_probability: 0.20,
+                corrupt_burst: 16,
+                seed,
+                ..FaultProfile::healthy()
+            },
+        ),
+        (
+            "everything",
+            FaultProfile {
+                drop_probability: 0.05,
+                timeout_probability: 0.03,
+                corrupt_probability: 0.05,
+                corrupt_burst: 8,
+                reorder_probability: 0.10,
+                duplicate_probability: 0.10,
+                burst_loss: Some(BurstLoss {
+                    enter: 0.04,
+                    exit: 0.5,
+                    loss: 0.8,
+                }),
+                seed,
+            },
+        ),
+    ]
+}
+
+/// Built-in seeds, extended by `XDX_CHAOS_SEED` when set.
+fn chaos_seeds() -> Vec<u64> {
+    let mut seeds = vec![0x1CDE_2004, 0xBAD_5EED, 42];
+    if let Ok(extra) = std::env::var("XDX_CHAOS_SEED") {
+        seeds.push(extra.trim().parse().expect("XDX_CHAOS_SEED must be a u64"));
+    }
+    seeds
+}
+
+/// The matrix: every adversarial profile × every seed, two concurrent
+/// sessions each, and every surviving target byte-identical to the
+/// healthy baseline.
+#[test]
+fn every_adversarial_profile_yields_byte_identical_state_across_seeds() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let reference = wire_state(&reference_target(&doc));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    let mut total_retried = 0;
+    let mut total_deduped = 0;
+    for seed in chaos_seeds() {
+        for (name, profile) in adversarial_profiles(seed) {
+            let runtime = Runtime::start(
+                schema.clone(),
+                RuntimeConfig::default()
+                    .with_workers(2)
+                    .with_fault_profile(profile)
+                    .with_shipping(ShippingPolicy {
+                        chunk_bytes: 2 * 1024,
+                        backoff_base: Duration::from_millis(1),
+                        ..ShippingPolicy::default()
+                    }),
+            );
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let source = load_source(&doc, &schema, &mf).unwrap();
+                    runtime
+                        .submit(ExchangeRequest::new(
+                            format!("{name}-{seed:x}-{i}"),
+                            source,
+                            mf.clone(),
+                            lf.clone(),
+                        ))
+                        .unwrap()
+                })
+                .collect();
+            for handle in handles {
+                let session = handle.name().to_string();
+                let result = handle.wait();
+                assert_eq!(
+                    result.state,
+                    SessionState::Done,
+                    "{session}: {:?}",
+                    result.diagnostic
+                );
+                let target = result.target.expect("done sessions carry their target");
+                assert_eq!(
+                    wire_state(&target),
+                    reference,
+                    "{session}: target state diverged from the healthy baseline"
+                );
+            }
+            let stats = runtime.shutdown();
+            assert_eq!(stats.completed, 2, "{name}/{seed:x}");
+            total_retried += stats.chunks_retried;
+            total_deduped += stats.chunks_deduped;
+        }
+    }
+    // The matrix genuinely exercised the failure modes.
+    assert!(total_retried > 0, "no profile ever forced a retry");
+    assert!(total_deduped > 0, "no duplicate delivery was ever dropped");
+}
+
+/// A session dies on a dead link, the link is repaired, and `resume`
+/// finishes the job re-shipping *only* the chunks that never landed —
+/// through the cached plan and the shipping checkpoint.
+#[test]
+fn resume_reships_only_unacknowledged_chunks() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let reference = wire_state(&reference_target(&doc));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let shipping = ShippingPolicy {
+        chunk_bytes: 1024,
+        max_attempts_per_chunk: 3,
+        retry_budget: 16,
+        backoff_base: Duration::from_millis(1),
+        ..ShippingPolicy::default()
+    };
+
+    // Baseline on a healthy runtime: how many chunks one clean run ships.
+    let healthy = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_shipping(shipping),
+    );
+    let baseline = healthy
+        .submit(ExchangeRequest::new(
+            "baseline",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(baseline.state, SessionState::Done);
+    let total_chunks = baseline.metrics.chunks_shipped;
+    healthy.shutdown();
+
+    // The real runtime starts with a link that eats a third of the
+    // frames — enough to defeat 3 attempts per chunk partway through.
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_fault_profile(FaultProfile {
+                drop_probability: 0.35,
+                seed: 3,
+                ..FaultProfile::healthy()
+            })
+            .with_shipping(shipping),
+    );
+    let handle = runtime
+        .submit(ExchangeRequest::new(
+            "checkpointed",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap();
+    let session_id = handle.id();
+    let failed = handle.wait();
+    assert_eq!(
+        failed.state,
+        SessionState::Failed,
+        "{:?}",
+        failed.diagnostic
+    );
+    let landed = failed.metrics.chunks_shipped;
+    assert!(
+        landed > 0 && landed < total_chunks,
+        "need a partial shipment to make resume interesting: {landed}/{total_chunks}"
+    );
+    // Rolled back: nothing half-loaded survives the failure.
+    assert_eq!(failed.target.expect("rollback travels").total_rows(), 0);
+
+    // Operator repairs the link and resumes the session.
+    runtime.set_fault_profile(FaultProfile::healthy());
+    let resumed = runtime.resume(session_id).expect("session is resumable");
+    assert_eq!(resumed.id(), session_id, "resume keeps the session id");
+    let result = resumed.wait();
+    assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+
+    // The heart of the checkpoint contract: everything that landed
+    // before the failure is skipped, only the remainder crosses again.
+    assert_eq!(result.metrics.chunks_resumed, landed);
+    assert_eq!(result.metrics.chunks_shipped, total_chunks - landed);
+    assert_eq!(
+        failed.metrics.chunks_shipped + result.metrics.chunks_shipped,
+        total_chunks
+    );
+    // The plan came from the cache, not a re-run of the optimizer.
+    assert!(result.metrics.plan_cache_hit, "resume re-planned");
+    // And the data is exactly right.
+    assert_eq!(wire_state(&result.target.unwrap()), reference);
+
+    // A second resume of the same id has nothing to resume.
+    match runtime.resume(session_id) {
+        Err(SubmitError::UnknownSession { id }) => assert_eq!(id, session_id),
+        other => panic!("expected UnknownSession, got {:?}", other.map(|h| h.id())),
+    }
+    let events = runtime.events();
+    assert!(events.iter().any(|e| e.kind == EventKind::Resumed));
+    assert!(events.iter().any(|e| e.kind == EventKind::ShipmentResumed));
+    let stats = runtime.shutdown();
+    assert_eq!(stats.resumed, 1);
+    assert_eq!(stats.chunks_resumed, landed);
+}
+
+/// K consecutive link failures open the circuit breaker: submissions are
+/// refused with a retry hint, a cooldown half-opens it, and a successful
+/// probe over the repaired link closes it again.
+#[test]
+fn circuit_breaker_opens_half_opens_and_closes() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(4_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_fault_profile(FaultProfile::drops(1.0, 9))
+            .with_breaker(2, Duration::from_millis(50))
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 1024,
+                max_attempts_per_chunk: 2,
+                retry_budget: 4,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+
+    // Two sessions die on the dead link: that trips the threshold.
+    for i in 0..2 {
+        let handle = runtime
+            .submit(ExchangeRequest::new(
+                format!("victim-{i}"),
+                load_source(&doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            ))
+            .unwrap();
+        assert_eq!(handle.wait().state, SessionState::Failed);
+    }
+
+    // The breaker is open: admission refused with a retry hint.
+    let refused = runtime.submit(ExchangeRequest::new(
+        "refused",
+        load_source(&doc, &schema, &mf).unwrap(),
+        mf.clone(),
+        lf.clone(),
+    ));
+    let retry_after = match refused {
+        Err(SubmitError::CircuitOpen { retry_after }) => retry_after,
+        Err(other) => panic!("expected CircuitOpen, got {other}"),
+        Ok(handle) => panic!("open breaker admitted session {}", handle.id()),
+    };
+    assert!(retry_after <= Duration::from_millis(50));
+
+    // Cooldown passes, the operator repairs the link; the next
+    // submission goes through as the half-open probe and succeeds.
+    std::thread::sleep(Duration::from_millis(60));
+    runtime.set_fault_profile(FaultProfile::healthy());
+    let probe = runtime
+        .submit(ExchangeRequest::new(
+            "probe",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .expect("cooldown elapsed: probe admitted");
+    assert_eq!(probe.wait().state, SessionState::Done);
+
+    // Closed again: ordinary submissions flow.
+    let after = runtime
+        .submit(ExchangeRequest::new(
+            "after",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .expect("breaker closed after probe success");
+    assert_eq!(after.wait().state, SessionState::Done);
+
+    let events = runtime.events();
+    for kind in [
+        EventKind::CircuitOpened,
+        EventKind::CircuitHalfOpened,
+        EventKind::CircuitClosed,
+    ] {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "missing breaker event {kind:?}"
+        );
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed, 2);
+    assert!(stats.rejected >= 1);
+}
+
+/// A deadline fails the session with a diagnostic — without opening the
+/// breaker, because a slow exchange says nothing about the link — and
+/// the session can be resumed, the operator's decision lifting the
+/// original deadline.
+#[test]
+fn deadlines_fail_sessions_without_tripping_the_breaker() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(8_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_breaker(1, Duration::from_secs(60)),
+    );
+
+    let handle = runtime
+        .submit(
+            ExchangeRequest::new(
+                "impatient",
+                load_source(&doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_deadline(Duration::ZERO),
+        )
+        .unwrap();
+    let session_id = handle.id();
+    let result = handle.wait();
+    assert_eq!(result.state, SessionState::Failed);
+    assert!(
+        result
+            .diagnostic
+            .as_deref()
+            .unwrap_or_default()
+            .contains("deadline exceeded"),
+        "{:?}",
+        result.diagnostic
+    );
+    assert!(runtime
+        .events()
+        .iter()
+        .any(|e| e.kind == EventKind::DeadlineExceeded));
+
+    // Breaker threshold is 1, yet the deadline failure did not trip it:
+    // the next submission is admitted...
+    let unbounded = runtime
+        .submit(ExchangeRequest::new(
+            "unbounded",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .expect("deadline failures must not open the breaker");
+    assert_eq!(unbounded.wait().state, SessionState::Done);
+
+    // ...and the timed-out session resumes, its deadline lifted.
+    let resumed = runtime
+        .resume(session_id)
+        .expect("resumable after deadline");
+    let result = resumed.wait();
+    assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+    runtime.shutdown();
+}

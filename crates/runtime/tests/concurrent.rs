@@ -3,6 +3,7 @@
 //! cancellation and graceful degradation.
 
 use std::time::Duration;
+use xdx_core::{Fragmentation, Optimizer};
 use xdx_net::FaultProfile;
 use xdx_net::{Link, NetworkProfile};
 use xdx_relational::Database;
@@ -12,18 +13,22 @@ use xdx_runtime::{
 };
 use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
 
-/// Runs the same exchange fault-free through the single-session
-/// orchestrator — the ground truth the runtime's targets must match.
-fn reference_target(doc: &str) -> Database {
+/// Runs one exchange fault-free through the single-session orchestrator
+/// — the ground truth the runtime's targets must match.
+fn reference_for(doc: &str, source_frag: &Fragmentation, target_frag: &Fragmentation) -> Database {
     let schema = schema();
-    let mf = mf(&schema);
-    let lf = lf(&schema);
-    let mut source = load_source(doc, &schema, &mf).unwrap();
+    let mut source = load_source(doc, &schema, source_frag).unwrap();
     let mut target = Database::new("reference");
     let mut link = Link::new(NetworkProfile::lan());
-    let exchange = xdx_core::DataExchange::new(&schema, mf, lf);
+    let exchange = xdx_core::DataExchange::new(&schema, source_frag.clone(), target_frag.clone());
     exchange.run(&mut source, &mut target, &mut link).unwrap();
     target
+}
+
+/// The default MF→LF direction's ground truth.
+fn reference_target(doc: &str) -> Database {
+    let schema = schema();
+    reference_for(doc, &mf(&schema), &lf(&schema))
 }
 
 fn assert_same_tables(reference: &Database, got: &Database, session: &str) {
@@ -181,6 +186,11 @@ fn priority_sessions_overtake_queued_work() {
             lf.clone(),
         ))
         .unwrap();
+    // Wait for the worker to pick the blocker up, so the later
+    // submissions genuinely queue behind it.
+    while blocker.state() == SessionState::Queued {
+        std::thread::yield_now();
+    }
 
     let small_doc = generate(GenConfig::sized(4_000));
     let low = runtime
@@ -320,6 +330,72 @@ fn cancelled_queued_sessions_never_execute() {
     assert_eq!(stats.completed, 1);
 }
 
+/// A mixed-direction fleet under the exhaustive optimizer: MF→LF and
+/// LF→MF sessions interleave over the same lossy link, the two
+/// directions key separately in the plan cache, and every target is
+/// byte-correct for its own direction.
+#[test]
+fn mixed_direction_fleet_completes_under_optimal_optimizer() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(10_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let forward = reference_for(&doc, &mf, &lf);
+    let reverse = reference_for(&doc, &lf, &mf);
+
+    const SESSIONS: usize = 6;
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_optimizer(Optimizer::Optimal { ordering_cap: 256 })
+            .with_fault_profile(FaultProfile::drops(0.05, 0xF1EE7))
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 4 * 1024,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let forward_leg = i % 2 == 0;
+            let (from, to) = if forward_leg { (&mf, &lf) } else { (&lf, &mf) };
+            let source = load_source(&doc, &schema, from).unwrap();
+            let name = format!("{}-{i}", if forward_leg { "mf-lf" } else { "lf-mf" });
+            let handle = runtime
+                .submit(ExchangeRequest::new(name, source, from.clone(), to.clone()))
+                .unwrap();
+            (forward_leg, handle)
+        })
+        .collect();
+    for (forward_leg, handle) in handles {
+        let name = handle.name().to_string();
+        let result = handle.wait();
+        assert_eq!(
+            result.state,
+            SessionState::Done,
+            "{name}: {:?}",
+            result.diagnostic
+        );
+        let reference = if forward_leg { &forward } else { &reverse };
+        let target = result.target.expect("done sessions carry their target");
+        assert_same_tables(reference, &target, &name);
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, SESSIONS as u64);
+    // Two distinct shapes: the optimizer ran at least once per
+    // direction, and later same-shape sessions reuse the cached plans.
+    assert_eq!(
+        stats.plan_cache_hits + stats.plan_cache_misses,
+        SESSIONS as u64
+    );
+    assert!(stats.plan_cache_misses >= 2, "each direction plans once");
+    assert!(
+        stats.plan_cache_hits >= 2,
+        "same-shape sessions never reused the optimal plans"
+    );
+}
+
 /// A hopeless link exhausts the retry budget and degrades the session to
 /// `Failed` with a diagnostic — the runtime itself keeps serving.
 #[test]
@@ -352,7 +428,11 @@ fn hopeless_link_degrades_to_failed_with_diagnostic() {
         diagnostic.contains("retry budget") || diagnostic.contains("gave up"),
         "unhelpful diagnostic: {diagnostic}"
     );
-    assert!(result.target.is_none());
+    // The failed session hands back its *rolled-back* target: staged
+    // writes were discarded, so no partial tables survive.
+    let target = result.target.expect("failed executions carry the rollback");
+    assert_eq!(target.total_rows(), 0, "partial tables survived rollback");
+    assert!(target.table_names().is_empty());
     // Failed shipping still accounted for its wasted wire bytes.
     assert!(result.metrics.bytes_shipped > 0);
     assert!(result.metrics.chunks_retried > 0);
