@@ -3,26 +3,32 @@
 //!
 //! Reports, per worker count: completed sessions/sec, p50/p99
 //! submit→done latency, plan-cache hit rate, and retry overhead on a
-//! lossy link. Usage:
+//! lossy link — and writes the machine-readable sweep (sessions/sec,
+//! p50/p95, wire bytes, per-link utilization) to `BENCH_PR3.json` for
+//! CI to gate on. Usage:
 //!
 //! ```text
-//! throughput [sessions] [doc_bytes] [drop_probability] [shapes] [optimizer]
+//! throughput [sessions] [doc_bytes] [drop_probability] [shapes] [optimizer] [pairs]
 //! ```
 //!
 //! * `shapes`: `forward` (all MF→LF) or `mixed` (alternating MF→LF and
 //!   LF→MF legs — two plan shapes contending for the cache).
 //! * `optimizer`: `greedy` or `optimal` / `optimal:<ordering_cap>`.
+//! * `pairs`: number of `(source, target)` endpoint pairs the fleet is
+//!   spread over round-robin; each pair gets its own registry link, so
+//!   `pairs > 1` lets disjoint sessions ship in parallel.
 //!
-//! Defaults: 24 forward sessions of ~60 KB each, 5% drops, greedy.
+//! Defaults: 24 forward sessions of ~60 KB each, 5% drops, greedy, 1 pair.
 
-use std::time::Instant;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 use xdx_core::Optimizer;
-use xdx_net::FaultProfile;
+use xdx_net::{FaultProfile, NetworkProfile};
 use xdx_runtime::{ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy};
 use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
 
 const USAGE: &str = "usage: throughput [sessions] [doc_bytes] [drop_probability] \
-                     [forward|mixed] [greedy|optimal[:cap]]";
+                     [forward|mixed] [greedy|optimal[:cap]] [pairs]";
 
 fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
     match args.next() {
@@ -33,6 +39,75 @@ fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str
             std::process::exit(2);
         }),
     }
+}
+
+/// One worker-count sweep's numbers, destined for `BENCH_PR3.json`.
+struct Sweep {
+    workers: usize,
+    sessions_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    wire_bytes: u64,
+    peak_concurrent_shipments: u64,
+    /// `(pair, wire_bytes, chunks_shipped, chunks_retried,
+    /// sessions_completed, utilization)` per link, utilization being the
+    /// link's share of the sweep's total wire bytes.
+    links: Vec<(String, u64, u64, u64, u64, f64)>,
+}
+
+fn json_report(
+    sessions: usize,
+    doc_bytes: usize,
+    drop_p: f64,
+    shapes: &str,
+    optimizer: Optimizer,
+    pairs: usize,
+    sweeps: &[Sweep],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"throughput\",");
+    let _ = writeln!(out, "  \"sessions\": {sessions},");
+    let _ = writeln!(out, "  \"doc_bytes\": {doc_bytes},");
+    let _ = writeln!(out, "  \"drop_probability\": {drop_p},");
+    let _ = writeln!(out, "  \"shapes\": \"{shapes}\",");
+    let _ = writeln!(out, "  \"optimizer\": \"{optimizer:?}\",");
+    let _ = writeln!(out, "  \"pairs\": {pairs},");
+    out.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"workers\": {},", s.workers);
+        let _ = writeln!(
+            out,
+            "      \"sessions_per_sec\": {:.3},",
+            s.sessions_per_sec
+        );
+        let _ = writeln!(out, "      \"p50_ms\": {:.3},", s.p50_ms);
+        let _ = writeln!(out, "      \"p95_ms\": {:.3},", s.p95_ms);
+        let _ = writeln!(out, "      \"wire_bytes\": {},", s.wire_bytes);
+        let _ = writeln!(
+            out,
+            "      \"peak_concurrent_shipments\": {},",
+            s.peak_concurrent_shipments
+        );
+        out.push_str("      \"links\": [\n");
+        for (j, (pair, wire, shipped, retried, completed, util)) in s.links.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"pair\": \"{pair}\", \"wire_bytes\": {wire}, \
+                 \"chunks_shipped\": {shipped}, \"chunks_retried\": {retried}, \
+                 \"sessions_completed\": {completed}, \"utilization\": {util:.4}}}"
+            );
+            out.push_str(if j + 1 < s.links.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < sweeps.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() {
@@ -70,6 +145,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let pairs: usize = arg(&mut args, "pairs", 1);
+    if pairs == 0 {
+        eprintln!("error: pairs must be at least 1");
+        std::process::exit(2);
+    }
 
     let schema = schema();
     let doc = generate(GenConfig::sized(doc_bytes));
@@ -77,22 +157,24 @@ fn main() {
     let lf = lf(&schema);
 
     println!(
-        "# runtime throughput: {sessions} {} sessions, ~{} KB docs, {:.0}% drops, {:?}",
+        "# runtime throughput: {sessions} {} sessions, ~{} KB docs, {:.0}% drops, {:?}, {pairs} pair(s)",
         if mixed { "mixed MF⇄LF" } else { "MF→LF" },
         doc_bytes / 1024,
         drop_p * 100.0,
         optimizer,
     );
     println!(
-        "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7}",
-        "workers", "sessions/s", "p50 ms", "p99 ms", "cache hit", "retries"
+        "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7} | {:>9}",
+        "workers", "sessions/s", "p50 ms", "p99 ms", "cache hit", "retries", "peak ship"
     );
-    println!("{}", "-".repeat(70));
+    println!("{}", "-".repeat(82));
 
+    let mut sweeps = Vec::new();
     for workers in [1, 2, 4, 8] {
         // Sources are loaded outside the measured window: the runtime's
         // job is scheduling, planning and shipping, not shredding. In
-        // mixed mode the odd legs run the reverse LF→MF direction.
+        // mixed mode the odd legs run the reverse LF→MF direction, and
+        // legs are spread round-robin over the endpoint pairs.
         let legs: Vec<_> = (0..sessions)
             .map(|i| {
                 let (from, to) = if mixed && i % 2 == 1 {
@@ -101,13 +183,23 @@ fn main() {
                     (&mf, &lf)
                 };
                 let source = load_source(&doc, &schema, from).expect("load source");
-                (source, from.clone(), to.clone())
+                (source, from.clone(), to.clone(), i % pairs)
             })
             .collect();
+        // A paced metro-area link: transmissions block for their
+        // simulated duration, so shipping dominates and the clock can
+        // see whether disjoint pairs genuinely overlap. One shared pair
+        // serializes every shipment; `pairs` disjoint pairs overlap up
+        // to `min(workers, pairs)` ways.
         let config = RuntimeConfig::default()
             .with_workers(workers)
             .with_max_queue_depth(sessions)
             .with_optimizer(optimizer)
+            .with_network(NetworkProfile {
+                bandwidth_bytes_per_sec: 1_000_000.0,
+                latency: Duration::from_micros(500),
+            })
+            .with_link_pacing(1.0)
             .with_fault_profile(FaultProfile::drops(drop_p, 0x1CDE_2004))
             .with_shipping(ShippingPolicy {
                 chunk_bytes: 8 * 1024,
@@ -119,14 +211,12 @@ fn main() {
         let handles: Vec<_> = legs
             .into_iter()
             .enumerate()
-            .map(|(i, (source, from, to))| {
+            .map(|(i, (source, from, to, pair))| {
                 runtime
-                    .submit(ExchangeRequest::new(
-                        format!("w{workers}-s{i}"),
-                        source,
-                        from,
-                        to,
-                    ))
+                    .submit(
+                        ExchangeRequest::new(format!("w{workers}-s{i}"), source, from, to)
+                            .with_route(format!("src{pair}"), format!("dst{pair}")),
+                    )
                     .expect("queue sized to hold every session")
             })
             .collect();
@@ -150,17 +240,48 @@ fn main() {
         }
 
         let p50 = stats.latency_percentile(50.0).unwrap_or_default();
+        let p95 = stats.latency_percentile(95.0).unwrap_or_default();
         let p99 = stats.latency_percentile(99.0).unwrap_or_default();
         let hit_rate = stats.plan_cache_hits as f64
             / (stats.plan_cache_hits + stats.plan_cache_misses).max(1) as f64;
         println!(
-            "{:>7} | {:>12.1} | {:>10.2} | {:>10.2} | {:>8.0}% | {:>7}",
+            "{:>7} | {:>12.1} | {:>10.2} | {:>10.2} | {:>8.0}% | {:>7} | {:>9}",
             workers,
             stats.sessions_per_sec(wall),
             p50.as_secs_f64() * 1e3,
             p99.as_secs_f64() * 1e3,
             hit_rate * 100.0,
             stats.chunks_retried,
+            stats.peak_concurrent_shipments,
         );
+        let total_wire = stats.bytes_shipped.max(1);
+        sweeps.push(Sweep {
+            workers,
+            sessions_per_sec: stats.sessions_per_sec(wall),
+            p50_ms: p50.as_secs_f64() * 1e3,
+            p95_ms: p95.as_secs_f64() * 1e3,
+            wire_bytes: stats.bytes_shipped,
+            peak_concurrent_shipments: stats.peak_concurrent_shipments,
+            links: stats
+                .links
+                .iter()
+                .map(|l| {
+                    (
+                        l.pair(),
+                        l.wire_bytes,
+                        l.chunks_shipped,
+                        l.chunks_retried,
+                        l.sessions_completed,
+                        l.wire_bytes as f64 / total_wire as f64,
+                    )
+                })
+                .collect(),
+        });
     }
+
+    let report = json_report(
+        sessions, doc_bytes, drop_p, &shapes, optimizer, pairs, &sweeps,
+    );
+    std::fs::write("BENCH_PR3.json", &report).expect("write BENCH_PR3.json");
+    println!("# wrote BENCH_PR3.json");
 }

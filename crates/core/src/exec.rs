@@ -38,6 +38,17 @@ pub trait Transport {
     /// An `Err` means delivery gave up entirely (e.g. a retry budget ran
     /// out) and aborts the exchange.
     fn ship(&mut self, label: &str, message: &[u8]) -> Result<(Duration, Vec<u8>)>;
+
+    /// The fully assembled serialized message a checkpointing transport
+    /// already holds for its *next* shipment, if any. A transport that
+    /// persisted the serialized bytes of an earlier (failed) run returns
+    /// them here, and the executor ships those exact bytes instead of
+    /// re-serializing the feed — a resumed exchange pays zero
+    /// serialization for shipments it already built once. The default
+    /// (no checkpoint) keeps plain transports trivial.
+    fn checkpointed_message(&mut self, _label: &str) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// The trivial transport: one message, one transmission, whatever
@@ -59,6 +70,10 @@ pub struct ExecOutcome {
     pub bytes_shipped: u64,
     /// Messages shipped.
     pub messages: usize,
+    /// Messages actually serialized from feeds in this run. Shipments
+    /// replayed from a transport checkpoint are shipped but not counted
+    /// here, so a fully checkpointed resume reports zero.
+    pub messages_serialized: usize,
     /// Rows loaded at the target.
     pub rows_loaded: u64,
 }
@@ -196,18 +211,24 @@ fn run_nodes(
                     if let Some(f) = shipped.get(p) {
                         f.clone()
                     } else {
-                        let f = feeds
-                            .get(p)
-                            .ok_or_else(|| Error::InvalidProgram {
-                                detail: format!("missing feed for port {p:?}"),
-                            })?
-                            .clone();
                         let label = program
                             .port_region(*p)
                             .map(|r| r.name(schema))
                             .unwrap_or_default();
-                        let body = f.to_wire().into_bytes();
-                        let message = Request::soap_post("/exchange", &label, body).to_bytes();
+                        // A checkpointing transport that already built
+                        // this shipment's bytes in an earlier run hands
+                        // them back; only a cache miss serializes.
+                        let message = match transport.checkpointed_message(&label) {
+                            Some(m) => m,
+                            None => {
+                                let f = feeds.get(p).ok_or_else(|| Error::InvalidProgram {
+                                    detail: format!("missing feed for port {p:?}"),
+                                })?;
+                                outcome.messages_serialized += 1;
+                                let body = f.to_wire().into_bytes();
+                                Request::soap_post("/exchange", &label, body).to_bytes()
+                            }
+                        };
                         let (duration, delivered) = transport.ship(&label, &message)?;
                         outcome.times.communication += duration;
                         outcome.bytes_shipped += message.len() as u64;
@@ -422,6 +443,7 @@ mod tests {
         assert_eq!(target.table("Line_Switch.xsd").unwrap().len(), 4);
         assert_eq!(target.table("Feature.xsd").unwrap().len(), 4);
         assert_eq!(outcome.messages, 4); // one shipment per target fragment
+        assert_eq!(outcome.messages_serialized, 4); // no checkpoint: all built here
         assert!(outcome.bytes_shipped > 0);
         assert!(outcome.times.communication.as_nanos() > 0);
         assert_eq!(outcome.rows_loaded, 14);

@@ -258,6 +258,15 @@ pub struct Link {
     /// Frames deferred by the reordering model, awaiting late delivery.
     deferred: VecDeque<Vec<u8>>,
     transfers: Vec<TransferRecord>,
+    /// Whether per-transfer records (with their label allocations) are
+    /// kept. Scalar totals are always maintained.
+    recording: bool,
+    total_bytes: u64,
+    total_time: Duration,
+    messages: usize,
+    /// Fraction of the simulated transfer time each transmission also
+    /// *blocks* the caller for in real wall time (0 = pure simulation).
+    pacing: f64,
 }
 
 /// Bound on deferred frames a reordering link holds; overflow frames are
@@ -275,6 +284,35 @@ impl Link {
             burst_bad: false,
             deferred: VecDeque::new(),
             transfers: Vec::new(),
+            recording: true,
+            total_bytes: 0,
+            total_time: Duration::ZERO,
+            messages: 0,
+            pacing: 0.0,
+        }
+    }
+
+    /// Builder: makes every transmission *block the caller* for `scale`
+    /// times its simulated duration (0 disables, 1 = real time). A paced
+    /// link behaves like real hardware under whoever holds it: callers
+    /// sharing one link serialize on its wall time, callers on disjoint
+    /// links overlap — which is what throughput benchmarks of multi-link
+    /// transport need a clock to see. Panics if `scale` is negative or
+    /// not finite.
+    pub fn with_pacing(mut self, scale: f64) -> Link {
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "pacing scale must be finite and non-negative"
+        );
+        self.pacing = scale;
+        self
+    }
+
+    /// Blocks for the paced share of a simulated `duration` (no-op at
+    /// the default pacing of zero).
+    fn pace(&self, duration: Duration) {
+        if self.pacing > 0.0 {
+            std::thread::sleep(duration.mul_f64(self.pacing));
         }
     }
 
@@ -282,6 +320,36 @@ impl Link {
     pub fn with_fault(mut self, fault: Fault) -> Link {
         self.fault = fault;
         self
+    }
+
+    /// Builder: turns per-transfer records on or off. A long-lived fleet
+    /// link carries millions of chunk transmissions; keeping a
+    /// `TransferRecord` (and its label `String`) per attempt is an
+    /// unbounded allocation on the shipping hot path, so runtimes disable
+    /// recording and read the scalar totals instead. Disabling clears any
+    /// records already kept.
+    pub fn with_recording(mut self, recording: bool) -> Link {
+        self.recording = recording;
+        if !recording {
+            self.transfers.clear();
+        }
+        self
+    }
+
+    /// Accounts one transmission attempt: scalar totals always, a
+    /// [`TransferRecord`] only when recording — the label is not even
+    /// materialized otherwise.
+    fn account(&mut self, label: impl Into<String>, bytes: u64, duration: Duration) {
+        self.total_bytes += bytes;
+        self.total_time += duration;
+        self.messages += 1;
+        if self.recording {
+            self.transfers.push(TransferRecord {
+                label: label.into(),
+                bytes,
+                duration,
+            });
+        }
     }
 
     /// Builder: injects a probabilistic [`FaultProfile`] consulted by
@@ -405,11 +473,8 @@ impl Link {
                 Delivery::Delivered(self.deferred.pop_front().unwrap()),
             )
         };
-        self.transfers.push(TransferRecord {
-            label: label.into(),
-            bytes,
-            duration,
-        });
+        self.account(label, bytes, duration);
+        self.pace(duration);
         (duration, delivery)
     }
 
@@ -425,12 +490,8 @@ impl Link {
     pub fn transmit(&mut self, label: impl Into<String>, payload: &[u8]) -> (Duration, Vec<u8>) {
         let bytes = payload.len() as u64;
         let duration = self.profile.transfer_time(bytes);
-        self.transfers.push(TransferRecord {
-            label: label.into(),
-            bytes,
-            duration,
-        });
-        let n = self.transfers.len();
+        self.account(label, bytes, duration);
+        let n = self.messages;
         let delivered = match self.fault {
             Fault::None => payload.to_vec(),
             Fault::CorruptEveryNth(k) if k > 0 && n.is_multiple_of(k) && !payload.is_empty() => {
@@ -444,32 +505,36 @@ impl Link {
             }
             _ => payload.to_vec(),
         };
+        self.pace(duration);
         (duration, delivered)
     }
 
-    /// Total bytes shipped so far.
+    /// Total bytes shipped so far (every attempt, including failed ones).
     pub fn total_bytes(&self) -> u64 {
-        self.transfers.iter().map(|t| t.bytes).sum()
+        self.total_bytes
     }
 
     /// Total simulated time spent shipping.
     pub fn total_time(&self) -> Duration {
-        self.transfers.iter().map(|t| t.duration).sum()
+        self.total_time
     }
 
     /// Number of messages sent.
     pub fn message_count(&self) -> usize {
-        self.transfers.len()
+        self.messages
     }
 
-    /// The transfer log.
+    /// The transfer log (empty when recording is disabled).
     pub fn transfers(&self) -> &[TransferRecord] {
         &self.transfers
     }
 
-    /// Clears the log (new experiment, same link).
+    /// Clears the log and the scalar totals (new experiment, same link).
     pub fn reset(&mut self) {
         self.transfers.clear();
+        self.total_bytes = 0;
+        self.total_time = Duration::ZERO;
+        self.messages = 0;
     }
 }
 
@@ -511,6 +576,20 @@ mod tests {
         assert_eq!(link.transfers()[1].label, "b");
         link.reset();
         assert_eq!(link.total_bytes(), 0);
+    }
+
+    #[test]
+    fn recording_off_keeps_totals_but_no_records() {
+        let mut link = Link::new(NetworkProfile::lan()).with_recording(false);
+        link.send("a", &[0u8; 500]);
+        link.transmit_faulty("b", &[0u8; 1500]);
+        assert_eq!(link.total_bytes(), 2000);
+        assert_eq!(link.message_count(), 2);
+        assert!(link.total_time() > Duration::ZERO);
+        assert!(link.transfers().is_empty());
+        link.reset();
+        assert_eq!((link.total_bytes(), link.message_count()), (0, 0));
+        assert_eq!(link.total_time(), Duration::ZERO);
     }
 
     #[test]

@@ -15,18 +15,53 @@
 //! resumed session — under its (session, shipment, index) key and drop
 //! exact repeats idempotently.
 
+use std::io::Write as _;
+
 /// Frame header magic.
 pub const CHUNK_MAGIC: &str = "XDXCHUNK";
+
+/// Incremental FNV-1a 64-bit hasher: lets the frame checksum cover the
+/// header fields *and* the payload without first copying them into a
+/// temporary buffer — the shipping hot path hashes in place.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
 
 /// FNV-1a 64-bit hash; stable across runs, used for frame checksums and
 /// plan-cache keys.
 pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    let mut hash = Fnv64::new();
+    hash.write(bytes);
+    hash.finish()
 }
 
 /// One verified chunk frame: the shipment coordinates plus the payload.
@@ -48,7 +83,7 @@ impl ChunkFrame {
     /// Checksum input: every header field (fixed-width LE) plus the
     /// payload, so no single field can be damaged without detection.
     fn checksum(session: u64, shipment: u64, index: usize, total: usize, payload: &[u8]) -> u64 {
-        let mut bytes = Vec::with_capacity(40 + payload.len());
+        let mut hash = Fnv64::new();
         for v in [
             session,
             shipment,
@@ -56,10 +91,10 @@ impl ChunkFrame {
             total as u64,
             payload.len() as u64,
         ] {
-            bytes.extend_from_slice(&v.to_le_bytes());
+            hash.write(&v.to_le_bytes());
         }
-        bytes.extend_from_slice(payload);
-        fnv64(&bytes)
+        hash.write(payload);
+        hash.finish()
     }
 
     /// Encodes the frame:
@@ -120,15 +155,33 @@ pub fn frame_chunk(
     total: usize,
     payload: &[u8],
 ) -> Vec<u8> {
-    let header = format!(
-        "{CHUNK_MAGIC} {session} {shipment} {index} {total} {len} {sum:016x}\n",
+    let mut frame = Vec::new();
+    frame_chunk_into(&mut frame, session, shipment, index, total, payload);
+    frame
+}
+
+/// Frames one chunk into `buf`, clearing it first. A shipper reuses one
+/// buffer across every chunk of every shipment, so the steady-state hot
+/// path performs no frame allocation at all — the buffer grows to the
+/// largest frame seen and stays there.
+pub fn frame_chunk_into(
+    buf: &mut Vec<u8>,
+    session: u64,
+    shipment: u64,
+    index: usize,
+    total: usize,
+    payload: &[u8],
+) {
+    buf.clear();
+    buf.reserve(64 + payload.len());
+    writeln!(
+        buf,
+        "{CHUNK_MAGIC} {session} {shipment} {index} {total} {len} {sum:016x}",
         len = payload.len(),
         sum = ChunkFrame::checksum(session, shipment, index, total, payload),
-    );
-    let mut frame = Vec::with_capacity(header.len() + payload.len());
-    frame.extend_from_slice(header.as_bytes());
-    frame.extend_from_slice(payload);
-    frame
+    )
+    .expect("writing to a Vec cannot fail");
+    buf.extend_from_slice(payload);
 }
 
 #[cfg(test)]
@@ -177,6 +230,20 @@ mod tests {
     fn out_of_range_index_rejected() {
         let frame = frame_chunk(1, 0, 5, 5, b"x");
         assert!(ChunkFrame::decode(&frame).is_none());
+    }
+
+    #[test]
+    fn frame_chunk_into_reuses_one_buffer() {
+        let mut buf = Vec::new();
+        frame_chunk_into(&mut buf, 1, 0, 0, 2, b"first, longer payload");
+        assert_eq!(buf, frame_chunk(1, 0, 0, 2, b"first, longer payload"));
+        let grown = buf.capacity();
+        frame_chunk_into(&mut buf, 1, 0, 1, 2, b"tiny");
+        assert_eq!(buf, frame_chunk(1, 0, 1, 2, b"tiny"));
+        assert!(
+            buf.capacity() >= grown,
+            "reframing must not shrink the buffer"
+        );
     }
 
     #[test]

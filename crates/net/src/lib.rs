@@ -23,6 +23,6 @@ pub mod http;
 pub mod soap;
 
 pub use channel::{BurstLoss, Delivery, FaultProfile, Link, NetworkProfile, TransferRecord};
-pub use chunk::{fnv64, frame_chunk, ChunkFrame};
+pub use chunk::{fnv64, frame_chunk, frame_chunk_into, ChunkFrame, Fnv64};
 pub use endpoint::ServiceHost;
 pub use soap::{SoapEnvelope, SoapFault};

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use xdx_core::{CostModel, Fragmentation, Program};
+use xdx_core::{CostModel, Fragmentation, Optimizer, Program};
 use xdx_net::fnv64;
 
 /// The two-part cache key of an exchange.
@@ -155,10 +155,24 @@ impl PlanCache {
     }
 }
 
-/// Computes the stable two-part cache key of an exchange.
-pub fn plan_key(source: &Fragmentation, target: &Fragmentation, model: &CostModel) -> PlanKey {
+/// Computes the stable two-part cache key of an exchange. The optimizer
+/// is part of the shape: sessions planned greedily and sessions planned
+/// with the exhaustive ordering search must not share one cached program.
+pub fn plan_key(
+    source: &Fragmentation,
+    target: &Fragmentation,
+    model: &CostModel,
+    optimizer: Optimizer,
+) -> PlanKey {
     let mut shape = Vec::with_capacity(256);
     let push = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+    match optimizer {
+        Optimizer::Greedy => push(&mut shape, 0x47),
+        Optimizer::Optimal { ordering_cap } => {
+            push(&mut shape, 0x4F);
+            push(&mut shape, ordering_cap as u64);
+        }
+    }
     for (tag, frag) in [(0x5Cu64, source), (0x7Au64, target)] {
         push(&mut shape, tag);
         push(&mut shape, frag.fragments.len() as u64);
@@ -223,7 +237,10 @@ mod tests {
         let mf_b = Fragmentation::most_fragmented("renamed", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        assert_eq!(plan_key(&mf_a, &lf, &m), plan_key(&mf_b, &lf, &m));
+        assert_eq!(
+            plan_key(&mf_a, &lf, &m, Optimizer::Greedy),
+            plan_key(&mf_b, &lf, &m, Optimizer::Greedy)
+        );
     }
 
     #[test]
@@ -232,21 +249,37 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::whole_document("WD", &s);
         let m = model(&s, 0.05);
-        let base = plan_key(&mf, &lf, &m);
+        let base = plan_key(&mf, &lf, &m, Optimizer::Greedy);
         // Reversed direction is a different plan shape.
-        assert_ne!(base.shape, plan_key(&lf, &mf, &m).shape);
+        assert_ne!(base.shape, plan_key(&lf, &mf, &m, Optimizer::Greedy).shape);
         // A different communication weight is a different plan shape.
-        assert_ne!(base.shape, plan_key(&mf, &lf, &model(&s, 5.0)).shape);
+        assert_ne!(
+            base.shape,
+            plan_key(&mf, &lf, &model(&s, 5.0), Optimizer::Greedy).shape
+        );
         // Different statistics keep the shape but move the stats hash.
         let mut fatter = m.clone();
         fatter.stats.counts[2] += 100;
-        let drifted = plan_key(&mf, &lf, &fatter);
+        let drifted = plan_key(&mf, &lf, &fatter, Optimizer::Greedy);
         assert_eq!(base.shape, drifted.shape);
         assert_ne!(base.stats, drifted.stats);
         // A dumb-client target is a different plan shape.
         let mut dumb = m.clone();
         dumb.target.can_combine = false;
-        assert_ne!(base.shape, plan_key(&mf, &lf, &dumb).shape);
+        assert_ne!(
+            base.shape,
+            plan_key(&mf, &lf, &dumb, Optimizer::Greedy).shape
+        );
+        // A different optimizer is a different plan shape too: greedy
+        // and exhaustive sessions must not share a cached program.
+        assert_ne!(
+            base.shape,
+            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 6 }).shape
+        );
+        assert_ne!(
+            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 6 }).shape,
+            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 8 }).shape
+        );
     }
 
     #[test]
@@ -255,7 +288,7 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        let key = plan_key(&mf, &lf, &m);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
 
         let cache = PlanCache::new();
         assert!(cache.lookup(key).is_none());
@@ -275,7 +308,7 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        let key = plan_key(&mf, &lf, &m);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
         let cache = PlanCache::new();
         cache.lookup(key);
         cache.insert(key, plan_for(&s, &m));
@@ -283,7 +316,7 @@ mod tests {
         // The source grew: a re-probe hashes differently.
         let mut grown = m.clone();
         grown.stats.counts[1] *= 7;
-        let drifted = plan_key(&mf, &lf, &grown);
+        let drifted = plan_key(&mf, &lf, &grown, Optimizer::Greedy);
         assert!(cache.lookup(drifted).is_none(), "stale plan not served");
         assert_eq!(cache.stats_evicted(), 1);
         assert!(cache.is_empty(), "the drifted entry is gone");
@@ -299,7 +332,7 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        let key = plan_key(&mf, &lf, &m);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
         let cache = PlanCache::with_ttl(Duration::ZERO);
         cache.lookup(key);
         cache.insert(key, plan_for(&s, &m));

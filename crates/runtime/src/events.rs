@@ -19,6 +19,9 @@ pub enum EventKind {
     Rejected,
     /// A worker picked the session up and started planning.
     PlanningStarted,
+    /// The registry created a link for a `(source, target)` pair on
+    /// first use.
+    LinkCreated,
     /// Planning was satisfied from the plan cache.
     PlanCacheHit,
     /// Planning ran the optimizer and populated the cache.

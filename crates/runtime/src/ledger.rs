@@ -11,13 +11,23 @@
 //! Entries persist after a session *fails*: that is the shipping
 //! checkpoint. When the session is resumed, `begin_shipment` reports
 //! which chunks already landed, and the shipper skips them — only the
-//! never-acknowledged chunks cross the link again. Entries are dropped
-//! when the session finally completes ([`ReassemblyLedger::forget_session`]).
+//! never-acknowledged chunks cross the link again. The buffer also keeps
+//! the sender's *assembled serialized message*, so a resumed session
+//! re-ships the remainder without re-serializing anything
+//! ([`ReassemblyLedger::stored_message`]). Entries are dropped when the
+//! session finally completes ([`ReassemblyLedger::forget_session`]).
+//!
+//! The ledger is sharded by session id: with many sessions shipping over
+//! disjoint links in parallel, per-chunk bookkeeping must not funnel
+//! through one global lock.
 
 use crate::session::SessionId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Mutex;
 use xdx_net::{fnv64, ChunkFrame};
+
+/// Number of independent lock shards; sessions hash to shards by id.
+const SHARDS: usize = 16;
 
 /// Outcome of filing one verified frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,53 +50,86 @@ struct ShipmentBuffer {
     /// FNV-64 of the full serialized message; a resubmitted shipment
     /// whose content changed must not inherit stale chunks.
     message_fnv: u64,
+    /// The sender's fully assembled serialized message. Persisting it
+    /// makes resume allocation-free on the serialization side: a resumed
+    /// session ships these exact bytes instead of re-running feed
+    /// serialization.
+    message: Vec<u8>,
     /// Verified chunks landed so far.
     chunks: BTreeMap<usize, Vec<u8>>,
 }
 
 /// Thread-shared ledger of in-flight (and checkpointed) shipments,
 /// keyed by `(session, shipment sequence number)`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReassemblyLedger {
-    map: Mutex<HashMap<(SessionId, u64), ShipmentBuffer>>,
+    shards: Vec<Mutex<HashMap<(SessionId, u64), ShipmentBuffer>>>,
+}
+
+impl Default for ReassemblyLedger {
+    fn default() -> ReassemblyLedger {
+        ReassemblyLedger::new()
+    }
 }
 
 impl ReassemblyLedger {
     /// An empty ledger.
     pub fn new() -> ReassemblyLedger {
-        ReassemblyLedger::default()
+        ReassemblyLedger {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
     }
 
-    /// Opens (or re-opens) a shipment and returns the indexes of chunks
-    /// that already landed in a previous attempt — the resume
-    /// checkpoint. A buffer whose `total` or `message_fnv` disagrees is
-    /// stale (the message changed) and is reset.
+    fn shard(&self, session: SessionId) -> &Mutex<HashMap<(SessionId, u64), ShipmentBuffer>> {
+        &self.shards[session as usize % SHARDS]
+    }
+
+    /// Opens (or re-opens) a shipment, persisting the sender's full
+    /// serialized `message`, and returns the indexes of chunks that
+    /// already landed in a previous attempt — the resume checkpoint. A
+    /// buffer whose chunk count or message hash disagrees is stale (the
+    /// message changed) and is reset.
     pub fn begin_shipment(
         &self,
         session: SessionId,
         shipment: u64,
         total: usize,
-        message_fnv: u64,
+        message: &[u8],
     ) -> BTreeSet<usize> {
-        let mut map = self.map.lock().unwrap();
+        let message_fnv = fnv64(message);
+        let mut map = self.shard(session).lock().unwrap();
         let buffer = map
             .entry((session, shipment))
             .or_insert_with(|| ShipmentBuffer {
                 total,
                 message_fnv,
+                message: message.to_vec(),
                 chunks: BTreeMap::new(),
             });
         if buffer.total != total || buffer.message_fnv != message_fnv {
             buffer.total = total;
             buffer.message_fnv = message_fnv;
+            buffer.message = message.to_vec();
             buffer.chunks.clear();
         }
         buffer.chunks.keys().copied().collect()
     }
 
+    /// The full serialized message a previous attempt persisted for
+    /// `(session, shipment)`, if any. This is what lets
+    /// `Runtime::resume` skip serialization entirely: the executor asks
+    /// for it before building the message from the feed.
+    pub fn stored_message(&self, session: SessionId, shipment: u64) -> Option<Vec<u8>> {
+        self.shard(session)
+            .lock()
+            .unwrap()
+            .get(&(session, shipment))
+            .map(|b| b.message.clone())
+    }
+
     /// True when the chunk already landed.
     pub fn has_chunk(&self, session: SessionId, shipment: u64, index: usize) -> bool {
-        self.map
+        self.shard(session)
             .lock()
             .unwrap()
             .get(&(session, shipment))
@@ -96,7 +139,7 @@ impl ReassemblyLedger {
     /// Files one verified frame under its own coordinates. Duplicates
     /// are detected and dropped; frames for unknown shipments are stale.
     pub fn file(&self, frame: &ChunkFrame) -> Filed {
-        let mut map = self.map.lock().unwrap();
+        let mut map = self.shard(frame.session).lock().unwrap();
         let Some(buffer) = map.get_mut(&(frame.session, frame.shipment)) else {
             return Filed::Stale;
         };
@@ -114,7 +157,7 @@ impl ReassemblyLedger {
     /// whole message hashing back to the announced FNV-64. The buffer is
     /// retained — it is the checkpoint a resumed session skips over.
     pub fn assemble(&self, session: SessionId, shipment: u64) -> Option<Vec<u8>> {
-        let map = self.map.lock().unwrap();
+        let map = self.shard(session).lock().unwrap();
         let buffer = map.get(&(session, shipment))?;
         if buffer.chunks.len() != buffer.total {
             return None;
@@ -126,12 +169,15 @@ impl ReassemblyLedger {
     /// Drops every buffer of `session` — called when the session
     /// completes and its checkpoints are no longer needed.
     pub fn forget_session(&self, session: SessionId) {
-        self.map.lock().unwrap().retain(|(s, _), _| *s != session);
+        self.shard(session)
+            .lock()
+            .unwrap()
+            .retain(|(s, _), _| *s != session);
     }
 
     /// Chunks currently checkpointed for `session` across all shipments.
     pub fn checkpointed_chunks(&self, session: SessionId) -> usize {
-        self.map
+        self.shard(session)
             .lock()
             .unwrap()
             .iter()
@@ -165,7 +211,7 @@ mod tests {
     fn files_assembles_and_dedupes() {
         let ledger = ReassemblyLedger::new();
         let message = b"abcdef";
-        let prior = ledger.begin_shipment(1, 0, 2, fnv64(message));
+        let prior = ledger.begin_shipment(1, 0, 2, message);
         assert!(prior.is_empty());
         assert_eq!(ledger.file(&frame(1, 0, 0, 2, b"abc")), Filed::Accepted);
         assert_eq!(ledger.file(&frame(1, 0, 0, 2, b"abc")), Filed::Duplicate);
@@ -174,7 +220,7 @@ mod tests {
         assert_eq!(ledger.assemble(1, 0).unwrap(), message);
         // Out-of-order arrival assembles identically.
         let ledger2 = ReassemblyLedger::new();
-        ledger2.begin_shipment(1, 0, 2, fnv64(message));
+        ledger2.begin_shipment(1, 0, 2, message);
         ledger2.file(&frame(1, 0, 1, 2, b"def"));
         ledger2.file(&frame(1, 0, 0, 2, b"abc"));
         assert_eq!(ledger2.assemble(1, 0).unwrap(), message);
@@ -183,47 +229,55 @@ mod tests {
     #[test]
     fn reopening_reports_the_checkpoint() {
         let ledger = ReassemblyLedger::new();
-        let sum = fnv64(b"abcdef");
-        ledger.begin_shipment(1, 0, 3, sum);
+        ledger.begin_shipment(1, 0, 3, b"abcdef");
         ledger.file(&frame(1, 0, 1, 3, b"cd"));
         // The "session" fails here; the buffer survives. A resumed
-        // attempt learns chunk 1 already landed.
-        let prior = ledger.begin_shipment(1, 0, 3, sum);
+        // attempt learns chunk 1 already landed — and gets the full
+        // serialized message back without re-serializing.
+        let prior = ledger.begin_shipment(1, 0, 3, b"abcdef");
         assert_eq!(prior.into_iter().collect::<Vec<_>>(), vec![1]);
         assert!(ledger.has_chunk(1, 0, 1));
         assert_eq!(ledger.checkpointed_chunks(1), 1);
+        assert_eq!(ledger.stored_message(1, 0).unwrap(), b"abcdef");
     }
 
     #[test]
     fn changed_message_resets_the_checkpoint() {
         let ledger = ReassemblyLedger::new();
-        ledger.begin_shipment(1, 0, 2, fnv64(b"old message"));
+        ledger.begin_shipment(1, 0, 2, b"old message");
         ledger.file(&frame(1, 0, 0, 2, b"old "));
-        let prior = ledger.begin_shipment(1, 0, 2, fnv64(b"new message"));
+        let prior = ledger.begin_shipment(1, 0, 2, b"new message");
         assert!(prior.is_empty(), "stale chunks must not survive");
+        assert_eq!(
+            ledger.stored_message(1, 0).unwrap(),
+            b"new message",
+            "the persisted message follows the reset"
+        );
     }
 
     #[test]
     fn stale_and_mismatched_frames_are_discarded() {
         let ledger = ReassemblyLedger::new();
         assert_eq!(ledger.file(&frame(9, 0, 0, 1, b"x")), Filed::Stale);
-        ledger.begin_shipment(1, 0, 2, fnv64(b"ab"));
+        ledger.begin_shipment(1, 0, 2, b"ab");
         assert_eq!(
             ledger.file(&frame(1, 0, 0, 5, b"a")),
             Filed::Stale,
             "total disagrees with the open shipment"
         );
+        assert!(ledger.stored_message(9, 9).is_none());
     }
 
     #[test]
     fn forgetting_a_session_drops_only_its_buffers() {
         let ledger = ReassemblyLedger::new();
-        ledger.begin_shipment(1, 0, 1, fnv64(b"a"));
+        ledger.begin_shipment(1, 0, 1, b"a");
         ledger.file(&frame(1, 0, 0, 1, b"a"));
-        ledger.begin_shipment(2, 0, 1, fnv64(b"b"));
+        ledger.begin_shipment(2, 0, 1, b"b");
         ledger.file(&frame(2, 0, 0, 1, b"b"));
         ledger.forget_session(1);
         assert_eq!(ledger.checkpointed_chunks(1), 0);
+        assert!(ledger.stored_message(1, 0).is_none());
         assert_eq!(ledger.file(&frame(1, 0, 0, 1, b"a")), Filed::Stale);
         assert_eq!(ledger.checkpointed_chunks(2), 1);
     }

@@ -15,8 +15,11 @@
 //!   cooperative cancellation, and hand back a [`SessionResult`] through
 //!   their [`SessionHandle`].
 //! * **Worker pool** — a fixed number of threads drain the queue;
-//!   cross-edge shipments serialize over one shared [`xdx_net::Link`]
-//!   at chunk granularity.
+//!   cross-edge shipments resolve the session's per-`(source, target)`
+//!   pair [`xdx_net::Link`] from the [`LinkRegistry`], so sessions on
+//!   disjoint pairs ship fully in parallel while same-pair sessions
+//!   interleave at chunk granularity on their shared link. Each link
+//!   carries its own fault stream, counters and [`CircuitBreaker`].
 //! * **Fault-tolerant shipping** — serialized messages are chunked,
 //!   checksummed and retried with exponential backoff against the
 //!   link's probabilistic fault model ([`xdx_net::FaultProfile`]); a
@@ -59,6 +62,7 @@ pub mod breaker;
 pub mod cache;
 pub mod events;
 pub mod ledger;
+pub mod registry;
 pub mod runtime;
 pub mod session;
 pub mod shipper;
@@ -67,9 +71,10 @@ pub use breaker::{BreakerTransition, CircuitBreaker};
 pub use cache::{plan_key, CachedPlan, PlanCache, PlanKey};
 pub use events::{Event, EventKind, EventLog};
 pub use ledger::{Filed, ReassemblyLedger};
+pub use registry::{LinkRegistry, LinkSlot, LinkStats};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError};
 pub use session::{
     ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,
-    SessionState,
+    SessionState, DEFAULT_SOURCE_ENDPOINT, DEFAULT_TARGET_ENDPOINT,
 };
 pub use shipper::ShippingPolicy;

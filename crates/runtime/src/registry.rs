@@ -1,0 +1,360 @@
+//! The link registry: one independent wide-area link per
+//! `(source, target)` endpoint pair.
+//!
+//! The paper's architecture assumes one path per source/target pair;
+//! earlier revisions of the runtime collapsed that to a single shared
+//! `Mutex<Link>`, so adding workers bought planning parallelism and no
+//! shipping parallelism at all. The registry restores the per-pair
+//! model: each pair gets its own [`Link`] (own fault stream, own
+//! bandwidth), its own [`CircuitBreaker`], and its own lock-free
+//! counters, created on first use from the registry's default profiles.
+//! Sessions between distinct pairs ship fully in parallel; same-pair
+//! sessions still contend realistically on their shared link.
+
+use crate::breaker::CircuitBreaker;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use xdx_net::{FaultProfile, Link, NetworkProfile};
+
+/// Registry-wide gauge of shipment windows currently open, with a
+/// high-water mark — the observable proof that disjoint pairs ship
+/// concurrently instead of serializing on one lock.
+#[derive(Debug, Default)]
+pub(crate) struct ShipGauge {
+    active: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ShipGauge {
+    fn open(&self) {
+        let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn close(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-link counters, updated lock-free from the shipping hot path so
+/// observability never adds lock traffic to the link itself.
+#[derive(Debug, Default)]
+pub(crate) struct LinkCounters {
+    pub(crate) wire_bytes: AtomicU64,
+    pub(crate) chunks_shipped: AtomicU64,
+    pub(crate) chunks_retried: AtomicU64,
+    pub(crate) sessions_completed: AtomicU64,
+    pub(crate) sessions_failed: AtomicU64,
+}
+
+/// One registered link: the simulated path for a `(source, target)`
+/// pair, plus its breaker, counters and concurrency gauge.
+#[derive(Debug)]
+pub struct LinkSlot {
+    source: String,
+    target: String,
+    pub(crate) link: Mutex<Link>,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) counters: LinkCounters,
+    /// This link's own open-shipment gauge.
+    local: ShipGauge,
+    /// The registry-wide gauge, shared by every slot.
+    global: Arc<ShipGauge>,
+}
+
+impl LinkSlot {
+    pub(crate) fn new(
+        source: &str,
+        target: &str,
+        link: Link,
+        breaker: CircuitBreaker,
+        global: Arc<ShipGauge>,
+    ) -> LinkSlot {
+        LinkSlot {
+            source: source.to_string(),
+            target: target.to_string(),
+            link: Mutex::new(link),
+            breaker,
+            counters: LinkCounters::default(),
+            local: ShipGauge::default(),
+            global,
+        }
+    }
+
+    /// The pair label, `source→target`.
+    pub fn pair(&self) -> String {
+        format!("{}→{}", self.source, self.target)
+    }
+
+    /// Marks a shipment window open on this link (and registry-wide).
+    pub(crate) fn open_shipment(&self) {
+        self.local.open();
+        self.global.open();
+    }
+
+    /// Closes a shipment window.
+    pub(crate) fn close_shipment(&self) {
+        self.local.close();
+        self.global.close();
+    }
+
+    /// A snapshot of this link's counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            source: self.source.clone(),
+            target: self.target.clone(),
+            wire_bytes: self.counters.wire_bytes.load(Ordering::Relaxed),
+            chunks_shipped: self.counters.chunks_shipped.load(Ordering::Relaxed),
+            chunks_retried: self.counters.chunks_retried.load(Ordering::Relaxed),
+            sessions_completed: self.counters.sessions_completed.load(Ordering::Relaxed),
+            sessions_failed: self.counters.sessions_failed.load(Ordering::Relaxed),
+            breaker_open: self.breaker.is_open(),
+            peak_concurrent_shipments: self.local.peak(),
+        }
+    }
+}
+
+/// Point-in-time counters of one registered link, as reported in
+/// `RuntimeStats::links`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Source endpoint of the pair.
+    pub source: String,
+    /// Target endpoint of the pair.
+    pub target: String,
+    /// Wire bytes transmitted over this link, including failed attempts.
+    pub wire_bytes: u64,
+    /// Chunks delivered intact over this link.
+    pub chunks_shipped: u64,
+    /// Chunk transmissions retried on this link.
+    pub chunks_retried: u64,
+    /// Sessions routed over this link that completed.
+    pub sessions_completed: u64,
+    /// Sessions routed over this link that failed.
+    pub sessions_failed: u64,
+    /// Whether this link's circuit breaker is currently open.
+    pub breaker_open: bool,
+    /// Most shipment windows ever simultaneously open on this link.
+    pub peak_concurrent_shipments: u64,
+}
+
+impl LinkStats {
+    /// The pair label, `source→target`.
+    pub fn pair(&self) -> String {
+        format!("{}→{}", self.source, self.target)
+    }
+}
+
+/// The registry itself: default profiles plus the map of live slots.
+#[derive(Debug)]
+pub struct LinkRegistry {
+    network: NetworkProfile,
+    /// Default fault model for links created after this point.
+    default_fault: Mutex<FaultProfile>,
+    /// Real-time pacing scale links are created with (see
+    /// [`Link::with_pacing`]).
+    pacing: f64,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    links: Mutex<HashMap<(String, String), Arc<LinkSlot>>>,
+    global: Arc<ShipGauge>,
+}
+
+impl LinkRegistry {
+    /// An empty registry; links are created on first resolve from the
+    /// given defaults.
+    pub fn new(
+        network: NetworkProfile,
+        default_fault: FaultProfile,
+        pacing: f64,
+        breaker_threshold: u32,
+        breaker_cooldown: Duration,
+    ) -> LinkRegistry {
+        LinkRegistry {
+            network,
+            default_fault: Mutex::new(default_fault),
+            pacing,
+            breaker_threshold,
+            breaker_cooldown,
+            links: Mutex::new(HashMap::new()),
+            global: Arc::new(ShipGauge::default()),
+        }
+    }
+
+    /// The slot for `(source, target)`, created on first use from the
+    /// default profiles. The second return is true when this call
+    /// created the link. Every pair draws its own fault-outcome stream
+    /// (per-link state), so links never share failure bursts even when
+    /// configured identically.
+    pub fn resolve(&self, source: &str, target: &str) -> (Arc<LinkSlot>, bool) {
+        let mut links = self.links.lock().unwrap();
+        if let Some(slot) = links.get(&(source.to_string(), target.to_string())) {
+            return (Arc::clone(slot), false);
+        }
+        let link = Link::new(self.network)
+            .with_fault_profile(*self.default_fault.lock().unwrap())
+            .with_recording(false)
+            .with_pacing(self.pacing);
+        let slot = Arc::new(LinkSlot::new(
+            source,
+            target,
+            link,
+            CircuitBreaker::new(self.breaker_threshold, self.breaker_cooldown),
+            Arc::clone(&self.global),
+        ));
+        links.insert((source.to_string(), target.to_string()), Arc::clone(&slot));
+        (slot, true)
+    }
+
+    /// The slot for `(source, target)` if it already exists.
+    pub fn get(&self, source: &str, target: &str) -> Option<Arc<LinkSlot>> {
+        self.links
+            .lock()
+            .unwrap()
+            .get(&(source.to_string(), target.to_string()))
+            .cloned()
+    }
+
+    /// Swaps the fault model of *one* pair's link (creating it if
+    /// needed), leaving every other link untouched.
+    pub fn set_fault_profile(&self, source: &str, target: &str, profile: FaultProfile) {
+        let (slot, _) = self.resolve(source, target);
+        slot.link.lock().unwrap().set_fault_profile(profile);
+    }
+
+    /// Swaps the fault model of every live link *and* the default for
+    /// links created later — the fleet-wide "network repaired/degraded"
+    /// knob.
+    pub fn set_fault_profile_all(&self, profile: FaultProfile) {
+        *self.default_fault.lock().unwrap() = profile;
+        for slot in self.links.lock().unwrap().values() {
+            slot.link.lock().unwrap().set_fault_profile(profile);
+        }
+    }
+
+    /// Per-link counter snapshots, sorted by pair for stable output.
+    pub fn snapshot(&self) -> Vec<LinkStats> {
+        let mut stats: Vec<LinkStats> = self
+            .links
+            .lock()
+            .unwrap()
+            .values()
+            .map(|slot| slot.stats())
+            .collect();
+        stats.sort_by(|a, b| (&a.source, &a.target).cmp(&(&b.source, &b.target)));
+        stats
+    }
+
+    /// Number of live links.
+    pub fn len(&self) -> usize {
+        self.links.lock().unwrap().len()
+    }
+
+    /// True when no link has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Most shipment windows ever simultaneously open across *all*
+    /// links.
+    pub fn peak_concurrent_shipments(&self) -> u64 {
+        self.global.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> LinkRegistry {
+        LinkRegistry::new(
+            NetworkProfile::lan(),
+            FaultProfile::healthy(),
+            0.0,
+            4,
+            Duration::from_millis(50),
+        )
+    }
+
+    #[test]
+    fn resolve_creates_once_and_reuses() {
+        let reg = registry();
+        assert!(reg.is_empty());
+        let (a, created_a) = reg.resolve("s1", "t1");
+        let (b, created_b) = reg.resolve("s1", "t1");
+        assert!(created_a && !created_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let (_, created_c) = reg.resolve("s2", "t1");
+        assert!(created_c, "a different pair is a different link");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(a.pair(), "s1→t1");
+    }
+
+    #[test]
+    fn per_pair_fault_profile_leaves_other_links_untouched() {
+        let reg = registry();
+        reg.set_fault_profile("s1", "t1", FaultProfile::drops(1.0, 7));
+        let (healthy, _) = reg.resolve("s2", "t2");
+        let (broken, _) = reg.resolve("s1", "t1");
+        assert!(!broken
+            .link
+            .lock()
+            .unwrap()
+            .transmit_faulty("x", b"p")
+            .1
+            .is_ok());
+        assert!(healthy
+            .link
+            .lock()
+            .unwrap()
+            .transmit_faulty("x", b"p")
+            .1
+            .is_ok());
+    }
+
+    #[test]
+    fn fleet_wide_profile_applies_to_live_and_future_links() {
+        let reg = registry();
+        let (before, _) = reg.resolve("s1", "t1");
+        reg.set_fault_profile_all(FaultProfile::drops(1.0, 9));
+        let (after, _) = reg.resolve("s2", "t2");
+        for slot in [&before, &after] {
+            assert!(!slot
+                .link
+                .lock()
+                .unwrap()
+                .transmit_faulty("x", b"p")
+                .1
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn gauges_track_local_and_global_peaks() {
+        let reg = registry();
+        let (a, _) = reg.resolve("s1", "t1");
+        let (b, _) = reg.resolve("s2", "t2");
+        a.open_shipment();
+        b.open_shipment();
+        a.close_shipment();
+        b.close_shipment();
+        assert_eq!(a.stats().peak_concurrent_shipments, 1);
+        assert_eq!(b.stats().peak_concurrent_shipments, 1);
+        assert_eq!(reg.peak_concurrent_shipments(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_pair() {
+        let reg = registry();
+        reg.resolve("zz", "t");
+        reg.resolve("aa", "t");
+        let pairs: Vec<String> = reg.snapshot().iter().map(LinkStats::pair).collect();
+        assert_eq!(pairs, vec!["aa→t", "zz→t"]);
+    }
+}

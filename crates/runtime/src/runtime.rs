@@ -3,15 +3,18 @@
 //! One [`Runtime`] hosts many concurrent exchanges against a single
 //! agreed-upon schema: requests are admitted into a bounded
 //! priority/FIFO queue, a fixed pool of workers plans them (through the
-//! shared [`PlanCache`]) and executes them, and all cross-edge shipments
-//! serialize over one shared wide-area [`Link`] — the paper's
-//! single-path deployment, now contended by a fleet of sessions instead
-//! of exercised one exchange at a time.
+//! shared [`PlanCache`]) and executes them, and every cross-edge
+//! shipment rides the per-`(source, target)`-pair link resolved from
+//! the [`LinkRegistry`] — the paper's one-path-per-pair deployment.
+//! Sessions routed over distinct pairs ship fully in parallel; sessions
+//! sharing a pair contend realistically on that pair's link. Each link
+//! carries its own fault model, counters and circuit breaker.
 
-use crate::breaker::{BreakerTransition, CircuitBreaker};
+use crate::breaker::BreakerTransition;
 use crate::cache::{plan_key, CachedPlan, PlanCache};
 use crate::events::{Event, EventKind, EventLog};
 use crate::ledger::ReassemblyLedger;
+use crate::registry::{LinkRegistry, LinkStats};
 use crate::session::{
     ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,
     SessionShared, SessionState,
@@ -25,7 +28,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xdx_core::exec::execute_with_transport;
 use xdx_core::{DataExchange, Optimizer};
-use xdx_net::{FaultProfile, Link, NetworkProfile};
+use xdx_net::{FaultProfile, NetworkProfile};
 use xdx_relational::Database;
 use xdx_xml::SchemaTree;
 
@@ -37,13 +40,22 @@ pub struct RuntimeConfig {
     /// Maximum sessions waiting in the queue; submissions beyond this
     /// are rejected at admission (back-pressure, not unbounded memory).
     pub max_queue_depth: usize,
-    /// The shared link's bandwidth/latency model.
+    /// Bandwidth/latency model for links the registry creates.
     pub network: NetworkProfile,
-    /// The shared link's fault model.
+    /// Default fault model for links the registry creates; override a
+    /// single pair afterwards with [`Runtime::set_link_fault_profile`].
     pub fault_profile: FaultProfile,
+    /// Real-time pacing of link transmissions: each one blocks its
+    /// caller for this fraction of its simulated duration (0 = pure
+    /// simulation, 1 = real time). With pacing on, sessions sharing a
+    /// pair serialize on that link's wall time while disjoint pairs
+    /// overlap — the knob throughput benchmarks use to make multi-link
+    /// parallelism observable on a clock.
+    pub link_pacing: f64,
     /// Chunking/retry policy of the shipping layer.
     pub shipping: ShippingPolicy,
-    /// Optimizer every session is planned with.
+    /// Optimizer sessions are planned with unless their request carries
+    /// an [`ExchangeRequest::with_optimizer`] override.
     pub optimizer: Optimizer,
     /// Communication weight of the cost model.
     pub w_comm: f64,
@@ -51,8 +63,8 @@ pub struct RuntimeConfig {
     /// stats-drifted entries are re-planned, so a long-lived runtime
     /// never serves a program optimized for data that no longer exists.
     pub plan_ttl: Option<Duration>,
-    /// Consecutive link-failed sessions before the circuit breaker
-    /// opens and refuses new admissions.
+    /// Consecutive link-failed sessions before a link's circuit breaker
+    /// opens and refuses new admissions *on that pair*.
     pub breaker_threshold: u32,
     /// How long an open breaker refuses admissions before letting one
     /// probe session through.
@@ -66,6 +78,7 @@ impl Default for RuntimeConfig {
             max_queue_depth: 64,
             network: NetworkProfile::lan(),
             fault_profile: FaultProfile::healthy(),
+            link_pacing: 0.0,
             shipping: ShippingPolicy::default(),
             optimizer: Optimizer::Greedy,
             w_comm: 0.05,
@@ -95,9 +108,15 @@ impl RuntimeConfig {
         self
     }
 
-    /// Sets the link fault model.
+    /// Sets the default link fault model.
     pub fn with_fault_profile(mut self, profile: FaultProfile) -> RuntimeConfig {
         self.fault_profile = profile;
+        self
+    }
+
+    /// Sets the real-time link pacing scale.
+    pub fn with_link_pacing(mut self, scale: f64) -> RuntimeConfig {
+        self.link_pacing = scale;
         self
     }
 
@@ -119,7 +138,7 @@ impl RuntimeConfig {
         self
     }
 
-    /// Sets the circuit-breaker policy.
+    /// Sets the per-link circuit-breaker policy.
     pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> RuntimeConfig {
         self.breaker_threshold = threshold;
         self.breaker_cooldown = cooldown;
@@ -135,8 +154,10 @@ pub enum SubmitError {
         /// The bound that was hit.
         depth: usize,
     },
-    /// The link circuit breaker is open: too many consecutive shipment
-    /// failures. Retry after the hinted cooldown remainder.
+    /// The circuit breaker of the *request's route* is open: too many
+    /// consecutive shipment failures on that `(source, target)` pair.
+    /// Other pairs keep admitting. Retry after the hinted cooldown
+    /// remainder.
     CircuitOpen {
         /// Time until the breaker half-opens and admits a probe.
         retry_after: Duration,
@@ -171,7 +192,8 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Aggregate counters across the runtime's lifetime.
+/// Aggregate counters across the runtime's lifetime, with per-link
+/// rollups in [`RuntimeStats::links`].
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
     /// Sessions admitted to the queue.
@@ -194,6 +216,12 @@ pub struct RuntimeStats {
     pub plan_cache_expired: u64,
     /// Cached plans evicted because the probed statistics drifted.
     pub plan_cache_stats_evicted: u64,
+    /// Statistics probes run across all sessions (resumed sessions
+    /// replaying a checkpointed plan probe zero times).
+    pub planning_probes: u64,
+    /// Cross-edge messages serialized from feeds (checkpoint replays
+    /// not counted).
+    pub messages_serialized: u64,
     /// Wire bytes transmitted, including failed attempts.
     pub bytes_shipped: u64,
     /// Chunks delivered intact.
@@ -204,6 +232,11 @@ pub struct RuntimeStats {
     pub chunks_deduped: u64,
     /// Chunk transmissions retried.
     pub chunks_retried: u64,
+    /// Per-link counters, sorted by `(source, target)` pair.
+    pub links: Vec<LinkStats>,
+    /// Most shipment windows ever simultaneously open across all links
+    /// — >1 proves disjoint pairs shipped in parallel.
+    pub peak_concurrent_shipments: u64,
     /// Per-session submit→done wall latencies of completed sessions.
     pub latencies: Vec<Duration>,
 }
@@ -235,6 +268,9 @@ struct QueuedSession {
     seq: u64,
     enqueued: Instant,
     request: ExchangeRequest,
+    /// Present for resumed sessions: the plan the failed run executed,
+    /// replayed without probing or re-planning.
+    plan: Option<Arc<CachedPlan>>,
     shared: Arc<SessionShared>,
 }
 
@@ -264,6 +300,15 @@ struct QueueState {
     open: bool,
 }
 
+/// A failed session's checkpoint: the original request plus the plan it
+/// was executing. A resume replays the plan directly — zero statistics
+/// probes, zero optimizer calls — and the shipping ledger replays the
+/// already-serialized messages.
+struct Resumable {
+    request: ExchangeRequest,
+    plan: Option<Arc<CachedPlan>>,
+}
+
 #[derive(Default)]
 struct Aggregate {
     admitted: u64,
@@ -272,6 +317,8 @@ struct Aggregate {
     failed: u64,
     cancelled: u64,
     resumed: u64,
+    planning_probes: u64,
+    messages_serialized: u64,
     bytes_shipped: u64,
     chunks_shipped: u64,
     chunks_resumed: u64,
@@ -283,18 +330,17 @@ struct Aggregate {
 struct Inner {
     config: RuntimeConfig,
     schema: SchemaTree,
-    link: Mutex<Link>,
+    registry: LinkRegistry,
     queue: Mutex<QueueState>,
     available: Condvar,
     cache: PlanCache,
     events: EventLog,
     ledger: ReassemblyLedger,
-    breaker: CircuitBreaker,
-    /// Requests of failed sessions, kept for [`Runtime::resume`]. An
+    /// Checkpoints of failed sessions, kept for [`Runtime::resume`]. An
     /// entry is consumed by the resume (the same request cannot be
     /// resumed twice concurrently) and re-deposited if the retry fails
     /// again.
-    resumables: Mutex<HashMap<SessionId, ExchangeRequest>>,
+    resumables: Mutex<HashMap<SessionId, Resumable>>,
     next_id: AtomicU64,
     next_seq: AtomicU64,
     agg: Mutex<Aggregate>,
@@ -312,14 +358,19 @@ impl Runtime {
     /// Starts the worker pool for exchanges over `schema`.
     ///
     /// # Panics
-    /// If `config.workers` is zero or the fault profile is invalid.
+    /// If `config.workers` is zero.
     pub fn start(schema: SchemaTree, config: RuntimeConfig) -> Runtime {
         assert!(config.workers > 0, "runtime needs at least one worker");
-        let link = Link::new(config.network).with_fault_profile(config.fault_profile);
         let inner = Arc::new(Inner {
             config,
             schema,
-            link: Mutex::new(link),
+            registry: LinkRegistry::new(
+                config.network,
+                config.fault_profile,
+                config.link_pacing,
+                config.breaker_threshold,
+                config.breaker_cooldown,
+            ),
             queue: Mutex::new(QueueState {
                 heap: BinaryHeap::new(),
                 open: true,
@@ -331,7 +382,6 @@ impl Runtime {
             },
             events: EventLog::new(),
             ledger: ReassemblyLedger::new(),
-            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             resumables: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
@@ -350,16 +400,24 @@ impl Runtime {
     }
 
     /// Admits a request. Returns the session handle, or an error when
-    /// the queue is full, the link circuit breaker is open, or the
-    /// runtime is shutting down.
+    /// the queue is full, the request's route has an open circuit
+    /// breaker, or the runtime is shutting down.
     pub fn submit(&self, request: ExchangeRequest) -> Result<SessionHandle, SubmitError> {
         let inner = &*self.inner;
-        match inner.breaker.try_admit() {
+        let (slot, created) = inner
+            .registry
+            .resolve(&request.source_endpoint, &request.target_endpoint);
+        if created {
+            inner.events.push(0, EventKind::LinkCreated, slot.pair());
+        }
+        match slot.breaker.try_admit() {
             Ok(None) => {}
             Ok(Some(BreakerTransition::HalfOpened)) => {
-                inner
-                    .events
-                    .push(0, EventKind::CircuitHalfOpened, "probe admitted");
+                inner.events.push(
+                    0,
+                    EventKind::CircuitHalfOpened,
+                    format!("{}: probe admitted", slot.pair()),
+                );
             }
             Ok(Some(_)) => unreachable!("try_admit only half-opens"),
             Err(retry_after) => {
@@ -367,36 +425,37 @@ impl Runtime {
                 inner.events.push(
                     0,
                     EventKind::Rejected,
-                    format!("{}: circuit open", request.name),
+                    format!("{}: circuit open on {}", request.name, slot.pair()),
                 );
                 return Err(SubmitError::CircuitOpen { retry_after });
             }
         }
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         inner
-            .enqueue(request, id, false)
+            .enqueue(request, id, false, None)
             .map_err(|refused| refused.0)
     }
 
-    /// Re-admits a *failed* session under its original id, reusing the
-    /// cached plan and the shipping checkpoint: chunks that already
-    /// landed are not re-shipped — only the unacknowledged remainder
-    /// crosses the link. The original deadline is lifted: resume is an
-    /// explicit operator decision to finish the exchange, made after the
-    /// deadline already had its say.
+    /// Re-admits a *failed* session under its original id, replaying the
+    /// checkpointed plan and the shipping checkpoint: the resume runs
+    /// zero statistics probes, serializes zero messages (they were
+    /// persisted in the ledger) and re-ships only the chunks that never
+    /// landed. The original deadline is lifted: resume is an explicit
+    /// operator decision to finish the exchange, made after the deadline
+    /// already had its say.
     ///
     /// Resume is the operator's recovery probe, so it intentionally
-    /// bypasses the circuit breaker.
+    /// bypasses the route's circuit breaker.
     pub fn resume(&self, session_id: SessionId) -> Result<SessionHandle, SubmitError> {
         let inner = &*self.inner;
-        let mut request = inner
+        let Resumable { mut request, plan } = inner
             .resumables
             .lock()
             .unwrap()
             .remove(&session_id)
             .ok_or(SubmitError::UnknownSession { id: session_id })?;
         request.deadline = None;
-        match inner.enqueue(request, session_id, true) {
+        match inner.enqueue(request, session_id, true, plan.clone()) {
             Ok(handle) => {
                 inner.agg.lock().unwrap().resumed += 1;
                 Ok(handle)
@@ -404,21 +463,36 @@ impl Runtime {
             Err(refused) => {
                 // Not admitted: keep the checkpoint resumable.
                 let (e, request) = *refused;
-                inner.resumables.lock().unwrap().insert(session_id, request);
+                inner
+                    .resumables
+                    .lock()
+                    .unwrap()
+                    .insert(session_id, Resumable { request, plan });
                 Err(e)
             }
         }
     }
 
-    /// Swaps the shared link's fault model at runtime — the operator's
-    /// "the network was repaired / degraded" knob. In-flight chunk
-    /// transmissions finish under the old model; subsequent ones use the
-    /// new one.
+    /// Swaps the fault model of *every* link — live and future — at
+    /// runtime: the fleet-wide "the network was repaired / degraded"
+    /// knob. In-flight chunk transmissions finish under the old model;
+    /// subsequent ones use the new one. For a single pair, use
+    /// [`Runtime::set_link_fault_profile`].
     pub fn set_fault_profile(&self, profile: FaultProfile) {
-        self.inner.link.lock().unwrap().set_fault_profile(profile);
+        self.inner.registry.set_fault_profile_all(profile);
     }
 
-    /// A snapshot of the aggregate statistics so far.
+    /// Swaps the fault model of one `(source, target)` pair's link
+    /// (created if it does not exist yet), leaving every other link
+    /// untouched.
+    pub fn set_link_fault_profile(&self, source: &str, target: &str, profile: FaultProfile) {
+        self.inner
+            .registry
+            .set_fault_profile(source, target, profile);
+    }
+
+    /// A snapshot of the aggregate statistics so far, including the
+    /// per-link rollups.
     pub fn stats(&self) -> RuntimeStats {
         self.inner.stats()
     }
@@ -480,6 +554,7 @@ impl Inner {
         request: ExchangeRequest,
         id: SessionId,
         resumed: bool,
+        plan: Option<Arc<CachedPlan>>,
     ) -> Result<SessionHandle, Box<(SubmitError, ExchangeRequest)>> {
         let mut queue = self.queue.lock().unwrap();
         if !queue.open {
@@ -516,6 +591,7 @@ impl Inner {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
             enqueued: Instant::now(),
             request,
+            plan,
             shared: Arc::clone(&shared),
         });
         drop(queue);
@@ -536,11 +612,15 @@ impl Inner {
             plan_cache_misses: self.cache.misses(),
             plan_cache_expired: self.cache.expired(),
             plan_cache_stats_evicted: self.cache.stats_evicted(),
+            planning_probes: agg.planning_probes,
+            messages_serialized: agg.messages_serialized,
             bytes_shipped: agg.bytes_shipped,
             chunks_shipped: agg.chunks_shipped,
             chunks_resumed: agg.chunks_resumed,
             chunks_deduped: agg.chunks_deduped,
             chunks_retried: agg.chunks_retried,
+            links: self.registry.snapshot(),
+            peak_concurrent_shipments: self.registry.peak_concurrent_shipments(),
             latencies: agg.latencies.clone(),
         }
     }
@@ -550,11 +630,13 @@ impl Inner {
         let QueuedSession {
             enqueued,
             mut request,
+            plan: stored_plan,
             shared,
             ..
         } = job;
         let mut metrics = SessionMetrics {
             queue_wait: enqueued.elapsed(),
+            route: format!("{}→{}", request.source_endpoint, request.target_endpoint),
             ..SessionMetrics::default()
         };
         if shared.is_cancelled() {
@@ -571,7 +653,13 @@ impl Inner {
         if shared.deadline_exceeded() {
             self.events
                 .push(shared.id, EventKind::DeadlineExceeded, "while queued");
-            self.resumables.lock().unwrap().insert(shared.id, request);
+            self.resumables.lock().unwrap().insert(
+                shared.id,
+                Resumable {
+                    request,
+                    plan: stored_plan,
+                },
+            );
             self.finish(
                 &shared,
                 enqueued,
@@ -583,64 +671,83 @@ impl Inner {
             return;
         }
 
-        // Plan (Figure 2, Steps 2–3), consulting the shared cache.
+        // Plan (Figure 2, Steps 2–3), consulting the shared cache — or,
+        // for a resumed session, replaying the checkpointed plan with
+        // zero probes and zero optimizer calls.
         shared.set_state(SessionState::Planning);
         self.events
             .push(shared.id, EventKind::PlanningStarted, &shared.name);
-        let mut exchange = DataExchange::new(
-            &self.schema,
-            request.source_frag.clone(),
-            request.target_frag.clone(),
-        )
-        .with_optimizer(self.config.optimizer)
-        .with_profiles(request.source_profile, request.target_profile);
-        exchange.w_comm = self.config.w_comm;
         let planning_started = Instant::now();
-        let model = match exchange.probe(&request.source) {
-            Ok(model) => model,
-            Err(e) => {
-                metrics.planning = planning_started.elapsed();
-                self.finish(
-                    &shared,
-                    enqueued,
-                    SessionState::Failed,
-                    metrics,
-                    None,
-                    Some(format!("statistics probe failed: {e}")),
-                );
-                return;
-            }
-        };
-        let key = plan_key(&exchange.source_frag, &exchange.target_frag, &model);
-        let plan = match self.cache.lookup(key) {
-            Some(cached) => {
-                metrics.plan_cache_hit = true;
-                self.events.push(
-                    shared.id,
-                    EventKind::PlanCacheHit,
-                    format!("key {:016x}/{:016x}", key.shape, key.stats),
-                );
-                cached
-            }
-            None => {
-                self.events.push(
-                    shared.id,
-                    EventKind::PlanCacheMiss,
-                    format!("key {:016x}/{:016x}", key.shape, key.stats),
-                );
-                match exchange.plan(&model) {
-                    Ok((program, cost)) => self.cache.insert(key, CachedPlan { program, cost }),
-                    Err(e) => {
-                        metrics.planning = planning_started.elapsed();
-                        self.finish(
-                            &shared,
-                            enqueued,
-                            SessionState::Failed,
-                            metrics,
-                            None,
-                            Some(format!("planning failed: {e}")),
-                        );
-                        return;
+        let optimizer = request.optimizer.unwrap_or(self.config.optimizer);
+        let plan = if let Some(plan) = stored_plan {
+            metrics.plan_cache_hit = true;
+            self.events.push(
+                shared.id,
+                EventKind::PlanCacheHit,
+                "checkpointed plan replayed: zero probes",
+            );
+            plan
+        } else {
+            let mut exchange = DataExchange::new(
+                &self.schema,
+                request.source_frag.clone(),
+                request.target_frag.clone(),
+            )
+            .with_optimizer(optimizer)
+            .with_profiles(request.source_profile, request.target_profile);
+            exchange.w_comm = self.config.w_comm;
+            metrics.planning_probes += 1;
+            let model = match exchange.probe(&request.source) {
+                Ok(model) => model,
+                Err(e) => {
+                    metrics.planning = planning_started.elapsed();
+                    self.finish(
+                        &shared,
+                        enqueued,
+                        SessionState::Failed,
+                        metrics,
+                        None,
+                        Some(format!("statistics probe failed: {e}")),
+                    );
+                    return;
+                }
+            };
+            let key = plan_key(
+                &request.source_frag,
+                &request.target_frag,
+                &model,
+                optimizer,
+            );
+            match self.cache.lookup(key) {
+                Some(cached) => {
+                    metrics.plan_cache_hit = true;
+                    self.events.push(
+                        shared.id,
+                        EventKind::PlanCacheHit,
+                        format!("key {:016x}/{:016x}", key.shape, key.stats),
+                    );
+                    cached
+                }
+                None => {
+                    self.events.push(
+                        shared.id,
+                        EventKind::PlanCacheMiss,
+                        format!("key {:016x}/{:016x}", key.shape, key.stats),
+                    );
+                    match exchange.plan(&model) {
+                        Ok((program, cost)) => self.cache.insert(key, CachedPlan { program, cost }),
+                        Err(e) => {
+                            metrics.planning = planning_started.elapsed();
+                            self.finish(
+                                &shared,
+                                enqueued,
+                                SessionState::Failed,
+                                metrics,
+                                None,
+                                Some(format!("planning failed: {e}")),
+                            );
+                            return;
+                        }
                     }
                 }
             }
@@ -660,7 +767,13 @@ impl Inner {
         if shared.deadline_exceeded() {
             self.events
                 .push(shared.id, EventKind::DeadlineExceeded, "after planning");
-            self.resumables.lock().unwrap().insert(shared.id, request);
+            self.resumables.lock().unwrap().insert(
+                shared.id,
+                Resumable {
+                    request,
+                    plan: Some(Arc::clone(&plan)),
+                },
+            );
             self.finish(
                 &shared,
                 enqueued,
@@ -672,17 +785,25 @@ impl Inner {
             return;
         }
 
-        // Execute (Step 4) over the fault-tolerant shipper. Writes are
-        // staged: a run that dies mid-exchange rolls the target back.
+        // Execute (Step 4) over the fault-tolerant shipper, on the
+        // session's per-pair link. Writes are staged: a run that dies
+        // mid-exchange rolls the target back.
         shared.set_state(SessionState::Executing);
         self.events.push(
             shared.id,
             EventKind::ExecutionStarted,
-            format!("estimated cost {:.1}", plan.cost),
+            format!("estimated cost {:.1} via {}", plan.cost, metrics.route),
         );
+        let (slot, created) = self
+            .registry
+            .resolve(&request.source_endpoint, &request.target_endpoint);
+        if created {
+            self.events
+                .push(shared.id, EventKind::LinkCreated, slot.pair());
+        }
         let mut target = Database::new(format!("{}-target", shared.name));
         let mut shipper = FaultTolerantShipper::new(
-            &self.link,
+            Arc::clone(&slot),
             self.config.shipping,
             &shared,
             &self.events,
@@ -690,8 +811,8 @@ impl Inner {
         );
         let outcome = execute_with_transport(
             &self.schema,
-            &exchange.source_frag,
-            &exchange.target_frag,
+            &request.source_frag,
+            &request.target_frag,
             &plan.program,
             &mut request.source,
             &mut target,
@@ -704,6 +825,7 @@ impl Inner {
             Err(_) => Duration::ZERO,
         };
         metrics.retry_backoff = ship.retry_backoff;
+        metrics.messages_serialized = ship.messages_serialized as usize;
         metrics.bytes_shipped = ship.wire_bytes;
         metrics.chunks_shipped = ship.chunks_shipped;
         metrics.chunks_resumed = ship.chunks_resumed;
@@ -717,9 +839,15 @@ impl Inner {
                 metrics.rows_loaded = out.rows_loaded;
                 // The checkpoint served its purpose; drop it.
                 self.ledger.forget_session(shared.id);
-                if let Some(BreakerTransition::Closed) = self.breaker.record_success() {
-                    self.events
-                        .push(shared.id, EventKind::CircuitClosed, "probe succeeded");
+                slot.counters
+                    .sessions_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(BreakerTransition::Closed) = slot.breaker.record_success() {
+                    self.events.push(
+                        shared.id,
+                        EventKind::CircuitClosed,
+                        format!("{}: probe succeeded", slot.pair()),
+                    );
                 }
                 self.finish(
                     &shared,
@@ -747,18 +875,33 @@ impl Inner {
                     self.events
                         .push(shared.id, EventKind::DeadlineExceeded, &diagnostic);
                 }
+                slot.counters
+                    .sessions_failed
+                    .fetch_add(1, Ordering::Relaxed);
                 if ship.link_gave_up {
-                    if let Some(BreakerTransition::Opened) = self.breaker.record_failure() {
+                    if let Some(BreakerTransition::Opened) = slot.breaker.record_failure() {
                         self.events.push(
                             shared.id,
                             EventKind::CircuitOpened,
-                            format!("cooldown {:?}", self.config.breaker_cooldown),
+                            format!(
+                                "{}: cooldown {:?}",
+                                slot.pair(),
+                                self.config.breaker_cooldown
+                            ),
                         );
                     }
                 }
-                // Keep the request resumable: the shipping checkpoint
-                // (ledger) and the cached plan make the retry cheap.
-                self.resumables.lock().unwrap().insert(shared.id, request);
+                // Keep the session resumable: the checkpointed plan and
+                // the shipping ledger (with its persisted serialized
+                // messages) make the retry probe-free and
+                // serialization-free.
+                self.resumables.lock().unwrap().insert(
+                    shared.id,
+                    Resumable {
+                        request,
+                        plan: Some(Arc::clone(&plan)),
+                    },
+                );
                 // The rolled-back target travels with the result as
                 // observable proof that no partial tables survived.
                 self.finish(
@@ -785,6 +928,8 @@ impl Inner {
         metrics.total_wall = enqueued.elapsed();
         {
             let mut agg = self.agg.lock().unwrap();
+            agg.planning_probes += metrics.planning_probes as u64;
+            agg.messages_serialized += metrics.messages_serialized as u64;
             agg.bytes_shipped += metrics.bytes_shipped;
             agg.chunks_shipped += metrics.chunks_shipped;
             agg.chunks_resumed += metrics.chunks_resumed;

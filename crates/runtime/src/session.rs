@@ -10,8 +10,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use xdx_core::{Fragmentation, SystemProfile};
+use xdx_core::{Fragmentation, Optimizer, SystemProfile};
 use xdx_relational::{Counters, Database};
+
+/// Default source endpoint of a request's route.
+pub const DEFAULT_SOURCE_ENDPOINT: &str = "source";
+/// Default target endpoint of a request's route.
+pub const DEFAULT_TARGET_ENDPOINT: &str = "target";
 
 /// Runtime-assigned session identifier (1-based, monotonically
 /// increasing per runtime instance).
@@ -96,6 +101,16 @@ pub struct ExchangeRequest {
     /// overruns it fails with a `deadline exceeded` diagnostic (and can
     /// be resumed with a fresh budget).
     pub deadline: Option<Duration>,
+    /// Source endpoint of the wide-area route this session ships over.
+    /// Together with `target_endpoint` it names the `(source, target)`
+    /// pair whose registry link carries the session; sessions on
+    /// distinct pairs ship in parallel over independent links.
+    pub source_endpoint: String,
+    /// Target endpoint of the route (see `source_endpoint`).
+    pub target_endpoint: String,
+    /// Per-session optimizer override; `None` plans with the runtime's
+    /// configured default.
+    pub optimizer: Option<Optimizer>,
 }
 
 impl ExchangeRequest {
@@ -115,7 +130,29 @@ impl ExchangeRequest {
             source_profile: SystemProfile::default(),
             target_profile: SystemProfile::default(),
             deadline: None,
+            source_endpoint: DEFAULT_SOURCE_ENDPOINT.into(),
+            target_endpoint: DEFAULT_TARGET_ENDPOINT.into(),
+            optimizer: None,
         }
+    }
+
+    /// Routes the session over the `(source, target)` endpoint pair —
+    /// its shipments use that pair's registry link (created on first
+    /// use), independent of every other pair's link.
+    pub fn with_route(
+        mut self,
+        source_endpoint: impl Into<String>,
+        target_endpoint: impl Into<String>,
+    ) -> ExchangeRequest {
+        self.source_endpoint = source_endpoint.into();
+        self.target_endpoint = target_endpoint.into();
+        self
+    }
+
+    /// Overrides the optimizer for this session alone.
+    pub fn with_optimizer(mut self, optimizer: Optimizer) -> ExchangeRequest {
+        self.optimizer = Some(optimizer);
+        self
     }
 
     /// Sets the scheduling priority.
@@ -151,6 +188,16 @@ pub struct SessionMetrics {
     pub planning: Duration,
     /// Whether planning was satisfied from the plan cache.
     pub plan_cache_hit: bool,
+    /// Statistics probes run during planning: 1 for a normal run, 0 for
+    /// a resumed session replaying its checkpointed plan.
+    pub planning_probes: u32,
+    /// Cross-edge messages serialized from feeds in this run; shipments
+    /// replayed from the checkpoint ledger are not re-serialized and not
+    /// counted, so a fully checkpointed resume reports 0.
+    pub messages_serialized: usize,
+    /// The `(source, target)` route the session shipped over, as
+    /// `source→target`.
+    pub route: String,
     /// Simulated link time, including timeout waits and retry backoff.
     pub communication: Duration,
     /// Simulated backoff waits alone (subset of `communication`).

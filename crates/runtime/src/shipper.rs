@@ -1,13 +1,13 @@
 //! Fault-tolerant, *checkpointed* chunked shipping over an unreliable
-//! shared link.
+//! link.
 //!
 //! The executor hands the shipper one serialized cross-edge message at a
 //! time (already framed as an HTTP POST). The shipper slices it into
 //! chunks, frames each with its full shipment identity — session,
 //! per-session shipment sequence number, index, total, length, checksum
-//! ([`xdx_net::ChunkFrame`]) — and transmits them through the shared
-//! [`Link`]'s probabilistic fault model, retrying damaged or lost chunks
-//! with exponential backoff.
+//! ([`xdx_net::ChunkFrame`]) — and transmits them through its session's
+//! per-pair [`Link`] (resolved from the [`crate::registry::LinkRegistry`]),
+//! retrying damaged or lost chunks with exponential backoff.
 //!
 //! Every verified frame is filed in the receiver-side
 //! [`ReassemblyLedger`] under the coordinates *in the frame*, so chunks
@@ -15,21 +15,28 @@
 //! session's transmission all land in the right slot, and exact repeats
 //! are dropped idempotently. Because the ledger outlives a failed
 //! session, a resumed session re-ships only the chunks that never
-//! arrived: everything checkpointed is skipped (`chunks_resumed`).
+//! arrived (`chunks_resumed`) and replays the *serialized message* the
+//! failed run persisted ([`Transport::checkpointed_message`]) instead of
+//! re-serializing it.
 //!
-//! The link is a serialized shared resource (the paper's single
-//! wide-area path): concurrent sessions interleave at chunk granularity,
-//! each chunk transmission holding the link lock only for its own
-//! simulated transfer.
+//! The hot path is allocation-free at steady state: one frame buffer and
+//! one label buffer are reused across every chunk of every shipment, the
+//! frame is built once per chunk (not per attempt), and per-link
+//! accounting is lock-free atomics. Only sessions sharing a `(source,
+//! target)` pair contend on a link lock — the paper's one-path-per-pair
+//! model.
 
 use crate::events::{EventKind, EventLog};
 use crate::ledger::{Filed, ReassemblyLedger};
+use crate::registry::LinkSlot;
 use crate::session::{SessionShared, SessionState};
-use std::sync::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 use xdx_core::error::{Error, Result};
 use xdx_core::Transport;
-use xdx_net::{fnv64, frame_chunk, ChunkFrame, Delivery, Link};
+use xdx_net::{frame_chunk_into, ChunkFrame, Delivery};
 
 /// Retry/chunking policy of the shipping layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +87,11 @@ pub(crate) struct ShipStats {
     pub chunks_retried: u64,
     pub retry_backoff: Duration,
     pub wire_bytes: u64,
+    /// Shipments whose message the executor had to serialize because no
+    /// checkpointed copy existed ([`Transport::checkpointed_message`]
+    /// misses). Tallied here — not in the executor's outcome — so the
+    /// count survives a shipment failure.
+    pub messages_serialized: u64,
     /// True when the shipment failed because the *link* defeated the
     /// policy (attempt cap or retry budget) — the signal the circuit
     /// breaker listens for. Cancellations and deadlines leave it false.
@@ -94,32 +106,38 @@ pub(crate) struct ShipStats {
 const MAX_STALLS_PER_CHUNK: u32 = 32;
 
 /// The runtime's [`Transport`]: chunked, checksummed, checkpointed,
-/// retrying shipment over a link shared by all sessions.
+/// retrying shipment over the session's per-pair link.
 pub(crate) struct FaultTolerantShipper<'a> {
-    link: &'a Mutex<Link>,
+    slot: Arc<LinkSlot>,
     policy: ShippingPolicy,
     session: &'a SessionShared,
     events: &'a EventLog,
     ledger: &'a ReassemblyLedger,
     budget_left: u32,
+    /// Reused across every chunk of every shipment — the encoded frame.
+    frame_buf: Vec<u8>,
+    /// Reused across every chunk — the transfer-log label.
+    label_buf: String,
     pub(crate) stats: ShipStats,
 }
 
 impl<'a> FaultTolerantShipper<'a> {
     pub(crate) fn new(
-        link: &'a Mutex<Link>,
+        slot: Arc<LinkSlot>,
         policy: ShippingPolicy,
         session: &'a SessionShared,
         events: &'a EventLog,
         ledger: &'a ReassemblyLedger,
     ) -> FaultTolerantShipper<'a> {
         FaultTolerantShipper {
-            link,
+            slot,
             policy,
             session,
             events,
             ledger,
             budget_left: policy.retry_budget,
+            frame_buf: Vec::new(),
+            label_buf: String::new(),
             stats: ShipStats::default(),
         }
     }
@@ -131,40 +149,44 @@ impl<'a> FaultTolerantShipper<'a> {
         }
     }
 
-    /// Transmits the chunk at `index` until a copy of it lands in the
-    /// ledger or the policy gives up. Returns the simulated time spent
-    /// (transfers, timeout waits, backoff).
+    /// Transmits the pre-framed chunk at `index` until a copy of it
+    /// lands in the ledger or the policy gives up. The frame was built
+    /// once by the caller; every retry re-sends the same bytes. Returns
+    /// the simulated time spent (transfers, timeout waits, backoff).
     fn ship_chunk(
         &mut self,
-        label: &str,
+        chunk_label: &str,
         shipment: u64,
         index: usize,
-        total: usize,
-        payload: &[u8],
+        frame: &[u8],
     ) -> Result<Duration> {
         let session_id = self.session.id;
-        let frame = frame_chunk(session_id, shipment, index, total, payload);
         let mut elapsed = Duration::ZERO;
         let mut failed_attempts = 0u32;
         let mut stalls = 0u32;
         loop {
             if self.session.is_cancelled() {
                 return Err(Error::Engine(format!(
-                    "session cancelled while shipping {label} chunk {index}/{total}"
+                    "session cancelled while shipping {chunk_label}"
                 )));
             }
             if self.session.deadline_exceeded() {
                 return Err(Error::Engine(format!(
-                    "deadline exceeded while shipping {label} chunk {index}/{total}"
+                    "deadline exceeded while shipping {chunk_label}"
                 )));
             }
             let (duration, delivery) = self
+                .slot
                 .link
                 .lock()
                 .unwrap()
-                .transmit_faulty(format!("{label}[{index}/{total}]"), &frame);
+                .transmit_faulty(chunk_label, frame);
             elapsed += duration;
             self.stats.wire_bytes += frame.len() as u64;
+            self.slot
+                .counters
+                .wire_bytes
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
             // File whatever verified frame the link produced — ours, an
             // older deferred one, even another session's. Duplicated
             // deliveries are filed twice; the ledger drops the repeat.
@@ -177,6 +199,10 @@ impl<'a> FaultTolerantShipper<'a> {
             }
             if self.ledger.has_chunk(session_id, shipment, index) {
                 self.stats.chunks_shipped += 1;
+                self.slot
+                    .counters
+                    .chunks_shipped
+                    .fetch_add(1, Ordering::Relaxed);
                 return Ok(elapsed);
             }
             // The link consumed the transmission without landing our
@@ -199,27 +225,31 @@ impl<'a> FaultTolerantShipper<'a> {
             if failed_attempts >= self.policy.max_attempts_per_chunk {
                 self.stats.link_gave_up = true;
                 return Err(Error::Engine(format!(
-                    "shipping {label} chunk {index}/{total}: gave up after \
+                    "shipping {chunk_label}: gave up after \
                      {failed_attempts} attempts (last outcome: {cause})"
                 )));
             }
             if self.budget_left == 0 {
                 self.stats.link_gave_up = true;
                 return Err(Error::Engine(format!(
-                    "shipping {label} chunk {index}/{total}: session retry \
+                    "shipping {chunk_label}: session retry \
                      budget ({}) exhausted (last outcome: {cause})",
                     self.policy.retry_budget
                 )));
             }
             self.budget_left -= 1;
             self.stats.chunks_retried += 1;
+            self.slot
+                .counters
+                .chunks_retried
+                .fetch_add(1, Ordering::Relaxed);
             let backoff = self.policy.backoff(failed_attempts);
             self.stats.retry_backoff += backoff;
             elapsed += backoff;
             self.events.push(
                 session_id,
                 EventKind::ChunkRetried,
-                format!("{label} chunk {index}/{total} {cause}, retry {failed_attempts}"),
+                format!("{chunk_label} {cause}, retry {failed_attempts}"),
             );
         }
     }
@@ -233,11 +263,12 @@ impl Transport for FaultTolerantShipper<'_> {
         self.stats.shipments += 1;
         let chunk_bytes = self.policy.chunk_bytes.max(1);
         let total = message.len().div_ceil(chunk_bytes).max(1);
-        // Open the shipment in the ledger; chunks checkpointed by a
-        // previous (failed) attempt are skipped, not re-shipped.
+        // Open the shipment in the ledger, persisting the serialized
+        // message; chunks checkpointed by a previous (failed) attempt
+        // are skipped, not re-shipped.
         let prior = self
             .ledger
-            .begin_shipment(session_id, shipment, total, fnv64(message));
+            .begin_shipment(session_id, shipment, total, message);
         if !prior.is_empty() {
             self.stats.chunks_resumed += prior.len() as u64;
             self.events.push(
@@ -250,14 +281,18 @@ impl Transport for FaultTolerantShipper<'_> {
                 ),
             );
         }
+        self.slot.open_shipment();
         let mut elapsed = Duration::ZERO;
         let mut result = Ok(());
-        let chunks: Vec<&[u8]> = if message.is_empty() {
-            vec![&[]]
-        } else {
-            message.chunks(chunk_bytes).collect()
-        };
-        for (index, chunk) in chunks.into_iter().enumerate() {
+        // Buffers move out for the loop (the borrow checker will not let
+        // `&mut self` methods run while fields are borrowed) and move
+        // back after — same allocation either way.
+        let mut frame_buf = std::mem::take(&mut self.frame_buf);
+        let mut label_buf = std::mem::take(&mut self.label_buf);
+        for index in 0..total {
+            let start = index * chunk_bytes;
+            let end = usize::min(start + chunk_bytes, message.len());
+            let chunk = &message[start..end];
             if prior.contains(&index) {
                 continue;
             }
@@ -267,7 +302,10 @@ impl Transport for FaultTolerantShipper<'_> {
                 self.stats.chunks_shipped += 1;
                 continue;
             }
-            match self.ship_chunk(label, shipment, index, total, chunk) {
+            label_buf.clear();
+            let _ = write!(label_buf, "{label}[{index}/{total}]");
+            frame_chunk_into(&mut frame_buf, session_id, shipment, index, total, chunk);
+            match self.ship_chunk(&label_buf, shipment, index, &frame_buf) {
                 Ok(duration) => elapsed += duration,
                 Err(e) => {
                     result = Err(e);
@@ -275,6 +313,9 @@ impl Transport for FaultTolerantShipper<'_> {
                 }
             }
         }
+        self.frame_buf = frame_buf;
+        self.label_buf = label_buf;
+        self.slot.close_shipment();
         self.session.set_state(SessionState::Executing);
         result?;
         let assembled = self
@@ -284,15 +325,41 @@ impl Transport for FaultTolerantShipper<'_> {
         debug_assert_eq!(assembled, message, "verified chunks reassemble exactly");
         Ok((elapsed, assembled))
     }
+
+    fn checkpointed_message(&mut self, _label: &str) -> Option<Vec<u8>> {
+        // `stats.shipments` is the sequence number the *next* ship()
+        // call will use; a resumed session replays the identical cached
+        // plan, so shipment numbering is deterministic across attempts
+        // and the persisted bytes are exactly this shipment's message.
+        let stored = self
+            .ledger
+            .stored_message(self.session.id, self.stats.shipments);
+        if stored.is_none() {
+            self.stats.messages_serialized += 1;
+        }
+        stored
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xdx_net::{FaultProfile, NetworkProfile};
+    use crate::breaker::CircuitBreaker;
+    use crate::registry::ShipGauge;
+    use xdx_net::{FaultProfile, Link, NetworkProfile};
 
     fn session() -> std::sync::Arc<SessionShared> {
         SessionShared::new(1, "test".into(), None)
+    }
+
+    fn slot_for(link: Link) -> Arc<LinkSlot> {
+        Arc::new(LinkSlot::new(
+            "source",
+            "target",
+            link,
+            CircuitBreaker::new(8, Duration::from_millis(50)),
+            Arc::new(ShipGauge::default()),
+        ))
     }
 
     fn shipper_parts() -> (std::sync::Arc<SessionShared>, EventLog, ReassemblyLedger) {
@@ -301,7 +368,7 @@ mod tests {
 
     #[test]
     fn lossy_link_reassembles_exactly_with_retries() {
-        let link = Mutex::new(
+        let slot = slot_for(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
                 drop_probability: 0.15,
                 timeout_probability: 0.05,
@@ -315,7 +382,8 @@ mod tests {
             chunk_bytes: 64,
             ..ShippingPolicy::default()
         };
-        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let mut shipper =
+            FaultTolerantShipper::new(Arc::clone(&slot), policy, &session, &events, &ledger);
         let message: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
         let (elapsed, delivered) = shipper.ship("feed ITEM", &message).unwrap();
         assert_eq!(delivered, message);
@@ -333,11 +401,17 @@ mod tests {
         // The shipper leaves the session back in Executing.
         assert_eq!(session.state(), SessionState::Executing);
         assert!(!shipper.stats.link_gave_up);
+        // The link slot's lock-free counters mirror the shipper's view.
+        let link_stats = slot.stats();
+        assert_eq!(link_stats.wire_bytes, shipper.stats.wire_bytes);
+        assert_eq!(link_stats.chunks_shipped, shipper.stats.chunks_shipped);
+        assert_eq!(link_stats.chunks_retried, shipper.stats.chunks_retried);
+        assert_eq!(link_stats.peak_concurrent_shipments, 1);
     }
 
     #[test]
     fn reordering_and_duplication_still_reassemble_exactly() {
-        let link = Mutex::new(
+        let slot = slot_for(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile {
                 reorder_probability: 0.25,
                 duplicate_probability: 0.15,
@@ -350,7 +424,7 @@ mod tests {
             chunk_bytes: 32,
             ..ShippingPolicy::default()
         };
-        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let mut shipper = FaultTolerantShipper::new(slot, policy, &session, &events, &ledger);
         let message: Vec<u8> = (0..3000u32).map(|i| (i * 7 % 256) as u8).collect();
         let (_, delivered) = shipper.ship("feed R", &message).unwrap();
         assert_eq!(delivered, message);
@@ -372,12 +446,13 @@ mod tests {
 
         // First attempt: a drop-heavy link defeats the tight attempt
         // cap partway through the shipment.
-        let link = Mutex::new(Link::new(network).with_fault_profile(FaultProfile {
+        let slot = slot_for(Link::new(network).with_fault_profile(FaultProfile {
             drop_probability: 0.35,
             seed: 3,
             ..FaultProfile::healthy()
         }));
-        let mut first = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let mut first =
+            FaultTolerantShipper::new(Arc::clone(&slot), policy, &session, &events, &ledger);
         let err = first.ship("feed C", &message).unwrap_err();
         assert!(err.to_string().contains("gave up"), "{err}");
         assert!(first.stats.link_gave_up);
@@ -385,11 +460,18 @@ mod tests {
         assert!(landed > 0 && landed < total, "partial landing: {landed}");
         assert_eq!(ledger.checkpointed_chunks(session.id), landed as usize);
 
-        // Second attempt over a repaired link: only the remainder ships.
-        link.lock()
+        // Second attempt over a repaired link: the persisted serialized
+        // message comes back verbatim, and only the remainder ships.
+        slot.link
+            .lock()
             .unwrap()
             .set_fault_profile(FaultProfile::healthy());
-        let mut second = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let mut second = FaultTolerantShipper::new(slot, policy, &session, &events, &ledger);
+        assert_eq!(
+            second.checkpointed_message("feed C").unwrap(),
+            message,
+            "the failed run persisted the assembled message"
+        );
         let (_, delivered) = second.ship("feed C", &message).unwrap();
         assert_eq!(delivered, message);
         assert_eq!(second.stats.chunks_resumed, landed);
@@ -399,7 +481,7 @@ mod tests {
 
     #[test]
     fn exhausted_retry_budget_fails_with_diagnostic() {
-        let link = Mutex::new(
+        let slot = slot_for(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
         let (session, events, ledger) = shipper_parts();
@@ -409,7 +491,7 @@ mod tests {
             retry_budget: 5,
             ..ShippingPolicy::default()
         };
-        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let mut shipper = FaultTolerantShipper::new(slot, policy, &session, &events, &ledger);
         let err = shipper.ship("feed X", b"some payload").unwrap_err();
         assert!(err.to_string().contains("retry budget"), "{err}");
         assert_eq!(shipper.stats.chunks_retried, 5);
@@ -418,7 +500,7 @@ mod tests {
 
     #[test]
     fn attempt_cap_fails_even_with_budget_left() {
-        let link = Mutex::new(
+        let slot = slot_for(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
         let (session, events, ledger) = shipper_parts();
@@ -426,14 +508,14 @@ mod tests {
             max_attempts_per_chunk: 3,
             ..ShippingPolicy::default()
         };
-        let mut shipper = FaultTolerantShipper::new(&link, policy, &session, &events, &ledger);
+        let mut shipper = FaultTolerantShipper::new(slot, policy, &session, &events, &ledger);
         let err = shipper.ship("feed X", b"payload").unwrap_err();
         assert!(err.to_string().contains("gave up after 3"), "{err}");
     }
 
     #[test]
     fn cancellation_interrupts_shipping() {
-        let link = Mutex::new(
+        let slot = slot_for(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
         let (session, events, ledger) = shipper_parts();
@@ -441,7 +523,7 @@ mod tests {
             .cancelled
             .store(true, std::sync::atomic::Ordering::Relaxed);
         let mut shipper =
-            FaultTolerantShipper::new(&link, ShippingPolicy::default(), &session, &events, &ledger);
+            FaultTolerantShipper::new(slot, ShippingPolicy::default(), &session, &events, &ledger);
         let err = shipper.ship("feed X", b"payload").unwrap_err();
         assert!(err.to_string().contains("cancelled"), "{err}");
         assert!(!shipper.stats.link_gave_up, "cancellation is not the link");
@@ -449,7 +531,7 @@ mod tests {
 
     #[test]
     fn deadline_interrupts_shipping_without_blaming_the_link() {
-        let link = Mutex::new(
+        let slot = slot_for(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
         let session = SessionShared::new(1, "t".into(), Some(Duration::ZERO));
@@ -457,7 +539,7 @@ mod tests {
         let events = EventLog::new();
         let ledger = ReassemblyLedger::new();
         let mut shipper =
-            FaultTolerantShipper::new(&link, ShippingPolicy::default(), &session, &events, &ledger);
+            FaultTolerantShipper::new(slot, ShippingPolicy::default(), &session, &events, &ledger);
         let err = shipper.ship("feed X", b"payload").unwrap_err();
         assert!(err.to_string().contains("deadline exceeded"), "{err}");
         assert!(!shipper.stats.link_gave_up);

@@ -274,8 +274,28 @@ fn resume_reships_only_unacknowledged_chunks() {
         failed.metrics.chunks_shipped + result.metrics.chunks_shipped,
         total_chunks
     );
-    // The plan came from the cache, not a re-run of the optimizer.
+    // The plan came from the checkpoint, not a re-run of the optimizer:
+    // the resumed run probes zero statistics and — because the ledger
+    // persisted the assembled messages — serializes zero messages.
     assert!(result.metrics.plan_cache_hit, "resume re-planned");
+    assert_eq!(
+        result.metrics.planning_probes, 0,
+        "resume re-probed the source"
+    );
+    assert_eq!(failed.metrics.planning_probes, 1);
+    // Exactly-once serialization: every message the failed run assembled
+    // is replayed from the ledger, never serialized again; the resume
+    // only serializes the shipments the failed run never reached.
+    assert!(failed.metrics.messages_serialized > 0);
+    assert_eq!(
+        failed.metrics.messages_serialized + result.metrics.messages_serialized,
+        baseline.metrics.messages_serialized,
+        "a message was serialized twice across failure and resume"
+    );
+    assert!(
+        result.metrics.messages_serialized < baseline.metrics.messages_serialized,
+        "resume replayed no checkpointed message"
+    );
     // And the data is exactly right.
     assert_eq!(wire_state(&result.target.unwrap()), reference);
 
@@ -449,4 +469,90 @@ fn deadlines_fail_sessions_without_tripping_the_breaker() {
     let result = resumed.wait();
     assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
     runtime.shutdown();
+}
+
+/// Multi-pair chaos fleet: one route per adversarial profile plus a
+/// healthy control route, all exchanging concurrently through the link
+/// registry. Every surviving target — whatever its pair suffered — is
+/// byte-identical to the healthy baseline, the control pair never
+/// retries, and the registry observed overlapping shipment windows.
+#[test]
+fn heterogeneous_multi_pair_fleet_is_byte_identical_per_pair() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let reference = wire_state(&reference_target(&doc));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    let mut lossy_retries = 0;
+    let mut peak_shipments = 0;
+    for seed in chaos_seeds() {
+        let runtime = Runtime::start(
+            schema.clone(),
+            RuntimeConfig::default()
+                .with_workers(4)
+                .with_shipping(ShippingPolicy {
+                    chunk_bytes: 2 * 1024,
+                    backoff_base: Duration::from_millis(1),
+                    ..ShippingPolicy::default()
+                }),
+        );
+        let mut routes = vec![("control", FaultProfile::healthy())];
+        routes.extend(adversarial_profiles(seed));
+        for (name, profile) in &routes {
+            runtime.set_link_fault_profile(name, "hub", *profile);
+        }
+        let mut handles = Vec::new();
+        for (name, _) in &routes {
+            for i in 0..2 {
+                let source = load_source(&doc, &schema, &mf).unwrap();
+                handles.push(
+                    runtime
+                        .submit(
+                            ExchangeRequest::new(
+                                format!("{name}-{seed:x}-{i}"),
+                                source,
+                                mf.clone(),
+                                lf.clone(),
+                            )
+                            .with_route(*name, "hub"),
+                        )
+                        .unwrap(),
+                );
+            }
+        }
+        for handle in handles {
+            let session = handle.name().to_string();
+            let result = handle.wait();
+            assert_eq!(
+                result.state,
+                SessionState::Done,
+                "{session}: {:?}",
+                result.diagnostic
+            );
+            assert_eq!(
+                wire_state(&result.target.unwrap()),
+                reference,
+                "{session}: target diverged from the healthy baseline"
+            );
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.completed as usize, routes.len() * 2, "seed {seed:x}");
+        assert_eq!(stats.links.len(), routes.len(), "seed {seed:x}");
+        for link in &stats.links {
+            assert_eq!(link.sessions_completed, 2, "{}", link.pair());
+            assert_eq!(link.sessions_failed, 0, "{}", link.pair());
+            if link.source == "control" {
+                assert_eq!(link.chunks_retried, 0, "control pair saw faults");
+            } else {
+                lossy_retries += link.chunks_retried;
+            }
+        }
+        peak_shipments = peak_shipments.max(stats.peak_concurrent_shipments);
+    }
+    assert!(lossy_retries > 0, "no adversarial pair ever forced a retry");
+    assert!(
+        peak_shipments >= 2,
+        "4 workers over disjoint pairs never shipped concurrently (peak {peak_shipments})"
+    );
 }

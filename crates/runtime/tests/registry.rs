@@ -1,0 +1,221 @@
+//! Integration tests of the link registry: per-pair link isolation,
+//! per-link circuit breakers, and per-pair fault-profile control.
+
+use std::time::Duration;
+use xdx_net::FaultProfile;
+use xdx_runtime::{
+    EventKind, ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy, SubmitError,
+    DEFAULT_SOURCE_ENDPOINT, DEFAULT_TARGET_ENDPOINT,
+};
+use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+
+fn small_shipping() -> ShippingPolicy {
+    ShippingPolicy {
+        chunk_bytes: 1024,
+        max_attempts_per_chunk: 2,
+        retry_budget: 4,
+        backoff_base: Duration::from_millis(1),
+        ..ShippingPolicy::default()
+    }
+}
+
+/// A dead pair trips *its own* breaker: admissions on that route are
+/// refused while a disjoint pair keeps flowing cleanly, and the per-link
+/// counters attribute every byte, retry and session to the right pair.
+#[test]
+fn breaker_opens_on_one_pair_while_disjoint_pairs_flow() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(4_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_breaker(2, Duration::from_secs(60))
+            .with_shipping(small_shipping()),
+    );
+    // Only the berlin→oslo path is dead; every other pair inherits the
+    // healthy default.
+    runtime.set_link_fault_profile("berlin", "oslo", FaultProfile::drops(1.0, 9));
+
+    // Two sessions die on the dead pair: that trips its breaker.
+    for i in 0..2 {
+        let handle = runtime
+            .submit(
+                ExchangeRequest::new(
+                    format!("doomed-{i}"),
+                    load_source(&doc, &schema, &mf).unwrap(),
+                    mf.clone(),
+                    lf.clone(),
+                )
+                .with_route("berlin", "oslo"),
+            )
+            .unwrap();
+        assert_eq!(handle.wait().state, SessionState::Failed);
+    }
+
+    // The berlin→oslo breaker is open...
+    let refused = runtime.submit(
+        ExchangeRequest::new(
+            "refused",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        )
+        .with_route("berlin", "oslo"),
+    );
+    assert!(
+        matches!(refused, Err(SubmitError::CircuitOpen { .. })),
+        "dead pair admitted a session"
+    );
+
+    // ...while the disjoint berlin→madrid pair admits and completes with
+    // zero retries, untouched by its neighbour's faults.
+    let clean = runtime
+        .submit(
+            ExchangeRequest::new(
+                "clean",
+                load_source(&doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_route("berlin", "madrid"),
+        )
+        .expect("disjoint pair must admit while a neighbour's breaker is open");
+    let result = clean.wait();
+    assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+    assert_eq!(result.metrics.route, "berlin→madrid");
+    assert_eq!(result.metrics.chunks_retried, 0);
+
+    // Per-link counters tell the two stories apart.
+    let stats = runtime.shutdown();
+    let dead = stats
+        .links
+        .iter()
+        .find(|l| l.source == "berlin" && l.target == "oslo")
+        .expect("dead link in snapshot");
+    assert_eq!(dead.sessions_failed, 2);
+    assert_eq!(dead.sessions_completed, 0);
+    assert_eq!(
+        dead.chunks_shipped, 0,
+        "a dropped-everything link landed a chunk"
+    );
+    assert!(dead.wire_bytes > 0, "failed attempts still burn wire bytes");
+    assert!(dead.breaker_open);
+    let clean = stats
+        .links
+        .iter()
+        .find(|l| l.source == "berlin" && l.target == "madrid")
+        .expect("clean link in snapshot");
+    assert_eq!(clean.sessions_completed, 1);
+    assert_eq!(clean.sessions_failed, 0);
+    assert_eq!(clean.chunks_retried, 0);
+    assert!(!clean.breaker_open);
+    assert_eq!(stats.rejected, 1);
+}
+
+/// Fleet-wide degradation with a per-pair repair: after
+/// `set_fault_profile` floods every link and `set_link_fault_profile`
+/// repairs one pair, the repaired pair ships without a single retry
+/// while the degraded pair visibly retries — isolation in both
+/// directions.
+#[test]
+fn per_pair_profile_overrides_fleet_wide_degradation() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 1024,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    // The whole fleet degrades...
+    runtime.set_fault_profile(FaultProfile::drops(0.2, 7));
+    // ...and one pair is repaired.
+    runtime.set_link_fault_profile("hq", "mirror", FaultProfile::healthy());
+
+    let submit = |name: &str, source_ep: &str, target_ep: &str| {
+        runtime
+            .submit(
+                ExchangeRequest::new(
+                    name,
+                    load_source(&doc, &schema, &mf).unwrap(),
+                    mf.clone(),
+                    lf.clone(),
+                )
+                .with_route(source_ep, target_ep),
+            )
+            .unwrap()
+    };
+    let repaired = submit("repaired", "hq", "mirror");
+    let degraded = submit("degraded", "hq", "archive");
+    assert_eq!(repaired.wait().state, SessionState::Done);
+    assert_eq!(degraded.wait().state, SessionState::Done);
+
+    let stats = runtime.shutdown();
+    let find = |target: &str| {
+        stats
+            .links
+            .iter()
+            .find(|l| l.source == "hq" && l.target == target)
+            .unwrap()
+            .clone()
+    };
+    assert_eq!(
+        find("mirror").chunks_retried,
+        0,
+        "repaired pair still saw faults"
+    );
+    assert!(
+        find("archive").chunks_retried > 0,
+        "degraded pair never retried under 20% drops"
+    );
+}
+
+/// Requests that never name a route share the default pair: the
+/// registry holds exactly one link and the event log records its
+/// creation exactly once.
+#[test]
+fn default_route_shares_one_link() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(4_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(schema.clone(), RuntimeConfig::default().with_workers(2));
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            runtime
+                .submit(ExchangeRequest::new(
+                    format!("s{i}"),
+                    load_source(&doc, &schema, &mf).unwrap(),
+                    mf.clone(),
+                    lf.clone(),
+                ))
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.wait().state, SessionState::Done);
+    }
+    let created: Vec<_> = runtime
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::LinkCreated)
+        .collect();
+    assert_eq!(created.len(), 1, "default route created more than one link");
+    assert_eq!(
+        created[0].detail,
+        format!("{DEFAULT_SOURCE_ENDPOINT}→{DEFAULT_TARGET_ENDPOINT}")
+    );
+    let stats = runtime.shutdown();
+    assert_eq!(stats.links.len(), 1);
+    assert_eq!(stats.links[0].sessions_completed, 3);
+    assert_eq!(stats.completed, 3);
+}

@@ -1,11 +1,15 @@
-//! The exchange-session runtime end to end: a fleet of concurrent
-//! XMark exchanges over one lossy wide-area link, with plan caching,
-//! priorities, chunked fault-tolerant shipping and per-session metrics.
+//! The exchange-session runtime end to end: a mixed-direction fleet of
+//! concurrent XMark exchanges spread over several `(source, target)`
+//! endpoint pairs — each pair with its own registry link, fault stream
+//! and circuit breaker — with plan caching, priorities, a per-request
+//! optimizer override, chunked fault-tolerant shipping, and per-session
+//! plus per-link metrics.
 //!
 //! ```sh
 //! cargo run --release --example runtime
 //! ```
 
+use xdx::core::Optimizer;
 use xdx::net::FaultProfile;
 use xdx::runtime::{
     EventKind, ExchangeRequest, Priority, Runtime, RuntimeConfig, SessionState, ShippingPolicy,
@@ -18,39 +22,52 @@ fn main() {
     let mf = xmark::mf(&schema);
     let lf = xmark::lf(&schema);
 
-    // 4 workers, a 10%-drop link, 4 KB chunks. Every lost chunk is
-    // retried with backoff out of the session's retry budget.
+    // 4 workers, 4 KB chunks, a healthy default link. Every lost chunk
+    // is retried with backoff out of the session's retry budget.
     let config = RuntimeConfig::default()
         .with_workers(4)
-        .with_fault_profile(FaultProfile::drops(0.10, 2004))
         .with_shipping(ShippingPolicy {
             chunk_bytes: 4 * 1024,
             ..ShippingPolicy::default()
         });
     let runtime = Runtime::start(schema.clone(), config);
 
-    // Ten sessions of the same MF→LF shape (the plan is optimized once
-    // and cached), one of them high priority.
+    // Three sites exchange with a central registry over three distinct
+    // pairs — three independent links. Only the vienna→registry path is
+    // lossy; the others never see its faults.
+    let sites = ["vienna", "lisbon", "tartu"];
+    runtime.set_link_fault_profile("vienna", "registry", FaultProfile::drops(0.10, 2004));
+
+    // Ten sessions, alternating MF→LF and LF→MF legs (two plan shapes,
+    // each optimized once and cached), spread round-robin over the
+    // sites. One is high priority; one plans under the exhaustive
+    // `Optimal` optimizer instead of the fleet-default greedy.
     let handles: Vec<_> = (0..10)
         .map(|i| {
-            let source = xmark::load_source(&doc, &schema, &mf).expect("load source");
+            let (from, to) = if i % 2 == 1 { (&lf, &mf) } else { (&mf, &lf) };
+            let source = xmark::load_source(&doc, &schema, from).expect("load source");
             let mut request =
-                ExchangeRequest::new(format!("tenant-{i}"), source, mf.clone(), lf.clone());
+                ExchangeRequest::new(format!("tenant-{i}"), source, from.clone(), to.clone())
+                    .with_route(sites[i % sites.len()], "registry");
             if i == 7 {
                 request = request.with_priority(Priority::High);
+            }
+            if i == 4 {
+                request = request.with_optimizer(Optimizer::Optimal { ordering_cap: 64 });
             }
             runtime.submit(request).expect("admitted")
         })
         .collect();
 
-    println!("session  state      wait ms  plan ms  cache  chunks  retried  rows");
+    println!("session   route             state  wait ms  plan ms  cache  chunks  retried  rows");
     for handle in handles {
         let name = handle.name().to_string();
         let result = handle.wait();
         assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
         let m = &result.metrics;
         println!(
-            "{name:<8} {:<9} {:>8.2} {:>8.2}  {:<5} {:>7} {:>8} {:>5}",
+            "{name:<9} {:<17} {:<6} {:>7.2} {:>8.2}  {:<5} {:>7} {:>8} {:>5}",
+            m.route,
             format!("{:?}", result.state),
             m.queue_wait.as_secs_f64() * 1e3,
             m.planning.as_secs_f64() * 1e3,
@@ -69,16 +86,32 @@ fn main() {
     let stats = runtime.shutdown();
     println!(
         "\ncompleted {} sessions; plan cache {} hits / {} misses; \
-         {} KB on the wire, {} chunk retries ({retries} retry events)",
+         {} statistics probes; {} KB on the wire, {} chunk retries ({retries} retry events)",
         stats.completed,
         stats.plan_cache_hits,
         stats.plan_cache_misses,
+        stats.planning_probes,
         stats.bytes_shipped / 1024,
         stats.chunks_retried,
     );
     println!(
-        "latency p50 {:.2} ms, p99 {:.2} ms",
+        "latency p50 {:.2} ms, p99 {:.2} ms; peak concurrent shipments {}\n",
         stats.latency_percentile(50.0).unwrap().as_secs_f64() * 1e3,
         stats.latency_percentile(99.0).unwrap().as_secs_f64() * 1e3,
+        stats.peak_concurrent_shipments,
     );
+
+    // The per-link rollup: retries concentrate on the lossy pair.
+    println!("link               wire KB  chunks  retried  done  breaker");
+    for link in &stats.links {
+        println!(
+            "{:<18} {:>7} {:>7} {:>8} {:>5}  {}",
+            link.pair(),
+            link.wire_bytes / 1024,
+            link.chunks_shipped,
+            link.chunks_retried,
+            link.sessions_completed,
+            if link.breaker_open { "open" } else { "closed" },
+        );
+    }
 }
