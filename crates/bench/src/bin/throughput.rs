@@ -1,14 +1,14 @@
 //! Runtime throughput: N concurrent XMark sessions through the
-//! `xdx-runtime` worker pool, swept over worker counts.
+//! `xdx-runtime` worker pool, swept over worker counts and wire formats.
 //!
-//! Reports, per worker count: completed sessions/sec, p50/p99
-//! submit→done latency, plan-cache hit rate, and retry overhead on a
-//! lossy link — and writes the machine-readable sweep (sessions/sec,
-//! p50/p95, wire bytes, per-link utilization) to `BENCH_PR3.json` for
-//! CI to gate on. Usage:
+//! Reports, per wire format and worker count: completed sessions/sec,
+//! p50/p99 submit→done latency, plan-cache hit rate, retry overhead on a
+//! lossy link, wire bytes and encode time — and writes the
+//! machine-readable sweep to `BENCH_PR4.json` for CI to gate on (worker
+//! scaling, and columnar wire bytes vs XML text). Usage:
 //!
 //! ```text
-//! throughput [sessions] [doc_bytes] [drop_probability] [shapes] [optimizer] [pairs]
+//! throughput [sessions] [doc_bytes] [drop_probability] [shapes] [optimizer] [pairs] [format]
 //! ```
 //!
 //! * `shapes`: `forward` (all MF→LF) or `mixed` (alternating MF→LF and
@@ -17,18 +17,23 @@
 //! * `pairs`: number of `(source, target)` endpoint pairs the fleet is
 //!   spread over round-robin; each pair gets its own registry link, so
 //!   `pairs > 1` lets disjoint sessions ship in parallel.
+//! * `format`: `xml`, `columnar`, or `both` — the fleet-wide negotiated
+//!   wire format(s) to sweep.
 //!
-//! Defaults: 24 forward sessions of ~60 KB each, 5% drops, greedy, 1 pair.
+//! Defaults: 24 forward sessions of ~60 KB each, 5% drops, greedy,
+//! 1 pair, both formats.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use xdx_core::Optimizer;
 use xdx_net::{FaultProfile, NetworkProfile};
-use xdx_runtime::{ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy};
+use xdx_runtime::{
+    ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy, WireFormat,
+};
 use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
 
 const USAGE: &str = "usage: throughput [sessions] [doc_bytes] [drop_probability] \
-                     [forward|mixed] [greedy|optimal[:cap]] [pairs]";
+                     [forward|mixed] [greedy|optimal[:cap]] [pairs] [xml|columnar|both]";
 
 fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
     match args.next() {
@@ -41,18 +46,26 @@ fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str
     }
 }
 
-/// One worker-count sweep's numbers, destined for `BENCH_PR3.json`.
+/// One worker-count sweep's numbers, destined for `BENCH_PR4.json`.
 struct Sweep {
     workers: usize,
     sessions_per_sec: f64,
     p50_ms: f64,
     p95_ms: f64,
     wire_bytes: u64,
+    bytes_encoded: u64,
+    encode_ns: u64,
     peak_concurrent_shipments: u64,
     /// `(pair, wire_bytes, chunks_shipped, chunks_retried,
     /// sessions_completed, utilization)` per link, utilization being the
     /// link's share of the sweep's total wire bytes.
     links: Vec<(String, u64, u64, u64, u64, f64)>,
+}
+
+/// All worker sweeps for one fleet-wide wire format.
+struct FormatReport {
+    format: WireFormat,
+    sweeps: Vec<Sweep>,
 }
 
 fn json_report(
@@ -62,7 +75,7 @@ fn json_report(
     shapes: &str,
     optimizer: Optimizer,
     pairs: usize,
-    sweeps: &[Sweep],
+    formats: &[FormatReport],
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"throughput\",");
@@ -72,35 +85,48 @@ fn json_report(
     let _ = writeln!(out, "  \"shapes\": \"{shapes}\",");
     let _ = writeln!(out, "  \"optimizer\": \"{optimizer:?}\",");
     let _ = writeln!(out, "  \"pairs\": {pairs},");
-    out.push_str("  \"sweeps\": [\n");
-    for (i, s) in sweeps.iter().enumerate() {
+    out.push_str("  \"formats\": [\n");
+    for (fi, report) in formats.iter().enumerate() {
         out.push_str("    {\n");
-        let _ = writeln!(out, "      \"workers\": {},", s.workers);
-        let _ = writeln!(
-            out,
-            "      \"sessions_per_sec\": {:.3},",
-            s.sessions_per_sec
-        );
-        let _ = writeln!(out, "      \"p50_ms\": {:.3},", s.p50_ms);
-        let _ = writeln!(out, "      \"p95_ms\": {:.3},", s.p95_ms);
-        let _ = writeln!(out, "      \"wire_bytes\": {},", s.wire_bytes);
-        let _ = writeln!(
-            out,
-            "      \"peak_concurrent_shipments\": {},",
-            s.peak_concurrent_shipments
-        );
-        out.push_str("      \"links\": [\n");
-        for (j, (pair, wire, shipped, retried, completed, util)) in s.links.iter().enumerate() {
-            let _ = write!(
+        let _ = writeln!(out, "      \"format\": \"{}\",", report.format.name());
+        out.push_str("      \"sweeps\": [\n");
+        for (i, s) in report.sweeps.iter().enumerate() {
+            out.push_str("        {\n");
+            let _ = writeln!(out, "          \"workers\": {},", s.workers);
+            let _ = writeln!(
                 out,
-                "        {{\"pair\": \"{pair}\", \"wire_bytes\": {wire}, \
-                 \"chunks_shipped\": {shipped}, \"chunks_retried\": {retried}, \
-                 \"sessions_completed\": {completed}, \"utilization\": {util:.4}}}"
+                "          \"sessions_per_sec\": {:.3},",
+                s.sessions_per_sec
             );
-            out.push_str(if j + 1 < s.links.len() { ",\n" } else { "\n" });
+            let _ = writeln!(out, "          \"p50_ms\": {:.3},", s.p50_ms);
+            let _ = writeln!(out, "          \"p95_ms\": {:.3},", s.p95_ms);
+            let _ = writeln!(out, "          \"wire_bytes\": {},", s.wire_bytes);
+            let _ = writeln!(out, "          \"bytes_encoded\": {},", s.bytes_encoded);
+            let _ = writeln!(out, "          \"encode_ns\": {},", s.encode_ns);
+            let _ = writeln!(
+                out,
+                "          \"peak_concurrent_shipments\": {},",
+                s.peak_concurrent_shipments
+            );
+            out.push_str("          \"links\": [\n");
+            for (j, (pair, wire, shipped, retried, completed, util)) in s.links.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "            {{\"pair\": \"{pair}\", \"wire_bytes\": {wire}, \
+                     \"chunks_shipped\": {shipped}, \"chunks_retried\": {retried}, \
+                     \"sessions_completed\": {completed}, \"utilization\": {util:.4}}}"
+                );
+                out.push_str(if j + 1 < s.links.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("          ]\n");
+            out.push_str(if i + 1 < report.sweeps.len() {
+                "        },\n"
+            } else {
+                "        }\n"
+            });
         }
         out.push_str("      ]\n");
-        out.push_str(if i + 1 < sweeps.len() {
+        out.push_str(if fi + 1 < formats.len() {
             "    },\n"
         } else {
             "    }\n"
@@ -150,6 +176,19 @@ fn main() {
         eprintln!("error: pairs must be at least 1");
         std::process::exit(2);
     }
+    let format_arg = args.next().unwrap_or_else(|| "both".into());
+    let formats: Vec<WireFormat> = if format_arg == "both" {
+        vec![WireFormat::Xml, WireFormat::Columnar]
+    } else {
+        match WireFormat::parse(&format_arg) {
+            Some(f) => vec![f],
+            None => {
+                eprintln!("error: unknown format {format_arg:?}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    };
 
     let schema = schema();
     let doc = generate(GenConfig::sized(doc_bytes));
@@ -163,125 +202,159 @@ fn main() {
         drop_p * 100.0,
         optimizer,
     );
-    println!(
-        "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7} | {:>9}",
-        "workers", "sessions/s", "p50 ms", "p99 ms", "cache hit", "retries", "peak ship"
-    );
-    println!("{}", "-".repeat(82));
 
-    let mut sweeps = Vec::new();
-    for workers in [1, 2, 4, 8] {
-        // Sources are loaded outside the measured window: the runtime's
-        // job is scheduling, planning and shipping, not shredding. In
-        // mixed mode the odd legs run the reverse LF→MF direction, and
-        // legs are spread round-robin over the endpoint pairs.
-        let legs: Vec<_> = (0..sessions)
-            .map(|i| {
-                let (from, to) = if mixed && i % 2 == 1 {
-                    (&lf, &mf)
-                } else {
-                    (&mf, &lf)
-                };
-                let source = load_source(&doc, &schema, from).expect("load source");
-                (source, from.clone(), to.clone(), i % pairs)
-            })
-            .collect();
-        // A paced metro-area link: transmissions block for their
-        // simulated duration, so shipping dominates and the clock can
-        // see whether disjoint pairs genuinely overlap. One shared pair
-        // serializes every shipment; `pairs` disjoint pairs overlap up
-        // to `min(workers, pairs)` ways.
-        let config = RuntimeConfig::default()
-            .with_workers(workers)
-            .with_max_queue_depth(sessions)
-            .with_optimizer(optimizer)
-            .with_network(NetworkProfile {
-                bandwidth_bytes_per_sec: 1_000_000.0,
-                latency: Duration::from_micros(500),
-            })
-            .with_link_pacing(1.0)
-            .with_fault_profile(FaultProfile::drops(drop_p, 0x1CDE_2004))
-            .with_shipping(ShippingPolicy {
-                chunk_bytes: 8 * 1024,
-                ..ShippingPolicy::default()
-            });
-        let runtime = Runtime::start(schema.clone(), config);
+    let mut reports = Vec::new();
+    for &format in &formats {
+        println!("## wire format: {format}");
+        println!(
+            "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7} | {:>9} | {:>9} | {:>8}",
+            "workers",
+            "sessions/s",
+            "p50 ms",
+            "p99 ms",
+            "cache hit",
+            "retries",
+            "peak ship",
+            "wire KB",
+            "enc ms"
+        );
+        println!("{}", "-".repeat(104));
 
-        let started = Instant::now();
-        let handles: Vec<_> = legs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (source, from, to, pair))| {
-                runtime
-                    .submit(
-                        ExchangeRequest::new(format!("w{workers}-s{i}"), source, from, to)
-                            .with_route(format!("src{pair}"), format!("dst{pair}")),
-                    )
-                    .expect("queue sized to hold every session")
-            })
-            .collect();
-        let mut failed = 0usize;
-        let mut first_diagnostic = None;
-        for handle in handles {
-            let result = handle.wait();
-            if result.state != SessionState::Done {
-                failed += 1;
-                first_diagnostic = first_diagnostic.or(result.diagnostic);
+        let mut sweeps = Vec::new();
+        for workers in [1, 2, 4, 8] {
+            // Sources are loaded outside the measured window: the
+            // runtime's job is scheduling, planning and shipping, not
+            // shredding. In mixed mode the odd legs run the reverse
+            // LF→MF direction, and legs are spread round-robin over the
+            // endpoint pairs.
+            let legs: Vec<_> = (0..sessions)
+                .map(|i| {
+                    let (from, to) = if mixed && i % 2 == 1 {
+                        (&lf, &mf)
+                    } else {
+                        (&mf, &lf)
+                    };
+                    let source = load_source(&doc, &schema, from).expect("load source");
+                    (source, from.clone(), to.clone(), i % pairs)
+                })
+                .collect();
+            // A paced metro-area link: transmissions block for their
+            // simulated duration, so shipping dominates and the clock can
+            // see whether disjoint pairs genuinely overlap. One shared
+            // pair serializes every shipment; `pairs` disjoint pairs
+            // overlap up to `min(workers, pairs)` ways.
+            let config = RuntimeConfig::default()
+                .with_workers(workers)
+                .with_max_queue_depth(sessions)
+                .with_optimizer(optimizer)
+                .with_wire_format(format)
+                .with_network(NetworkProfile {
+                    bandwidth_bytes_per_sec: 1_000_000.0,
+                    latency: Duration::from_micros(500),
+                })
+                .with_link_pacing(1.0)
+                .with_fault_profile(FaultProfile::drops(drop_p, 0x1CDE_2004))
+                .with_shipping(ShippingPolicy {
+                    chunk_bytes: 8 * 1024,
+                    ..ShippingPolicy::default()
+                });
+            let runtime = Runtime::start(schema.clone(), config);
+
+            let started = Instant::now();
+            let handles: Vec<_> = legs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (source, from, to, pair))| {
+                    runtime
+                        .submit(
+                            ExchangeRequest::new(format!("w{workers}-s{i}"), source, from, to)
+                                .with_route(format!("src{pair}"), format!("dst{pair}")),
+                        )
+                        .expect("queue sized to hold every session")
+                })
+                .collect();
+            let mut failed = 0usize;
+            let mut first_diagnostic = None;
+            for handle in handles {
+                let result = handle.wait();
+                if result.state != SessionState::Done {
+                    failed += 1;
+                    first_diagnostic = first_diagnostic.or(result.diagnostic);
+                }
             }
+            let wall = started.elapsed();
+            let stats = runtime.shutdown();
+            if failed > 0 {
+                eprintln!(
+                    "warning: {failed}/{sessions} sessions did not complete ({}); \
+                     rates below cover completed sessions only",
+                    first_diagnostic.as_deref().unwrap_or("no diagnostic")
+                );
+            }
+
+            let p50 = stats.latency_percentile(50.0).unwrap_or_default();
+            let p95 = stats.latency_percentile(95.0).unwrap_or_default();
+            let p99 = stats.latency_percentile(99.0).unwrap_or_default();
+            let hit_rate = stats.plan_cache_hits as f64
+                / (stats.plan_cache_hits + stats.plan_cache_misses).max(1) as f64;
+            println!(
+                "{:>7} | {:>12.1} | {:>10.2} | {:>10.2} | {:>8.0}% | {:>7} | {:>9} | {:>9} | {:>8.2}",
+                workers,
+                stats.sessions_per_sec(wall),
+                p50.as_secs_f64() * 1e3,
+                p99.as_secs_f64() * 1e3,
+                hit_rate * 100.0,
+                stats.chunks_retried,
+                stats.peak_concurrent_shipments,
+                stats.bytes_shipped / 1024,
+                stats.encode_ns as f64 / 1e6,
+            );
+            let total_wire = stats.bytes_shipped.max(1);
+            sweeps.push(Sweep {
+                workers,
+                sessions_per_sec: stats.sessions_per_sec(wall),
+                p50_ms: p50.as_secs_f64() * 1e3,
+                p95_ms: p95.as_secs_f64() * 1e3,
+                wire_bytes: stats.bytes_shipped,
+                bytes_encoded: stats.bytes_encoded,
+                encode_ns: stats.encode_ns,
+                peak_concurrent_shipments: stats.peak_concurrent_shipments,
+                links: stats
+                    .links
+                    .iter()
+                    .map(|l| {
+                        (
+                            l.pair(),
+                            l.wire_bytes,
+                            l.chunks_shipped,
+                            l.chunks_retried,
+                            l.sessions_completed,
+                            l.wire_bytes as f64 / total_wire as f64,
+                        )
+                    })
+                    .collect(),
+            });
         }
-        let wall = started.elapsed();
-        let stats = runtime.shutdown();
-        if failed > 0 {
-            eprintln!(
-                "warning: {failed}/{sessions} sessions did not complete ({}); \
-                 rates below cover completed sessions only",
-                first_diagnostic.as_deref().unwrap_or("no diagnostic")
+        reports.push(FormatReport { format, sweeps });
+    }
+
+    if let [xml, col] = &reports[..] {
+        // Both formats swept: surface the headline compression ratio at
+        // each worker count (same fleet, same seeds, same workload).
+        for (x, c) in xml.sweeps.iter().zip(&col.sweeps) {
+            println!(
+                "# workers {}: columnar wire bytes {:.2}x of XML ({} vs {})",
+                x.workers,
+                c.wire_bytes as f64 / x.wire_bytes.max(1) as f64,
+                c.wire_bytes,
+                x.wire_bytes,
             );
         }
-
-        let p50 = stats.latency_percentile(50.0).unwrap_or_default();
-        let p95 = stats.latency_percentile(95.0).unwrap_or_default();
-        let p99 = stats.latency_percentile(99.0).unwrap_or_default();
-        let hit_rate = stats.plan_cache_hits as f64
-            / (stats.plan_cache_hits + stats.plan_cache_misses).max(1) as f64;
-        println!(
-            "{:>7} | {:>12.1} | {:>10.2} | {:>10.2} | {:>8.0}% | {:>7} | {:>9}",
-            workers,
-            stats.sessions_per_sec(wall),
-            p50.as_secs_f64() * 1e3,
-            p99.as_secs_f64() * 1e3,
-            hit_rate * 100.0,
-            stats.chunks_retried,
-            stats.peak_concurrent_shipments,
-        );
-        let total_wire = stats.bytes_shipped.max(1);
-        sweeps.push(Sweep {
-            workers,
-            sessions_per_sec: stats.sessions_per_sec(wall),
-            p50_ms: p50.as_secs_f64() * 1e3,
-            p95_ms: p95.as_secs_f64() * 1e3,
-            wire_bytes: stats.bytes_shipped,
-            peak_concurrent_shipments: stats.peak_concurrent_shipments,
-            links: stats
-                .links
-                .iter()
-                .map(|l| {
-                    (
-                        l.pair(),
-                        l.wire_bytes,
-                        l.chunks_shipped,
-                        l.chunks_retried,
-                        l.sessions_completed,
-                        l.wire_bytes as f64 / total_wire as f64,
-                    )
-                })
-                .collect(),
-        });
     }
 
     let report = json_report(
-        sessions, doc_bytes, drop_p, &shapes, optimizer, pairs, &sweeps,
+        sessions, doc_bytes, drop_p, &shapes, optimizer, pairs, &reports,
     );
-    std::fs::write("BENCH_PR3.json", &report).expect("write BENCH_PR3.json");
-    println!("# wrote BENCH_PR3.json");
+    std::fs::write("BENCH_PR4.json", &report).expect("write BENCH_PR4.json");
+    println!("# wrote BENCH_PR4.json");
 }

@@ -1,0 +1,704 @@
+//! # xdx-codec — compact columnar wire codec for sorted feeds
+//!
+//! [`Feed::to_wire`] ships a feed as tagged text: every row repeats full
+//! Dewey digits, every string travels verbatim, every cell pays a type
+//! prefix and a separator. That is robust and debuggable, but on a paced
+//! wide-area link the byte count *is* the cost model — the paper weights
+//! one-way communication so heavily that placement is decided by it.
+//!
+//! This crate encodes the same feed column-by-column instead:
+//!
+//! * **per-cell type tags**, two bits per cell packed four to a byte,
+//!   doubling as the null bitmap for outer-padded rows;
+//! * **zig-zag delta varints** for `Int` cells and for the diverging
+//!   component of each Dewey — the `NodeId`/`PARENT` columns of a sorted
+//!   feed are monotone in document order, so consecutive ids share long
+//!   prefixes and differ by tiny deltas;
+//! * **two-level dictionary encoding** for strings: distinct cell values
+//!   become entries of a string table, so a repeated value costs one
+//!   index byte per cell — and each table entry is itself a sequence of
+//!   space-separated *tokens* indexed into a token dictionary, so even
+//!   unique sentences built from a small vocabulary (the XMark
+//!   `idescription` pattern) collapse to a run of one-byte word indices;
+//! * **framing**: an 8-byte magic (so receivers can sniff columnar vs.
+//!   XML text, which always starts with `#feed`), an FNV-64 digest of the
+//!   schema section, and a trailing FNV-64 checksum over the whole frame,
+//!   verified *before* any parsing so a damaged frame is rejected, never
+//!   mis-decoded.
+//!
+//! The decoder is defensive throughout: every length is bounds-checked
+//! against the remaining input, so truncated or crafted frames produce a
+//! [`Error::Decode`], never a panic or an oversized allocation.
+
+use std::collections::HashMap;
+use std::fmt;
+use xdx_relational::{ColRole, Dewey, Error, Feed, FeedColumn, FeedSchema, Result, Value};
+
+/// Frame magic of the columnar format. XML-text feeds start with
+/// `#feed\t`, so the first byte already separates the two formats;
+/// [`is_columnar`] checks all eight for robustness.
+pub const COLUMNAR_MAGIC: &[u8; 8] = b"XDXCOLF1";
+
+/// Arity-zero feeds carry no per-row bytes, so the row count in a frame
+/// cannot be validated against the frame length; this caps it instead.
+const MAX_ZERO_ARITY_ROWS: u64 = 1 << 20;
+
+/// The wire encoding negotiated for a link (or forced per request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireFormat {
+    /// Tagged-text feeds ([`Feed::to_wire`]); the universal fallback
+    /// every endpoint understands.
+    #[default]
+    Xml,
+    /// The columnar binary format of this crate.
+    Columnar,
+}
+
+impl WireFormat {
+    /// Stable lowercase name (`"xml"` / `"columnar"`), as used by bench
+    /// arguments and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Xml => "xml",
+            WireFormat::Columnar => "columnar",
+        }
+    }
+
+    /// Parses [`WireFormat::name`] output.
+    pub fn parse(s: &str) -> Option<WireFormat> {
+        match s {
+            "xml" => Some(WireFormat::Xml),
+            "columnar" => Some(WireFormat::Columnar),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Primitives
+// ----------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash (same parameters as the feed integrity line and
+/// the chunk-frame checksum; reimplemented here so the codec depends
+/// only on the relational substrate).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends an LEB128 varint.
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Zig-zag maps signed deltas to small unsigned varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Length of the common prefix of two Dewey component slices.
+fn common_prefix(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+fn decode_err(detail: impl Into<String>) -> Error {
+    Error::Decode {
+        detail: detail.into(),
+    }
+}
+
+// Two-bit cell tags; 0 doubles as the null bitmap.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_DEWEY: u8 = 2;
+const TAG_STR: u8 = 3;
+
+// ----------------------------------------------------------------------
+// Encoding
+// ----------------------------------------------------------------------
+
+/// Encodes a feed into a fresh frame. See [`encode_feed_into`] for the
+/// buffer-reusing form the shipping hot path uses.
+pub fn encode_feed(feed: &Feed) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_feed_into(&mut buf, feed);
+    buf
+}
+
+/// Encodes a feed into `buf`, clearing it first. A transport reuses one
+/// buffer across shipments, so the steady state allocates nothing for
+/// framing — the buffer grows to the largest frame seen and stays there.
+///
+/// Frame layout (all counts LEB128 varints):
+///
+/// ```text
+/// magic            8 bytes  "XDXCOLF1"
+/// schema           root element, column count, per column
+///                  (element, role byte 0=ID 1=PARENT 2=VALUE)
+/// schema digest    8 bytes LE, FNV-64 of the schema section
+/// row count        varint
+/// token dict       token count, then length-prefixed tokens in
+///                  first-occurrence order (tokens never contain ' ')
+/// string table     entry count, then per distinct cell string its
+///                  token count and token indices (tokens are the
+///                  string split on ' ', joined back with ' ' on decode)
+/// per column       ceil(rows/4) tag bytes (2 bits/cell), then the
+///                  non-null cell payloads in row order:
+///                    Int    zig-zag varint delta vs. previous Int
+///                    Dewey  lcp with previous Dewey, suffix length,
+///                           zig-zag delta on the diverging component,
+///                           raw varints for the rest
+///                    Str    varint string-table index
+/// checksum         8 bytes LE, FNV-64 of everything above
+/// ```
+pub fn encode_feed_into(buf: &mut Vec<u8>, feed: &Feed) {
+    buf.clear();
+    buf.extend_from_slice(COLUMNAR_MAGIC);
+
+    // Schema section + digest.
+    let schema_start = buf.len();
+    put_str(buf, &feed.schema.root_element);
+    put_varint(buf, feed.schema.columns.len() as u64);
+    for c in &feed.schema.columns {
+        put_str(buf, &c.element);
+        buf.push(match c.role {
+            ColRole::NodeId => 0,
+            ColRole::ParentRef => 1,
+            ColRole::Value => 2,
+        });
+    }
+    let digest = fnv64(&buf[schema_start..]);
+    buf.extend_from_slice(&digest.to_le_bytes());
+
+    let rows = feed.rows.len();
+    put_varint(buf, rows as u64);
+
+    // Two-level string dictionaries, first-occurrence order (row-major
+    // scan): distinct cell strings index a string table, whose entries
+    // are token sequences over a token dictionary. `split(' ')` /
+    // `join(" ")` is an exact inverse pair for every string (empty
+    // tokens encode runs of spaces), so reconstruction is byte-exact.
+    let mut token_ids: HashMap<&str, u64> = HashMap::new();
+    let mut tokens: Vec<&str> = Vec::new();
+    let mut string_ids: HashMap<&str, u64> = HashMap::new();
+    let mut strings: Vec<&str> = Vec::new();
+    for row in &feed.rows {
+        for v in row {
+            if let Value::Str(s) = v {
+                if !string_ids.contains_key(s.as_str()) {
+                    string_ids.insert(s, strings.len() as u64);
+                    strings.push(s);
+                    for tok in s.split(' ') {
+                        if !token_ids.contains_key(tok) {
+                            token_ids.insert(tok, tokens.len() as u64);
+                            tokens.push(tok);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    put_varint(buf, tokens.len() as u64);
+    for t in &tokens {
+        put_str(buf, t);
+    }
+    put_varint(buf, strings.len() as u64);
+    for s in &strings {
+        put_varint(buf, s.split(' ').count() as u64);
+        for tok in s.split(' ') {
+            put_varint(buf, token_ids[tok]);
+        }
+    }
+
+    // Columns: tag bytes, then payloads.
+    for col in 0..feed.schema.arity() {
+        let tag_start = buf.len();
+        buf.resize(tag_start + rows.div_ceil(4), 0);
+        for (i, row) in feed.rows.iter().enumerate() {
+            let tag = match &row[col] {
+                Value::Null => TAG_NULL,
+                Value::Int(_) => TAG_INT,
+                Value::Dewey(_) => TAG_DEWEY,
+                Value::Str(_) => TAG_STR,
+            };
+            buf[tag_start + i / 4] |= tag << ((i % 4) * 2);
+        }
+        let mut prev_int: i64 = 0;
+        let mut prev_dewey: &[u32] = &[];
+        for row in &feed.rows {
+            match &row[col] {
+                Value::Null => {}
+                Value::Int(i) => {
+                    put_varint(buf, zigzag(i.wrapping_sub(prev_int)));
+                    prev_int = *i;
+                }
+                Value::Dewey(d) => {
+                    let lcp = common_prefix(prev_dewey, &d.0);
+                    put_varint(buf, lcp as u64);
+                    let rest = &d.0[lcp..];
+                    put_varint(buf, rest.len() as u64);
+                    if let Some((&first, more)) = rest.split_first() {
+                        let base = prev_dewey.get(lcp).copied().unwrap_or(0);
+                        put_varint(buf, zigzag(first as i64 - base as i64));
+                        for &c in more {
+                            put_varint(buf, c as u64);
+                        }
+                    }
+                    prev_dewey = &d.0;
+                }
+                Value::Str(s) => {
+                    put_varint(buf, string_ids[s.as_str()]);
+                }
+            }
+        }
+    }
+
+    let sum = fnv64(buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+}
+
+// ----------------------------------------------------------------------
+// Decoding
+// ----------------------------------------------------------------------
+
+/// True when `bytes` starts with the columnar frame magic. XML-text
+/// feeds start with `#feed`, so one sniff routes a received body to the
+/// right decoder.
+pub fn is_columnar(bytes: &[u8]) -> bool {
+    bytes.len() >= COLUMNAR_MAGIC.len() && &bytes[..COLUMNAR_MAGIC.len()] == COLUMNAR_MAGIC
+}
+
+/// Bounds-checked cursor over a frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(decode_err(format!("truncated frame reading {what}")));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.take(1, what)?[0];
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                // Reject non-canonical overlong encodings in the last
+                // (tenth) byte, which would silently drop high bits.
+                if shift == 63 && b > 1 {
+                    break;
+                }
+                return Ok(v);
+            }
+        }
+        Err(decode_err(format!("overlong varint in {what}")))
+    }
+
+    /// A varint that names a count of items each at least `unit` bytes
+    /// long; rejected when it could not possibly fit the remaining input.
+    fn count(&mut self, unit: usize, what: &str) -> Result<usize> {
+        let n = self.varint(what)?;
+        if n > (self.remaining() / unit.max(1)) as u64 {
+            return Err(decode_err(format!("impossible {what} count {n}")));
+        }
+        Ok(n as usize)
+    }
+
+    fn u64_le(&mut self, what: &str) -> Result<u64> {
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        let len = self.count(1, what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| decode_err(format!("invalid UTF-8 in {what}")))
+    }
+}
+
+/// Decodes a columnar frame back into a [`Feed`]. The trailing checksum
+/// is verified before any parsing: a frame damaged anywhere — payload,
+/// schema, header, the checksum itself — fails loudly with a decode
+/// error and is never accepted.
+pub fn decode_feed(bytes: &[u8]) -> Result<Feed> {
+    if !is_columnar(bytes) {
+        return Err(decode_err("missing columnar frame magic"));
+    }
+    if bytes.len() < COLUMNAR_MAGIC.len() + 8 {
+        return Err(decode_err("columnar frame shorter than magic + checksum"));
+    }
+    let (body, sum) = bytes.split_at(bytes.len() - 8);
+    let expected = u64::from_le_bytes(sum.try_into().expect("8-byte slice"));
+    if fnv64(body) != expected {
+        return Err(decode_err(
+            "checksum mismatch: columnar frame corrupted in transit",
+        ));
+    }
+
+    let mut r = Reader {
+        buf: &body[COLUMNAR_MAGIC.len()..],
+        pos: 0,
+    };
+
+    // Schema section, re-digested over the exact bytes read.
+    let schema_start = r.pos;
+    let root = r.string("root element")?;
+    let ncols = r.count(2, "column")?;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let element = r.string("column element")?;
+        let role = match r.take(1, "column role")?[0] {
+            0 => ColRole::NodeId,
+            1 => ColRole::ParentRef,
+            2 => ColRole::Value,
+            other => return Err(decode_err(format!("bad column role byte {other}"))),
+        };
+        columns.push(FeedColumn::new(element, role));
+    }
+    let digest = fnv64(&r.buf[schema_start..r.pos]);
+    if r.u64_le("schema digest")? != digest {
+        return Err(decode_err("schema digest mismatch"));
+    }
+
+    let rows = r.varint("row count")?;
+    // Each row costs at least ceil(1/4) tag byte per column; arity-zero
+    // feeds have no such floor, so they get an explicit cap instead.
+    if ncols == 0 {
+        if rows > MAX_ZERO_ARITY_ROWS {
+            return Err(decode_err(format!("implausible row count {rows}")));
+        }
+    } else {
+        let tag_bytes = rows.div_ceil(4).checked_mul(ncols as u64);
+        if tag_bytes.is_none_or(|b| b > r.remaining() as u64) {
+            return Err(decode_err(format!("impossible row count {rows}")));
+        }
+    }
+    let rows = rows as usize;
+
+    let token_len = r.count(1, "token dictionary")?;
+    let mut tokens = Vec::with_capacity(token_len);
+    for _ in 0..token_len {
+        tokens.push(r.string("token")?);
+    }
+    let table_len = r.count(1, "string table")?;
+    let mut dict = Vec::with_capacity(table_len);
+    for _ in 0..table_len {
+        let n = r.count(1, "string tokens")?;
+        let mut s = String::new();
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            let idx = r.varint("token index")? as usize;
+            let tok = tokens
+                .get(idx)
+                .ok_or_else(|| decode_err(format!("token index {idx} out of range")))?;
+            s.push_str(tok);
+        }
+        dict.push(s);
+    }
+
+    let mut table: Vec<Vec<Value>> = (0..rows).map(|_| vec![Value::Null; ncols]).collect();
+    for col in 0..ncols {
+        let tags = r.take(rows.div_ceil(4), "cell tags")?;
+        let mut prev_int: i64 = 0;
+        let mut prev_dewey: Vec<u32> = Vec::new();
+        for (i, slot) in table.iter_mut().enumerate() {
+            let tag = (tags[i / 4] >> ((i % 4) * 2)) & 0b11;
+            slot[col] = match tag {
+                TAG_NULL => Value::Null,
+                TAG_INT => {
+                    let delta = unzigzag(r.varint("int cell")?);
+                    prev_int = prev_int.wrapping_add(delta);
+                    Value::Int(prev_int)
+                }
+                TAG_DEWEY => {
+                    let lcp = r.varint("dewey prefix")? as usize;
+                    if lcp > prev_dewey.len() {
+                        return Err(decode_err("dewey prefix longer than predecessor"));
+                    }
+                    let rest = r.count(1, "dewey suffix")?;
+                    let base = prev_dewey.get(lcp).copied().unwrap_or(0);
+                    prev_dewey.truncate(lcp);
+                    if rest > 0 {
+                        let delta = unzigzag(r.varint("dewey component")?);
+                        let first = (base as i64).wrapping_add(delta);
+                        let first = u32::try_from(first)
+                            .map_err(|_| decode_err("dewey component out of range"))?;
+                        prev_dewey.push(first);
+                        for _ in 1..rest {
+                            let c = r.varint("dewey component")?;
+                            let c = u32::try_from(c)
+                                .map_err(|_| decode_err("dewey component out of range"))?;
+                            prev_dewey.push(c);
+                        }
+                    }
+                    Value::Dewey(Dewey(prev_dewey.clone()))
+                }
+                _ => {
+                    let idx = r.varint("string cell")? as usize;
+                    let s = dict.get(idx).ok_or_else(|| {
+                        decode_err(format!("string-table index {idx} out of range"))
+                    })?;
+                    Value::Str(s.clone())
+                }
+            };
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(decode_err(format!(
+            "{} trailing bytes after last column",
+            r.remaining()
+        )));
+    }
+
+    let mut feed = Feed::new(FeedSchema::new(root, columns));
+    feed.rows = table;
+    Ok(feed)
+}
+
+/// Encodes `feed` in the given format into `buf` (clearing it first) and
+/// returns the frame length — the one call sites use so the format stays
+/// a value, not a code path.
+pub fn encode_in_format_into(buf: &mut Vec<u8>, feed: &Feed, format: WireFormat) -> usize {
+    match format {
+        WireFormat::Xml => {
+            buf.clear();
+            buf.extend_from_slice(feed.to_wire().as_bytes());
+        }
+        WireFormat::Columnar => encode_feed_into(buf, feed),
+    }
+    buf.len()
+}
+
+/// Decodes a received body in whichever format it sniffs as — columnar
+/// frames by magic, everything else as XML text.
+pub fn decode_any(body: &[u8]) -> Result<Feed> {
+    if is_columnar(body) {
+        decode_feed(body)
+    } else {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| decode_err("feed body is neither columnar nor UTF-8 text"))?;
+        Feed::from_wire(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdx_relational::feed::fragment_feed_schema;
+
+    fn sample_feed() -> Feed {
+        let schema = fragment_feed_schema(
+            "Order",
+            &[
+                ("Order".to_string(), false),
+                ("ServiceName".to_string(), true),
+            ],
+        );
+        let mut f = Feed::new(schema);
+        for i in 1..=20u32 {
+            f.push_row(vec![
+                Value::Dewey(Dewey(vec![1])),
+                Value::Dewey(Dewey(vec![1, i])),
+                Value::Dewey(Dewey(vec![1, i, 1])),
+                Value::Str(if i % 2 == 0 { "local" } else { "long distance" }.into()),
+            ])
+            .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrips_sample_feed() {
+        let f = sample_feed();
+        let frame = encode_feed(&f);
+        assert!(is_columnar(&frame));
+        assert_eq!(decode_feed(&frame).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrips_heterogeneous_and_special_cells() {
+        let schema = FeedSchema::new("x", vec![FeedColumn::new("x", ColRole::Value)]);
+        let mut f = Feed::new(schema);
+        for s in ["tab\there", "line\nbreak", "back\\slash", "", "plain", ""] {
+            f.push_row(vec![Value::Str(s.into())]).unwrap();
+        }
+        f.push_row(vec![Value::Null]).unwrap();
+        f.push_row(vec![Value::Int(-42)]).unwrap();
+        f.push_row(vec![Value::Int(i64::MIN)]).unwrap();
+        f.push_row(vec![Value::Int(i64::MAX)]).unwrap();
+        f.push_row(vec![Value::Dewey(Dewey::root())]).unwrap();
+        f.push_row(vec![Value::Dewey(Dewey(vec![u32::MAX, 0, 7]))])
+            .unwrap();
+        assert_eq!(decode_feed(&encode_feed(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrips_empty_and_zero_arity_feeds() {
+        let empty = Feed::new(FeedSchema::new(
+            "x",
+            vec![FeedColumn::new("x", ColRole::NodeId)],
+        ));
+        assert_eq!(decode_feed(&encode_feed(&empty)).unwrap(), empty);
+        let mut no_cols = Feed::new(FeedSchema::new("x", vec![]));
+        no_cols.push_row(vec![]).unwrap();
+        no_cols.push_row(vec![]).unwrap();
+        assert_eq!(decode_feed(&encode_feed(&no_cols)).unwrap(), no_cols);
+    }
+
+    /// A feed shaped like the XMark `ITEM_…` fragment: one row per item,
+    /// depth-5 child ids that break the XML `*suffix` chain mid-row, a
+    /// constant column, a sentence column over a small vocabulary, and a
+    /// mostly-unique label column.
+    fn itemlike_feed() -> Feed {
+        let vocab = [
+            "auction", "vintage", "gilded", "brass", "walnut", "carved", "signed", "rare",
+        ];
+        let schema = fragment_feed_schema(
+            "item",
+            &[
+                ("item".to_string(), false),
+                ("location".to_string(), true),
+                ("idescription".to_string(), true),
+                ("shipping".to_string(), true),
+                ("mailbox".to_string(), true),
+            ],
+        );
+        let mut f = Feed::new(schema);
+        for i in 1..=40u32 {
+            let item = Dewey(vec![1, 1, 1, i]);
+            let sentence: Vec<&str> = (0..12)
+                .map(|k| vocab[(i as usize * 7 + k * 3) % vocab.len()])
+                .collect();
+            f.push_row(vec![
+                Value::Dewey(Dewey(vec![1, 1, 1])),
+                Value::Dewey(item.clone()),
+                Value::Dewey(item.child(1)),
+                Value::Str(["United States", "Ghana", "Kenya", "Egypt"][i as usize % 4].into()),
+                Value::Dewey(item.child(2)),
+                Value::Str(sentence.join(" ")),
+                Value::Dewey(item.child(3)),
+                Value::Str("Will ship internationally, buyer pays fixed shipping".into()),
+                Value::Dewey(item.child(4)),
+                Value::Str(format!("mail-{}", i * 37 % 97)),
+            ])
+            .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn columnar_halves_xml_text_on_itemlike_feeds() {
+        let f = itemlike_feed();
+        let xml = f.to_wire().len();
+        let columnar = encode_feed(&f).len();
+        assert!(
+            columnar * 2 <= xml,
+            "columnar {columnar}B not ≤ half of XML {xml}B"
+        );
+        assert_eq!(decode_feed(&encode_feed(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let frame = encode_feed(&sample_feed());
+        for i in 0..frame.len() {
+            let mut damaged = frame.clone();
+            damaged[i] ^= 0x40;
+            assert!(
+                decode_feed(&damaged).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let frame = encode_feed(&sample_feed());
+        for len in 0..frame.len() {
+            assert!(decode_feed(&frame[..len]).is_err(), "truncated at {len}");
+        }
+        assert!(decode_feed(b"").is_err());
+        assert!(decode_feed(b"#feed\tx\n").is_err());
+        assert!(decode_feed(b"XDXCOLF1").is_err());
+    }
+
+    #[test]
+    fn reuses_one_buffer_across_encodes() {
+        let f = sample_feed();
+        let mut buf = Vec::new();
+        encode_feed_into(&mut buf, &f);
+        assert_eq!(buf, encode_feed(&f));
+        let grown = buf.capacity();
+        let tiny = Feed::new(f.schema.clone());
+        encode_feed_into(&mut buf, &tiny);
+        assert_eq!(decode_feed(&buf).unwrap(), tiny);
+        assert!(buf.capacity() >= grown, "re-encoding must not shrink");
+    }
+
+    #[test]
+    fn sniffing_routes_both_formats() {
+        let f = sample_feed();
+        assert_eq!(decode_any(&encode_feed(&f)).unwrap(), f);
+        assert_eq!(decode_any(f.to_wire().as_bytes()).unwrap(), f);
+        let mut buf = Vec::new();
+        assert_eq!(
+            encode_in_format_into(&mut buf, &f, WireFormat::Xml),
+            f.to_wire().len()
+        );
+        assert!(!is_columnar(&buf));
+        encode_in_format_into(&mut buf, &f, WireFormat::Columnar);
+        assert!(is_columnar(&buf));
+    }
+
+    #[test]
+    fn format_names_roundtrip() {
+        for fmt in [WireFormat::Xml, WireFormat::Columnar] {
+            assert_eq!(WireFormat::parse(fmt.name()), Some(fmt));
+            assert_eq!(fmt.to_string(), fmt.name());
+        }
+        assert_eq!(WireFormat::parse("gopher"), None);
+        assert_eq!(WireFormat::default(), WireFormat::Xml);
+    }
+}

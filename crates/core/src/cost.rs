@@ -9,6 +9,7 @@
 //! the region it ships, exactly the paper's `comm_cost(e) = size(OP1.out)`.
 
 use crate::program::{Location, Op, Program, Region};
+use xdx_codec::WireFormat;
 use xdx_relational::{ColRole, Database};
 use xdx_xml::{NodeId, SchemaTree};
 
@@ -157,28 +158,51 @@ impl SchemaStats {
         self.region_rows(region) * region.elements.len() as u64
     }
 
-    /// Estimated wire size of a region's feed: rows × per-row width,
-    /// where each element contributes its id (≈ 2 bytes per tree level)
-    /// plus its average text. Inlining repetition inflates this exactly
-    /// like the paper's "repeated elements due to inlining".
+    /// Estimated wire size of a region's feed in the XML text format:
+    /// rows × per-row width, where each element contributes its id (≈ 2
+    /// bytes per tree level) plus its average text. Inlining repetition
+    /// inflates this exactly like the paper's "repeated elements due to
+    /// inlining".
     pub fn region_bytes(&self, schema: &SchemaTree, region: &Region) -> u64 {
+        self.region_bytes_for(schema, region, WireFormat::Xml)
+    }
+
+    /// [`region_bytes`](SchemaStats::region_bytes), parameterized by wire
+    /// format. Columnar ids are depth-independent (the delta varint of a
+    /// sorted column plus its share of the tag bits) and columnar text
+    /// pays an index byte plus a dictionary-discounted share of the
+    /// value, so placement decisions made for a columnar link see the
+    /// cheaper wire it actually ships over.
+    pub fn region_bytes_for(
+        &self,
+        schema: &SchemaTree,
+        region: &Region,
+        format: WireFormat,
+    ) -> u64 {
         let rows = self.region_rows(region);
         let width: u64 = region
             .elements
             .iter()
             .map(|&e| {
-                let id_len = 2 * (schema.depth(e) as u64) + 2;
                 let avg_text = if self.counts[e.index()] > 0 {
                     self.text_bytes[e.index()] / self.counts[e.index()]
                 } else {
                     0
                 };
-                id_len + avg_text
+                match format {
+                    WireFormat::Xml => 2 * (schema.depth(e) as u64) + 2 + avg_text,
+                    WireFormat::Columnar => COLUMNAR_ID_BYTES + 1 + avg_text / 2,
+                }
             })
             .sum();
         rows * width
     }
 }
+
+/// Estimated id bytes per cell of a columnar frame: the prefix-length
+/// and suffix-count varints plus a one-byte delta, amortizing the
+/// two-bit tag — independent of tree depth, unlike dotted Dewey text.
+const COLUMNAR_ID_BYTES: u64 = 3;
 
 /// Capabilities and speed of one participating system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -237,6 +261,9 @@ pub struct CostModel {
     pub target: SystemProfile,
     /// Document statistics driving the estimates.
     pub stats: SchemaStats,
+    /// Wire format the link ships feeds in; communication estimates use
+    /// the matching per-row byte model.
+    pub wire_format: WireFormat,
 }
 
 /// Relative expense of a `Write` next to a `Scan` (loads cost more than
@@ -260,6 +287,7 @@ impl CostModel {
             source: SystemProfile::default(),
             target: SystemProfile::default(),
             stats,
+            wire_format: WireFormat::Xml,
         }
     }
 
@@ -330,7 +358,8 @@ impl CostModel {
         let consumer_loc = program.nodes[consumer].location;
         if producer_loc == Location::Source && consumer_loc == Location::Target {
             let region = program.port_region(port).expect("validated program");
-            self.stats.region_bytes(schema, region) as f64
+            self.stats
+                .region_bytes_for(schema, region, self.wire_format) as f64
         } else {
             0.0
         }

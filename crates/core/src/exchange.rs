@@ -21,6 +21,7 @@ use crate::optimal;
 use crate::program::Program;
 use crate::report::ExchangeReport;
 use crate::selection::Selection;
+use xdx_codec::WireFormat;
 use xdx_net::Link;
 use xdx_relational::Database;
 use xdx_wsdl::Registry;
@@ -58,6 +59,9 @@ pub struct DataExchange<'a> {
     pub w_comm: f64,
     /// Optional service argument subsetting the data (paper §3.2).
     pub selection: Option<Selection>,
+    /// Wire format the link ships feeds in; the cost model estimates
+    /// communication in the matching byte model.
+    pub wire_format: WireFormat,
 }
 
 impl<'a> DataExchange<'a> {
@@ -76,6 +80,7 @@ impl<'a> DataExchange<'a> {
             optimizer: Optimizer::Greedy,
             w_comm: 0.05,
             selection: None,
+            wire_format: WireFormat::Xml,
         }
     }
 
@@ -129,6 +134,12 @@ impl<'a> DataExchange<'a> {
         self
     }
 
+    /// Sets the wire format the link ships feeds in.
+    pub fn with_wire_format(mut self, format: WireFormat) -> Self {
+        self.wire_format = format;
+        self
+    }
+
     /// Builds the cost model by probing the source database for document
     /// statistics (Figure 2, Step 3). With a selection in force the stats
     /// under the anchor are scaled by its selectivity, so planning sees
@@ -146,6 +157,7 @@ impl<'a> DataExchange<'a> {
             source: self.source_profile,
             target: self.target_profile,
             stats,
+            wire_format: self.wire_format,
         })
     }
 

@@ -18,6 +18,7 @@ use crate::report::StepTimes;
 use crate::selection::Selection;
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
+use xdx_codec::{decode_any, encode_in_format_into, WireFormat};
 use xdx_net::http::Request;
 use xdx_net::Link;
 use xdx_relational::ops::{merge_combine, split, SplitSpec};
@@ -49,6 +50,22 @@ pub trait Transport {
     fn checkpointed_message(&mut self, _label: &str) -> Option<Vec<u8>> {
         None
     }
+
+    /// The wire encoding this transport negotiated for its link. The
+    /// executor serializes cross-edge feeds in this format; receivers
+    /// sniff the frame (columnar magic vs. `#feed` text), so a transport
+    /// may switch formats between sessions without any handshake in the
+    /// data stream itself. Defaults to XML text, the universal fallback.
+    fn wire_format(&self) -> WireFormat {
+        WireFormat::Xml
+    }
+
+    /// Notifies the transport that the executor just encoded a feed into
+    /// `bytes` wire bytes in `ns` nanoseconds. Checkpoint replays encode
+    /// nothing and report nothing, so a transport tallying these sees
+    /// each message encoded exactly once across failed runs and resumes.
+    /// The default discards the notification.
+    fn record_encode(&mut self, _bytes: u64, _ns: u64) {}
 }
 
 /// The trivial transport: one message, one transmission, whatever
@@ -74,6 +91,12 @@ pub struct ExecOutcome {
     /// replayed from a transport checkpoint are shipped but not counted
     /// here, so a fully checkpointed resume reports zero.
     pub messages_serialized: usize,
+    /// Feed bytes produced by the wire encoder (the POST body, before
+    /// HTTP and chunk framing). Checkpoint replays encode nothing and
+    /// add nothing here.
+    pub bytes_encoded: u64,
+    /// Wall nanoseconds spent encoding feeds for the wire.
+    pub encode_ns: u64,
     /// Rows loaded at the target.
     pub rows_loaded: u64,
 }
@@ -197,6 +220,10 @@ fn run_nodes(
     // already crossed the link.
     let mut feeds: HashMap<PortRef, Feed> = HashMap::new();
     let mut shipped: HashMap<PortRef, Feed> = HashMap::new();
+    // One encode buffer for every shipment of this run: it grows to the
+    // largest frame and stays there, so steady-state encoding allocates
+    // only the POST body it hands to the transport.
+    let mut encode_buf: Vec<u8> = Vec::new();
 
     for i in 0..program.nodes.len() {
         let node = &program.nodes[i];
@@ -225,8 +252,18 @@ fn run_nodes(
                                     detail: format!("missing feed for port {p:?}"),
                                 })?;
                                 outcome.messages_serialized += 1;
-                                let body = f.to_wire().into_bytes();
-                                Request::soap_post("/exchange", &label, body).to_bytes()
+                                let start = Instant::now();
+                                let len = encode_in_format_into(
+                                    &mut encode_buf,
+                                    f,
+                                    transport.wire_format(),
+                                );
+                                let ns = start.elapsed().as_nanos() as u64;
+                                outcome.encode_ns += ns;
+                                outcome.bytes_encoded += len as u64;
+                                transport.record_encode(len as u64, ns);
+                                Request::soap_post("/exchange", &label, encode_buf.clone())
+                                    .to_bytes()
                             }
                         };
                         let (duration, delivered) = transport.ship(&label, &message)?;
@@ -236,13 +273,12 @@ fn run_nodes(
                         // The target decodes what actually arrived — link
                         // damage surfaces here as an explicit error (HTTP
                         // length check or feed checksum), never as
-                        // silently corrupt data.
+                        // silently corrupt data. The body is sniffed, so
+                        // a columnar sender and an XML sender land at the
+                        // same receiver code.
                         let arrived =
                             Request::parse(&delivered).map_err(|e| Error::Engine(e.to_string()))?;
-                        let decoded = Feed::from_wire(
-                            std::str::from_utf8(&arrived.body)
-                                .map_err(|e| Error::Engine(e.to_string()))?,
-                        )?;
+                        let decoded = decode_any(&arrived.body)?;
                         shipped.insert(*p, decoded.clone());
                         decoded
                     }

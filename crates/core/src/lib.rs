@@ -60,3 +60,4 @@ pub use fragment::{Fragment, Fragmentation};
 pub use mapping::Mapping;
 pub use program::{Location, Op, OpNode, Program};
 pub use report::{ExchangeReport, StepTimes};
+pub use xdx_codec::WireFormat;

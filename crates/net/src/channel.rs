@@ -308,6 +308,14 @@ impl Link {
         self
     }
 
+    /// The real-time pacing scale (see [`Link::with_pacing`]). Callers
+    /// that simulate waits *outside* the link — e.g. retry backoff
+    /// between transmissions — read this to pace those waits on the same
+    /// clock the link paces its transfers on.
+    pub fn pacing(&self) -> f64 {
+        self.pacing
+    }
+
     /// Blocks for the paced share of a simulated `duration` (no-op at
     /// the default pacing of zero).
     fn pace(&self, duration: Duration) {

@@ -71,8 +71,20 @@ fn emit_group(
     ccol: usize,
     child_arity: usize,
 ) {
+    // Every branch below emits a knowable number of rows of knowable
+    // arity; sizing the allocations up front keeps the join's hot loop
+    // free of `Vec` growth reallocations.
+    let emitted = if cgroup.is_empty() {
+        pgroup.len()
+    } else if pgroup.len() == 1 {
+        cgroup.len()
+    } else {
+        pgroup.len() + cgroup.len()
+    };
+    out.rows.reserve(emitted);
     let pad = |row: &Vec<Value>, out: &mut Feed| {
-        let mut r = row.clone();
+        let mut r = Vec::with_capacity(row.len() + child_arity);
+        r.extend_from_slice(row);
         r.extend(std::iter::repeat_with(|| Value::Null).take(child_arity));
         out.rows.push(r);
     };
@@ -83,7 +95,8 @@ fn emit_group(
         return;
     }
     let attach = |base: &Vec<Value>, crow: &Vec<Value>, out: &mut Feed| {
-        let mut r = base.clone();
+        let mut r = Vec::with_capacity(base.len() + child_arity);
+        r.extend_from_slice(base);
         for (i, v) in crow.iter().enumerate() {
             if i != ccol {
                 r.push(v.clone());
@@ -313,7 +326,11 @@ pub fn split(feed: &Feed, specs: &[SplitSpec], counters: &mut Counters) -> Resul
             name: format!("{}.ID (group root must be identified)", spec.root_element),
         })?;
         let mut out = Feed::new(FeedSchema::new(spec.root_element.clone(), columns));
-        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        // The input cardinality bounds this group's output (dedup only
+        // shrinks it); pre-sizing both containers keeps the projection
+        // loop reallocation-free.
+        out.rows.reserve(feed.len());
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(feed.len());
         for row in &feed.rows {
             let projected: Vec<Value> = src_cols.iter().map(|&c| row[c].clone()).collect();
             if projected[root_id_out].is_null() {

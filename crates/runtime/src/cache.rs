@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use xdx_core::{CostModel, Fragmentation, Optimizer, Program};
+use xdx_core::{CostModel, Fragmentation, Optimizer, Program, WireFormat};
 use xdx_net::fnv64;
 
 /// The two-part cache key of an exchange.
@@ -186,6 +186,15 @@ pub fn plan_key(
     }
     push(&mut shape, model.w_comp.to_bits());
     push(&mut shape, model.w_comm.to_bits());
+    // The negotiated wire format changes communication estimates, so
+    // formats must not share a cached program.
+    push(
+        &mut shape,
+        match model.wire_format {
+            WireFormat::Xml => 0x58,
+            WireFormat::Columnar => 0x43,
+        },
+    );
     for profile in [&model.source, &model.target] {
         push(&mut shape, profile.speed.to_bits());
         push(&mut shape, profile.can_combine as u64);
@@ -269,6 +278,14 @@ mod tests {
         assert_ne!(
             base.shape,
             plan_key(&mf, &lf, &dumb, Optimizer::Greedy).shape
+        );
+        // A columnar link is a different plan shape: its cheaper wire
+        // moves the placement trade-off.
+        let mut columnar = m.clone();
+        columnar.wire_format = WireFormat::Columnar;
+        assert_ne!(
+            base.shape,
+            plan_key(&mf, &lf, &columnar, Optimizer::Greedy).shape
         );
         // A different optimizer is a different plan shape too: greedy
         // and exhaustive sessions must not share a cached program.

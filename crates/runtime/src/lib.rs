@@ -78,3 +78,4 @@ pub use session::{
     SessionState, DEFAULT_SOURCE_ENDPOINT, DEFAULT_TARGET_ENDPOINT,
 };
 pub use shipper::ShippingPolicy;
+pub use xdx_core::WireFormat;

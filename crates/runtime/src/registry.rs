@@ -13,10 +13,25 @@
 
 use crate::breaker::CircuitBreaker;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use xdx_core::WireFormat;
 use xdx_net::{FaultProfile, Link, NetworkProfile};
+
+fn format_to_u8(format: WireFormat) -> u8 {
+    match format {
+        WireFormat::Xml => 0,
+        WireFormat::Columnar => 1,
+    }
+}
+
+fn format_from_u8(byte: u8) -> WireFormat {
+    match byte {
+        1 => WireFormat::Columnar,
+        _ => WireFormat::Xml,
+    }
+}
 
 /// Registry-wide gauge of shipment windows currently open, with a
 /// high-water mark — the observable proof that disjoint pairs ship
@@ -47,6 +62,8 @@ impl ShipGauge {
 #[derive(Debug, Default)]
 pub(crate) struct LinkCounters {
     pub(crate) wire_bytes: AtomicU64,
+    pub(crate) bytes_encoded: AtomicU64,
+    pub(crate) encode_ns: AtomicU64,
     pub(crate) chunks_shipped: AtomicU64,
     pub(crate) chunks_retried: AtomicU64,
     pub(crate) sessions_completed: AtomicU64,
@@ -62,6 +79,9 @@ pub struct LinkSlot {
     pub(crate) link: Mutex<Link>,
     pub(crate) breaker: CircuitBreaker,
     pub(crate) counters: LinkCounters,
+    /// The wire format negotiated for this pair (re-negotiated when an
+    /// endpoint's preference changes), read lock-free on the hot path.
+    wire_format: AtomicU8,
     /// This link's own open-shipment gauge.
     local: ShipGauge,
     /// The registry-wide gauge, shared by every slot.
@@ -74,6 +94,7 @@ impl LinkSlot {
         target: &str,
         link: Link,
         breaker: CircuitBreaker,
+        wire_format: WireFormat,
         global: Arc<ShipGauge>,
     ) -> LinkSlot {
         LinkSlot {
@@ -82,6 +103,7 @@ impl LinkSlot {
             link: Mutex::new(link),
             breaker,
             counters: LinkCounters::default(),
+            wire_format: AtomicU8::new(format_to_u8(wire_format)),
             local: ShipGauge::default(),
             global,
         }
@@ -90,6 +112,16 @@ impl LinkSlot {
     /// The pair label, `source→target`.
     pub fn pair(&self) -> String {
         format!("{}→{}", self.source, self.target)
+    }
+
+    /// The wire format currently negotiated for this pair.
+    pub fn wire_format(&self) -> WireFormat {
+        format_from_u8(self.wire_format.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn set_wire_format(&self, format: WireFormat) {
+        self.wire_format
+            .store(format_to_u8(format), Ordering::Relaxed);
     }
 
     /// Marks a shipment window open on this link (and registry-wide).
@@ -109,7 +141,10 @@ impl LinkSlot {
         LinkStats {
             source: self.source.clone(),
             target: self.target.clone(),
+            wire_format: self.wire_format(),
             wire_bytes: self.counters.wire_bytes.load(Ordering::Relaxed),
+            bytes_encoded: self.counters.bytes_encoded.load(Ordering::Relaxed),
+            encode_ns: self.counters.encode_ns.load(Ordering::Relaxed),
             chunks_shipped: self.counters.chunks_shipped.load(Ordering::Relaxed),
             chunks_retried: self.counters.chunks_retried.load(Ordering::Relaxed),
             sessions_completed: self.counters.sessions_completed.load(Ordering::Relaxed),
@@ -128,8 +163,15 @@ pub struct LinkStats {
     pub source: String,
     /// Target endpoint of the pair.
     pub target: String,
+    /// The wire format negotiated for this pair at snapshot time.
+    pub wire_format: WireFormat,
     /// Wire bytes transmitted over this link, including failed attempts.
     pub wire_bytes: u64,
+    /// Encoded message bytes produced for this link (logical payload,
+    /// before chunk framing; checkpoint replays encode nothing).
+    pub bytes_encoded: u64,
+    /// Wall nanoseconds spent encoding messages for this link.
+    pub encode_ns: u64,
     /// Chunks delivered intact over this link.
     pub chunks_shipped: u64,
     /// Chunk transmissions retried on this link.
@@ -162,6 +204,13 @@ pub struct LinkRegistry {
     pacing: f64,
     breaker_threshold: u32,
     breaker_cooldown: Duration,
+    /// Wire format endpoints prefer unless overridden in
+    /// `endpoint_formats`.
+    default_format: WireFormat,
+    /// Per-endpoint preferred wire formats. A pair's link ships columnar
+    /// only when *both* its endpoints prefer columnar; any disagreement
+    /// falls back to XML text, the format every endpoint speaks.
+    endpoint_formats: Mutex<HashMap<String, WireFormat>>,
     links: Mutex<HashMap<(String, String), Arc<LinkSlot>>>,
     global: Arc<ShipGauge>,
 }
@@ -175,6 +224,7 @@ impl LinkRegistry {
         pacing: f64,
         breaker_threshold: u32,
         breaker_cooldown: Duration,
+        default_format: WireFormat,
     ) -> LinkRegistry {
         LinkRegistry {
             network,
@@ -182,8 +232,49 @@ impl LinkRegistry {
             pacing,
             breaker_threshold,
             breaker_cooldown,
+            default_format,
+            endpoint_formats: Mutex::new(HashMap::new()),
             links: Mutex::new(HashMap::new()),
             global: Arc::new(ShipGauge::default()),
+        }
+    }
+
+    /// The wire format `endpoint` prefers (the registry default unless
+    /// declared otherwise).
+    pub fn endpoint_format(&self, endpoint: &str) -> WireFormat {
+        self.endpoint_formats
+            .lock()
+            .unwrap()
+            .get(endpoint)
+            .copied()
+            .unwrap_or(self.default_format)
+    }
+
+    /// The format a `(source, target)` pair negotiates: columnar only
+    /// when both endpoints prefer it, XML text otherwise.
+    pub fn negotiated_format(&self, source: &str, target: &str) -> WireFormat {
+        if self.endpoint_format(source) == WireFormat::Columnar
+            && self.endpoint_format(target) == WireFormat::Columnar
+        {
+            WireFormat::Columnar
+        } else {
+            WireFormat::Xml
+        }
+    }
+
+    /// Declares `endpoint`'s preferred wire format and re-negotiates
+    /// every live link touching it. In-flight shipments finish in the
+    /// format they started with (receivers sniff each frame, so mixed
+    /// traffic is safe); subsequent shipments use the new negotiation.
+    pub fn set_endpoint_format(&self, endpoint: &str, format: WireFormat) {
+        self.endpoint_formats
+            .lock()
+            .unwrap()
+            .insert(endpoint.to_string(), format);
+        for ((source, target), slot) in self.links.lock().unwrap().iter() {
+            if source == endpoint || target == endpoint {
+                slot.set_wire_format(self.negotiated_format(source, target));
+            }
         }
     }
 
@@ -206,6 +297,7 @@ impl LinkRegistry {
             target,
             link,
             CircuitBreaker::new(self.breaker_threshold, self.breaker_cooldown),
+            self.negotiated_format(source, target),
             Arc::clone(&self.global),
         ));
         links.insert((source.to_string(), target.to_string()), Arc::clone(&slot));
@@ -279,7 +371,55 @@ mod tests {
             0.0,
             4,
             Duration::from_millis(50),
+            WireFormat::Xml,
         )
+    }
+
+    #[test]
+    fn formats_negotiate_columnar_only_when_both_endpoints_agree() {
+        let reg = registry();
+        let (slot, _) = reg.resolve("s", "t");
+        assert_eq!(slot.wire_format(), WireFormat::Xml);
+
+        // One side upgrading is not enough: the pair stays on the
+        // universal fallback.
+        reg.set_endpoint_format("s", WireFormat::Columnar);
+        assert_eq!(slot.wire_format(), WireFormat::Xml);
+        assert_eq!(reg.negotiated_format("s", "t"), WireFormat::Xml);
+
+        // Both sides agreeing re-negotiates the live link in place.
+        reg.set_endpoint_format("t", WireFormat::Columnar);
+        assert_eq!(slot.wire_format(), WireFormat::Columnar);
+
+        // A link created after the declarations negotiates at creation;
+        // pairs with an undeclared side stay on XML.
+        let (both, _) = reg.resolve("t", "s");
+        assert_eq!(both.wire_format(), WireFormat::Columnar);
+        let (mixed, _) = reg.resolve("s", "elsewhere");
+        assert_eq!(mixed.wire_format(), WireFormat::Xml);
+
+        // Downgrading one endpoint drops its pairs back to XML.
+        reg.set_endpoint_format("t", WireFormat::Xml);
+        assert_eq!(slot.wire_format(), WireFormat::Xml);
+        assert_eq!(both.wire_format(), WireFormat::Xml);
+    }
+
+    #[test]
+    fn columnar_default_negotiates_columnar_everywhere() {
+        let reg = LinkRegistry::new(
+            NetworkProfile::lan(),
+            FaultProfile::healthy(),
+            0.0,
+            4,
+            Duration::from_millis(50),
+            WireFormat::Columnar,
+        );
+        let (slot, _) = reg.resolve("a", "b");
+        assert_eq!(slot.wire_format(), WireFormat::Columnar);
+        assert_eq!(slot.stats().wire_format, WireFormat::Columnar);
+        // A legacy endpoint declaring XML pulls its pairs off columnar.
+        reg.set_endpoint_format("b", WireFormat::Xml);
+        assert_eq!(slot.wire_format(), WireFormat::Xml);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xdx_core::exec::execute_with_transport;
-use xdx_core::{DataExchange, Optimizer};
+use xdx_core::{DataExchange, Optimizer, WireFormat};
 use xdx_net::{FaultProfile, NetworkProfile};
 use xdx_relational::Database;
 use xdx_xml::SchemaTree;
@@ -59,6 +59,11 @@ pub struct RuntimeConfig {
     pub optimizer: Optimizer,
     /// Communication weight of the cost model.
     pub w_comm: f64,
+    /// Wire format every endpoint prefers by default. A pair ships
+    /// columnar only when both its endpoints prefer it (override one
+    /// endpoint with [`Runtime::set_endpoint_format`]); XML text is the
+    /// universal fallback.
+    pub wire_format: WireFormat,
     /// Age at which cached plans expire (None = never); expired and
     /// stats-drifted entries are re-planned, so a long-lived runtime
     /// never serves a program optimized for data that no longer exists.
@@ -82,6 +87,7 @@ impl Default for RuntimeConfig {
             shipping: ShippingPolicy::default(),
             optimizer: Optimizer::Greedy,
             w_comm: 0.05,
+            wire_format: WireFormat::Xml,
             plan_ttl: None,
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_secs(5),
@@ -129,6 +135,12 @@ impl RuntimeConfig {
     /// Sets the optimizer.
     pub fn with_optimizer(mut self, optimizer: Optimizer) -> RuntimeConfig {
         self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the default endpoint wire-format preference.
+    pub fn with_wire_format(mut self, format: WireFormat) -> RuntimeConfig {
+        self.wire_format = format;
         self
     }
 
@@ -224,6 +236,12 @@ pub struct RuntimeStats {
     pub messages_serialized: u64,
     /// Wire bytes transmitted, including failed attempts.
     pub bytes_shipped: u64,
+    /// Encoded message bytes produced across all sessions (logical
+    /// payload before chunk framing; checkpoint replays encode nothing,
+    /// so resumed sessions add zero here).
+    pub bytes_encoded: u64,
+    /// Wall nanoseconds spent encoding cross-edge messages.
+    pub encode_ns: u64,
     /// Chunks delivered intact.
     pub chunks_shipped: u64,
     /// Chunks resumed sessions found checkpointed and did not re-ship.
@@ -320,6 +338,8 @@ struct Aggregate {
     planning_probes: u64,
     messages_serialized: u64,
     bytes_shipped: u64,
+    bytes_encoded: u64,
+    encode_ns: u64,
     chunks_shipped: u64,
     chunks_resumed: u64,
     chunks_deduped: u64,
@@ -370,6 +390,7 @@ impl Runtime {
                 config.link_pacing,
                 config.breaker_threshold,
                 config.breaker_cooldown,
+                config.wire_format,
             ),
             queue: Mutex::new(QueueState {
                 heap: BinaryHeap::new(),
@@ -489,6 +510,16 @@ impl Runtime {
         self.inner
             .registry
             .set_fault_profile(source, target, profile);
+    }
+
+    /// Declares one endpoint's preferred wire format and re-negotiates
+    /// every live link touching it: a pair ships columnar only when both
+    /// its endpoints prefer columnar, and falls back to XML text — the
+    /// format every endpoint speaks — on any disagreement. In-flight
+    /// shipments finish in their starting format (receivers sniff each
+    /// frame); sessions planned afterwards use the new negotiation.
+    pub fn set_endpoint_format(&self, endpoint: &str, format: WireFormat) {
+        self.inner.registry.set_endpoint_format(endpoint, format);
     }
 
     /// A snapshot of the aggregate statistics so far, including the
@@ -615,6 +646,8 @@ impl Inner {
             planning_probes: agg.planning_probes,
             messages_serialized: agg.messages_serialized,
             bytes_shipped: agg.bytes_shipped,
+            bytes_encoded: agg.bytes_encoded,
+            encode_ns: agg.encode_ns,
             chunks_shipped: agg.chunks_shipped,
             chunks_resumed: agg.chunks_resumed,
             chunks_deduped: agg.chunks_deduped,
@@ -634,9 +667,21 @@ impl Inner {
             shared,
             ..
         } = job;
+        // Resolve the route's link up front: its negotiated wire format
+        // feeds the cost model (and the plan-cache key), so placement
+        // decisions see the bytes the link will actually carry.
+        let (slot, created) = self
+            .registry
+            .resolve(&request.source_endpoint, &request.target_endpoint);
+        if created {
+            self.events
+                .push(shared.id, EventKind::LinkCreated, slot.pair());
+        }
+        let wire_format = request.wire_format.unwrap_or_else(|| slot.wire_format());
         let mut metrics = SessionMetrics {
             queue_wait: enqueued.elapsed(),
             route: format!("{}→{}", request.source_endpoint, request.target_endpoint),
+            wire_format,
             ..SessionMetrics::default()
         };
         if shared.is_cancelled() {
@@ -694,7 +739,8 @@ impl Inner {
                 request.target_frag.clone(),
             )
             .with_optimizer(optimizer)
-            .with_profiles(request.source_profile, request.target_profile);
+            .with_profiles(request.source_profile, request.target_profile)
+            .with_wire_format(wire_format);
             exchange.w_comm = self.config.w_comm;
             metrics.planning_probes += 1;
             let model = match exchange.probe(&request.source) {
@@ -794,20 +840,14 @@ impl Inner {
             EventKind::ExecutionStarted,
             format!("estimated cost {:.1} via {}", plan.cost, metrics.route),
         );
-        let (slot, created) = self
-            .registry
-            .resolve(&request.source_endpoint, &request.target_endpoint);
-        if created {
-            self.events
-                .push(shared.id, EventKind::LinkCreated, slot.pair());
-        }
         let mut target = Database::new(format!("{}-target", shared.name));
-        let mut shipper = FaultTolerantShipper::new(
+        let mut shipper = FaultTolerantShipper::with_wire_format(
             Arc::clone(&slot),
             self.config.shipping,
             &shared,
             &self.events,
             &self.ledger,
+            wire_format,
         );
         let outcome = execute_with_transport(
             &self.schema,
@@ -827,6 +867,8 @@ impl Inner {
         metrics.retry_backoff = ship.retry_backoff;
         metrics.messages_serialized = ship.messages_serialized as usize;
         metrics.bytes_shipped = ship.wire_bytes;
+        metrics.bytes_encoded = ship.bytes_encoded;
+        metrics.encode_ns = ship.encode_ns;
         metrics.chunks_shipped = ship.chunks_shipped;
         metrics.chunks_resumed = ship.chunks_resumed;
         metrics.chunks_deduped = ship.chunks_deduped;
@@ -931,6 +973,8 @@ impl Inner {
             agg.planning_probes += metrics.planning_probes as u64;
             agg.messages_serialized += metrics.messages_serialized as u64;
             agg.bytes_shipped += metrics.bytes_shipped;
+            agg.bytes_encoded += metrics.bytes_encoded;
+            agg.encode_ns += metrics.encode_ns;
             agg.chunks_shipped += metrics.chunks_shipped;
             agg.chunks_resumed += metrics.chunks_resumed;
             agg.chunks_deduped += metrics.chunks_deduped;

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use xdx_core::{Fragmentation, Optimizer, SystemProfile};
+use xdx_core::{Fragmentation, Optimizer, SystemProfile, WireFormat};
 use xdx_relational::{Counters, Database};
 
 /// Default source endpoint of a request's route.
@@ -111,6 +111,9 @@ pub struct ExchangeRequest {
     /// Per-session optimizer override; `None` plans with the runtime's
     /// configured default.
     pub optimizer: Option<Optimizer>,
+    /// Per-session wire-format override; `None` ships in the format the
+    /// route's endpoints negotiated.
+    pub wire_format: Option<WireFormat>,
 }
 
 impl ExchangeRequest {
@@ -133,6 +136,7 @@ impl ExchangeRequest {
             source_endpoint: DEFAULT_SOURCE_ENDPOINT.into(),
             target_endpoint: DEFAULT_TARGET_ENDPOINT.into(),
             optimizer: None,
+            wire_format: None,
         }
     }
 
@@ -152,6 +156,14 @@ impl ExchangeRequest {
     /// Overrides the optimizer for this session alone.
     pub fn with_optimizer(mut self, optimizer: Optimizer) -> ExchangeRequest {
         self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// Overrides the wire format for this session alone, bypassing the
+    /// route's negotiation (receivers sniff each frame, so a one-off
+    /// format is always safe to ship).
+    pub fn with_wire_format(mut self, format: WireFormat) -> ExchangeRequest {
+        self.wire_format = Some(format);
         self
     }
 
@@ -198,6 +210,14 @@ pub struct SessionMetrics {
     /// The `(source, target)` route the session shipped over, as
     /// `source→target`.
     pub route: String,
+    /// The wire format this session's cross-edge messages were encoded
+    /// in (negotiated by the route, or the request's override).
+    pub wire_format: WireFormat,
+    /// Encoded message bytes produced in this run (logical payload
+    /// before chunk framing; a fully checkpointed resume reports 0).
+    pub bytes_encoded: u64,
+    /// Wall nanoseconds spent encoding messages in this run.
+    pub encode_ns: u64,
     /// Simulated link time, including timeout waits and retry backoff.
     pub communication: Duration,
     /// Simulated backoff waits alone (subset of `communication`).

@@ -35,7 +35,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 use xdx_core::error::{Error, Result};
-use xdx_core::Transport;
+use xdx_core::{Transport, WireFormat};
 use xdx_net::{frame_chunk_into, ChunkFrame, Delivery};
 
 /// Retry/chunking policy of the shipping layer.
@@ -87,6 +87,12 @@ pub(crate) struct ShipStats {
     pub chunks_retried: u64,
     pub retry_backoff: Duration,
     pub wire_bytes: u64,
+    /// Encoded message bytes this session produced (logical payload
+    /// before chunk framing; checkpoint replays encode nothing).
+    pub bytes_encoded: u64,
+    /// Wall nanoseconds the executor spent encoding this session's
+    /// messages.
+    pub encode_ns: u64,
     /// Shipments whose message the executor had to serialize because no
     /// checkpointed copy existed ([`Transport::checkpointed_message`]
     /// misses). Tallied here — not in the executor's outcome — so the
@@ -113,6 +119,13 @@ pub(crate) struct FaultTolerantShipper<'a> {
     session: &'a SessionShared,
     events: &'a EventLog,
     ledger: &'a ReassemblyLedger,
+    /// The wire format this session encodes cross-edge messages in:
+    /// the link's negotiated format, or the request's override.
+    wire_format: WireFormat,
+    /// The link's real-time pacing scale, cached at construction so
+    /// retry backoff can sleep *outside* the link lock — a backing-off
+    /// session must not hold the pair's link while it waits.
+    pacing: f64,
     budget_left: u32,
     /// Reused across every chunk of every shipment — the encoded frame.
     frame_buf: Vec<u8>,
@@ -122,6 +135,9 @@ pub(crate) struct FaultTolerantShipper<'a> {
 }
 
 impl<'a> FaultTolerantShipper<'a> {
+    /// Only used by tests; the runtime always passes the session's
+    /// resolved format explicitly.
+    #[cfg(test)]
     pub(crate) fn new(
         slot: Arc<LinkSlot>,
         policy: ShippingPolicy,
@@ -129,12 +145,27 @@ impl<'a> FaultTolerantShipper<'a> {
         events: &'a EventLog,
         ledger: &'a ReassemblyLedger,
     ) -> FaultTolerantShipper<'a> {
+        let wire_format = slot.wire_format();
+        FaultTolerantShipper::with_wire_format(slot, policy, session, events, ledger, wire_format)
+    }
+
+    pub(crate) fn with_wire_format(
+        slot: Arc<LinkSlot>,
+        policy: ShippingPolicy,
+        session: &'a SessionShared,
+        events: &'a EventLog,
+        ledger: &'a ReassemblyLedger,
+        wire_format: WireFormat,
+    ) -> FaultTolerantShipper<'a> {
+        let pacing = slot.link.lock().unwrap().pacing();
         FaultTolerantShipper {
             slot,
             policy,
             session,
             events,
             ledger,
+            wire_format,
+            pacing,
             budget_left: policy.retry_budget,
             frame_buf: Vec::new(),
             label_buf: String::new(),
@@ -246,6 +277,14 @@ impl<'a> FaultTolerantShipper<'a> {
             let backoff = self.policy.backoff(failed_attempts);
             self.stats.retry_backoff += backoff;
             elapsed += backoff;
+            // A paced link makes simulated time observable on the wall
+            // clock; backoff must obey the same clock or retries ship
+            // faster than the link they are backing off from. Slept
+            // here, outside the link lock, so other sessions sharing
+            // the pair keep transmitting while this one waits.
+            if self.pacing > 0.0 {
+                std::thread::sleep(backoff.mul_f64(self.pacing));
+            }
             self.events.push(
                 session_id,
                 EventKind::ChunkRetried,
@@ -339,6 +378,23 @@ impl Transport for FaultTolerantShipper<'_> {
         }
         stored
     }
+
+    fn wire_format(&self) -> WireFormat {
+        self.wire_format
+    }
+
+    fn record_encode(&mut self, bytes: u64, ns: u64) {
+        self.stats.bytes_encoded += bytes;
+        self.stats.encode_ns += ns;
+        self.slot
+            .counters
+            .bytes_encoded
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.slot
+            .counters
+            .encode_ns
+            .fetch_add(ns, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +414,7 @@ mod tests {
             "target",
             link,
             CircuitBreaker::new(8, Duration::from_millis(50)),
+            WireFormat::Xml,
             Arc::new(ShipGauge::default()),
         ))
     }

@@ -18,6 +18,7 @@ use xdx_net::{BurstLoss, FaultProfile, Link, NetworkProfile};
 use xdx_relational::Database;
 use xdx_runtime::{
     EventKind, ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy, SubmitError,
+    WireFormat,
 };
 use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
 
@@ -118,9 +119,13 @@ fn chaos_seeds() -> Vec<u64> {
     seeds
 }
 
-/// The matrix: every adversarial profile × every seed, two concurrent
-/// sessions each, and every surviving target byte-identical to the
-/// healthy baseline.
+/// The matrix: every adversarial profile × every seed × both wire
+/// formats, two concurrent sessions each, and every surviving target
+/// byte-identical to the healthy baseline. Running the full matrix under
+/// the columnar codec too proves the recovery layer is format-blind:
+/// loss, reordering, duplication and corruption are survived (or
+/// detected and retried) identically whether the payload is XML text or
+/// binary columnar frames.
 #[test]
 fn every_adversarial_profile_yields_byte_identical_state_across_seeds() {
     let schema = schema();
@@ -129,59 +134,69 @@ fn every_adversarial_profile_yields_byte_identical_state_across_seeds() {
     let mf = mf(&schema);
     let lf = lf(&schema);
 
-    let mut total_retried = 0;
-    let mut total_deduped = 0;
-    for seed in chaos_seeds() {
-        for (name, profile) in adversarial_profiles(seed) {
-            let runtime = Runtime::start(
-                schema.clone(),
-                RuntimeConfig::default()
-                    .with_workers(2)
-                    .with_fault_profile(profile)
-                    .with_shipping(ShippingPolicy {
-                        chunk_bytes: 2 * 1024,
-                        backoff_base: Duration::from_millis(1),
-                        ..ShippingPolicy::default()
-                    }),
-            );
-            let handles: Vec<_> = (0..2)
-                .map(|i| {
-                    let source = load_source(&doc, &schema, &mf).unwrap();
-                    runtime
-                        .submit(ExchangeRequest::new(
-                            format!("{name}-{seed:x}-{i}"),
-                            source,
-                            mf.clone(),
-                            lf.clone(),
-                        ))
-                        .unwrap()
-                })
-                .collect();
-            for handle in handles {
-                let session = handle.name().to_string();
-                let result = handle.wait();
-                assert_eq!(
-                    result.state,
-                    SessionState::Done,
-                    "{session}: {:?}",
-                    result.diagnostic
+    for format in [WireFormat::Xml, WireFormat::Columnar] {
+        let mut total_retried = 0;
+        let mut total_deduped = 0;
+        for seed in chaos_seeds() {
+            for (name, profile) in adversarial_profiles(seed) {
+                let runtime = Runtime::start(
+                    schema.clone(),
+                    RuntimeConfig::default()
+                        .with_workers(2)
+                        .with_wire_format(format)
+                        .with_fault_profile(profile)
+                        .with_shipping(ShippingPolicy {
+                            chunk_bytes: 2 * 1024,
+                            backoff_base: Duration::from_millis(1),
+                            ..ShippingPolicy::default()
+                        }),
                 );
-                let target = result.target.expect("done sessions carry their target");
-                assert_eq!(
-                    wire_state(&target),
-                    reference,
-                    "{session}: target state diverged from the healthy baseline"
-                );
+                let handles: Vec<_> = (0..2)
+                    .map(|i| {
+                        let source = load_source(&doc, &schema, &mf).unwrap();
+                        runtime
+                            .submit(ExchangeRequest::new(
+                                format!("{name}-{seed:x}-{format}-{i}"),
+                                source,
+                                mf.clone(),
+                                lf.clone(),
+                            ))
+                            .unwrap()
+                    })
+                    .collect();
+                for handle in handles {
+                    let session = handle.name().to_string();
+                    let result = handle.wait();
+                    assert_eq!(
+                        result.state,
+                        SessionState::Done,
+                        "{session}: {:?}",
+                        result.diagnostic
+                    );
+                    assert_eq!(result.metrics.wire_format, format, "{session}");
+                    let target = result.target.expect("done sessions carry their target");
+                    assert_eq!(
+                        wire_state(&target),
+                        reference,
+                        "{session}: target state diverged from the healthy baseline"
+                    );
+                }
+                let stats = runtime.shutdown();
+                assert_eq!(stats.completed, 2, "{name}/{seed:x}/{format}");
+                total_retried += stats.chunks_retried;
+                total_deduped += stats.chunks_deduped;
             }
-            let stats = runtime.shutdown();
-            assert_eq!(stats.completed, 2, "{name}/{seed:x}");
-            total_retried += stats.chunks_retried;
-            total_deduped += stats.chunks_deduped;
         }
+        // The matrix genuinely exercised the failure modes in this format.
+        assert!(
+            total_retried > 0,
+            "{format}: no profile ever forced a retry"
+        );
+        assert!(
+            total_deduped > 0,
+            "{format}: no duplicate delivery was ever dropped"
+        );
     }
-    // The matrix genuinely exercised the failure modes.
-    assert!(total_retried > 0, "no profile ever forced a retry");
-    assert!(total_deduped > 0, "no duplicate delivery was ever dropped");
 }
 
 /// A session dies on a dead link, the link is repaired, and `resume`
@@ -295,6 +310,20 @@ fn resume_reships_only_unacknowledged_chunks() {
     assert!(
         result.metrics.messages_serialized < baseline.metrics.messages_serialized,
         "resume replayed no checkpointed message"
+    );
+    // Zero re-encodes: the ledger checkpoints the *encoded* message
+    // bytes, so resume ships them verbatim — the encode counters tick
+    // only for shipments the failed run never assembled, and across
+    // failure + resume every message pays its encode cost exactly once.
+    assert!(failed.metrics.bytes_encoded > 0);
+    assert_eq!(
+        failed.metrics.bytes_encoded + result.metrics.bytes_encoded,
+        baseline.metrics.bytes_encoded,
+        "a checkpointed message was re-encoded on resume"
+    );
+    assert!(
+        result.metrics.bytes_encoded < baseline.metrics.bytes_encoded,
+        "resume re-encoded every message instead of replaying the ledger"
     );
     // And the data is exactly right.
     assert_eq!(wire_state(&result.target.unwrap()), reference);
@@ -554,5 +583,112 @@ fn heterogeneous_multi_pair_fleet_is_byte_identical_per_pair() {
     assert!(
         peak_shipments >= 2,
         "4 workers over disjoint pairs never shipped concurrently (peak {peak_shipments})"
+    );
+}
+
+/// Format negotiation under chaos: one source ships to a columnar-capable
+/// target and to a legacy XML-only target over equally hostile links. The
+/// agreeing pair negotiates columnar frames; the disagreeing pair falls
+/// back to XML text (a pair ships columnar only when BOTH endpoints
+/// prefer it). Whatever each pair speaks, the recovery layer must deliver
+/// byte-identical target tables — and the columnar pair must have paid
+/// fewer encoded bytes for the identical workload.
+#[test]
+fn mixed_format_fleet_falls_back_per_pair_and_stays_byte_identical() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let reference = wire_state(&reference_target(&doc));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(4)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 2 * 1024,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    // The source and one target upgraded to columnar; the legacy target
+    // never did, so its pair must stay on XML text despite the source's
+    // preference.
+    runtime.set_endpoint_format("modern-src", WireFormat::Columnar);
+    runtime.set_endpoint_format("modern-dst", WireFormat::Columnar);
+    runtime.set_endpoint_format("legacy-dst", WireFormat::Xml);
+    let chaos = FaultProfile {
+        drop_probability: 0.05,
+        corrupt_probability: 0.10,
+        corrupt_burst: 8,
+        seed: 0x1CDE_2004,
+        ..FaultProfile::healthy()
+    };
+    runtime.set_link_fault_profile("modern-src", "modern-dst", chaos);
+    runtime.set_link_fault_profile("modern-src", "legacy-dst", chaos);
+
+    let mut handles = Vec::new();
+    for target in ["modern-dst", "legacy-dst"] {
+        for i in 0..2 {
+            let source = load_source(&doc, &schema, &mf).unwrap();
+            handles.push(
+                runtime
+                    .submit(
+                        ExchangeRequest::new(
+                            format!("{target}-{i}"),
+                            source,
+                            mf.clone(),
+                            lf.clone(),
+                        )
+                        .with_route("modern-src", target),
+                    )
+                    .unwrap(),
+            );
+        }
+    }
+    for handle in handles {
+        let session = handle.name().to_string();
+        let result = handle.wait();
+        assert_eq!(
+            result.state,
+            SessionState::Done,
+            "{session}: {:?}",
+            result.diagnostic
+        );
+        let expected = if session.starts_with("modern-dst") {
+            WireFormat::Columnar
+        } else {
+            WireFormat::Xml
+        };
+        assert_eq!(result.metrics.wire_format, expected, "{session}");
+        assert_eq!(
+            wire_state(&result.target.unwrap()),
+            reference,
+            "{session}: target diverged from the healthy baseline"
+        );
+    }
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 4);
+    let columnar = stats
+        .links
+        .iter()
+        .find(|l| l.target == "modern-dst")
+        .expect("columnar pair tracked");
+    let legacy = stats
+        .links
+        .iter()
+        .find(|l| l.target == "legacy-dst")
+        .expect("legacy pair tracked");
+    assert_eq!(columnar.wire_format, WireFormat::Columnar);
+    assert_eq!(legacy.wire_format, WireFormat::Xml);
+    assert!(columnar.bytes_encoded > 0 && legacy.bytes_encoded > 0);
+    // Identical workload, negotiated formats: the columnar pair's
+    // encoded payload must be strictly smaller than the XML pair's.
+    assert!(
+        columnar.bytes_encoded < legacy.bytes_encoded,
+        "columnar pair encoded {} bytes vs XML pair's {}",
+        columnar.bytes_encoded,
+        legacy.bytes_encoded
     );
 }
