@@ -2,10 +2,14 @@
 //! `xdx-runtime` worker pool, swept over worker counts and wire formats.
 //!
 //! Reports, per wire format and worker count: completed sessions/sec,
-//! p50/p99 submit→done latency, plan-cache hit rate, retry overhead on a
-//! lossy link, wire bytes and encode time — and writes the
-//! machine-readable sweep to `BENCH_PR4.json` for CI to gate on (worker
-//! scaling, and columnar wire bytes vs XML text). Usage:
+//! p50/p95/p99 submit→done latency (straight from the runtime's shared
+//! HDR histogram — the bench keeps no latency vector of its own),
+//! plan-cache hit rate, retry overhead on a lossy link, wire bytes and
+//! encode time. Each format additionally gets a tracing-off control run
+//! at 4 workers (the telemetry overhead gate) and the runtime's
+//! cost-model calibration report. The machine-readable sweep lands in
+//! `BENCH_PR5.json` for CI to gate on (worker scaling, columnar wire
+//! bytes vs XML text, and tracing overhead). Usage:
 //!
 //! ```text
 //! throughput [sessions] [doc_bytes] [drop_probability] [shapes] [optimizer] [pairs] [format]
@@ -28,7 +32,8 @@ use std::time::{Duration, Instant};
 use xdx_core::Optimizer;
 use xdx_net::{FaultProfile, NetworkProfile};
 use xdx_runtime::{
-    ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy, WireFormat,
+    CalibrationReport, ExchangeRequest, Runtime, RuntimeConfig, RuntimeStats, SessionState,
+    ShippingPolicy, WireFormat,
 };
 use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
 
@@ -46,12 +51,13 @@ fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str
     }
 }
 
-/// One worker-count sweep's numbers, destined for `BENCH_PR4.json`.
+/// One worker-count sweep's numbers, destined for `BENCH_PR5.json`.
 struct Sweep {
     workers: usize,
     sessions_per_sec: f64,
     p50_ms: f64,
     p95_ms: f64,
+    p99_ms: f64,
     wire_bytes: u64,
     bytes_encoded: u64,
     encode_ns: u64,
@@ -62,10 +68,28 @@ struct Sweep {
     links: Vec<(String, u64, u64, u64, u64, f64)>,
 }
 
-/// All worker sweeps for one fleet-wide wire format.
+/// All worker sweeps for one fleet-wide wire format, plus the tracing
+/// overhead control and the calibration report from the traced fleet.
 struct FormatReport {
     format: WireFormat,
     sweeps: Vec<Sweep>,
+    traced_sessions_per_sec: f64,
+    untraced_sessions_per_sec: f64,
+    calibration: CalibrationReport,
+}
+
+impl FormatReport {
+    /// Throughput lost to telemetry at 4 workers, in percent of the
+    /// tracing-off rate. Negative values mean the traced run was (by
+    /// noise) faster.
+    fn tracing_overhead_pct(&self) -> f64 {
+        if self.untraced_sessions_per_sec <= 0.0 {
+            return 0.0;
+        }
+        (self.untraced_sessions_per_sec - self.traced_sessions_per_sec)
+            / self.untraced_sessions_per_sec
+            * 100.0
+    }
 }
 
 fn json_report(
@@ -100,6 +124,7 @@ fn json_report(
             );
             let _ = writeln!(out, "          \"p50_ms\": {:.3},", s.p50_ms);
             let _ = writeln!(out, "          \"p95_ms\": {:.3},", s.p95_ms);
+            let _ = writeln!(out, "          \"p99_ms\": {:.3},", s.p99_ms);
             let _ = writeln!(out, "          \"wire_bytes\": {},", s.wire_bytes);
             let _ = writeln!(out, "          \"bytes_encoded\": {},", s.bytes_encoded);
             let _ = writeln!(out, "          \"encode_ns\": {},", s.encode_ns);
@@ -125,7 +150,30 @@ fn json_report(
                 "        }\n"
             });
         }
-        out.push_str("      ]\n");
+        out.push_str("      ],\n");
+        out.push_str("      \"tracing_overhead\": {\n");
+        let _ = writeln!(out, "        \"workers\": 4,");
+        let _ = writeln!(
+            out,
+            "        \"traced_sessions_per_sec\": {:.3},",
+            report.traced_sessions_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "        \"untraced_sessions_per_sec\": {:.3},",
+            report.untraced_sessions_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "        \"overhead_pct\": {:.3}",
+            report.tracing_overhead_pct()
+        );
+        out.push_str("      },\n");
+        let _ = writeln!(
+            out,
+            "      \"calibration\": {}",
+            report.calibration.to_json()
+        );
         out.push_str(if fi + 1 < formats.len() {
             "    },\n"
         } else {
@@ -134,6 +182,15 @@ fn json_report(
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Everything one fleet run produces: aggregate stats, the measured
+/// wall clock, and the runtime's predicted-vs-observed calibration
+/// report.
+struct FleetRun {
+    stats: RuntimeStats,
+    wall: Duration,
+    calibration: CalibrationReport,
 }
 
 fn main() {
@@ -205,28 +262,12 @@ fn main() {
 
     let mut reports = Vec::new();
     for &format in &formats {
-        println!("## wire format: {format}");
-        println!(
-            "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7} | {:>9} | {:>9} | {:>8}",
-            "workers",
-            "sessions/s",
-            "p50 ms",
-            "p99 ms",
-            "cache hit",
-            "retries",
-            "peak ship",
-            "wire KB",
-            "enc ms"
-        );
-        println!("{}", "-".repeat(104));
-
-        let mut sweeps = Vec::new();
-        for workers in [1, 2, 4, 8] {
-            // Sources are loaded outside the measured window: the
-            // runtime's job is scheduling, planning and shipping, not
-            // shredding. In mixed mode the odd legs run the reverse
-            // LF→MF direction, and legs are spread round-robin over the
-            // endpoint pairs.
+        // Run one fleet to completion. Sources are loaded outside the
+        // measured window: the runtime's job is scheduling, planning
+        // and shipping, not shredding. In mixed mode the odd legs run
+        // the reverse LF→MF direction, and legs are spread round-robin
+        // over the endpoint pairs.
+        let run_fleet = |workers: usize, tracing: bool| -> FleetRun {
             let legs: Vec<_> = (0..sessions)
                 .map(|i| {
                     let (from, to) = if mixed && i % 2 == 1 {
@@ -239,15 +280,16 @@ fn main() {
                 })
                 .collect();
             // A paced metro-area link: transmissions block for their
-            // simulated duration, so shipping dominates and the clock can
-            // see whether disjoint pairs genuinely overlap. One shared
-            // pair serializes every shipment; `pairs` disjoint pairs
-            // overlap up to `min(workers, pairs)` ways.
+            // simulated duration, so shipping dominates and the clock
+            // can see whether disjoint pairs genuinely overlap. One
+            // shared pair serializes every shipment; `pairs` disjoint
+            // pairs overlap up to `min(workers, pairs)` ways.
             let config = RuntimeConfig::default()
                 .with_workers(workers)
                 .with_max_queue_depth(sessions)
                 .with_optimizer(optimizer)
                 .with_wire_format(format)
+                .with_tracing(tracing)
                 .with_network(NetworkProfile {
                     bandwidth_bytes_per_sec: 1_000_000.0,
                     latency: Duration::from_micros(500),
@@ -283,6 +325,7 @@ fn main() {
                 }
             }
             let wall = started.elapsed();
+            let calibration = runtime.calibration_report();
             let stats = runtime.shutdown();
             if failed > 0 {
                 eprintln!(
@@ -291,7 +334,38 @@ fn main() {
                     first_diagnostic.as_deref().unwrap_or("no diagnostic")
                 );
             }
+            FleetRun {
+                stats,
+                wall,
+                calibration,
+            }
+        };
 
+        println!("## wire format: {format}");
+        println!(
+            "{:>7} | {:>12} | {:>10} | {:>10} | {:>9} | {:>7} | {:>9} | {:>9} | {:>8}",
+            "workers",
+            "sessions/s",
+            "p50 ms",
+            "p99 ms",
+            "cache hit",
+            "retries",
+            "peak ship",
+            "wire KB",
+            "enc ms"
+        );
+        println!("{}", "-".repeat(104));
+
+        let mut sweeps = Vec::new();
+        let mut traced_4w = 0.0;
+        let mut calibration = CalibrationReport::default();
+        for workers in [1, 2, 4, 8] {
+            let run = run_fleet(workers, true);
+            let stats = &run.stats;
+
+            // Latency percentiles come straight from the runtime's
+            // shared HDR histogram — the bench no longer keeps (or
+            // sorts) a latency vector of its own.
             let p50 = stats.latency_percentile(50.0).unwrap_or_default();
             let p95 = stats.latency_percentile(95.0).unwrap_or_default();
             let p99 = stats.latency_percentile(99.0).unwrap_or_default();
@@ -300,7 +374,7 @@ fn main() {
             println!(
                 "{:>7} | {:>12.1} | {:>10.2} | {:>10.2} | {:>8.0}% | {:>7} | {:>9} | {:>9} | {:>8.2}",
                 workers,
-                stats.sessions_per_sec(wall),
+                stats.sessions_per_sec(run.wall),
                 p50.as_secs_f64() * 1e3,
                 p99.as_secs_f64() * 1e3,
                 hit_rate * 100.0,
@@ -309,12 +383,17 @@ fn main() {
                 stats.bytes_shipped / 1024,
                 stats.encode_ns as f64 / 1e6,
             );
+            if workers == 4 {
+                traced_4w = stats.sessions_per_sec(run.wall);
+                calibration = run.calibration.clone();
+            }
             let total_wire = stats.bytes_shipped.max(1);
             sweeps.push(Sweep {
                 workers,
-                sessions_per_sec: stats.sessions_per_sec(wall),
+                sessions_per_sec: stats.sessions_per_sec(run.wall),
                 p50_ms: p50.as_secs_f64() * 1e3,
                 p95_ms: p95.as_secs_f64() * 1e3,
+                p99_ms: p99.as_secs_f64() * 1e3,
                 wire_bytes: stats.bytes_shipped,
                 bytes_encoded: stats.bytes_encoded,
                 encode_ns: stats.encode_ns,
@@ -335,7 +414,33 @@ fn main() {
                     .collect(),
             });
         }
-        reports.push(FormatReport { format, sweeps });
+
+        // Tracing overhead control: the same 4-worker fleet with the
+        // telemetry pipeline disabled. The gate is that spans +
+        // histograms + calibration cost at most a few percent of
+        // sessions/sec.
+        let untraced = run_fleet(4, false);
+        let report = FormatReport {
+            format,
+            sweeps,
+            traced_sessions_per_sec: traced_4w,
+            untraced_sessions_per_sec: untraced.stats.sessions_per_sec(untraced.wall),
+            calibration,
+        };
+        println!(
+            "# tracing overhead @4 workers: traced {:.1} vs untraced {:.1} sessions/s ({:+.2}%)",
+            report.traced_sessions_per_sec,
+            report.untraced_sessions_per_sec,
+            report.tracing_overhead_pct(),
+        );
+        println!(
+            "# calibration: {} op cells, {} comm cells, global {:.1} ns/unit over {} sessions",
+            report.calibration.ops.len(),
+            report.calibration.comm.len(),
+            report.calibration.global_ns_per_unit,
+            report.calibration.sessions_observed,
+        );
+        reports.push(report);
     }
 
     if let [xml, col] = &reports[..] {
@@ -355,6 +460,6 @@ fn main() {
     let report = json_report(
         sessions, doc_bytes, drop_p, &shapes, optimizer, pairs, &reports,
     );
-    std::fs::write("BENCH_PR4.json", &report).expect("write BENCH_PR4.json");
-    println!("# wrote BENCH_PR4.json");
+    std::fs::write("BENCH_PR5.json", &report).expect("write BENCH_PR5.json");
+    println!("# wrote BENCH_PR5.json");
 }

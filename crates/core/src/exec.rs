@@ -77,6 +77,24 @@ impl Transport for Link {
     }
 }
 
+/// One timed operator execution, recorded for observability. The
+/// runtime layer turns these into trace spans and per-operator
+/// histograms and feeds them to cost-model calibration; core itself
+/// stays decoupled from any telemetry sink.
+#[derive(Debug, Clone)]
+pub struct OpSample {
+    /// Program node index; `program.nodes.len()` and above for the
+    /// commit/index epilogue steps, which have no node.
+    pub node: usize,
+    /// Operator kind: `Scan`/`Combine`/`Split`/`Write`, plus the
+    /// epilogue pseudo-ops `Commit` and `Index`.
+    pub op: &'static str,
+    pub location: Location,
+    /// When the operator started (same clock as the caller's spans).
+    pub started: Instant,
+    pub wall: Duration,
+}
+
 /// Outcome of executing a program.
 #[derive(Debug, Clone, Default)]
 pub struct ExecOutcome {
@@ -99,6 +117,10 @@ pub struct ExecOutcome {
     pub encode_ns: u64,
     /// Rows loaded at the target.
     pub rows_loaded: u64,
+    /// Per-operator wall-time samples, in execution order (including
+    /// the commit and index epilogue). Empty for outcomes built by
+    /// hand (e.g. folded parallel partials).
+    pub op_samples: Vec<OpSample>,
 }
 
 /// Executes `program` between `source` and `target` over `link`.
@@ -192,12 +214,28 @@ pub fn execute_with_transport(
     }
     let start = Instant::now();
     target.commit_staged();
-    outcome.times.loading += start.elapsed();
+    let wall = start.elapsed();
+    outcome.times.loading += wall;
+    outcome.op_samples.push(OpSample {
+        node: program.nodes.len(),
+        op: "Commit",
+        location: Location::Target,
+        started: start,
+        wall,
+    });
 
     // Final step: rebuild the target's key indexes.
     let start = Instant::now();
     target.build_all_key_indexes()?;
-    outcome.times.indexing += start.elapsed();
+    let wall = start.elapsed();
+    outcome.times.indexing += wall;
+    outcome.op_samples.push(OpSample {
+        node: program.nodes.len() + 1,
+        op: "Index",
+        location: Location::Target,
+        started: start,
+        wall,
+    });
     Ok(outcome)
 }
 
@@ -372,6 +410,13 @@ fn run_nodes(
                 outcome.times.loading += start.elapsed();
             }
         }
+        outcome.op_samples.push(OpSample {
+            node: i,
+            op: node.op.kind(),
+            location: loc,
+            started: start,
+            wall: start.elapsed(),
+        });
     }
     Ok(())
 }

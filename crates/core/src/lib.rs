@@ -55,7 +55,7 @@ pub mod shred;
 pub use cost::{CostModel, SchemaStats, SystemProfile};
 pub use error::{Error, Result};
 pub use exchange::{DataExchange, Optimizer};
-pub use exec::{ExecOutcome, Transport};
+pub use exec::{ExecOutcome, OpSample, Transport};
 pub use fragment::{Fragment, Fragmentation};
 pub use mapping::Mapping;
 pub use program::{Location, Op, OpNode, Program};

@@ -37,6 +37,14 @@ pub struct CachedPlan {
     pub program: Program,
     /// Its estimated cost under the keying model.
     pub cost: f64,
+    /// Predicted computation cost of each program node under the keying
+    /// model, in the model's work units (indexed like
+    /// `program.nodes`). Calibration compares these against observed
+    /// per-operator wall time. Empty when the plan predates telemetry.
+    pub op_costs: Vec<f64>,
+    /// Predicted cross-edge wire bytes for the whole program (the
+    /// model's unweighted communication estimate).
+    pub comm_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -56,6 +64,7 @@ pub struct PlanCache {
     misses: AtomicU64,
     expired: AtomicU64,
     stats_evicted: AtomicU64,
+    drift_evicted: AtomicU64,
 }
 
 impl PlanCache {
@@ -142,6 +151,25 @@ impl PlanCache {
     /// Entries evicted because the probed statistics drifted.
     pub fn stats_evicted(&self) -> u64 {
         self.stats_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because cost-model calibration reported
+    /// sustained predicted-vs-observed drift.
+    pub fn drift_evicted(&self) -> u64 {
+        self.drift_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Drops the cached plan for `shape` after calibration declared the
+    /// model drifted there: the program was optimized under a cost
+    /// model whose predictions no longer track reality, so the next
+    /// session re-plans (and re-learns a baseline). Returns whether an
+    /// entry was actually evicted.
+    pub fn evict_drifted(&self, shape: u64) -> bool {
+        let evicted = self.map.lock().unwrap().remove(&shape).is_some();
+        if evicted {
+            self.drift_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Distinct plans cached.
@@ -236,7 +264,12 @@ mod tests {
         let lf = Fragmentation::least_fragmented("LF", s);
         let gen = Generator::new(s, &mf, &lf);
         let (program, cost) = xdx_core::greedy::greedy(&gen, m).unwrap();
-        CachedPlan { program, cost }
+        CachedPlan {
+            program,
+            cost,
+            op_costs: Vec::new(),
+            comm_bytes: 0,
+        }
     }
 
     #[test]
@@ -341,6 +374,27 @@ mod tests {
         cache.insert(drifted, plan_for(&s, &grown));
         assert!(cache.lookup(drifted).is_some());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn drift_eviction_drops_the_shape_once() {
+        let s = schema();
+        let mf = Fragmentation::most_fragmented("MF", &s);
+        let lf = Fragmentation::least_fragmented("LF", &s);
+        let m = model(&s, 0.05);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
+        let cache = PlanCache::new();
+        cache.lookup(key);
+        cache.insert(key, plan_for(&s, &m));
+
+        assert!(cache.evict_drifted(key.shape), "resident shape evicted");
+        assert!(
+            !cache.evict_drifted(key.shape),
+            "second eviction is a no-op"
+        );
+        assert_eq!(cache.drift_evicted(), 1);
+        assert!(cache.lookup(key).is_none(), "drifted plan not served");
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -5,10 +5,21 @@
 //! runtime's flight recorder: tests assert ordering properties against
 //! it, and operators read it to reconstruct what a fleet of concurrent
 //! sessions actually did.
+//!
+//! The log is a fixed-capacity ring (capacity set by
+//! `RuntimeConfig::with_event_capacity`): under sustained traffic the
+//! *oldest* entries are dropped, a [`dropped`](EventLog::dropped)
+//! counter records how many, and append order within the surviving
+//! window is preserved. Every event carries the trace-span id that was
+//! active when it fired, so the flight recorder joins against the span
+//! sink offline ([`EventLog::to_jsonl`]).
 
 use crate::session::SessionId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use xdx_trace::SpanId;
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +37,8 @@ pub enum EventKind {
     PlanCacheHit,
     /// Planning ran the optimizer and populated the cache.
     PlanCacheMiss,
+    /// Sustained cost-model drift evicted a shape's cached plan.
+    PlanDriftEvicted,
     /// The planned program started executing.
     ExecutionStarted,
     /// A shipment chunk failed (drop/timeout/corruption) and was retried.
@@ -51,6 +64,32 @@ pub enum EventKind {
     Cancelled,
 }
 
+impl EventKind {
+    /// Stable name used in the JSONL export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Submitted => "submitted",
+            EventKind::Rejected => "rejected",
+            EventKind::PlanningStarted => "planning_started",
+            EventKind::LinkCreated => "link_created",
+            EventKind::PlanCacheHit => "plan_cache_hit",
+            EventKind::PlanCacheMiss => "plan_cache_miss",
+            EventKind::PlanDriftEvicted => "plan_drift_evicted",
+            EventKind::ExecutionStarted => "execution_started",
+            EventKind::ChunkRetried => "chunk_retried",
+            EventKind::Resumed => "resumed",
+            EventKind::ShipmentResumed => "shipment_resumed",
+            EventKind::DeadlineExceeded => "deadline_exceeded",
+            EventKind::CircuitOpened => "circuit_opened",
+            EventKind::CircuitHalfOpened => "circuit_half_opened",
+            EventKind::CircuitClosed => "circuit_closed",
+            EventKind::Completed => "completed",
+            EventKind::Failed => "failed",
+            EventKind::Cancelled => "cancelled",
+        }
+    }
+}
+
 /// One log entry.
 #[derive(Debug, Clone)]
 pub struct Event {
@@ -58,45 +97,73 @@ pub struct Event {
     pub at: Duration,
     /// The session the event belongs to (0 for pre-admission rejects).
     pub session: SessionId,
+    /// The trace span active when the event fired (0 when none — e.g.
+    /// link creation, or a runtime with tracing disabled).
+    pub span: SpanId,
     /// What happened.
     pub kind: EventKind,
     /// Free-form context (session name, retry cause, diagnostic, ...).
     pub detail: String,
 }
 
-/// Append-only, thread-shared event log.
+/// Bounded, thread-shared event ring.
 #[derive(Debug)]
 pub struct EventLog {
     started: Instant,
-    entries: Mutex<Vec<Event>>,
+    capacity: usize,
+    entries: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
 }
+
+/// Default ring capacity — generous: a 4-pair mixed fleet logs ~15
+/// events per session, so this holds thousands of recent sessions.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
 
 impl EventLog {
     /// An empty log whose clock starts now.
     pub fn new() -> EventLog {
+        EventLog::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An empty log keeping at most `capacity` recent events.
+    pub fn with_capacity(capacity: usize) -> EventLog {
         EventLog {
             started: Instant::now(),
-            entries: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
         }
     }
 
-    /// Appends one event.
-    pub fn push(&self, session: SessionId, kind: EventKind, detail: impl Into<String>) {
+    /// Appends one event, evicting the oldest entry when full.
+    pub fn push(
+        &self,
+        session: SessionId,
+        span: SpanId,
+        kind: EventKind,
+        detail: impl Into<String>,
+    ) {
         let event = Event {
             at: self.started.elapsed(),
             session,
+            span,
             kind,
             detail: detail.into(),
         };
-        self.entries.lock().unwrap().push(event);
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(event);
     }
 
-    /// A copy of the log so far, in append order.
+    /// A copy of the surviving log, in append order.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.entries.lock().unwrap().clone()
+        self.entries.lock().unwrap().iter().cloned().collect()
     }
 
-    /// How many events of `kind` have been logged.
+    /// How many events of `kind` are in the surviving window.
     pub fn count(&self, kind: EventKind) -> usize {
         self.entries
             .lock()
@@ -105,6 +172,46 @@ impl EventLog {
             .filter(|e| e.kind == kind)
             .count()
     }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// One JSON object per line: `at_us` (µs since runtime start, the
+    /// same frame of reference as the trace sink's `ts`), session id,
+    /// active span id, kind and detail — joinable offline against the
+    /// span JSONL by `span`/`session`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.snapshot() {
+            out.push_str(&format!(
+                "{{\"at_us\":{:.3},\"session\":{},\"span\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}\n",
+                e.at.as_nanos() as f64 / 1_000.0,
+                e.session,
+                e.span,
+                e.kind.name(),
+                json_escape(&e.detail),
+            ));
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl Default for EventLog {
@@ -120,16 +227,46 @@ mod tests {
     #[test]
     fn log_preserves_append_order_and_counts() {
         let log = EventLog::new();
-        log.push(1, EventKind::Submitted, "s1");
-        log.push(2, EventKind::Submitted, "s2");
-        log.push(1, EventKind::Completed, "");
+        log.push(1, 10, EventKind::Submitted, "s1");
+        log.push(2, 20, EventKind::Submitted, "s2");
+        log.push(1, 10, EventKind::Completed, "");
         let events = log.snapshot();
         assert_eq!(events.len(), 3);
         assert_eq!(events[0].session, 1);
+        assert_eq!(events[0].span, 10);
         assert_eq!(events[1].session, 2);
         assert!(events[2].at >= events[0].at);
         assert_eq!(log.count(EventKind::Submitted), 2);
         assert_eq!(log.count(EventKind::Completed), 1);
         assert_eq!(log.count(EventKind::Failed), 0);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let log = EventLog::with_capacity(3);
+        for i in 1..=5u64 {
+            log.push(i, 0, EventKind::Submitted, format!("s{i}"));
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        // The survivors are the most recent, still in append order.
+        assert_eq!(
+            events.iter().map(|e| e.session).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn jsonl_exports_one_line_per_event() {
+        let log = EventLog::new();
+        log.push(1, 7, EventKind::Submitted, "with \"quotes\"");
+        log.push(1, 7, EventKind::Completed, "");
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"kind\":\"submitted\""));
+        assert!(jsonl.contains("\"span\":7"));
+        assert!(jsonl.contains("with \\\"quotes\\\""));
     }
 }

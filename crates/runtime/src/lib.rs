@@ -69,7 +69,7 @@ pub mod shipper;
 
 pub use breaker::{BreakerTransition, CircuitBreaker};
 pub use cache::{plan_key, CachedPlan, PlanCache, PlanKey};
-pub use events::{Event, EventKind, EventLog};
+pub use events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 pub use ledger::{Filed, ReassemblyLedger};
 pub use registry::{LinkRegistry, LinkSlot, LinkStats};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError};
@@ -79,3 +79,7 @@ pub use session::{
 };
 pub use shipper::ShippingPolicy;
 pub use xdx_core::WireFormat;
+pub use xdx_trace::{
+    CalibrationConfig, CalibrationReport, CommCalibration, HistogramSnapshot, OpCalibration,
+    SpanId, SpanRecord,
+};

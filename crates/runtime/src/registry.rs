@@ -138,10 +138,12 @@ impl LinkSlot {
 
     /// A snapshot of this link's counters.
     pub fn stats(&self) -> LinkStats {
+        let busy = self.link.lock().unwrap().total_time();
         LinkStats {
             source: self.source.clone(),
             target: self.target.clone(),
             wire_format: self.wire_format(),
+            busy,
             wire_bytes: self.counters.wire_bytes.load(Ordering::Relaxed),
             bytes_encoded: self.counters.bytes_encoded.load(Ordering::Relaxed),
             encode_ns: self.counters.encode_ns.load(Ordering::Relaxed),
@@ -165,6 +167,9 @@ pub struct LinkStats {
     pub target: String,
     /// The wire format negotiated for this pair at snapshot time.
     pub wire_format: WireFormat,
+    /// Total simulated time this link spent transferring (busy time);
+    /// divided by runtime uptime it yields the link's utilization.
+    pub busy: Duration,
     /// Wire bytes transmitted over this link, including failed attempts.
     pub wire_bytes: u64,
     /// Encoded message bytes produced for this link (logical payload,

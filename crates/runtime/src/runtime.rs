@@ -12,7 +12,7 @@
 
 use crate::breaker::BreakerTransition;
 use crate::cache::{plan_key, CachedPlan, PlanCache};
-use crate::events::{Event, EventKind, EventLog};
+use crate::events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 use crate::ledger::ReassemblyLedger;
 use crate::registry::{LinkRegistry, LinkStats};
 use crate::session::{
@@ -27,10 +27,33 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xdx_core::exec::execute_with_transport;
-use xdx_core::{DataExchange, Optimizer, WireFormat};
+use xdx_core::{DataExchange, Location, Optimizer, WireFormat};
 use xdx_net::{FaultProfile, NetworkProfile};
-use xdx_relational::Database;
+use xdx_relational::{Counters, Database};
+use xdx_trace::{
+    CalibrationConfig, CalibrationReport, CalibrationTracker, Histogram, HistogramSnapshot,
+    MetricsRegistry, TraceSink, NO_SPAN,
+};
 use xdx_xml::SchemaTree;
+
+/// Stable label for a placement location in metric names and
+/// calibration cells.
+fn location_name(loc: Location) -> &'static str {
+    match loc {
+        Location::Source => "source",
+        Location::Target => "target",
+        Location::Unassigned => "unassigned",
+    }
+}
+
+/// Stable label for a wire format in metric names and calibration
+/// cells.
+fn format_name(format: WireFormat) -> &'static str {
+    match format {
+        WireFormat::Xml => "xml",
+        WireFormat::Columnar => "columnar",
+    }
+}
 
 /// Tunables of a runtime instance.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +97,19 @@ pub struct RuntimeConfig {
     /// How long an open breaker refuses admissions before letting one
     /// probe session through.
     pub breaker_cooldown: Duration,
+    /// Whether structured trace spans are recorded. On by default; the
+    /// throughput bench flips it off to measure tracing overhead.
+    pub tracing: bool,
+    /// Maximum spans the trace ring keeps; the oldest are evicted (and
+    /// counted in [`RuntimeStats::dropped_spans`]) beyond this.
+    pub trace_capacity: usize,
+    /// Maximum events the flight-recorder ring keeps; the oldest are
+    /// evicted (and counted in [`RuntimeStats::dropped_events`]) beyond
+    /// this.
+    pub event_capacity: usize,
+    /// Cost-model calibration thresholds (drift factor, streak length,
+    /// EWMA smoothing) driving plan-cache drift eviction.
+    pub calibration: CalibrationConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -91,6 +127,10 @@ impl Default for RuntimeConfig {
             plan_ttl: None,
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_secs(5),
+            tracing: true,
+            trace_capacity: 65_536,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            calibration: CalibrationConfig::default(),
         }
     }
 }
@@ -154,6 +194,30 @@ impl RuntimeConfig {
     pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> RuntimeConfig {
         self.breaker_threshold = threshold;
         self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Turns trace-span recording on or off.
+    pub fn with_tracing(mut self, enabled: bool) -> RuntimeConfig {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Sets the trace-span ring capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> RuntimeConfig {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Sets the event-log ring capacity.
+    pub fn with_event_capacity(mut self, capacity: usize) -> RuntimeConfig {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Sets the cost-model calibration thresholds.
+    pub fn with_calibration(mut self, calibration: CalibrationConfig) -> RuntimeConfig {
+        self.calibration = calibration;
         self
     }
 }
@@ -228,6 +292,9 @@ pub struct RuntimeStats {
     pub plan_cache_expired: u64,
     /// Cached plans evicted because the probed statistics drifted.
     pub plan_cache_stats_evicted: u64,
+    /// Cached plans evicted because cost-model calibration reported
+    /// sustained predicted-vs-observed drift on their shape.
+    pub plan_cache_drift_evicted: u64,
     /// Statistics probes run across all sessions (resumed sessions
     /// replaying a checkpointed plan probe zero times).
     pub planning_probes: u64,
@@ -257,18 +324,23 @@ pub struct RuntimeStats {
     pub peak_concurrent_shipments: u64,
     /// Per-session submit→done wall latencies of completed sessions.
     pub latencies: Vec<Duration>,
+    /// The same latencies as a log-linear histogram snapshot —
+    /// mergeable across runs, quantile error ≤ 1/32.
+    pub latency_histogram: HistogramSnapshot,
+    /// Events evicted from the bounded flight-recorder ring.
+    pub dropped_events: u64,
+    /// Spans evicted from the bounded trace ring.
+    pub dropped_spans: u64,
 }
 
 impl RuntimeStats {
-    /// The `p`-th latency percentile (0–100) over completed sessions.
+    /// The `p`-th latency percentile (0–100) over completed sessions,
+    /// estimated from the shared log-linear histogram (relative error
+    /// ≤ 1/32).
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort();
-        let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
-        Some(sorted[rank.round() as usize])
+        self.latency_histogram
+            .quantile((p / 100.0).clamp(0.0, 1.0))
+            .map(Duration::from_nanos)
     }
 
     /// Completed sessions per second of the given wall-clock window.
@@ -345,6 +417,10 @@ struct Aggregate {
     chunks_deduped: u64,
     chunks_retried: u64,
     latencies: Vec<Duration>,
+    /// Source-side engine counters, merged across finished sessions.
+    source_counters: Counters,
+    /// Target-side engine counters, merged across finished sessions.
+    target_counters: Counters,
 }
 
 struct Inner {
@@ -364,6 +440,20 @@ struct Inner {
     next_id: AtomicU64,
     next_seq: AtomicU64,
     agg: Mutex<Aggregate>,
+    /// Span sink; its epoch doubles as the runtime's start instant.
+    trace: TraceSink,
+    /// Named metrics (counters, gauges, histograms) with Prometheus
+    /// text exposition via [`Runtime::metrics_text`].
+    metrics: MetricsRegistry,
+    /// Predicted-vs-observed cost accounting; sustained drift evicts
+    /// cached plans.
+    calibration: CalibrationTracker,
+    /// Pre-registered hot-path histograms (also reachable by name
+    /// through `metrics`).
+    queue_wait_hist: Arc<Histogram>,
+    planning_hist: Arc<Histogram>,
+    latency_hist: Arc<Histogram>,
+    encode_hist: Arc<Histogram>,
 }
 
 /// A running multi-session exchange runtime. Dropping (or
@@ -381,6 +471,11 @@ impl Runtime {
     /// If `config.workers` is zero.
     pub fn start(schema: SchemaTree, config: RuntimeConfig) -> Runtime {
         assert!(config.workers > 0, "runtime needs at least one worker");
+        let metrics = MetricsRegistry::new();
+        let queue_wait_hist = metrics.histogram("xdx_queue_wait_ns");
+        let planning_hist = metrics.histogram("xdx_planning_ns");
+        let latency_hist = metrics.histogram("xdx_session_latency_ns");
+        let encode_hist = metrics.histogram("xdx_encode_ns");
         let inner = Arc::new(Inner {
             config,
             schema,
@@ -401,12 +496,19 @@ impl Runtime {
                 Some(ttl) => PlanCache::with_ttl(ttl),
                 None => PlanCache::new(),
             },
-            events: EventLog::new(),
+            events: EventLog::with_capacity(config.event_capacity),
             ledger: ReassemblyLedger::new(),
             resumables: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             agg: Mutex::new(Aggregate::default()),
+            trace: TraceSink::new(config.tracing, config.trace_capacity),
+            metrics,
+            calibration: CalibrationTracker::new(config.calibration),
+            queue_wait_hist,
+            planning_hist,
+            latency_hist,
+            encode_hist,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -429,13 +531,16 @@ impl Runtime {
             .registry
             .resolve(&request.source_endpoint, &request.target_endpoint);
         if created {
-            inner.events.push(0, EventKind::LinkCreated, slot.pair());
+            inner
+                .events
+                .push(0, NO_SPAN, EventKind::LinkCreated, slot.pair());
         }
         match slot.breaker.try_admit() {
             Ok(None) => {}
             Ok(Some(BreakerTransition::HalfOpened)) => {
                 inner.events.push(
                     0,
+                    NO_SPAN,
                     EventKind::CircuitHalfOpened,
                     format!("{}: probe admitted", slot.pair()),
                 );
@@ -445,6 +550,7 @@ impl Runtime {
                 inner.agg.lock().unwrap().rejected += 1;
                 inner.events.push(
                     0,
+                    NO_SPAN,
                     EventKind::Rejected,
                     format!("{}: circuit open on {}", request.name, slot.pair()),
                 );
@@ -533,6 +639,33 @@ impl Runtime {
         self.inner.events.snapshot()
     }
 
+    /// The surviving event window as JSONL, one object per line,
+    /// joinable against [`Runtime::trace_jsonl`] by span/session id.
+    pub fn events_jsonl(&self) -> String {
+        self.inner.events.to_jsonl()
+    }
+
+    /// The surviving trace spans as chrome://tracing JSONL (one
+    /// complete "X" event per line; load in a tracing viewer or join
+    /// offline by the `args.span`/`args.parent` ids).
+    pub fn trace_jsonl(&self) -> String {
+        self.inner.trace.to_jsonl()
+    }
+
+    /// Every registered metric — counters, gauges, and the per-operator
+    /// / per-link histograms — as Prometheus text exposition.
+    pub fn metrics_text(&self) -> String {
+        self.inner.refresh_metrics();
+        self.inner.metrics.render()
+    }
+
+    /// Predicted-vs-observed cost-model calibration so far: per-operator
+    /// ns-per-unit ratios with drift scores, plus per-format
+    /// communication byte ratios.
+    pub fn calibration_report(&self) -> CalibrationReport {
+        self.inner.calibration.report()
+    }
+
     /// Stops admitting, drains the queue, joins the workers and returns
     /// the final statistics.
     pub fn shutdown(mut self) -> RuntimeStats {
@@ -595,6 +728,7 @@ impl Inner {
             self.agg.lock().unwrap().rejected += 1;
             self.events.push(
                 id,
+                NO_SPAN,
                 EventKind::Rejected,
                 format!("{}: queue full", request.name),
             );
@@ -605,7 +739,11 @@ impl Inner {
                 request,
             )));
         }
-        let shared = SessionShared::new(id, request.name.clone(), request.deadline);
+        // The root span is allocated at admission so every child span
+        // and correlated event can point at it; it is recorded (with
+        // its true duration) when the session reaches a terminal state.
+        let root_span = self.trace.allocate_id();
+        let shared = SessionShared::new(id, request.name.clone(), request.deadline, root_span);
         let kind = if resumed {
             EventKind::Resumed
         } else {
@@ -613,6 +751,7 @@ impl Inner {
         };
         self.events.push(
             id,
+            root_span,
             kind,
             format!("{} ({:?})", request.name, request.priority),
         );
@@ -643,6 +782,7 @@ impl Inner {
             plan_cache_misses: self.cache.misses(),
             plan_cache_expired: self.cache.expired(),
             plan_cache_stats_evicted: self.cache.stats_evicted(),
+            plan_cache_drift_evicted: self.cache.drift_evicted(),
             planning_probes: agg.planning_probes,
             messages_serialized: agg.messages_serialized,
             bytes_shipped: agg.bytes_shipped,
@@ -655,6 +795,104 @@ impl Inner {
             links: self.registry.snapshot(),
             peak_concurrent_shipments: self.registry.peak_concurrent_shipments(),
             latencies: agg.latencies.clone(),
+            latency_histogram: self.latency_hist.snapshot(),
+            dropped_events: self.events.dropped(),
+            dropped_spans: self.trace.dropped(),
+        }
+    }
+
+    /// Re-emits every aggregate counter, per-link rollup and engine
+    /// counter through the metrics registry, so one render carries the
+    /// runtime's full state. Histograms are recorded live on the hot
+    /// path; only the monotone counters and gauges are refreshed here.
+    fn refresh_metrics(&self) {
+        let stats = self.stats();
+        let m = &self.metrics;
+        for (name, value) in [
+            ("xdx_sessions_admitted_total", stats.admitted),
+            ("xdx_sessions_rejected_total", stats.rejected),
+            ("xdx_sessions_completed_total", stats.completed),
+            ("xdx_sessions_failed_total", stats.failed),
+            ("xdx_sessions_cancelled_total", stats.cancelled),
+            ("xdx_sessions_resumed_total", stats.resumed),
+            ("xdx_plan_cache_hits_total", stats.plan_cache_hits),
+            ("xdx_plan_cache_misses_total", stats.plan_cache_misses),
+            ("xdx_plan_cache_expired_total", stats.plan_cache_expired),
+            (
+                "xdx_plan_cache_stats_evicted_total",
+                stats.plan_cache_stats_evicted,
+            ),
+            (
+                "xdx_plan_cache_drift_evicted_total",
+                stats.plan_cache_drift_evicted,
+            ),
+            ("xdx_planning_probes_total", stats.planning_probes),
+            ("xdx_messages_serialized_total", stats.messages_serialized),
+            ("xdx_bytes_shipped_total", stats.bytes_shipped),
+            ("xdx_bytes_encoded_total", stats.bytes_encoded),
+            ("xdx_encode_ns_total", stats.encode_ns),
+            ("xdx_chunks_shipped_total", stats.chunks_shipped),
+            ("xdx_chunks_resumed_total", stats.chunks_resumed),
+            ("xdx_chunks_deduped_total", stats.chunks_deduped),
+            ("xdx_chunks_retried_total", stats.chunks_retried),
+            ("xdx_events_dropped_total", stats.dropped_events),
+            ("xdx_spans_dropped_total", stats.dropped_spans),
+        ] {
+            m.counter(name).set(value);
+        }
+        m.gauge("xdx_queue_depth")
+            .set(self.queue.lock().unwrap().heap.len() as f64);
+        m.gauge("xdx_peak_concurrent_shipments")
+            .set(stats.peak_concurrent_shipments as f64);
+        // The relational engines' own counters, re-emitted per side.
+        {
+            let agg = self.agg.lock().unwrap();
+            for (side, c) in [
+                ("source", agg.source_counters),
+                ("target", agg.target_counters),
+            ] {
+                for (name, value) in [
+                    ("rows_read", c.rows_read),
+                    ("rows_out", c.rows_out),
+                    ("rows_written", c.rows_written),
+                    ("comparisons", c.comparisons),
+                    ("hash_probes", c.hash_probes),
+                    ("index_inserts", c.index_inserts),
+                    ("bytes_out", c.bytes_out),
+                ] {
+                    m.counter(&format!("xdx_db_{name}_total{{side=\"{side}\"}}"))
+                        .set(value);
+                }
+            }
+        }
+        // Per-link rollups: counters plus a utilization gauge (simulated
+        // busy time over runtime uptime) and the breaker state.
+        let uptime = self.trace.epoch().elapsed().as_secs_f64();
+        for link in &stats.links {
+            let pair = link.pair();
+            let label = |base: &str| format!("{base}{{link=\"{pair}\"}}");
+            m.counter(&label("xdx_link_wire_bytes_total"))
+                .set(link.wire_bytes);
+            m.counter(&label("xdx_link_bytes_encoded_total"))
+                .set(link.bytes_encoded);
+            m.counter(&label("xdx_link_encode_ns_total"))
+                .set(link.encode_ns);
+            m.counter(&label("xdx_link_chunks_shipped_total"))
+                .set(link.chunks_shipped);
+            m.counter(&label("xdx_link_chunks_retried_total"))
+                .set(link.chunks_retried);
+            m.counter(&label("xdx_link_sessions_completed_total"))
+                .set(link.sessions_completed);
+            m.counter(&label("xdx_link_sessions_failed_total"))
+                .set(link.sessions_failed);
+            m.gauge(&label("xdx_link_utilization"))
+                .set(if uptime > 0.0 {
+                    link.busy.as_secs_f64() / uptime
+                } else {
+                    0.0
+                });
+            m.gauge(&label("xdx_link_breaker_open"))
+                .set(if link.breaker_open { 1.0 } else { 0.0 });
         }
     }
 
@@ -674,8 +912,12 @@ impl Inner {
             .registry
             .resolve(&request.source_endpoint, &request.target_endpoint);
         if created {
-            self.events
-                .push(shared.id, EventKind::LinkCreated, slot.pair());
+            self.events.push(
+                shared.id,
+                shared.root_span,
+                EventKind::LinkCreated,
+                slot.pair(),
+            );
         }
         let wire_format = request.wire_format.unwrap_or_else(|| slot.wire_format());
         let mut metrics = SessionMetrics {
@@ -684,6 +926,15 @@ impl Inner {
             wire_format,
             ..SessionMetrics::default()
         };
+        self.queue_wait_hist.record_duration_ns(metrics.queue_wait);
+        self.trace.record(
+            "queued",
+            shared.id,
+            shared.root_span,
+            enqueued,
+            metrics.queue_wait,
+            format!("priority {:?}", request.priority),
+        );
         if shared.is_cancelled() {
             self.finish(
                 &shared,
@@ -696,8 +947,12 @@ impl Inner {
             return;
         }
         if shared.deadline_exceeded() {
-            self.events
-                .push(shared.id, EventKind::DeadlineExceeded, "while queued");
+            self.events.push(
+                shared.id,
+                shared.root_span,
+                EventKind::DeadlineExceeded,
+                "while queued",
+            );
             self.resumables.lock().unwrap().insert(
                 shared.id,
                 Resumable {
@@ -720,14 +975,25 @@ impl Inner {
         // for a resumed session, replaying the checkpointed plan with
         // zero probes and zero optimizer calls.
         shared.set_state(SessionState::Planning);
-        self.events
-            .push(shared.id, EventKind::PlanningStarted, &shared.name);
+        let plan_span = self.trace.allocate_id();
+        self.events.push(
+            shared.id,
+            plan_span,
+            EventKind::PlanningStarted,
+            &shared.name,
+        );
         let planning_started = Instant::now();
         let optimizer = request.optimizer.unwrap_or(self.config.optimizer);
+        // The shape half of the plan-cache key, kept for calibration:
+        // drift observations are accounted per shape, and a drifted
+        // shape's cached plan is evicted. `None` for resumed sessions
+        // (they replay a checkpointed plan without probing).
+        let mut plan_shape: Option<u64> = None;
         let plan = if let Some(plan) = stored_plan {
             metrics.plan_cache_hit = true;
             self.events.push(
                 shared.id,
+                plan_span,
                 EventKind::PlanCacheHit,
                 "checkpointed plan replayed: zero probes",
             );
@@ -764,11 +1030,13 @@ impl Inner {
                 &model,
                 optimizer,
             );
+            plan_shape = Some(key.shape);
             match self.cache.lookup(key) {
                 Some(cached) => {
                     metrics.plan_cache_hit = true;
                     self.events.push(
                         shared.id,
+                        plan_span,
                         EventKind::PlanCacheHit,
                         format!("key {:016x}/{:016x}", key.shape, key.stats),
                     );
@@ -777,11 +1045,34 @@ impl Inner {
                 None => {
                     self.events.push(
                         shared.id,
+                        plan_span,
                         EventKind::PlanCacheMiss,
                         format!("key {:016x}/{:016x}", key.shape, key.stats),
                     );
                     match exchange.plan(&model) {
-                        Ok((program, cost)) => self.cache.insert(key, CachedPlan { program, cost }),
+                        Ok((program, cost)) => {
+                            // Remember what the model predicted for each
+                            // node (and for the wire), so execution can
+                            // be compared against it by calibration.
+                            let op_costs: Vec<f64> = (0..program.nodes.len())
+                                .map(|i| model.comp_cost(&program, i, program.nodes[i].location))
+                                .collect();
+                            let mut comm_bytes = 0.0;
+                            for (i, node) in program.nodes.iter().enumerate() {
+                                for port in &node.inputs {
+                                    comm_bytes += model.comm_cost(&self.schema, &program, *port, i);
+                                }
+                            }
+                            self.cache.insert(
+                                key,
+                                CachedPlan {
+                                    program,
+                                    cost,
+                                    op_costs,
+                                    comm_bytes: comm_bytes as u64,
+                                },
+                            )
+                        }
                         Err(e) => {
                             metrics.planning = planning_started.elapsed();
                             self.finish(
@@ -799,6 +1090,24 @@ impl Inner {
             }
         };
         metrics.planning = planning_started.elapsed();
+        self.planning_hist.record_duration_ns(metrics.planning);
+        self.trace.record_with_id(
+            plan_span,
+            "plan",
+            shared.id,
+            shared.root_span,
+            planning_started,
+            metrics.planning,
+            format!(
+                "{}, cost {:.1}",
+                if metrics.plan_cache_hit {
+                    "cache hit"
+                } else {
+                    "cache miss"
+                },
+                plan.cost
+            ),
+        );
         if shared.is_cancelled() {
             self.finish(
                 &shared,
@@ -811,8 +1120,12 @@ impl Inner {
             return;
         }
         if shared.deadline_exceeded() {
-            self.events
-                .push(shared.id, EventKind::DeadlineExceeded, "after planning");
+            self.events.push(
+                shared.id,
+                shared.root_span,
+                EventKind::DeadlineExceeded,
+                "after planning",
+            );
             self.resumables.lock().unwrap().insert(
                 shared.id,
                 Resumable {
@@ -835,8 +1148,11 @@ impl Inner {
         // session's per-pair link. Writes are staged: a run that dies
         // mid-exchange rolls the target back.
         shared.set_state(SessionState::Executing);
+        let exec_span = self.trace.allocate_id();
+        let exec_started = Instant::now();
         self.events.push(
             shared.id,
+            exec_span,
             EventKind::ExecutionStarted,
             format!("estimated cost {:.1} via {}", plan.cost, metrics.route),
         );
@@ -848,7 +1164,8 @@ impl Inner {
             &self.events,
             &self.ledger,
             wire_format,
-        );
+        )
+        .with_telemetry(&self.trace, exec_span, Arc::clone(&self.encode_hist));
         let outcome = execute_with_transport(
             &self.schema,
             &request.source_frag,
@@ -875,10 +1192,93 @@ impl Inner {
         metrics.chunks_retried = ship.chunks_retried;
         metrics.source_counters = request.source.counters;
         metrics.target_counters = target.counters;
+        self.trace.record_with_id(
+            exec_span,
+            "exec",
+            shared.id,
+            shared.root_span,
+            exec_started,
+            exec_started.elapsed(),
+            format!(
+                "{} via {} [{}]",
+                if outcome.is_ok() { "ok" } else { "failed" },
+                metrics.route,
+                format_name(wire_format)
+            ),
+        );
         match outcome {
             Ok(out) => {
                 metrics.messages = out.messages;
                 metrics.rows_loaded = out.rows_loaded;
+                // Per-operator telemetry: each timed operator becomes a
+                // child span of the exec span, lands in its
+                // `(op, location)` histogram, and — when the plan
+                // carries the model's per-node predictions — feeds the
+                // predicted-vs-observed calibration cells.
+                let fmt = format_name(wire_format);
+                let mut observed_ns: u64 = 0;
+                for s in &out.op_samples {
+                    let loc = location_name(s.location);
+                    observed_ns += s.wall.as_nanos() as u64;
+                    self.trace.record(
+                        s.op,
+                        shared.id,
+                        exec_span,
+                        s.started,
+                        s.wall,
+                        format!("node {} @{loc}", s.node),
+                    );
+                    self.metrics
+                        .histogram(&format!(
+                            "xdx_op_wall_ns{{op=\"{}\",location=\"{loc}\"}}",
+                            s.op
+                        ))
+                        .record_duration_ns(s.wall);
+                    if let Some(&predicted) = plan.op_costs.get(s.node) {
+                        self.calibration.record_op(
+                            s.op,
+                            loc,
+                            fmt,
+                            predicted,
+                            s.wall.as_nanos() as u64,
+                        );
+                    }
+                }
+                if plan.comm_bytes > 0 || ship.bytes_encoded > 0 {
+                    self.calibration.record_comm(
+                        fmt,
+                        plan.comm_bytes,
+                        ship.bytes_encoded,
+                        metrics.communication.as_nanos() as u64,
+                    );
+                }
+                // Session-level drift: observed time (operators plus the
+                // simulated wire, which inflates under link faults)
+                // against the plan's total predicted cost. A sustained
+                // excursion evicts the shape's cached plan so the next
+                // session re-plans under fresh statistics.
+                observed_ns += metrics.communication.as_nanos() as u64;
+                if let Some(shape) = plan_shape {
+                    if self
+                        .calibration
+                        .observe_session(shape, plan.cost, observed_ns)
+                    {
+                        let evicted = self.cache.evict_drifted(shape);
+                        self.events.push(
+                            shared.id,
+                            shared.root_span,
+                            EventKind::PlanDriftEvicted,
+                            format!(
+                                "shape {shape:016x}: sustained cost-model drift{}",
+                                if evicted {
+                                    ", cached plan evicted"
+                                } else {
+                                    " (no cached plan)"
+                                }
+                            ),
+                        );
+                    }
+                }
                 // The checkpoint served its purpose; drop it.
                 self.ledger.forget_session(shared.id);
                 slot.counters
@@ -887,6 +1287,7 @@ impl Inner {
                 if let Some(BreakerTransition::Closed) = slot.breaker.record_success() {
                     self.events.push(
                         shared.id,
+                        shared.root_span,
                         EventKind::CircuitClosed,
                         format!("{}: probe succeeded", slot.pair()),
                     );
@@ -914,8 +1315,12 @@ impl Inner {
                     return;
                 }
                 if shared.deadline_exceeded() {
-                    self.events
-                        .push(shared.id, EventKind::DeadlineExceeded, &diagnostic);
+                    self.events.push(
+                        shared.id,
+                        shared.root_span,
+                        EventKind::DeadlineExceeded,
+                        &diagnostic,
+                    );
                 }
                 slot.counters
                     .sessions_failed
@@ -924,6 +1329,7 @@ impl Inner {
                     if let Some(BreakerTransition::Opened) = slot.breaker.record_failure() {
                         self.events.push(
                             shared.id,
+                            shared.root_span,
                             EventKind::CircuitOpened,
                             format!(
                                 "{}: cooldown {:?}",
@@ -979,6 +1385,8 @@ impl Inner {
             agg.chunks_resumed += metrics.chunks_resumed;
             agg.chunks_deduped += metrics.chunks_deduped;
             agg.chunks_retried += metrics.chunks_retried;
+            agg.source_counters.merge(&metrics.source_counters);
+            agg.target_counters.merge(&metrics.target_counters);
             match state {
                 SessionState::Done => {
                     agg.completed += 1;
@@ -988,6 +1396,9 @@ impl Inner {
                 SessionState::Cancelled => agg.cancelled += 1,
                 _ => unreachable!("finish takes a terminal state"),
             }
+        }
+        if state == SessionState::Done {
+            self.latency_hist.record_duration_ns(metrics.total_wall);
         }
         let kind = match state {
             SessionState::Done => EventKind::Completed,
@@ -1000,7 +1411,20 @@ impl Inner {
                 metrics.rows_loaded, metrics.chunks_shipped, metrics.chunks_retried
             )
         });
-        self.events.push(shared.id, kind, detail);
+        self.events.push(shared.id, shared.root_span, kind, detail);
+        // The session's root span closes last, covering queue wait
+        // through the terminal transition; its children (queued, plan,
+        // exec, ship, encode, operators) were recorded before it, so
+        // FIFO eviction can never orphan a surviving child.
+        self.trace.record_with_id(
+            shared.root_span,
+            "session",
+            shared.id,
+            NO_SPAN,
+            enqueued,
+            metrics.total_wall,
+            format!("{}: {state:?} via {}", shared.name, metrics.route),
+        );
         shared.finish(SessionResult {
             state,
             metrics,

@@ -276,6 +276,9 @@ pub(crate) struct SessionShared {
     state_changed: Condvar,
     pub(crate) cancelled: AtomicBool,
     result: Mutex<Option<SessionResult>>,
+    /// Root trace span of this session (0 when tracing is off). Every
+    /// child span and correlated event hangs off this id.
+    pub(crate) root_span: xdx_trace::SpanId,
 }
 
 impl SessionShared {
@@ -283,6 +286,7 @@ impl SessionShared {
         id: SessionId,
         name: String,
         deadline: Option<Duration>,
+        root_span: xdx_trace::SpanId,
     ) -> Arc<SessionShared> {
         Arc::new(SessionShared {
             id,
@@ -293,6 +297,7 @@ impl SessionShared {
             state_changed: Condvar::new(),
             cancelled: AtomicBool::new(false),
             result: Mutex::new(None),
+            root_span,
         })
     }
 
@@ -409,17 +414,17 @@ mod tests {
 
     #[test]
     fn deadline_clock_starts_at_admission() {
-        let shared = SessionShared::new(1, "d".into(), Some(Duration::from_millis(5)));
+        let shared = SessionShared::new(1, "d".into(), Some(Duration::from_millis(5)), 0);
         assert!(!shared.deadline_exceeded());
         std::thread::sleep(Duration::from_millis(10));
         assert!(shared.deadline_exceeded());
-        let unbounded = SessionShared::new(2, "u".into(), None);
+        let unbounded = SessionShared::new(2, "u".into(), None, 0);
         assert!(!unbounded.deadline_exceeded());
     }
 
     #[test]
     fn wait_returns_result_finished_from_another_thread() {
-        let shared = SessionShared::new(7, "t".into(), None);
+        let shared = SessionShared::new(7, "t".into(), None, 0);
         let waiter = Arc::clone(&shared);
         let t = std::thread::spawn(move || waiter.wait_terminal());
         shared.finish(SessionResult {

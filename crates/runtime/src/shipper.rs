@@ -33,10 +33,11 @@ use crate::session::{SessionShared, SessionState};
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xdx_core::error::{Error, Result};
 use xdx_core::{Transport, WireFormat};
 use xdx_net::{frame_chunk_into, ChunkFrame, Delivery};
+use xdx_trace::{Histogram, SpanId, TraceSink, NO_SPAN};
 
 /// Retry/chunking policy of the shipping layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +132,15 @@ pub(crate) struct FaultTolerantShipper<'a> {
     frame_buf: Vec<u8>,
     /// Reused across every chunk — the transfer-log label.
     label_buf: String,
+    /// Span sink for `ship`/`encode` spans (absent in bare tests).
+    trace: Option<&'a TraceSink>,
+    /// Parent span of this session's shipments (the exec span).
+    parent_span: SpanId,
+    /// The span the current shipment runs under; retry events correlate
+    /// to it.
+    current_span: SpanId,
+    /// Shared encode-latency histogram (absent in bare tests).
+    encode_hist: Option<Arc<Histogram>>,
     pub(crate) stats: ShipStats,
 }
 
@@ -169,8 +179,28 @@ impl<'a> FaultTolerantShipper<'a> {
             budget_left: policy.retry_budget,
             frame_buf: Vec::new(),
             label_buf: String::new(),
+            trace: None,
+            parent_span: NO_SPAN,
+            current_span: NO_SPAN,
+            encode_hist: None,
             stats: ShipStats::default(),
         }
+    }
+
+    /// Attaches the runtime's telemetry: `ship` and `encode` spans are
+    /// recorded under `parent_span` (the session's exec span) and every
+    /// encode lands in the shared histogram.
+    pub(crate) fn with_telemetry(
+        mut self,
+        trace: &'a TraceSink,
+        parent_span: SpanId,
+        encode_hist: Arc<Histogram>,
+    ) -> FaultTolerantShipper<'a> {
+        self.trace = Some(trace);
+        self.parent_span = parent_span;
+        self.current_span = parent_span;
+        self.encode_hist = Some(encode_hist);
+        self
     }
 
     /// Files a verified frame in the ledger, tallying duplicates.
@@ -287,6 +317,7 @@ impl<'a> FaultTolerantShipper<'a> {
             }
             self.events.push(
                 session_id,
+                self.current_span,
                 EventKind::ChunkRetried,
                 format!("{chunk_label} {cause}, retry {failed_attempts}"),
             );
@@ -300,6 +331,11 @@ impl Transport for FaultTolerantShipper<'_> {
         let session_id = self.session.id;
         let shipment = self.stats.shipments;
         self.stats.shipments += 1;
+        let ship_started = Instant::now();
+        self.current_span = match self.trace {
+            Some(trace) => trace.allocate_id(),
+            None => self.parent_span,
+        };
         let chunk_bytes = self.policy.chunk_bytes.max(1);
         let total = message.len().div_ceil(chunk_bytes).max(1);
         // Open the shipment in the ledger, persisting the serialized
@@ -312,6 +348,7 @@ impl Transport for FaultTolerantShipper<'_> {
             self.stats.chunks_resumed += prior.len() as u64;
             self.events.push(
                 session_id,
+                self.current_span,
                 EventKind::ShipmentResumed,
                 format!(
                     "{label}: {} of {total} chunks checkpointed, re-shipping {}",
@@ -356,6 +393,22 @@ impl Transport for FaultTolerantShipper<'_> {
         self.label_buf = label_buf;
         self.slot.close_shipment();
         self.session.set_state(SessionState::Executing);
+        if let Some(trace) = self.trace {
+            trace.record_with_id(
+                self.current_span,
+                "ship",
+                session_id,
+                self.parent_span,
+                ship_started,
+                ship_started.elapsed(),
+                format!(
+                    "{label}: {total} chunks, {} retried, {}",
+                    self.stats.chunks_retried,
+                    if result.is_ok() { "ok" } else { "failed" }
+                ),
+            );
+        }
+        self.current_span = self.parent_span;
         result?;
         let assembled = self
             .ledger
@@ -394,6 +447,23 @@ impl Transport for FaultTolerantShipper<'_> {
             .counters
             .encode_ns
             .fetch_add(ns, Ordering::Relaxed);
+        if let Some(hist) = &self.encode_hist {
+            hist.record(ns);
+        }
+        if let Some(trace) = self.trace {
+            // The executor reports the encode after the fact; reconstruct
+            // the start so the span sits where the work happened.
+            let dur = Duration::from_nanos(ns);
+            let now = Instant::now();
+            trace.record(
+                "encode",
+                self.session.id,
+                self.parent_span,
+                now.checked_sub(dur).unwrap_or(now),
+                dur,
+                format!("{bytes} bytes"),
+            );
+        }
     }
 }
 
@@ -405,7 +475,7 @@ mod tests {
     use xdx_net::{FaultProfile, Link, NetworkProfile};
 
     fn session() -> std::sync::Arc<SessionShared> {
-        SessionShared::new(1, "test".into(), None)
+        SessionShared::new(1, "test".into(), None, 0)
     }
 
     fn slot_for(link: Link) -> Arc<LinkSlot> {
@@ -591,7 +661,7 @@ mod tests {
         let slot = slot_for(
             Link::new(NetworkProfile::lan()).with_fault_profile(FaultProfile::drops(1.0, 9)),
         );
-        let session = SessionShared::new(1, "t".into(), Some(Duration::ZERO));
+        let session = SessionShared::new(1, "t".into(), Some(Duration::ZERO), 0);
         std::thread::sleep(Duration::from_millis(2));
         let events = EventLog::new();
         let ledger = ReassemblyLedger::new();

@@ -1,0 +1,40 @@
+//! xdx-trace: the observability layer of the exchange stack.
+//!
+//! Three pieces, all std-only and safe to call from hot paths:
+//!
+//! * [`span`] — structured spans (session → plan → per-operator exec →
+//!   encode → ship → apply) recorded at completion into a bounded ring,
+//!   exportable as chrome://tracing-compatible JSONL.
+//! * [`metrics`] — log-linear (HDR-style) histograms plus atomic
+//!   counters/gauges registered by name, rendered as Prometheus text
+//!   exposition.
+//! * [`calibration`] — predicted-vs-observed accounting for the cost
+//!   model: per-operator ratios, drift scores, and a sustained-drift
+//!   signal the runtime feeds into plan-cache eviction.
+
+pub mod calibration;
+pub mod metrics;
+pub mod span;
+
+pub use calibration::{
+    CalibrationConfig, CalibrationReport, CalibrationTracker, CommCalibration, OpCalibration,
+};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use span::{SpanId, SpanRecord, TraceSink, NO_SPAN};
+
+/// Escape a string for embedding inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,160 @@
+//! Property tests for the log-linear histogram: quantile error bounds
+//! against an exact sorted oracle, merge associativity, and monotonic
+//! recording under concurrent writers.
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use xdx_trace::{Histogram, HistogramSnapshot};
+
+/// The histogram guarantees relative quantile error ≤ 1/32 (5
+/// precision bits; midpoints tighten it to 1/64 but 1/32 is the
+/// documented bound).
+const REL_ERROR: f64 = 1.0 / 32.0;
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn build(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_tracks_sorted_oracle(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        qs in proptest::collection::vec(0u64..=100, 1..8),
+    ) {
+        let h = build(&values);
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum(), values.iter().sum::<u64>());
+        for q in qs {
+            let q = q as f64 / 100.0;
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q).unwrap();
+            // The estimate must land within the relative error bound of
+            // *some* value at the exact rank's bucket; comparing against
+            // the exact order statistic directly gives the documented
+            // bound (plus 1 for integer rounding in the unit buckets).
+            let tolerance = (exact as f64 * REL_ERROR).ceil() as u64 + 1;
+            prop_assert!(
+                est.abs_diff(exact) <= tolerance,
+                "q={} exact={} est={} tol={}", q, exact, est, tolerance
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_monotone_in_q(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let snap = build(&values).snapshot();
+        let mut last = 0u64;
+        for q in 0..=20 {
+            let est = snap.quantile(q as f64 / 20.0).unwrap();
+            prop_assert!(est >= last, "quantile regressed at q={}: {} < {}", q, est, last);
+            last = est;
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+    ) {
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), via snapshot merge.
+        let mut ab_c: HistogramSnapshot = build(&a).snapshot();
+        ab_c.merge(&build(&b).snapshot());
+        ab_c.merge(&build(&c).snapshot());
+
+        let mut bc: HistogramSnapshot = build(&b).snapshot();
+        bc.merge(&build(&c).snapshot());
+        let mut a_bc: HistogramSnapshot = build(&a).snapshot();
+        a_bc.merge(&bc);
+
+        // And against recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = build(&all).snapshot();
+
+        prop_assert_eq!(ab_c.count(), a_bc.count());
+        prop_assert_eq!(ab_c.sum(), a_bc.sum());
+        prop_assert_eq!(ab_c.count(), direct.count());
+        prop_assert_eq!(ab_c.sum(), direct.sum());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(ab_c.quantile(q), a_bc.quantile(q));
+            prop_assert_eq!(ab_c.quantile(q), direct.quantile(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing(
+        per_thread in proptest::collection::vec(0u64..1_000_000, 1..50),
+        threads in 2usize..5,
+    ) {
+        let h = Arc::new(Histogram::new());
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let h = Arc::clone(&h);
+                let values = per_thread.clone();
+                scope.spawn(move || {
+                    for v in values {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let expected = (per_thread.len() * threads) as u64;
+        prop_assert_eq!(h.count(), expected);
+        prop_assert_eq!(h.sum(), per_thread.iter().sum::<u64>() * threads as u64);
+    }
+}
+
+/// Count/sum never decrease while writers are active: sample the
+/// histogram from a reader thread during a concurrent write storm.
+#[test]
+fn recording_is_monotonic_under_concurrent_writers() {
+    let h = Arc::new(Histogram::new());
+    let writers = 4;
+    let per_writer = 20_000u64;
+    thread::scope(|scope| {
+        for t in 0..writers {
+            let h = Arc::clone(&h);
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    h.record(i.wrapping_mul(2654435761).wrapping_add(t) % 1_000_000);
+                }
+            });
+        }
+        let h = Arc::clone(&h);
+        scope.spawn(move || {
+            let (mut last_count, mut last_sum) = (0u64, 0u64);
+            loop {
+                let snap = h.snapshot();
+                assert!(snap.count() >= last_count, "count went backwards");
+                assert!(snap.sum() >= last_sum, "sum went backwards");
+                last_count = snap.count();
+                last_sum = snap.sum();
+                if last_count >= writers * per_writer {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        });
+    });
+    assert_eq!(h.count(), writers * per_writer);
+}

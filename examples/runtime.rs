@@ -1,9 +1,13 @@
 //! The exchange-session runtime end to end: a mixed-direction fleet of
-//! concurrent XMark exchanges spread over several `(source, target)`
-//! endpoint pairs — each pair with its own registry link, fault stream
-//! and circuit breaker — with plan caching, priorities, a per-request
-//! optimizer override, chunked fault-tolerant shipping, and per-session
-//! plus per-link metrics.
+//! concurrent XMark exchanges spread over four `(source, target)`
+//! endpoint pairs — each pair with its own registry link, fault stream,
+//! negotiated wire format and circuit breaker — with plan caching,
+//! priorities, a per-request optimizer override, chunked fault-tolerant
+//! shipping, and the full telemetry surface: per-session and per-link
+//! metrics, a Prometheus text snapshot, the structured span trace as
+//! JSONL, the event flight recorder, and the cost-model calibration
+//! report. The machine-readable artifacts land in `telemetry/` (CI's
+//! `telemetry-smoke` job parses them).
 //!
 //! ```sh
 //! cargo run --release --example runtime
@@ -13,6 +17,7 @@ use xdx::core::Optimizer;
 use xdx::net::FaultProfile;
 use xdx::runtime::{
     EventKind, ExchangeRequest, Priority, Runtime, RuntimeConfig, SessionState, ShippingPolicy,
+    WireFormat,
 };
 use xdx::xmark;
 
@@ -32,17 +37,23 @@ fn main() {
         });
     let runtime = Runtime::start(schema.clone(), config);
 
-    // Three sites exchange with a central registry over three distinct
-    // pairs — three independent links. Only the vienna→registry path is
-    // lossy; the others never see its faults.
-    let sites = ["vienna", "lisbon", "tartu"];
+    // Four sites exchange with a central registry over four distinct
+    // pairs — four independent links. Only the vienna→registry path is
+    // lossy; the others never see its faults. Vienna and lisbon speak
+    // the columnar codec (and so does the registry), so their links
+    // negotiate columnar while tartu and oslo fall back to XML text —
+    // a mixed-format fleet.
+    let sites = ["vienna", "lisbon", "tartu", "oslo"];
     runtime.set_link_fault_profile("vienna", "registry", FaultProfile::drops(0.10, 2004));
+    runtime.set_endpoint_format("registry", WireFormat::Columnar);
+    runtime.set_endpoint_format("vienna", WireFormat::Columnar);
+    runtime.set_endpoint_format("lisbon", WireFormat::Columnar);
 
-    // Ten sessions, alternating MF→LF and LF→MF legs (two plan shapes,
-    // each optimized once and cached), spread round-robin over the
-    // sites. One is high priority; one plans under the exhaustive
+    // Sixteen sessions, alternating MF→LF and LF→MF legs (two plan
+    // shapes, each optimized once and cached), spread round-robin over
+    // the sites. One is high priority; one plans under the exhaustive
     // `Optimal` optimizer instead of the fleet-default greedy.
-    let handles: Vec<_> = (0..10)
+    let handles: Vec<_> = (0..16)
         .map(|i| {
             let (from, to) = if i % 2 == 1 { (&lf, &mf) } else { (&mf, &lf) };
             let source = xmark::load_source(&doc, &schema, from).expect("load source");
@@ -59,14 +70,14 @@ fn main() {
         })
         .collect();
 
-    println!("session   route             state  wait ms  plan ms  cache  chunks  retried  rows");
+    println!("session    route             state  wait ms  plan ms  cache  chunks  retried  rows");
     for handle in handles {
         let name = handle.name().to_string();
         let result = handle.wait();
         assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
         let m = &result.metrics;
         println!(
-            "{name:<9} {:<17} {:<6} {:>7.2} {:>8.2}  {:<5} {:>7} {:>8} {:>5}",
+            "{name:<10} {:<17} {:<6} {:>7.2} {:>8.2}  {:<5} {:>7} {:>8} {:>5}",
             m.route,
             format!("{:?}", result.state),
             m.queue_wait.as_secs_f64() * 1e3,
@@ -77,6 +88,33 @@ fn main() {
             m.rows_loaded,
         );
     }
+
+    // The whole telemetry surface, captured while the runtime is live:
+    // a Prometheus text snapshot, the span trace and event log as
+    // JSONL, and the predicted-vs-observed calibration report. CI's
+    // `telemetry-smoke` job re-parses these files and fails on schema
+    // drift.
+    let metrics = runtime.metrics_text();
+    let trace = runtime.trace_jsonl();
+    let events = runtime.events_jsonl();
+    let calibration = runtime.calibration_report();
+    std::fs::create_dir_all("telemetry").expect("create telemetry dir");
+    std::fs::write("telemetry/metrics.prom", &metrics).expect("write metrics");
+    std::fs::write("telemetry/trace.jsonl", &trace).expect("write trace");
+    std::fs::write("telemetry/events.jsonl", &events).expect("write events");
+    std::fs::write("telemetry/calibration.json", calibration.to_json()).expect("write calibration");
+    println!(
+        "\ntelemetry: {} metric lines, {} spans, {} events -> telemetry/",
+        metrics.lines().count(),
+        trace.lines().count(),
+        events.lines().count(),
+    );
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("xdx_session_latency_ns") || l.starts_with("xdx_link_utilization")
+    }) {
+        println!("  {line}");
+    }
+    print!("{calibration}");
 
     let retries = runtime
         .events()
@@ -95,18 +133,23 @@ fn main() {
         stats.chunks_retried,
     );
     println!(
-        "latency p50 {:.2} ms, p99 {:.2} ms; peak concurrent shipments {}\n",
+        "latency p50 {:.2} ms, p99 {:.2} ms; peak concurrent shipments {}; \
+         {} events / {} spans dropped\n",
         stats.latency_percentile(50.0).unwrap().as_secs_f64() * 1e3,
         stats.latency_percentile(99.0).unwrap().as_secs_f64() * 1e3,
         stats.peak_concurrent_shipments,
+        stats.dropped_events,
+        stats.dropped_spans,
     );
 
-    // The per-link rollup: retries concentrate on the lossy pair.
-    println!("link               wire KB  chunks  retried  done  breaker");
+    // The per-link rollup: retries concentrate on the lossy pair, and
+    // the negotiated wire format differs per pair.
+    println!("link               format    wire KB  chunks  retried  done  breaker");
     for link in &stats.links {
         println!(
-            "{:<18} {:>7} {:>7} {:>8} {:>5}  {}",
+            "{:<18} {:<9} {:>7} {:>7} {:>8} {:>5}  {}",
             link.pair(),
+            link.wire_format.name(),
             link.wire_bytes / 1024,
             link.chunks_shipped,
             link.chunks_retried,
