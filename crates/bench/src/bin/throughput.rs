@@ -26,6 +26,22 @@
 //!
 //! Defaults: 24 forward sessions of ~60 KB each, 5% drops, greedy,
 //! 1 pair, both formats.
+//!
+//! A second mode benchmarks periodic re-synchronization:
+//!
+//! ```text
+//! throughput resync [rounds] [doc_bytes] [churn_pct]
+//! ```
+//!
+//! One source re-syncs one target `rounds` times; between rounds
+//! `churn_pct`% of the items mutate. Each round runs twice, in separate
+//! fleets over the same paced link: once shipping the full document
+//! again, once as a versioned delta session (`with_base_version`)
+//! shipping a Patch frame. Reports per wire format: wire bytes and
+//! sessions/sec for both strategies plus the delta/full byte ratio, and
+//! writes `BENCH_PR6.json` for the CI resync gate (delta wire bytes
+//! ≤ 0.3× full at 5% churn, sessions/sec no worse). Defaults: 6 rounds,
+//! ~60 KB docs, 5% churn.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -35,10 +51,11 @@ use xdx_runtime::{
     CalibrationReport, ExchangeRequest, Runtime, RuntimeConfig, RuntimeStats, SessionState,
     ShippingPolicy, WireFormat,
 };
-use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+use xdx_xmark::{churn, generate, lf, load_source, mf, schema, GenConfig};
 
 const USAGE: &str = "usage: throughput [sessions] [doc_bytes] [drop_probability] \
-                     [forward|mixed] [greedy|optimal[:cap]] [pairs] [xml|columnar|both]";
+                     [forward|mixed] [greedy|optimal[:cap]] [pairs] [xml|columnar|both]\n   \
+                     or: throughput resync [rounds] [doc_bytes] [churn_pct]";
 
 fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
     match args.next() {
@@ -193,8 +210,178 @@ struct FleetRun {
     calibration: CalibrationReport,
 }
 
+/// One re-sync strategy's numbers: what crossing the wire `rounds`
+/// times cost after the (unmeasured) initial full ship.
+struct ResyncSide {
+    wire_bytes: u64,
+    sessions_per_sec: f64,
+    patch_bytes: u64,
+    patches_applied: u64,
+    full_fallbacks: u64,
+}
+
+/// Runs `round_docs[1..]` through one runtime over a paced link —
+/// `round_docs[0]` is the seed document whose full first ship both
+/// strategies pay identically and which stays outside the measured
+/// window. With `delta` set, each round declares the version the
+/// previous round left the target at, so the runtime ships Patch
+/// frames; otherwise every round re-ships the full document.
+fn resync_fleet(
+    schema: &xdx_xml::SchemaTree,
+    round_docs: &[String],
+    mf: &xdx_core::Fragmentation,
+    lf: &xdx_core::Fragmentation,
+    format: WireFormat,
+    delta: bool,
+) -> ResyncSide {
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_wire_format(format)
+            .with_network(NetworkProfile {
+                bandwidth_bytes_per_sec: 1_000_000.0,
+                latency: Duration::from_micros(500),
+            })
+            .with_link_pacing(1.0)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 8 * 1024,
+                ..ShippingPolicy::default()
+            }),
+    );
+    let seed = runtime
+        .submit(ExchangeRequest::new(
+            "resync-seed",
+            load_source(&round_docs[0], schema, mf).expect("load source"),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .expect("queue holds the seed session")
+        .wait();
+    assert_eq!(seed.state, SessionState::Done, "{:?}", seed.diagnostic);
+    let baseline = runtime.stats();
+
+    // Sources are shredded outside the measured window, as in the sweep.
+    let sources: Vec<_> = round_docs[1..]
+        .iter()
+        .map(|doc| load_source(doc, schema, mf).expect("load source"))
+        .collect();
+    let started = Instant::now();
+    for (r, source) in sources.into_iter().enumerate() {
+        let mut request =
+            ExchangeRequest::new(format!("resync-r{r}"), source, mf.clone(), lf.clone());
+        if delta {
+            request = request.with_base_version(r as u64 + 1);
+        }
+        let result = runtime
+            .submit(request)
+            .expect("queue holds one session at a time")
+            .wait();
+        assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+    }
+    let wall = started.elapsed();
+    let stats = runtime.shutdown();
+    let rounds = round_docs.len() - 1;
+    ResyncSide {
+        wire_bytes: stats.bytes_shipped - baseline.bytes_shipped,
+        sessions_per_sec: rounds as f64 / wall.as_secs_f64().max(1e-9),
+        patch_bytes: stats.delta_patch_bytes,
+        patches_applied: stats.delta_patches_applied,
+        full_fallbacks: stats.delta_full_fallbacks,
+    }
+}
+
+/// The `resync` mode: full re-ship vs delta patch sessions over the
+/// same churned document sequence, per wire format, with the
+/// machine-readable comparison in `BENCH_PR6.json`.
+fn resync_main(mut args: impl Iterator<Item = String>) {
+    let rounds: usize = arg(&mut args, "rounds", 6);
+    let doc_bytes: usize = arg(&mut args, "doc_bytes", 60_000);
+    let churn_pct: u32 = arg(&mut args, "churn_pct", 5);
+    if rounds == 0 || churn_pct > 100 {
+        eprintln!("error: rounds must be ≥ 1 and churn_pct within [0, 100]");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    // The document sequence: each round mutates churn_pct% of the
+    // items of the previous round's document, so every delta session
+    // diffs against exactly what its target holds.
+    let mut round_docs = vec![generate(GenConfig::sized(doc_bytes))];
+    for r in 0..rounds {
+        round_docs.push(churn(
+            round_docs.last().expect("seeded"),
+            churn_pct,
+            0x1CDE_2004 + r as u64,
+        ));
+    }
+
+    println!(
+        "# resync: {rounds} rounds, ~{} KB docs, {churn_pct}% churn between rounds",
+        doc_bytes / 1024
+    );
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"resync\",");
+    let _ = writeln!(out, "  \"rounds\": {rounds},");
+    let _ = writeln!(out, "  \"doc_bytes\": {doc_bytes},");
+    let _ = writeln!(out, "  \"churn_pct\": {churn_pct},");
+    out.push_str("  \"formats\": [\n");
+    let formats = [WireFormat::Xml, WireFormat::Columnar];
+    for (fi, &format) in formats.iter().enumerate() {
+        let full = resync_fleet(&schema, &round_docs, &mf, &lf, format, false);
+        let delta = resync_fleet(&schema, &round_docs, &mf, &lf, format, true);
+        let ratio = delta.wire_bytes as f64 / full.wire_bytes.max(1) as f64;
+        println!(
+            "## {format}: full {} B at {:.1}/s vs delta {} B at {:.1}/s — \
+             {:.3}x wire bytes, {} patches applied, {} fallbacks",
+            full.wire_bytes,
+            full.sessions_per_sec,
+            delta.wire_bytes,
+            delta.sessions_per_sec,
+            ratio,
+            delta.patches_applied,
+            delta.full_fallbacks,
+        );
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"format\": \"{}\",", format.name());
+        let _ = writeln!(
+            out,
+            "      \"full\": {{\"wire_bytes\": {}, \"sessions_per_sec\": {:.3}}},",
+            full.wire_bytes, full.sessions_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "      \"delta\": {{\"wire_bytes\": {}, \"sessions_per_sec\": {:.3}, \
+             \"patch_bytes\": {}, \"patches_applied\": {}, \"full_fallbacks\": {}}},",
+            delta.wire_bytes,
+            delta.sessions_per_sec,
+            delta.patch_bytes,
+            delta.patches_applied,
+            delta.full_fallbacks,
+        );
+        let _ = writeln!(out, "      \"delta_to_full_wire_ratio\": {ratio:.4}");
+        out.push_str(if fi + 1 < formats.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_PR6.json", &out).expect("write BENCH_PR6.json");
+    println!("# wrote BENCH_PR6.json");
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("resync") {
+        args.next();
+        resync_main(args);
+        return;
+    }
     let sessions: usize = arg(&mut args, "sessions", 24);
     let doc_bytes: usize = arg(&mut args, "doc_bytes", 60_000);
     let drop_p: f64 = arg(&mut args, "drop_probability", 0.05);

@@ -32,12 +32,20 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use xdx_relational::{ColRole, Dewey, Error, Feed, FeedColumn, FeedSchema, Result, Value};
+use xdx_relational::{
+    ColRole, DeltaPatch, Dewey, Error, Feed, FeedColumn, FeedSchema, PatchStep, Result, StepKind,
+    TablePatch, Value,
+};
 
 /// Frame magic of the columnar format. XML-text feeds start with
 /// `#feed\t`, so the first byte already separates the two formats;
 /// [`is_columnar`] checks all eight for robustness.
 pub const COLUMNAR_MAGIC: &[u8; 8] = b"XDXCOLF1";
+
+/// Frame magic of the delta-exchange `Patch` format; distinct in its
+/// first bytes from both `XDXCOLF1` and `#feed` text so receivers sniff
+/// all three frame kinds with one prefix check.
+pub const PATCH_MAGIC: &[u8; 8] = b"XDXPATF1";
 
 /// Arity-zero feeds carry no per-row bytes, so the row count in a frame
 /// cannot be validated against the frame length; this caps it instead.
@@ -514,6 +522,9 @@ pub fn encode_in_format_into(buf: &mut Vec<u8>, feed: &Feed, format: WireFormat)
 /// Decodes a received body in whichever format it sniffs as — columnar
 /// frames by magic, everything else as XML text.
 pub fn decode_any(body: &[u8]) -> Result<Feed> {
+    if is_patch(body) {
+        return Err(decode_err("body is a Patch frame, not a feed"));
+    }
     if is_columnar(body) {
         decode_feed(body)
     } else {
@@ -521,6 +532,141 @@ pub fn decode_any(body: &[u8]) -> Result<Feed> {
             .map_err(|_| decode_err("feed body is neither columnar nor UTF-8 text"))?;
         Feed::from_wire(text)
     }
+}
+
+// ----------------------------------------------------------------------
+// Patch frames
+// ----------------------------------------------------------------------
+
+/// True when `bytes` starts with the `Patch` frame magic.
+pub fn is_patch(bytes: &[u8]) -> bool {
+    bytes.len() >= PATCH_MAGIC.len() && &bytes[..PATCH_MAGIC.len()] == PATCH_MAGIC
+}
+
+/// Encodes a [`DeltaPatch`] into a fresh frame; see
+/// [`encode_patch_into`].
+pub fn encode_patch(patch: &DeltaPatch, format: WireFormat) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_patch_into(&mut buf, patch, format);
+    buf
+}
+
+/// Encodes a [`DeltaPatch`] into `buf` (clearing it first) and returns
+/// the frame length. Step payloads are embedded as length-prefixed feed
+/// frames in the *negotiated* wire format, exactly like a full shipment
+/// — a columnar link's patch payloads get the column encoders and
+/// two-level dictionary for free, an XML-text link stays debuggable.
+///
+/// Frame layout (all counts LEB128 varints):
+///
+/// ```text
+/// magic            8 bytes  "XDXPATF1"
+/// base version     varint   precondition: target must hold this
+/// head version     varint   version after a successful apply
+/// table count      varint
+/// per table        name, step count, then per step
+///                  (kind byte, key depth + components, payload rows),
+///                  then payload-frame length + the embedded feed frame
+/// checksum         8 bytes LE, FNV-64 of everything above
+/// ```
+pub fn encode_patch_into(buf: &mut Vec<u8>, patch: &DeltaPatch, format: WireFormat) -> usize {
+    buf.clear();
+    buf.extend_from_slice(PATCH_MAGIC);
+    put_varint(buf, patch.base_version);
+    put_varint(buf, patch.head_version);
+    put_varint(buf, patch.tables.len() as u64);
+    let mut payload_buf = Vec::new();
+    for t in &patch.tables {
+        put_str(buf, &t.table);
+        put_varint(buf, t.steps.len() as u64);
+        for s in &t.steps {
+            buf.push(s.kind.code());
+            put_varint(buf, s.key.0.len() as u64);
+            for &c in &s.key.0 {
+                put_varint(buf, u64::from(c));
+            }
+            put_varint(buf, u64::from(s.rows));
+        }
+        let len = encode_in_format_into(&mut payload_buf, &t.payload, format);
+        put_varint(buf, len as u64);
+        buf.extend_from_slice(&payload_buf);
+    }
+    let sum = fnv64(buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf.len()
+}
+
+/// Decodes a `Patch` frame. The trailing checksum is verified before
+/// any parsing, so a frame damaged anywhere is rejected *before* the
+/// target considers applying it; the embedded payload feeds then pass
+/// through their own format decoders (each with its own checksum).
+pub fn decode_patch(bytes: &[u8]) -> Result<DeltaPatch> {
+    if !is_patch(bytes) {
+        return Err(decode_err("missing patch frame magic"));
+    }
+    if bytes.len() < PATCH_MAGIC.len() + 8 {
+        return Err(decode_err("patch frame shorter than magic + checksum"));
+    }
+    let (body, sum) = bytes.split_at(bytes.len() - 8);
+    let expected = u64::from_le_bytes(sum.try_into().expect("8-byte slice"));
+    if fnv64(body) != expected {
+        return Err(decode_err(
+            "checksum mismatch: patch frame corrupted in transit",
+        ));
+    }
+    let mut r = Reader {
+        buf: &body[PATCH_MAGIC.len()..],
+        pos: 0,
+    };
+    let base_version = r.varint("base version")?;
+    let head_version = r.varint("head version")?;
+    // Each table costs at least a name length, a step count and a
+    // payload length byte.
+    let ntables = r.count(3, "table")?;
+    let mut tables = Vec::with_capacity(ntables);
+    for _ in 0..ntables {
+        let table = r.string("table name")?;
+        // Each step costs at least a kind byte, a key depth and a row
+        // count byte.
+        let nsteps = r.count(3, "step")?;
+        let mut steps = Vec::with_capacity(nsteps);
+        for _ in 0..nsteps {
+            let kind = StepKind::from_code(r.take(1, "step kind")?[0])
+                .ok_or_else(|| decode_err("bad step kind byte"))?;
+            let depth = r.count(1, "step key")?;
+            let mut key = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                let c = r.varint("key component")?;
+                key.push(u32::try_from(c).map_err(|_| decode_err("key component out of range"))?);
+            }
+            let rows = r.varint("step rows")?;
+            let rows =
+                u32::try_from(rows).map_err(|_| decode_err("step row count out of range"))?;
+            steps.push(PatchStep {
+                kind,
+                key: Dewey(key),
+                rows,
+            });
+        }
+        let payload_len = r.count(1, "payload frame")?;
+        let payload = decode_any(r.take(payload_len, "payload frame")?)?;
+        tables.push(TablePatch {
+            table,
+            steps,
+            payload,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(decode_err(format!(
+            "{} trailing bytes after last table patch",
+            r.remaining()
+        )));
+    }
+    Ok(DeltaPatch {
+        base_version,
+        head_version,
+        tables,
+    })
 }
 
 #[cfg(test)]
@@ -690,6 +836,89 @@ mod tests {
         assert!(!is_columnar(&buf));
         encode_in_format_into(&mut buf, &f, WireFormat::Columnar);
         assert!(is_columnar(&buf));
+    }
+
+    fn sample_patch() -> DeltaPatch {
+        let feed = sample_feed();
+        let mut payload = Feed::new(feed.schema.clone());
+        payload.rows.push(feed.rows[3].clone());
+        DeltaPatch {
+            base_version: 4,
+            head_version: 5,
+            tables: vec![
+                TablePatch {
+                    table: "ORDER".into(),
+                    steps: vec![
+                        PatchStep {
+                            kind: StepKind::ReplaceSubtree,
+                            key: Dewey(vec![1, 4]),
+                            rows: 1,
+                        },
+                        PatchStep {
+                            kind: StepKind::DeleteSubtree,
+                            key: Dewey(vec![1, 9]),
+                            rows: 0,
+                        },
+                    ],
+                    payload,
+                },
+                TablePatch {
+                    table: "EMPTY".into(),
+                    steps: Vec::new(),
+                    payload: Feed::new(sample_feed().schema),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn patch_roundtrips_in_both_formats() {
+        let p = sample_patch();
+        for format in [WireFormat::Xml, WireFormat::Columnar] {
+            let frame = encode_patch(&p, format);
+            assert!(is_patch(&frame));
+            assert!(!is_columnar(&frame));
+            assert_eq!(decode_patch(&frame).unwrap(), p);
+        }
+        // Empty patch (no tables at all) is a valid frame too.
+        let empty = DeltaPatch {
+            base_version: 0,
+            head_version: 1,
+            tables: Vec::new(),
+        };
+        let frame = encode_patch(&empty, WireFormat::Columnar);
+        assert_eq!(decode_patch(&frame).unwrap(), empty);
+    }
+
+    #[test]
+    fn patch_frames_reject_damage_and_misrouting() {
+        let frame = encode_patch(&sample_patch(), WireFormat::Columnar);
+        for i in 0..frame.len() {
+            let mut damaged = frame.clone();
+            damaged[i] ^= 0x20;
+            assert!(
+                decode_patch(&damaged).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        for len in 0..frame.len() {
+            assert!(decode_patch(&frame[..len]).is_err(), "truncated at {len}");
+        }
+        // A patch frame never decodes as a feed, and vice versa.
+        assert!(decode_any(&frame).is_err());
+        assert!(decode_patch(&encode_feed(&sample_feed())).is_err());
+        assert!(decode_patch(b"#feed\tx\n").is_err());
+    }
+
+    #[test]
+    fn patch_encode_reuses_one_buffer() {
+        let p = sample_patch();
+        let mut buf = Vec::new();
+        let len = encode_patch_into(&mut buf, &p, WireFormat::Xml);
+        assert_eq!(len, buf.len());
+        assert_eq!(buf, encode_patch(&p, WireFormat::Xml));
+        encode_patch_into(&mut buf, &p, WireFormat::Columnar);
+        assert_eq!(decode_patch(&buf).unwrap(), p);
     }
 
     #[test]

@@ -276,6 +276,11 @@ const SORT_FACTOR: f64 = 0.15;
 /// data" (paper §1.1 citing [5, 6]): a merge join re-sorts, compares and
 /// materializes every cell it touches, where a scan just streams it.
 const COMBINE_FACTOR: f64 = 4.0;
+/// Target-side work units per patch step: locating a step's prefix range
+/// and splicing its payload rows during a transactional patch apply.
+/// Steps are cheap next to re-loading a table, but not free — a patch
+/// with very many steps over tiny subtrees can lose to a full re-ship.
+pub const PATCH_STEP_FACTOR: f64 = 8.0;
 
 impl CostModel {
     /// A model with a fast interconnect (computation dominates), the
@@ -363,6 +368,30 @@ impl CostModel {
         } else {
             0.0
         }
+    }
+
+    /// Cost of shipping and applying a delta patch instead of the full
+    /// fragment set: the patch's wire bytes at the communication weight,
+    /// plus a per-step apply term on the target. `patch_wire_bytes` is
+    /// the *actual* encoded frame length (the patch is encoded before
+    /// the decision), so unlike planning estimates this term is exact.
+    pub fn patch_ship_cost(&self, patch_wire_bytes: u64, steps: u64) -> f64 {
+        self.w_comm * patch_wire_bytes as f64
+            + self.w_comp * PATCH_STEP_FACTOR * steps as f64 / self.target.speed
+    }
+
+    /// Communication cost of a full re-ship with `comm_bytes` predicted
+    /// cross-edge wire bytes — the term a delta patch competes against.
+    /// (Both paths pay the plan's computation cost: the source runs the
+    /// program either way, to ship it or to diff against it.)
+    pub fn full_ship_comm_cost(&self, comm_bytes: u64) -> f64 {
+        self.w_comm * comm_bytes as f64
+    }
+
+    /// The planner's delta-vs-full decision: ship the patch only when it
+    /// beats the full re-ship's communication bill.
+    pub fn prefer_patch(&self, patch_wire_bytes: u64, steps: u64, full_comm_bytes: u64) -> bool {
+        self.patch_ship_cost(patch_wire_bytes, steps) < self.full_ship_comm_cost(full_comm_bytes)
     }
 
     /// Total cost of a fully placed program (formula 1).
@@ -516,6 +545,24 @@ mod tests {
         let combine_at_target = model.program_cost(&schema, &p);
         assert!(combine_at_target < all_source);
         assert!(all_source.is_finite() && combine_at_target.is_finite());
+    }
+
+    #[test]
+    fn patch_term_decides_delta_vs_full() {
+        let schema = customer_schema();
+        let stats = SchemaStats::uniform(&schema, 100, 10);
+        // Wide-area link: bytes dominate, a small patch wins big.
+        let internet = CostModel::internet(stats.clone());
+        assert!(internet.prefer_patch(5_000, 40, 100_000));
+        // A patch nearly the size of the full ship loses (its steps cost
+        // extra on top of comparable bytes).
+        assert!(!internet.prefer_patch(99_000, 5_000, 100_000));
+        // On a fast network with a slow target, apply work matters: many
+        // steps over a modest byte saving tip the decision to full ship.
+        let mut lan = CostModel::fast_network(stats);
+        lan.target = SystemProfile::with_speed(0.2);
+        assert!(!lan.prefer_patch(4_000, 10_000, 100_000));
+        assert!(lan.prefer_patch(4_000, 10, 100_000));
     }
 
     #[test]

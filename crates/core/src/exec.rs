@@ -77,6 +77,34 @@ impl Transport for Link {
     }
 }
 
+/// A transport that never leaves the process: every message arrives
+/// instantly and intact. Delta exchange uses this to run the planned
+/// program against a *local* scratch target — the source computes what
+/// the full shipment would materialize, diffs it against the target's
+/// last known version, and ships only the patch over the real link.
+#[derive(Debug, Default)]
+pub struct LoopbackTransport {
+    format: WireFormat,
+}
+
+impl LoopbackTransport {
+    /// A loopback carrying frames in `format` (the format only affects
+    /// encode accounting; the bytes never cross a real link).
+    pub fn new(format: WireFormat) -> LoopbackTransport {
+        LoopbackTransport { format }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn ship(&mut self, _label: &str, message: &[u8]) -> Result<(Duration, Vec<u8>)> {
+        Ok((Duration::ZERO, message.to_vec()))
+    }
+
+    fn wire_format(&self) -> WireFormat {
+        self.format
+    }
+}
+
 /// One timed operator execution, recorded for observability. The
 /// runtime layer turns these into trace spans and per-operator
 /// histograms and feeds them to cost-model calibration; core itself

@@ -52,10 +52,10 @@ pub mod report;
 pub mod selection;
 pub mod shred;
 
-pub use cost::{CostModel, SchemaStats, SystemProfile};
+pub use cost::{CostModel, SchemaStats, SystemProfile, PATCH_STEP_FACTOR};
 pub use error::{Error, Result};
 pub use exchange::{DataExchange, Optimizer};
-pub use exec::{ExecOutcome, OpSample, Transport};
+pub use exec::{ExecOutcome, LoopbackTransport, OpSample, Transport};
 pub use fragment::{Fragment, Fragmentation};
 pub use mapping::Mapping;
 pub use program::{Location, Op, OpNode, Program};

@@ -23,6 +23,7 @@ pub mod error;
 pub mod feed;
 pub mod index;
 pub mod ops;
+pub mod patch;
 pub mod stats;
 pub mod storage;
 pub mod table;
@@ -32,6 +33,7 @@ pub use db::Database;
 pub use error::{Error, Result};
 pub use feed::{ColRole, Feed, FeedColumn, FeedSchema};
 pub use index::Index;
+pub use patch::{apply_table_patch, stage_patch, DeltaPatch, PatchStep, StepKind, TablePatch};
 pub use stats::Counters;
 pub use table::Table;
 pub use value::{Dewey, Value};

@@ -186,14 +186,24 @@ impl PlanCache {
 /// Computes the stable two-part cache key of an exchange. The optimizer
 /// is part of the shape: sessions planned greedily and sessions planned
 /// with the exhaustive ordering search must not share one cached program.
+/// So is the delta `(base_version, head_version)` pair when present: a
+/// delta session's plan embeds which snapshot it diffs against, and a
+/// full-ship session (`versions: None`) must not replay a delta plan —
+/// nor may two deltas against different version pairs share one.
 pub fn plan_key(
     source: &Fragmentation,
     target: &Fragmentation,
     model: &CostModel,
     optimizer: Optimizer,
+    versions: Option<(u64, u64)>,
 ) -> PlanKey {
     let mut shape = Vec::with_capacity(256);
     let push = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+    if let Some((base, head)) = versions {
+        push(&mut shape, 0x44);
+        push(&mut shape, base);
+        push(&mut shape, head);
+    }
     match optimizer {
         Optimizer::Greedy => push(&mut shape, 0x47),
         Optimizer::Optimal { ordering_cap } => {
@@ -280,8 +290,8 @@ mod tests {
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
         assert_eq!(
-            plan_key(&mf_a, &lf, &m, Optimizer::Greedy),
-            plan_key(&mf_b, &lf, &m, Optimizer::Greedy)
+            plan_key(&mf_a, &lf, &m, Optimizer::Greedy, None),
+            plan_key(&mf_b, &lf, &m, Optimizer::Greedy, None)
         );
     }
 
@@ -291,18 +301,21 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::whole_document("WD", &s);
         let m = model(&s, 0.05);
-        let base = plan_key(&mf, &lf, &m, Optimizer::Greedy);
+        let base = plan_key(&mf, &lf, &m, Optimizer::Greedy, None);
         // Reversed direction is a different plan shape.
-        assert_ne!(base.shape, plan_key(&lf, &mf, &m, Optimizer::Greedy).shape);
+        assert_ne!(
+            base.shape,
+            plan_key(&lf, &mf, &m, Optimizer::Greedy, None).shape
+        );
         // A different communication weight is a different plan shape.
         assert_ne!(
             base.shape,
-            plan_key(&mf, &lf, &model(&s, 5.0), Optimizer::Greedy).shape
+            plan_key(&mf, &lf, &model(&s, 5.0), Optimizer::Greedy, None).shape
         );
         // Different statistics keep the shape but move the stats hash.
         let mut fatter = m.clone();
         fatter.stats.counts[2] += 100;
-        let drifted = plan_key(&mf, &lf, &fatter, Optimizer::Greedy);
+        let drifted = plan_key(&mf, &lf, &fatter, Optimizer::Greedy, None);
         assert_eq!(base.shape, drifted.shape);
         assert_ne!(base.stats, drifted.stats);
         // A dumb-client target is a different plan shape.
@@ -310,7 +323,7 @@ mod tests {
         dumb.target.can_combine = false;
         assert_ne!(
             base.shape,
-            plan_key(&mf, &lf, &dumb, Optimizer::Greedy).shape
+            plan_key(&mf, &lf, &dumb, Optimizer::Greedy, None).shape
         );
         // A columnar link is a different plan shape: its cheaper wire
         // moves the placement trade-off.
@@ -318,18 +331,44 @@ mod tests {
         columnar.wire_format = WireFormat::Columnar;
         assert_ne!(
             base.shape,
-            plan_key(&mf, &lf, &columnar, Optimizer::Greedy).shape
+            plan_key(&mf, &lf, &columnar, Optimizer::Greedy, None).shape
         );
         // A different optimizer is a different plan shape too: greedy
         // and exhaustive sessions must not share a cached program.
         assert_ne!(
             base.shape,
-            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 6 }).shape
+            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 6 }, None).shape
         );
         assert_ne!(
-            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 6 }).shape,
-            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 8 }).shape
+            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 6 }, None).shape,
+            plan_key(&mf, &lf, &m, Optimizer::Optimal { ordering_cap: 8 }, None).shape
         );
+    }
+
+    #[test]
+    fn version_pair_discriminates_plan_shapes() {
+        // Regression: delta sessions fold the (base_version,
+        // head_version) pair into the key. Before that, a delta plan
+        // against v3 could be replayed for a full ship — or for a delta
+        // against a different base — shipping the wrong bytes.
+        let s = schema();
+        let mf = Fragmentation::most_fragmented("MF", &s);
+        let lf = Fragmentation::least_fragmented("LF", &s);
+        let m = model(&s, 0.05);
+        let full = plan_key(&mf, &lf, &m, Optimizer::Greedy, None);
+        let d34 = plan_key(&mf, &lf, &m, Optimizer::Greedy, Some((3, 4)));
+        let d24 = plan_key(&mf, &lf, &m, Optimizer::Greedy, Some((2, 4)));
+        let d35 = plan_key(&mf, &lf, &m, Optimizer::Greedy, Some((3, 5)));
+        assert_ne!(full.shape, d34.shape, "delta vs full");
+        assert_ne!(d34.shape, d24.shape, "base version matters");
+        assert_ne!(d34.shape, d35.shape, "head version matters");
+        assert_eq!(
+            d34,
+            plan_key(&mf, &lf, &m, Optimizer::Greedy, Some((3, 4))),
+            "same pair, same key"
+        );
+        // The stats half is untouched by versions.
+        assert_eq!(full.stats, d34.stats);
     }
 
     #[test]
@@ -338,7 +377,7 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy, None);
 
         let cache = PlanCache::new();
         assert!(cache.lookup(key).is_none());
@@ -358,7 +397,7 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy, None);
         let cache = PlanCache::new();
         cache.lookup(key);
         cache.insert(key, plan_for(&s, &m));
@@ -366,7 +405,7 @@ mod tests {
         // The source grew: a re-probe hashes differently.
         let mut grown = m.clone();
         grown.stats.counts[1] *= 7;
-        let drifted = plan_key(&mf, &lf, &grown, Optimizer::Greedy);
+        let drifted = plan_key(&mf, &lf, &grown, Optimizer::Greedy, None);
         assert!(cache.lookup(drifted).is_none(), "stale plan not served");
         assert_eq!(cache.stats_evicted(), 1);
         assert!(cache.is_empty(), "the drifted entry is gone");
@@ -382,7 +421,7 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy, None);
         let cache = PlanCache::new();
         cache.lookup(key);
         cache.insert(key, plan_for(&s, &m));
@@ -403,7 +442,7 @@ mod tests {
         let mf = Fragmentation::most_fragmented("MF", &s);
         let lf = Fragmentation::least_fragmented("LF", &s);
         let m = model(&s, 0.05);
-        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy);
+        let key = plan_key(&mf, &lf, &m, Optimizer::Greedy, None);
         let cache = PlanCache::with_ttl(Duration::ZERO);
         cache.lookup(key);
         cache.insert(key, plan_for(&s, &m));

@@ -56,6 +56,12 @@ pub enum EventKind {
     CircuitHalfOpened,
     /// A probe succeeded: the breaker closed again.
     CircuitClosed,
+    /// A delta patch was applied transactionally at the target and the
+    /// feed version advanced.
+    DeltaApplied,
+    /// A delta-planned session fell back to a full re-ship (missing
+    /// snapshot, diff failure, cost, or a failed precondition).
+    DeltaFellBack,
     /// The session reached `Done`.
     Completed,
     /// The session reached `Failed`.
@@ -83,6 +89,8 @@ impl EventKind {
             EventKind::CircuitOpened => "circuit_opened",
             EventKind::CircuitHalfOpened => "circuit_half_opened",
             EventKind::CircuitClosed => "circuit_closed",
+            EventKind::DeltaApplied => "delta_applied",
+            EventKind::DeltaFellBack => "delta_fell_back",
             EventKind::Completed => "completed",
             EventKind::Failed => "failed",
             EventKind::Cancelled => "cancelled",

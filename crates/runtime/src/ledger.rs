@@ -23,6 +23,7 @@
 
 use crate::session::SessionId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use xdx_net::{fnv64, ChunkFrame};
 
@@ -64,6 +65,11 @@ struct ShipmentBuffer {
 #[derive(Debug)]
 pub struct ReassemblyLedger {
     shards: Vec<Mutex<HashMap<(SessionId, u64), ShipmentBuffer>>>,
+    /// Shipment buffers garbage-collected by [`forget_session`]
+    /// (acknowledged checkpoints whose session committed).
+    ///
+    /// [`forget_session`]: ReassemblyLedger::forget_session
+    pruned: AtomicU64,
 }
 
 impl Default for ReassemblyLedger {
@@ -77,6 +83,7 @@ impl ReassemblyLedger {
     pub fn new() -> ReassemblyLedger {
         ReassemblyLedger {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            pruned: AtomicU64::new(0),
         }
     }
 
@@ -167,12 +174,25 @@ impl ReassemblyLedger {
     }
 
     /// Drops every buffer of `session` — called when the session
-    /// completes and its checkpoints are no longer needed.
+    /// completes and its checkpoints are no longer needed. Each dropped
+    /// buffer counts toward [`entries_pruned`].
+    ///
+    /// [`entries_pruned`]: ReassemblyLedger::entries_pruned
     pub fn forget_session(&self, session: SessionId) {
-        self.shard(session)
-            .lock()
-            .unwrap()
-            .retain(|(s, _), _| *s != session);
+        let mut map = self.shard(session).lock().unwrap();
+        let before = map.len();
+        map.retain(|(s, _), _| *s != session);
+        let dropped = (before - map.len()) as u64;
+        drop(map);
+        if dropped > 0 {
+            self.pruned.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Total shipment buffers garbage-collected across the ledger's
+    /// lifetime — acknowledged checkpoint state released after commit.
+    pub fn entries_pruned(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
     }
 
     /// Chunks currently checkpointed for `session` across all shipments.
@@ -280,5 +300,21 @@ mod tests {
         assert!(ledger.stored_message(1, 0).is_none());
         assert_eq!(ledger.file(&frame(1, 0, 0, 1, b"a")), Filed::Stale);
         assert_eq!(ledger.checkpointed_chunks(2), 1);
+    }
+
+    #[test]
+    fn pruning_counts_released_checkpoints() {
+        let ledger = ReassemblyLedger::new();
+        assert_eq!(ledger.entries_pruned(), 0);
+        ledger.begin_shipment(1, 0, 1, b"a");
+        ledger.begin_shipment(1, 1, 1, b"b");
+        ledger.begin_shipment(2, 0, 1, b"c");
+        ledger.forget_session(1);
+        assert_eq!(ledger.entries_pruned(), 2, "two buffers released");
+        // Forgetting a session with no buffers adds nothing.
+        ledger.forget_session(1);
+        assert_eq!(ledger.entries_pruned(), 2);
+        ledger.forget_session(2);
+        assert_eq!(ledger.entries_pruned(), 3);
     }
 }

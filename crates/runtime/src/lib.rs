@@ -80,6 +80,6 @@ pub use session::{
 pub use shipper::ShippingPolicy;
 pub use xdx_core::WireFormat;
 pub use xdx_trace::{
-    CalibrationConfig, CalibrationReport, CommCalibration, HistogramSnapshot, OpCalibration,
-    SpanId, SpanRecord,
+    CalibrationConfig, CalibrationReport, CommCalibration, DeltaCalibration, HistogramSnapshot,
+    OpCalibration, SpanId, SpanRecord,
 };

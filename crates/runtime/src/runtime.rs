@@ -26,10 +26,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xdx_core::exec::execute_with_transport;
-use xdx_core::{DataExchange, Location, Optimizer, WireFormat};
+use xdx_codec::{decode_patch, encode_patch};
+use xdx_core::exec::{execute_with_transport, LoopbackTransport, Transport};
+use xdx_core::{DataExchange, Location, Optimizer, WireFormat, PATCH_STEP_FACTOR};
+use xdx_delta::{db_tables, diff_snapshots, Snapshot, SnapshotStore};
 use xdx_net::{FaultProfile, NetworkProfile};
-use xdx_relational::{Counters, Database};
+use xdx_relational::{stage_patch, Counters, Database};
 use xdx_trace::{
     CalibrationConfig, CalibrationReport, CalibrationTracker, Histogram, HistogramSnapshot,
     MetricsRegistry, TraceSink, NO_SPAN,
@@ -53,6 +55,13 @@ fn format_name(format: WireFormat) -> &'static str {
         WireFormat::Xml => "xml",
         WireFormat::Columnar => "columnar",
     }
+}
+
+/// Stable identity of a route's versioned feed log: the endpoint pair
+/// plus both fragmentation names — a different fragmentation pair over
+/// the same endpoints is a different feed history.
+fn route_key(src_ep: &str, dst_ep: &str, src_frag: &str, dst_frag: &str) -> String {
+    format!("{src_ep}→{dst_ep}:{src_frag}→{dst_frag}")
 }
 
 /// Tunables of a runtime instance.
@@ -331,6 +340,20 @@ pub struct RuntimeStats {
     pub dropped_events: u64,
     /// Spans evicted from the bounded trace ring.
     pub dropped_spans: u64,
+    /// Encoded Patch-frame bytes shipped by delta sessions.
+    pub delta_patch_bytes: u64,
+    /// Delta patches applied transactionally at targets.
+    pub delta_patches_applied: u64,
+    /// Delta-eligible sessions where the cost model chose the full
+    /// re-ship (the patch would have cost more than the full feeds).
+    pub delta_full_chosen: u64,
+    /// Delta-eligible sessions that fell back to a full re-ship for a
+    /// non-cost reason (missing snapshot, diff/decode failure, stale
+    /// version precondition).
+    pub delta_full_fallbacks: u64,
+    /// Acknowledged shipment buffers garbage-collected from the
+    /// reassembly ledger after their session committed.
+    pub ledger_entries_pruned: u64,
 }
 
 impl RuntimeStats {
@@ -416,6 +439,10 @@ struct Aggregate {
     chunks_resumed: u64,
     chunks_deduped: u64,
     chunks_retried: u64,
+    delta_patch_bytes: u64,
+    delta_patches_applied: u64,
+    delta_full_chosen: u64,
+    delta_full_fallbacks: u64,
     latencies: Vec<Duration>,
     /// Source-side engine counters, merged across finished sessions.
     source_counters: Counters,
@@ -448,6 +475,11 @@ struct Inner {
     /// Predicted-vs-observed cost accounting; sustained drift evicts
     /// cached plans.
     calibration: CalibrationTracker,
+    /// Versioned feed snapshots per route+fragmentation pair: the
+    /// source-side log delta sessions diff against. Every successful
+    /// session records its target feeds here, advancing the route's
+    /// head version.
+    snapshots: SnapshotStore,
     /// Pre-registered hot-path histograms (also reachable by name
     /// through `metrics`).
     queue_wait_hist: Arc<Histogram>,
@@ -505,6 +537,7 @@ impl Runtime {
             trace: TraceSink::new(config.tracing, config.trace_capacity),
             metrics,
             calibration: CalibrationTracker::new(config.calibration),
+            snapshots: SnapshotStore::new(),
             queue_wait_hist,
             planning_hist,
             latency_hist,
@@ -666,6 +699,26 @@ impl Runtime {
         self.inner.calibration.report()
     }
 
+    /// Head version of the snapshot log for an endpoint + fragmentation
+    /// pair — the feed version a target that just completed a session
+    /// on this route holds, i.e. the `with_base_version` a follow-up
+    /// delta session should declare. 0 means the route never completed
+    /// a session.
+    pub fn feed_version(
+        &self,
+        source_endpoint: &str,
+        target_endpoint: &str,
+        source_frag: &str,
+        target_frag: &str,
+    ) -> u64 {
+        self.inner.snapshots.head(&route_key(
+            source_endpoint,
+            target_endpoint,
+            source_frag,
+            target_frag,
+        ))
+    }
+
     /// Stops admitting, drains the queue, joins the workers and returns
     /// the final statistics.
     pub fn shutdown(mut self) -> RuntimeStats {
@@ -798,6 +851,11 @@ impl Inner {
             latency_histogram: self.latency_hist.snapshot(),
             dropped_events: self.events.dropped(),
             dropped_spans: self.trace.dropped(),
+            delta_patch_bytes: agg.delta_patch_bytes,
+            delta_patches_applied: agg.delta_patches_applied,
+            delta_full_chosen: agg.delta_full_chosen,
+            delta_full_fallbacks: agg.delta_full_fallbacks,
+            ledger_entries_pruned: self.ledger.entries_pruned(),
         }
     }
 
@@ -837,6 +895,17 @@ impl Inner {
             ("xdx_chunks_retried_total", stats.chunks_retried),
             ("xdx_events_dropped_total", stats.dropped_events),
             ("xdx_spans_dropped_total", stats.dropped_spans),
+            ("xdx_delta_patch_bytes_total", stats.delta_patch_bytes),
+            (
+                "xdx_delta_patches_applied_total",
+                stats.delta_patches_applied,
+            ),
+            ("xdx_delta_full_chosen_total", stats.delta_full_chosen),
+            ("xdx_delta_full_fallbacks_total", stats.delta_full_fallbacks),
+            (
+                "xdx_ledger_entries_pruned_total",
+                stats.ledger_entries_pruned,
+            ),
         ] {
             m.counter(name).set(value);
         }
@@ -971,6 +1040,36 @@ impl Inner {
             return;
         }
 
+        // Delta eligibility: resolve the base snapshot for the
+        // request's declared target version. A missing (or aged-out)
+        // snapshot falls back to a full re-ship before planning, so the
+        // plan-cache key never embeds a version pair we cannot serve.
+        let feed_route = route_key(
+            &request.source_endpoint,
+            &request.target_endpoint,
+            &request.source_frag.name,
+            &request.target_frag.name,
+        );
+        let mut delta_base: Option<(u64, u64, Snapshot)> = None;
+        if let Some(base) = request.base_version {
+            match self.snapshots.snapshot(&feed_route, base) {
+                Some(snap) => {
+                    let head = self.snapshots.head(&feed_route) + 1;
+                    delta_base = Some((base, head, snap));
+                }
+                None => {
+                    metrics.delta_full_fallbacks += 1;
+                    self.events.push(
+                        shared.id,
+                        shared.root_span,
+                        EventKind::DeltaFellBack,
+                        format!("no snapshot v{base} for {feed_route}: full re-ship"),
+                    );
+                }
+            }
+        }
+        let versions = delta_base.as_ref().map(|&(b, h, _)| (b, h));
+
         // Plan (Figure 2, Steps 2–3), consulting the shared cache — or,
         // for a resumed session, replaying the checkpointed plan with
         // zero probes and zero optimizer calls.
@@ -1029,6 +1128,7 @@ impl Inner {
                 &request.target_frag,
                 &model,
                 optimizer,
+                versions,
             );
             plan_shape = Some(key.shape);
             match self.cache.lookup(key) {
@@ -1166,16 +1266,131 @@ impl Inner {
             wire_format,
         )
         .with_telemetry(&self.trace, exec_span, Arc::clone(&self.encode_hist));
-        let outcome = execute_with_transport(
-            &self.schema,
-            &request.source_frag,
-            &request.target_frag,
-            &plan.program,
-            &mut request.source,
-            &mut target,
-            &mut shipper,
-            None,
-        );
+        // Delta path first, when eligible: compute the head feeds
+        // locally over a loopback transport, diff them against the base
+        // snapshot in one Dewey merge pass, and ship the checksummed
+        // patch when the cost model prefers it over the full feeds. Any
+        // post-delivery failure (corrupt frame, stale version
+        // precondition, malformed steps) rolls the staged patch back
+        // and falls through to the full re-ship — the fallback ladder.
+        let outcome = 'exec: {
+            if let Some((base_ver, head_ver, snapshot)) = delta_base.as_ref() {
+                let mut loopback = LoopbackTransport::new(wire_format);
+                let mut head_db = Database::new(format!("{}-head", shared.name));
+                let mut head_outcome = match execute_with_transport(
+                    &self.schema,
+                    &request.source_frag,
+                    &request.target_frag,
+                    &plan.program,
+                    &mut request.source,
+                    &mut head_db,
+                    &mut loopback,
+                    None,
+                ) {
+                    Ok(out) => out,
+                    Err(e) => break 'exec Err(e),
+                };
+                match diff_snapshots(snapshot, &db_tables(&head_db), *base_ver, *head_ver) {
+                    Ok(patch) => {
+                        let steps = patch.step_count();
+                        let bytes = encode_patch(&patch, wire_format);
+                        let patch_cost = self.config.w_comm * bytes.len() as f64
+                            + PATCH_STEP_FACTOR * steps as f64 / request.target_profile.speed;
+                        let full_cost = self.config.w_comm * plan.comm_bytes as f64;
+                        if plan.comm_bytes > 0 && patch_cost >= full_cost {
+                            metrics.delta_full_chosen += 1;
+                            self.events.push(
+                                shared.id,
+                                exec_span,
+                                EventKind::DeltaFellBack,
+                                format!(
+                                    "patch cost {patch_cost:.1} ≥ full {full_cost:.1}: full ship"
+                                ),
+                            );
+                        } else {
+                            match shipper.ship("delta-patch", &bytes) {
+                                Ok((wire, delivered)) => {
+                                    let staged = decode_patch(&delivered).and_then(|decoded| {
+                                        let head_now = self.snapshots.head(&feed_route);
+                                        if head_now != decoded.base_version {
+                                            return Err(xdx_relational::Error::SchemaMismatch {
+                                                detail: format!(
+                                                    "stale patch: route head v{head_now} ≠ \
+                                                     patch base v{}",
+                                                    decoded.base_version
+                                                ),
+                                            });
+                                        }
+                                        stage_patch(snapshot, &decoded, &mut target)?;
+                                        Ok(())
+                                    });
+                                    match staged {
+                                        Ok(()) => {
+                                            let rows = target.commit_staged();
+                                            if let Err(e) = target.build_all_key_indexes() {
+                                                break 'exec Err(e.into());
+                                            }
+                                            metrics.delta_patch_bytes += bytes.len() as u64;
+                                            metrics.delta_patches_applied += 1;
+                                            self.events.push(
+                                                shared.id,
+                                                exec_span,
+                                                EventKind::DeltaApplied,
+                                                format!(
+                                                    "v{base_ver}→v{head_ver}: {steps} steps, \
+                                                     {} bytes, {rows} rows",
+                                                    bytes.len()
+                                                ),
+                                            );
+                                            head_outcome.times.communication = wire;
+                                            head_outcome.messages = 1;
+                                            head_outcome.rows_loaded = rows;
+                                            break 'exec Ok(head_outcome);
+                                        }
+                                        Err(e) => {
+                                            target.rollback_staged();
+                                            metrics.delta_full_fallbacks += 1;
+                                            self.events.push(
+                                                shared.id,
+                                                exec_span,
+                                                EventKind::DeltaFellBack,
+                                                format!("patch rejected: {e}; full re-ship"),
+                                            );
+                                        }
+                                    }
+                                }
+                                // The link gave up on the patch: fail
+                                // the session. The checkpoint ledger
+                                // holds the acknowledged patch chunks,
+                                // and a resume recomputes the identical
+                                // patch, so only unacked chunks cross
+                                // the link again.
+                                Err(e) => break 'exec Err(e),
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        metrics.delta_full_fallbacks += 1;
+                        self.events.push(
+                            shared.id,
+                            exec_span,
+                            EventKind::DeltaFellBack,
+                            format!("diff failed: {e}; full re-ship"),
+                        );
+                    }
+                }
+            }
+            execute_with_transport(
+                &self.schema,
+                &request.source_frag,
+                &request.target_frag,
+                &plan.program,
+                &mut request.source,
+                &mut target,
+                &mut shipper,
+                None,
+            )
+        };
         let ship = shipper.stats;
         metrics.communication = match &outcome {
             Ok(out) => out.times.communication,
@@ -1279,6 +1494,10 @@ impl Inner {
                         );
                     }
                 }
+                // Advance the route's versioned feed log: the committed
+                // target feeds become the snapshot the next delta
+                // session diffs against.
+                self.snapshots.record(&feed_route, db_tables(&target));
                 // The checkpoint served its purpose; drop it.
                 self.ledger.forget_session(shared.id);
                 slot.counters
@@ -1385,6 +1604,10 @@ impl Inner {
             agg.chunks_resumed += metrics.chunks_resumed;
             agg.chunks_deduped += metrics.chunks_deduped;
             agg.chunks_retried += metrics.chunks_retried;
+            agg.delta_patch_bytes += metrics.delta_patch_bytes;
+            agg.delta_patches_applied += metrics.delta_patches_applied;
+            agg.delta_full_chosen += metrics.delta_full_chosen;
+            agg.delta_full_fallbacks += metrics.delta_full_fallbacks;
             agg.source_counters.merge(&metrics.source_counters);
             agg.target_counters.merge(&metrics.target_counters);
             match state {
@@ -1399,6 +1622,19 @@ impl Inner {
         }
         if state == SessionState::Done {
             self.latency_hist.record_duration_ns(metrics.total_wall);
+        }
+        if metrics.delta_patch_bytes
+            + metrics.delta_patches_applied
+            + metrics.delta_full_chosen
+            + metrics.delta_full_fallbacks
+            > 0
+        {
+            self.calibration.record_delta(
+                metrics.delta_patch_bytes,
+                metrics.delta_patches_applied,
+                metrics.delta_full_chosen,
+                metrics.delta_full_fallbacks,
+            );
         }
         let kind = match state {
             SessionState::Done => EventKind::Completed,

@@ -114,6 +114,13 @@ pub struct ExchangeRequest {
     /// Per-session wire-format override; `None` ships in the format the
     /// route's endpoints negotiated.
     pub wire_format: Option<WireFormat>,
+    /// Feed version the *target* already holds for this route and
+    /// fragmentation pair. `Some(v)` asks the planner to ship a delta
+    /// patch against the versioned snapshot `v` instead of the full
+    /// feeds; if the snapshot aged out, the diff fails, or the patch
+    /// would cost more than a full ship, the session falls back to a
+    /// full re-ship. `None` (the default) always ships full feeds.
+    pub base_version: Option<u64>,
 }
 
 impl ExchangeRequest {
@@ -137,6 +144,7 @@ impl ExchangeRequest {
             target_endpoint: DEFAULT_TARGET_ENDPOINT.into(),
             optimizer: None,
             wire_format: None,
+            base_version: None,
         }
     }
 
@@ -164,6 +172,15 @@ impl ExchangeRequest {
     /// format is always safe to ship).
     pub fn with_wire_format(mut self, format: WireFormat) -> ExchangeRequest {
         self.wire_format = Some(format);
+        self
+    }
+
+    /// Declares that the target already holds feed version `version` of
+    /// this route's snapshot log, enabling delta planning: the session
+    /// ships a Dewey subtree patch when it is cheaper than the full
+    /// feeds, and falls back to a full re-ship otherwise.
+    pub fn with_base_version(mut self, version: u64) -> ExchangeRequest {
+        self.base_version = Some(version);
         self
     }
 
@@ -238,6 +255,19 @@ pub struct SessionMetrics {
     pub chunks_retried: u64,
     /// Rows loaded into target tables.
     pub rows_loaded: u64,
+    /// Encoded Patch-frame bytes shipped by this session (0 for full
+    /// re-ships).
+    pub delta_patch_bytes: u64,
+    /// Delta patches applied transactionally at the target (0 or 1 per
+    /// session).
+    pub delta_patches_applied: u64,
+    /// Delta-eligible sessions where the cost model chose the full
+    /// re-ship anyway (patch larger than the full feeds).
+    pub delta_full_chosen: u64,
+    /// Delta-eligible sessions that fell back to a full re-ship for a
+    /// non-cost reason: missing/aged-out snapshot, diff failure, patch
+    /// decode failure, or a stale version precondition.
+    pub delta_full_fallbacks: u64,
     /// Source engine counters after the run.
     pub source_counters: Counters,
     /// Target engine counters after the run.

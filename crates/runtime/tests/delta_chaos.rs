@@ -1,0 +1,528 @@
+//! Delta-exchange chaos harness: versioned patch sessions against
+//! faulty links and stale version preconditions.
+//!
+//! The contract under test, per route: a full session establishes feed
+//! version 1; a follow-up session declaring `with_base_version(1)`
+//! ships a Patch frame instead of the full document and leaves the
+//! target byte-identical to a full re-ship of the mutated document; a
+//! patch session that dies mid-ship leaves the target at the
+//! precondition version (rolled back, nothing torn) and `resume`
+//! re-ships only the never-acknowledged patch chunks; a stale patch —
+//! its base version no longer the route head — rolls back cleanly and
+//! falls back to a full re-ship inside the same session.
+
+use std::time::Duration;
+use xdx_net::{BurstLoss, FaultProfile, Link, NetworkProfile};
+use xdx_relational::Database;
+use xdx_runtime::{
+    EventKind, ExchangeRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy, WireFormat,
+    DEFAULT_SOURCE_ENDPOINT, DEFAULT_TARGET_ENDPOINT,
+};
+use xdx_xmark::{churn, generate, lf, load_source, mf, schema, GenConfig};
+
+/// The ground truth: the same exchange over a perfect link.
+fn reference_target(doc: &str) -> Database {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let mut source = load_source(doc, &schema, &mf).unwrap();
+    let mut target = Database::new("reference");
+    let mut link = Link::new(NetworkProfile::lan());
+    let exchange = xdx_core::DataExchange::new(&schema, mf, lf);
+    exchange.run(&mut source, &mut target, &mut link).unwrap();
+    target
+}
+
+/// Canonical wire form of a database: table names in sorted order, each
+/// followed by its feed's wire serialization.
+fn wire_state(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    for name in db.table_names() {
+        out.extend_from_slice(name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(db.table(name).unwrap().data.to_wire().as_bytes());
+    }
+    out
+}
+
+/// Head version of the default route.
+fn default_route_version(runtime: &Runtime, source_frag: &str, target_frag: &str) -> u64 {
+    runtime.feed_version(
+        DEFAULT_SOURCE_ENDPOINT,
+        DEFAULT_TARGET_ENDPOINT,
+        source_frag,
+        target_frag,
+    )
+}
+
+/// A 5%-churn delta session ships a small fraction of the full re-ship
+/// bytes in both wire formats, applies exactly one patch, and leaves
+/// the target byte-identical to a full exchange of the mutated
+/// document.
+#[test]
+fn delta_session_ships_fraction_of_full_and_matches_reference() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let churned = churn(&doc, 5, 7);
+    assert_ne!(doc, churned, "5% churn must actually mutate the document");
+    let reference = wire_state(&reference_target(&churned));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    for format in [WireFormat::Xml, WireFormat::Columnar] {
+        let runtime = Runtime::start(
+            schema.clone(),
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_wire_format(format)
+                .with_shipping(ShippingPolicy {
+                    chunk_bytes: 2 * 1024,
+                    backoff_base: Duration::from_millis(1),
+                    ..ShippingPolicy::default()
+                }),
+        );
+
+        // Session 1: full exchange establishes feed version 1.
+        let seed = runtime
+            .submit(ExchangeRequest::new(
+                format!("seed-{format}"),
+                load_source(&doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            ))
+            .unwrap()
+            .wait();
+        assert_eq!(seed.state, SessionState::Done, "{:?}", seed.diagnostic);
+        assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 1);
+
+        // Session 2: the source mutated 5% of its items; the target
+        // declares it holds v1, so the planner ships a patch.
+        let delta = runtime
+            .submit(
+                ExchangeRequest::new(
+                    format!("delta-{format}"),
+                    load_source(&churned, &schema, &mf).unwrap(),
+                    mf.clone(),
+                    lf.clone(),
+                )
+                .with_base_version(1),
+            )
+            .unwrap()
+            .wait();
+        assert_eq!(delta.state, SessionState::Done, "{:?}", delta.diagnostic);
+        assert_eq!(delta.metrics.delta_patches_applied, 1, "{format}");
+        assert_eq!(delta.metrics.delta_full_fallbacks, 0, "{format}");
+        assert!(delta.metrics.delta_patch_bytes > 0, "{format}");
+        assert_eq!(
+            wire_state(&delta.target.expect("done sessions carry their target")),
+            reference,
+            "{format}: patched target diverged from a full re-ship of the mutated document"
+        );
+        assert_eq!(
+            default_route_version(&runtime, &mf.name, &lf.name),
+            2,
+            "{format}: applied patch advances the feed version"
+        );
+
+        // Session 3: the same mutated document shipped in full — the
+        // yardstick the patch has to beat.
+        let full = runtime
+            .submit(ExchangeRequest::new(
+                format!("full-{format}"),
+                load_source(&churned, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            ))
+            .unwrap()
+            .wait();
+        assert_eq!(full.state, SessionState::Done, "{:?}", full.diagnostic);
+        assert!(
+            delta.metrics.bytes_shipped * 2 < full.metrics.bytes_shipped,
+            "{format}: patch shipped {} wire bytes vs {} for the full re-ship",
+            delta.metrics.bytes_shipped,
+            full.metrics.bytes_shipped
+        );
+
+        assert!(runtime
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::DeltaApplied));
+        let stats = runtime.shutdown();
+        assert_eq!(stats.delta_patches_applied, 1, "{format}");
+        assert!(stats.delta_patch_bytes > 0, "{format}");
+        assert_eq!(stats.delta_full_fallbacks, 0, "{format}");
+    }
+}
+
+/// A patch session that dies on a lossy link leaves the target at the
+/// precondition version — rolled back, feed head unmoved — and resuming
+/// it after the link is repaired re-ships only the never-acknowledged
+/// patch chunks before applying.
+#[test]
+fn failed_patch_session_rolls_back_and_resume_reships_only_unacked_chunks() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(16_000));
+    let churned = churn(&doc, 40, 11);
+    let reference = wire_state(&reference_target(&churned));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 512,
+                max_attempts_per_chunk: 2,
+                retry_budget: 4,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+
+    // Establish v1 over the still-healthy link.
+    let seed = runtime
+        .submit(ExchangeRequest::new(
+            "seed",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(seed.state, SessionState::Done, "{:?}", seed.diagnostic);
+    assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 1);
+
+    // The link degrades; the patch shipment dies partway through.
+    runtime.set_fault_profile(FaultProfile {
+        drop_probability: 0.7,
+        seed: 3,
+        ..FaultProfile::healthy()
+    });
+    let handle = runtime
+        .submit(
+            ExchangeRequest::new(
+                "patch",
+                load_source(&churned, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_base_version(1),
+        )
+        .unwrap();
+    let session_id = handle.id();
+    let failed = handle.wait();
+    assert_eq!(
+        failed.state,
+        SessionState::Failed,
+        "{:?}",
+        failed.diagnostic
+    );
+    // No torn apply: the target is back at the precondition version —
+    // zero staged rows survive, and the feed head never moved.
+    assert_eq!(failed.target.expect("rollback travels").total_rows(), 0);
+    assert_eq!(failed.metrics.delta_patches_applied, 0);
+    assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 1);
+    let landed = failed.metrics.chunks_shipped;
+    assert!(
+        landed > 0,
+        "need a partial patch shipment to make resume interesting"
+    );
+
+    // Operator repairs the link and resumes the session: the plan and
+    // the already-acknowledged patch chunks come from the checkpoint.
+    runtime.set_fault_profile(FaultProfile::healthy());
+    let resumed = runtime.resume(session_id).expect("session is resumable");
+    let result = resumed.wait();
+    assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+    assert!(result.metrics.plan_cache_hit, "resume re-planned");
+    assert_eq!(
+        result.metrics.chunks_resumed, landed,
+        "resume must skip exactly the chunks that already landed"
+    );
+    assert_eq!(result.metrics.delta_patches_applied, 1);
+    assert_eq!(
+        wire_state(&result.target.unwrap()),
+        reference,
+        "resumed patch session diverged from a full re-ship of the mutated document"
+    );
+    assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 2);
+    assert!(runtime
+        .events()
+        .iter()
+        .any(|e| e.kind == EventKind::ShipmentResumed));
+    let stats = runtime.shutdown();
+    assert_eq!(stats.delta_patches_applied, 1);
+    assert_eq!(stats.chunks_resumed, landed);
+}
+
+/// Stale and unknown base versions take the fallback ladder: an unknown
+/// base skips the patch entirely, a stale patch ships, fails its
+/// precondition at apply time, rolls back, and completes as a full
+/// re-ship — all inside one session, ending at the correct state.
+#[test]
+fn stale_and_unknown_base_versions_fall_back_to_full_reship() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 2 * 1024,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+
+    // v1 (full), then v2 (patch applied) — the honest fast path.
+    let seed = runtime
+        .submit(ExchangeRequest::new(
+            "seed",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(seed.state, SessionState::Done, "{:?}", seed.diagnostic);
+    let churned = churn(&doc, 5, 7);
+    let applied = runtime
+        .submit(
+            ExchangeRequest::new(
+                "fresh",
+                load_source(&churned, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_base_version(1),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(applied.metrics.delta_patches_applied, 1);
+    assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 2);
+
+    // Stale: the target claims v1, but the route head is already v2.
+    // The patch ships, its precondition fails at apply, the staged rows
+    // roll back, and the session completes as a full re-ship.
+    let rechurned = churn(&doc, 5, 23);
+    let stale = runtime
+        .submit(
+            ExchangeRequest::new(
+                "stale",
+                load_source(&rechurned, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_base_version(1),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(stale.state, SessionState::Done, "{:?}", stale.diagnostic);
+    assert_eq!(stale.metrics.delta_patches_applied, 0);
+    assert_eq!(stale.metrics.delta_full_fallbacks, 1);
+    assert_eq!(
+        wire_state(&stale.target.unwrap()),
+        wire_state(&reference_target(&rechurned)),
+        "fallback re-ship diverged from the reference"
+    );
+    assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 3);
+
+    // Unknown: no snapshot for v99 was ever recorded — the session
+    // falls back before encoding a patch at all.
+    let unknown = runtime
+        .submit(
+            ExchangeRequest::new(
+                "unknown",
+                load_source(&rechurned, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_base_version(99),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(
+        unknown.state,
+        SessionState::Done,
+        "{:?}",
+        unknown.diagnostic
+    );
+    assert_eq!(unknown.metrics.delta_full_fallbacks, 1);
+    assert_eq!(unknown.metrics.delta_patch_bytes, 0);
+    assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 4);
+
+    assert!(runtime
+        .events()
+        .iter()
+        .any(|e| e.kind == EventKind::DeltaFellBack));
+    let stats = runtime.shutdown();
+    assert_eq!(stats.delta_patches_applied, 1);
+    assert_eq!(stats.delta_full_fallbacks, 2);
+}
+
+/// Multi-route fleet: patches race adversarial link faults on every
+/// route at once. The chunk-level recovery layer must deliver every
+/// patch intact (corruption detected and retried, never applied), every
+/// target must match a full re-ship of the mutated document, every
+/// route must land on feed version 2, and the reassembly ledger must
+/// have pruned the acknowledged shipment state of completed sessions.
+#[test]
+fn delta_fleet_races_link_faults_without_torn_applies() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let churned = churn(&doc, 5, 7);
+    let reference = wire_state(&reference_target(&churned));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let seed = 0x1CDE_2004;
+
+    let routes: Vec<(&str, FaultProfile)> = vec![
+        ("control", FaultProfile::healthy()),
+        (
+            "burst-loss",
+            FaultProfile {
+                burst_loss: Some(BurstLoss {
+                    enter: 0.08,
+                    exit: 0.35,
+                    loss: 0.9,
+                }),
+                seed,
+                ..FaultProfile::healthy()
+            },
+        ),
+        (
+            "corrupt-burst",
+            FaultProfile {
+                corrupt_probability: 0.20,
+                corrupt_burst: 16,
+                seed,
+                ..FaultProfile::healthy()
+            },
+        ),
+        (
+            "everything",
+            FaultProfile {
+                drop_probability: 0.05,
+                timeout_probability: 0.03,
+                corrupt_probability: 0.05,
+                corrupt_burst: 8,
+                reorder_probability: 0.10,
+                duplicate_probability: 0.10,
+                burst_loss: Some(BurstLoss {
+                    enter: 0.04,
+                    exit: 0.5,
+                    loss: 0.8,
+                }),
+                seed,
+            },
+        ),
+    ];
+
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(4)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 2 * 1024,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    for (name, profile) in &routes {
+        runtime.set_link_fault_profile(name, "hub", *profile);
+    }
+
+    // Wave 1: full sessions establish v1 on every route, concurrently.
+    let handles: Vec<_> = routes
+        .iter()
+        .map(|(name, _)| {
+            runtime
+                .submit(
+                    ExchangeRequest::new(
+                        format!("seed-{name}"),
+                        load_source(&doc, &schema, &mf).unwrap(),
+                        mf.clone(),
+                        lf.clone(),
+                    )
+                    .with_route(*name, "hub"),
+                )
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        let session = handle.name().to_string();
+        let result = handle.wait();
+        assert_eq!(
+            result.state,
+            SessionState::Done,
+            "{session}: {:?}",
+            result.diagnostic
+        );
+    }
+    for (name, _) in &routes {
+        assert_eq!(runtime.feed_version(name, "hub", &mf.name, &lf.name), 1);
+    }
+
+    // Wave 2: every route ships its 5%-churn patch while its link
+    // misbehaves underneath it.
+    let handles: Vec<_> = routes
+        .iter()
+        .map(|(name, _)| {
+            runtime
+                .submit(
+                    ExchangeRequest::new(
+                        format!("patch-{name}"),
+                        load_source(&churned, &schema, &mf).unwrap(),
+                        mf.clone(),
+                        lf.clone(),
+                    )
+                    .with_route(*name, "hub")
+                    .with_base_version(1),
+                )
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        let session = handle.name().to_string();
+        let result = handle.wait();
+        assert_eq!(
+            result.state,
+            SessionState::Done,
+            "{session}: {:?}",
+            result.diagnostic
+        );
+        assert_eq!(
+            wire_state(&result.target.unwrap()),
+            reference,
+            "{session}: patched target diverged from the healthy reference"
+        );
+    }
+    for (name, _) in &routes {
+        assert_eq!(
+            runtime.feed_version(name, "hub", &mf.name, &lf.name),
+            2,
+            "{name}: route must land on v2, applied or fallen back"
+        );
+    }
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed as usize, routes.len() * 2);
+    // Every delta session resolved through exactly one rung of the
+    // ladder: applied, deliberately full, or fallen back.
+    assert_eq!(
+        stats.delta_patches_applied + stats.delta_full_chosen + stats.delta_full_fallbacks,
+        routes.len() as u64
+    );
+    assert!(
+        stats.delta_patches_applied >= 1,
+        "no route ever applied a patch"
+    );
+    // Satellite: completed sessions release their reassembly state.
+    assert!(
+        stats.ledger_entries_pruned > 0,
+        "no acknowledged shipment state was pruned after commit"
+    );
+}

@@ -17,7 +17,8 @@ pub mod metrics;
 pub mod span;
 
 pub use calibration::{
-    CalibrationConfig, CalibrationReport, CalibrationTracker, CommCalibration, OpCalibration,
+    CalibrationConfig, CalibrationReport, CalibrationTracker, CommCalibration, DeltaCalibration,
+    OpCalibration,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use span::{SpanId, SpanRecord, TraceSink, NO_SPAN};

@@ -204,6 +204,35 @@ pub fn generate(config: GenConfig) -> String {
     w.finish()
 }
 
+/// Rewrites approximately `pct` percent of the document's
+/// `<idescription>` texts with fresh word salad, leaving every element
+/// in place — structure (and therefore Dewey labels) is preserved, so
+/// a delta diff against the original sees pure replace-subtree churn.
+/// This is the controlled-mutation knob resync benchmarks turn between
+/// sessions. Deterministic in `(doc, pct, seed)`.
+pub fn churn(doc: &str, pct: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let open = "<idescription>";
+    let close = "</idescription>";
+    let mut out = String::with_capacity(doc.len() + 64);
+    let mut rest = doc;
+    while let Some(start) = rest.find(open) {
+        let body_start = start + open.len();
+        let Some(body_len) = rest[body_start..].find(close) else {
+            break;
+        };
+        out.push_str(&rest[..body_start]);
+        if rng.gen_range(0..100u32) < pct {
+            out.push_str(&words(&mut rng, 18));
+        } else {
+            out.push_str(&rest[body_start..body_start + body_len]);
+        }
+        rest = &rest[body_start + body_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
 /// Shreds `xml` into `frag` and loads the feeds as the tables of a fresh
 /// source database — the experiment setup phase (not a measured step).
 pub fn load_source(xml: &str, schema: &SchemaTree, frag: &Fragmentation) -> Result<Database> {
@@ -265,6 +294,34 @@ mod tests {
                 doc.len()
             );
         }
+    }
+
+    #[test]
+    fn churn_rewrites_text_but_preserves_structure() {
+        let doc = generate(GenConfig::sized(60_000));
+        assert_eq!(churn(&doc, 0, 3), doc, "0% churn is the identity");
+        let mutated = churn(&doc, 20, 3);
+        assert_ne!(mutated, doc, "20% churn rewrites something");
+        assert_eq!(
+            churn(&doc, 20, 3),
+            mutated,
+            "churn is deterministic in (doc, pct, seed)"
+        );
+        assert_ne!(churn(&doc, 20, 4), mutated, "the seed moves the picks");
+        // Element structure is untouched: same tag census, same length
+        // when measured in elements, and the mutated doc still shreds.
+        for tag in ["<item ", "<idescription>", "</idescription>", "<iname>"] {
+            assert_eq!(
+                mutated.matches(tag).count(),
+                doc.matches(tag).count(),
+                "{tag}"
+            );
+        }
+        let s = schema();
+        let frag = lf(&s);
+        let db = load_source(&mutated, &s, &frag).expect("churned doc still loads");
+        let original = load_source(&doc, &s, &frag).unwrap();
+        assert_eq!(db.total_rows(), original.total_rows());
     }
 
     #[test]
