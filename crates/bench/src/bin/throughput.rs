@@ -42,6 +42,25 @@
 //! writes `BENCH_PR6.json` for the CI resync gate (delta wire bytes
 //! ≤ 0.3× full at 5% churn, sessions/sec no worse). Defaults: 6 rounds,
 //! ~60 KB docs, 5% churn.
+//!
+//! A third mode soaks the overload-control path:
+//!
+//! ```text
+//! throughput soak [sessions] [overload] [tenants] [doc_bytes]
+//! ```
+//!
+//! After a batch-barriered warmup measures fleet capacity (and warms
+//! the admission estimator), the soak submits `sessions` deadline-bound
+//! sessions open-loop at `overload` times that capacity, spread
+//! round-robin over `tenants` weighted-fair tenants (tenant 0 carries
+//! double weight). The harness samples RSS (`/proc/self/statm`) and
+//! queue depth throughout and gates on: flat memory (peak ≤ 1.25×
+//! the under-load baseline), load shedding actually engaging at
+//! admission, accepted-session p95 within the SLO the deadlines
+//! declared, completions tracking tenant weights within 2×, and exact
+//! admission/completion/refusal accounting. The verdict and every raw
+//! number land in `BENCH_PR7.json` for the CI soak gate. Defaults:
+//! 100 000 sessions, 2.0× overload, 4 tenants, ~6 KB docs.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -49,13 +68,14 @@ use xdx_core::Optimizer;
 use xdx_net::{FaultProfile, NetworkProfile};
 use xdx_runtime::{
     CalibrationReport, ExchangeRequest, Runtime, RuntimeConfig, RuntimeStats, SessionState,
-    ShippingPolicy, WireFormat,
+    ShippingPolicy, SubmitError, WireFormat,
 };
 use xdx_xmark::{churn, generate, lf, load_source, mf, schema, GenConfig};
 
 const USAGE: &str = "usage: throughput [sessions] [doc_bytes] [drop_probability] \
                      [forward|mixed] [greedy|optimal[:cap]] [pairs] [xml|columnar|both]\n   \
-                     or: throughput resync [rounds] [doc_bytes] [churn_pct]";
+                     or: throughput resync [rounds] [doc_bytes] [churn_pct]\n   \
+                     or: throughput soak [sessions] [overload] [tenants] [doc_bytes]";
 
 fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
     match args.next() {
@@ -375,11 +395,352 @@ fn resync_main(mut args: impl Iterator<Item = String>) {
     println!("# wrote BENCH_PR6.json");
 }
 
+/// Resident-set size in bytes from `/proc/self/statm` (page count ×
+/// 4 KiB). Returns 0 where procfs is unavailable; the soak's memory
+/// gate auto-passes there and says so in the report.
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|statm| {
+            statm
+                .split_whitespace()
+                .nth(1)
+                .and_then(|pages| pages.parse::<u64>().ok())
+        })
+        .map_or(0, |pages| pages * 4096)
+}
+
+/// The `soak` mode: sustained 2x (configurable) overload against the
+/// admission controller, gating bounded memory, engaged shedding,
+/// SLO-respecting accepted latency, weighted-fair tenant shares, and
+/// exact accounting. Writes `BENCH_PR7.json` and exits nonzero if any
+/// gate fails.
+fn soak_main(mut args: impl Iterator<Item = String>) {
+    let sessions: usize = arg(&mut args, "sessions", 100_000);
+    let overload: f64 = arg(&mut args, "overload", 2.0);
+    let tenants: usize = arg(&mut args, "tenants", 4);
+    let doc_bytes: usize = arg(&mut args, "doc_bytes", 6_000);
+    if sessions < 100 || overload < 1.0 || tenants == 0 {
+        eprintln!("error: sessions ≥ 100, overload ≥ 1.0, tenants ≥ 1");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    const WORKERS: usize = 4;
+    // Deep enough that the admission estimator's deadline check engages
+    // well before the hard depth cap: the soak exercises *predictive*
+    // shedding, with QueueFull as the backstop, not the primary valve.
+    const QUEUE_DEPTH: usize = 512;
+    const MAX_RESUMABLES: usize = 64;
+
+    let schema = schema();
+    let doc = generate(GenConfig::sized(doc_bytes));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    // One shredded source, cloned per submission: the soak loads the
+    // runtime's scheduling and shedding, not the shredder.
+    let source_db = load_source(&doc, &schema, &mf).expect("load source");
+
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(WORKERS)
+            .with_max_queue_depth(QUEUE_DEPTH)
+            .with_max_resumables(MAX_RESUMABLES)
+            .with_tracing(false)
+            .with_event_capacity(4096),
+    );
+    // Tenant 0 carries double weight; the fairness gate checks that
+    // completions track the declared shares under sustained overload.
+    for t in 0..tenants {
+        runtime.set_tenant_weight(&format!("tenant-{t}"), if t == 0 { 2.0 } else { 1.0 });
+    }
+    let request = |name: String, t: usize| {
+        ExchangeRequest::new(name, source_db.clone(), mf.clone(), lf.clone())
+            .with_route(format!("t{t}"), "hub")
+            .with_tenant(format!("tenant-{t}"))
+    };
+
+    // Warmup: batch-barriered waves that never overflow the queue
+    // measure the fleet's capacity and warm the admission estimator.
+    let warmup = sessions.div_ceil(10).clamp(64, 2_000);
+    let warm_started = Instant::now();
+    let mut submitted_warm = 0usize;
+    while submitted_warm < warmup {
+        let batch = (warmup - submitted_warm).min(16);
+        let handles: Vec<_> = (0..batch)
+            .map(|i| {
+                let n = submitted_warm + i;
+                runtime
+                    .submit(request(format!("warm-{n}"), n % tenants))
+                    .expect("warmup batches never overflow the queue")
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.wait();
+            assert_eq!(
+                result.state,
+                SessionState::Done,
+                "warmup session failed: {:?}",
+                result.diagnostic
+            );
+        }
+        submitted_warm += batch;
+    }
+    let capacity = warmup as f64 / warm_started.elapsed().as_secs_f64().max(1e-9);
+    let mean_service = Duration::from_secs_f64(WORKERS as f64 / capacity.max(1e-9));
+    // The SLO every soak session declares as its deadline: 6x the mean
+    // service time, floored so scheduler jitter on fast machines cannot
+    // make the deadline itself the noise source.
+    let slo = (mean_service * 6)
+        .max(Duration::from_millis(20))
+        .min(Duration::from_secs(1));
+    let warm_stats = runtime.stats();
+
+    println!(
+        "# soak: {sessions} sessions at {overload:.1}x of {capacity:.0}/s capacity, \
+         {tenants} tenants, ~{} KB docs, SLO {slo:?}",
+        doc_bytes / 1024,
+    );
+
+    // The reaper drains completions concurrently so the submit loop
+    // stays open-loop; it keeps no per-session state.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reaper = std::thread::spawn(move || {
+        let mut done = 0u64;
+        let mut failed = 0u64;
+        while let Ok(handle) = rx.recv() {
+            let handle: xdx_runtime::SessionHandle = handle;
+            match handle.wait().state {
+                SessionState::Done => done += 1,
+                _ => failed += 1,
+            }
+        }
+        (done, failed)
+    });
+
+    let rate = overload * capacity;
+    let mut rejected_full = 0u64;
+    let mut refused_deadline = 0u64;
+    let mut rss_baseline = 0u64;
+    let mut rss_peak = 0u64;
+    let mut depth_peak = 0usize;
+    // RSS baseline is taken *under load* (20% in), once queues, ledger
+    // shards, the latency window and the resumable cap have reached
+    // their working set; the gate is that the rest of the soak adds
+    // nothing beyond 1.25x of it.
+    let baseline_at = sessions / 5;
+    let started = Instant::now();
+    for i in 0..sessions {
+        let due = Duration::from_secs_f64(i as f64 / rate);
+        let elapsed = started.elapsed();
+        if due > elapsed + Duration::from_millis(1) {
+            std::thread::sleep(due - elapsed);
+        }
+        match runtime.submit(request(format!("soak-{i}"), i % tenants).with_deadline(slo)) {
+            Ok(handle) => tx.send(handle).expect("reaper alive"),
+            Err(SubmitError::QueueFull { .. }) => rejected_full += 1,
+            Err(SubmitError::DeadlineUnattainable { .. }) => refused_deadline += 1,
+            Err(other) => panic!("unexpected refusal on a healthy fleet: {other}"),
+        }
+        if i % 512 == 0 || i + 1 == sessions {
+            depth_peak = depth_peak.max(runtime.stats().queue_depth);
+            let rss = rss_bytes();
+            if i >= baseline_at {
+                if rss_baseline == 0 {
+                    rss_baseline = rss;
+                }
+                rss_peak = rss_peak.max(rss);
+            }
+        }
+    }
+    let submit_wall = started.elapsed();
+    drop(tx);
+    let (done, failed_waited) = reaper.join().expect("reaper thread");
+    rss_peak = rss_peak.max(rss_bytes());
+    let stats = runtime.shutdown();
+
+    let p50 = stats.latency_percentile(50.0).unwrap_or_default();
+    let p95 = stats.latency_percentile(95.0).unwrap_or_default();
+    let p99 = stats.latency_percentile(99.0).unwrap_or_default();
+    let main_shed_deadline = stats.sessions_shed_deadline - warm_stats.sessions_shed_deadline;
+
+    // Per-tenant completions attributable to the overloaded phase.
+    let tenant_rows: Vec<(String, f64, u64, u64, u64)> = stats
+        .tenants
+        .iter()
+        .map(|t| {
+            let warm_completed = warm_stats
+                .tenants
+                .iter()
+                .find(|w| w.tenant == t.tenant)
+                .map_or(0, |w| w.completed);
+            (
+                t.tenant.clone(),
+                t.weight,
+                t.admitted,
+                t.completed - warm_completed,
+                t.shed,
+            )
+        })
+        .collect();
+    let total_weight: f64 = tenant_rows.iter().map(|r| r.1).sum();
+    let total_main_completed: u64 = tenant_rows.iter().map(|r| r.3).sum();
+
+    // The gates. Every raw number they derive from is in the JSON, so
+    // CI can re-derive or tighten them without re-running the soak.
+    let rss_flat = rss_baseline == 0 || (rss_peak as f64) <= 1.25 * rss_baseline as f64;
+    let shed_at_admission = refused_deadline > 0;
+    // A completed session can overshoot its deadline by at most about
+    // one service time: anything already expired is shed at dequeue, so
+    // the worst accepted case is admitted a hair under the SLO and then
+    // pays its service. The limit states exactly that.
+    let p95_limit = 1.05 * slo.as_secs_f64() + mean_service.as_secs_f64();
+    let p95_within_slo = p95.as_secs_f64() <= p95_limit;
+    let mut fair_shares = true;
+    if total_main_completed >= 100 {
+        for (tenant, weight, _, completed, _) in &tenant_rows {
+            let share = *completed as f64 / total_main_completed as f64;
+            let fair = weight / total_weight;
+            if share < fair / 2.0 || share > fair * 2.0 {
+                eprintln!(
+                    "gate: tenant {tenant} completed share {share:.3} outside \
+                     2x of fair share {fair:.3}"
+                );
+                fair_shares = false;
+            }
+        }
+    }
+    let bounded_queue = depth_peak <= QUEUE_DEPTH;
+    // Exact accounting: every submission is admitted or refused, every
+    // admission completes or fails, and the runtime's own counters say
+    // the same thing the harness observed.
+    let accounting = sessions as u64 == done + failed_waited + rejected_full + refused_deadline
+        && stats.completed == warmup as u64 + done
+        && stats.rejected == rejected_full + refused_deadline
+        && refused_deadline == main_shed_deadline;
+    let pass = rss_flat
+        && shed_at_admission
+        && p95_within_slo
+        && fair_shares
+        && bounded_queue
+        && accounting;
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"soak\",");
+    let _ = writeln!(out, "  \"sessions\": {sessions},");
+    let _ = writeln!(out, "  \"overload\": {overload},");
+    let _ = writeln!(out, "  \"tenants\": {tenants},");
+    let _ = writeln!(out, "  \"doc_bytes\": {doc_bytes},");
+    let _ = writeln!(out, "  \"workers\": {WORKERS},");
+    let _ = writeln!(out, "  \"max_queue_depth\": {QUEUE_DEPTH},");
+    let _ = writeln!(out, "  \"max_resumables\": {MAX_RESUMABLES},");
+    let _ = writeln!(out, "  \"warmup_sessions\": {warmup},");
+    let _ = writeln!(out, "  \"capacity_per_sec\": {capacity:.3},");
+    let _ = writeln!(out, "  \"slo_ms\": {:.3},", slo.as_secs_f64() * 1e3);
+    let _ = writeln!(out, "  \"p95_limit_ms\": {:.3},", p95_limit * 1e3);
+    let _ = writeln!(
+        out,
+        "  \"submit_wall_secs\": {:.3},",
+        submit_wall.as_secs_f64()
+    );
+    let _ = writeln!(out, "  \"accepted\": {},", done + failed_waited);
+    let _ = writeln!(out, "  \"completed\": {done},");
+    let _ = writeln!(out, "  \"failed\": {failed_waited},");
+    let _ = writeln!(out, "  \"rejected_queue_full\": {rejected_full},");
+    let _ = writeln!(out, "  \"refused_deadline\": {refused_deadline},");
+    let _ = writeln!(out, "  \"shed_expired\": {},", stats.sessions_shed_expired);
+    let _ = writeln!(out, "  \"shed_breaker\": {},", stats.sessions_shed_breaker);
+    let _ = writeln!(
+        out,
+        "  \"resumables_evicted\": {},",
+        stats.resumables_evicted
+    );
+    let _ = writeln!(
+        out,
+        "  \"ledger_buffers_shed\": {},",
+        stats.ledger_buffers_shed
+    );
+    let _ = writeln!(out, "  \"p50_ms\": {:.3},", p50.as_secs_f64() * 1e3);
+    let _ = writeln!(out, "  \"p95_ms\": {:.3},", p95.as_secs_f64() * 1e3);
+    let _ = writeln!(out, "  \"p99_ms\": {:.3},", p99.as_secs_f64() * 1e3);
+    let _ = writeln!(out, "  \"rss_baseline_bytes\": {rss_baseline},");
+    let _ = writeln!(out, "  \"rss_peak_bytes\": {rss_peak},");
+    let _ = writeln!(
+        out,
+        "  \"rss_growth\": {:.4},",
+        if rss_baseline == 0 {
+            1.0
+        } else {
+            rss_peak as f64 / rss_baseline as f64
+        }
+    );
+    let _ = writeln!(out, "  \"queue_depth_peak\": {depth_peak},");
+    out.push_str("  \"tenant_stats\": [\n");
+    for (i, (tenant, weight, admitted, completed, shed)) in tenant_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"tenant\": \"{tenant}\", \"weight\": {weight}, \"admitted\": {admitted}, \
+             \"completed_overloaded\": {completed}, \"shed\": {shed}}}"
+        );
+        out.push_str(if i + 1 < tenant_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"gates\": {\n");
+    let _ = writeln!(out, "    \"rss_flat\": {rss_flat},");
+    let _ = writeln!(out, "    \"shed_at_admission\": {shed_at_admission},");
+    let _ = writeln!(out, "    \"p95_within_slo\": {p95_within_slo},");
+    let _ = writeln!(out, "    \"fair_shares\": {fair_shares},");
+    let _ = writeln!(out, "    \"bounded_queue\": {bounded_queue},");
+    let _ = writeln!(out, "    \"accounting\": {accounting}");
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"pass\": {pass}");
+    out.push_str("}\n");
+    std::fs::write("BENCH_PR7.json", &out).expect("write BENCH_PR7.json");
+
+    println!(
+        "# accepted {} ({done} done, {failed_waited} failed), refused {} \
+         (deadline {refused_deadline}, queue-full {rejected_full})",
+        done + failed_waited,
+        rejected_full + refused_deadline,
+    );
+    println!(
+        "# accepted latency p50/p95/p99: {:.1}/{:.1}/{:.1} ms against a {:.1} ms SLO",
+        p50.as_secs_f64() * 1e3,
+        p95.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        slo.as_secs_f64() * 1e3,
+    );
+    println!(
+        "# rss {:.1} -> {:.1} MB ({:.3}x), queue depth peak {depth_peak}/{QUEUE_DEPTH}",
+        rss_baseline as f64 / 1e6,
+        rss_peak as f64 / 1e6,
+        if rss_baseline == 0 {
+            1.0
+        } else {
+            rss_peak as f64 / rss_baseline as f64
+        },
+    );
+    println!("# wrote BENCH_PR7.json (pass: {pass})");
+    if !pass {
+        eprintln!("error: soak gates failed — see BENCH_PR7.json");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("resync") {
         args.next();
         resync_main(args);
+        return;
+    }
+    if args.peek().map(String::as_str) == Some("soak") {
+        args.next();
+        soak_main(args);
         return;
     }
     let sessions: usize = arg(&mut args, "sessions", 24);

@@ -9,8 +9,10 @@ use crate::stats::Counters;
 use crate::table::Table;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// An in-memory database.
-#[derive(Debug, Default)]
+/// An in-memory database. `Clone` is deliberate: load generators
+/// fabricate thousands of per-session source databases by cloning one
+/// preloaded template instead of re-parsing the document each time.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     /// System name (for diagnostics).
     pub name: String,

@@ -1,0 +1,209 @@
+//! Admission-time overload estimation.
+//!
+//! The controller keeps three cheap signals the admission gate combines
+//! into a turnaround estimate and a back-off hint:
+//!
+//! * an EWMA of observed per-session *service* time (wall time minus
+//!   queue wait) over completed sessions,
+//! * an EWMA of planned cost units, convertible to nanoseconds through
+//!   the calibration layer's fleet-wide `ns_per_unit`,
+//! * a sliding window of dequeue instants, whose spacing is the queue's
+//!   current drain rate.
+//!
+//! A submission carrying a deadline is refused up front when
+//! `estimated wait + estimated service > deadline` — the session would
+//! only be shed at dequeue anyway, after holding a queue slot someone
+//! else could have used. When no signal has been observed yet (a cold
+//! runtime) the estimate is `None` and admission stays optimistic:
+//! shedding on a guess would be worse than learning from one slow
+//! session.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// EWMA smoothing factor for service-time and plan-cost signals.
+const ALPHA: f64 = 0.2;
+
+/// Dequeue instants retained for the drain-rate window.
+const DRAIN_WINDOW: usize = 64;
+
+/// Back-off hint when nothing has been observed yet.
+const COLD_RETRY_AFTER: Duration = Duration::from_millis(25);
+
+/// Bounds on any retry hint handed to a client.
+const MIN_RETRY_AFTER: Duration = Duration::from_millis(1);
+const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
+
+#[derive(Default)]
+struct State {
+    ewma_service_ns: f64,
+    service_samples: u64,
+    ewma_cost_units: f64,
+    cost_samples: u64,
+    dequeues: VecDeque<Instant>,
+}
+
+/// Shared overload estimator (see the module docs). One per runtime;
+/// all methods are internally synchronized and O(1).
+#[derive(Default)]
+pub struct AdmissionController {
+    state: Mutex<State>,
+}
+
+impl AdmissionController {
+    /// A controller with no history: estimates are `None`, retry hints
+    /// fall back to a small constant.
+    pub fn new() -> AdmissionController {
+        AdmissionController::default()
+    }
+
+    /// Feeds one completed session's service time (wall minus queue
+    /// wait) into the EWMA.
+    pub fn record_service(&self, service: Duration) {
+        let mut s = self.state.lock().unwrap();
+        let ns = service.as_nanos() as f64;
+        s.ewma_service_ns = if s.service_samples == 0 {
+            ns
+        } else {
+            ALPHA * ns + (1.0 - ALPHA) * s.ewma_service_ns
+        };
+        s.service_samples += 1;
+    }
+
+    /// Feeds one planned session's cost-model units into the EWMA.
+    pub fn record_plan_cost(&self, units: f64) {
+        if !units.is_finite() || units <= 0.0 {
+            return;
+        }
+        let mut s = self.state.lock().unwrap();
+        s.ewma_cost_units = if s.cost_samples == 0 {
+            units
+        } else {
+            ALPHA * units + (1.0 - ALPHA) * s.ewma_cost_units
+        };
+        s.cost_samples += 1;
+    }
+
+    /// Stamps one dequeue into the drain-rate window.
+    pub fn record_dequeue(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.dequeues.push_back(Instant::now());
+        while s.dequeues.len() > DRAIN_WINDOW {
+            s.dequeues.pop_front();
+        }
+    }
+
+    /// Estimated queue-to-completion turnaround for a session entering
+    /// behind `depth` queued sessions on `workers` workers.
+    /// `ns_per_unit` is the calibration layer's fleet-wide conversion
+    /// (0 when uncalibrated). `None` until at least one signal exists —
+    /// a cold runtime admits optimistically.
+    pub fn estimated_turnaround(
+        &self,
+        depth: usize,
+        workers: usize,
+        ns_per_unit: f64,
+    ) -> Option<Duration> {
+        let s = self.state.lock().unwrap();
+        let from_observed = (s.service_samples > 0).then_some(s.ewma_service_ns);
+        let from_model =
+            (s.cost_samples > 0 && ns_per_unit > 0.0).then_some(s.ewma_cost_units * ns_per_unit);
+        // Two independent estimators of the same quantity; trust the
+        // more pessimistic one — under overload, optimism is the error
+        // that compounds.
+        let service_ns = match (from_observed, from_model) {
+            (Some(a), Some(b)) => a.max(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return None,
+        };
+        let wait_ns = service_ns * depth as f64 / workers.max(1) as f64;
+        Some(Duration::from_nanos((wait_ns + service_ns) as u64))
+    }
+
+    /// How long a refused client should back off before resubmitting:
+    /// the time the queue needs to drain `depth + 1` sessions at its
+    /// observed dequeue rate, clamped to sane bounds.
+    pub fn retry_after(&self, depth: usize) -> Duration {
+        let s = self.state.lock().unwrap();
+        let per_dequeue_ns = if s.dequeues.len() >= 2 {
+            let span = s.dequeues[s.dequeues.len() - 1] - s.dequeues[0];
+            span.as_nanos() as f64 / (s.dequeues.len() - 1) as f64
+        } else if s.service_samples > 0 {
+            s.ewma_service_ns
+        } else {
+            COLD_RETRY_AFTER.as_nanos() as f64
+        };
+        let hint = Duration::from_nanos((per_dequeue_ns * (depth + 1) as f64) as u64);
+        hint.clamp(MIN_RETRY_AFTER, MAX_RETRY_AFTER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_controller_estimates_nothing_and_hints_a_floor() {
+        let c = AdmissionController::new();
+        assert_eq!(c.estimated_turnaround(10, 4, 100.0), None);
+        let hint = c.retry_after(0);
+        assert!(hint >= MIN_RETRY_AFTER && hint <= MAX_RETRY_AFTER);
+    }
+
+    #[test]
+    fn observed_service_drives_the_turnaround_estimate() {
+        let c = AdmissionController::new();
+        c.record_service(Duration::from_millis(10));
+        // depth 4 on 2 workers: wait 4*10/2 = 20ms, plus 10ms service.
+        let est = c.estimated_turnaround(4, 2, 0.0).unwrap();
+        assert_eq!(est, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn the_more_pessimistic_estimator_wins() {
+        let c = AdmissionController::new();
+        c.record_service(Duration::from_millis(1));
+        c.record_plan_cost(1000.0);
+        // Model says 1000 units * 1e6 ns/unit = 1s >> observed 1ms.
+        let est = c.estimated_turnaround(0, 1, 1e6).unwrap();
+        assert_eq!(est, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_service_times() {
+        let c = AdmissionController::new();
+        c.record_service(Duration::from_millis(100));
+        for _ in 0..50 {
+            c.record_service(Duration::from_millis(10));
+        }
+        let est = c.estimated_turnaround(0, 1, 0.0).unwrap();
+        assert!(
+            est < Duration::from_millis(12),
+            "EWMA stuck at {est:?} after 50 fast sessions"
+        );
+    }
+
+    #[test]
+    fn retry_hint_scales_with_depth_and_drain_rate() {
+        let c = AdmissionController::new();
+        c.record_service(Duration::from_millis(5));
+        let shallow = c.retry_after(0);
+        let deep = c.retry_after(9);
+        assert!(
+            deep > shallow,
+            "deeper queue hinted {deep:?} <= shallow {shallow:?}"
+        );
+        assert!(deep <= MAX_RETRY_AFTER);
+    }
+
+    #[test]
+    fn nonsense_plan_costs_are_ignored() {
+        let c = AdmissionController::new();
+        c.record_plan_cost(f64::NAN);
+        c.record_plan_cost(-5.0);
+        c.record_plan_cost(0.0);
+        assert_eq!(c.estimated_turnaround(0, 1, 1.0), None);
+    }
+}

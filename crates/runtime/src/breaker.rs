@@ -119,6 +119,15 @@ impl CircuitBreaker {
     pub fn is_open(&self) -> bool {
         matches!(self.inner.lock().unwrap().state, State::Open { .. })
     }
+
+    /// Cooldown left before the breaker half-opens; `None` unless open.
+    /// This is the `retry_after` hint shed sessions hand back.
+    pub fn cooldown_remaining(&self) -> Option<Duration> {
+        match self.inner.lock().unwrap().state {
+            State::Open { since } => Some(self.cooldown.saturating_sub(since.elapsed())),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +143,10 @@ mod tests {
         assert!(b.is_open());
         let retry_after = b.try_admit().unwrap_err();
         assert!(retry_after <= Duration::from_secs(60));
+        let remaining = b.cooldown_remaining().unwrap();
+        assert!(remaining <= Duration::from_secs(60));
+        let closed = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert_eq!(closed.cooldown_remaining(), None);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub enum EventKind {
     ShipmentResumed,
     /// The session ran past its wall-clock deadline.
     DeadlineExceeded,
+    /// Load shedding dropped the session without running it: an
+    /// unattainable deadline at admission, an expired deadline at
+    /// dequeue, an open breaker on its route, or a bounded buffer
+    /// evicting its state.
+    Shed,
     /// The link circuit breaker opened: admissions refused.
     CircuitOpened,
     /// The breaker's cooldown elapsed: one probe session admitted.
@@ -86,6 +91,7 @@ impl EventKind {
             EventKind::Resumed => "resumed",
             EventKind::ShipmentResumed => "shipment_resumed",
             EventKind::DeadlineExceeded => "deadline_exceeded",
+            EventKind::Shed => "shed",
             EventKind::CircuitOpened => "circuit_opened",
             EventKind::CircuitHalfOpened => "circuit_half_opened",
             EventKind::CircuitClosed => "circuit_closed",

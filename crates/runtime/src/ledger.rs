@@ -20,6 +20,15 @@
 //! The ledger is sharded by session id: with many sessions shipping over
 //! disjoint links in parallel, per-chunk bookkeeping must not funnel
 //! through one global lock.
+//!
+//! Checkpoint state is *bounded*: each shard holds at most
+//! `capacity / SHARDS` shipment buffers, and opening a new shipment in a
+//! full shard evicts the least-recently-touched buffer
+//! ([`buffers_shed`](ReassemblyLedger::buffers_shed) counts them). An
+//! evicted checkpoint is not a correctness loss — a resumed session
+//! simply re-ships those chunks — but an unbounded ledger would let a
+//! fleet of failed sessions hold serialized messages forever, which the
+//! overload soak forbids.
 
 use crate::session::SessionId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -29,6 +38,10 @@ use xdx_net::{fnv64, ChunkFrame};
 
 /// Number of independent lock shards; sessions hash to shards by id.
 const SHARDS: usize = 16;
+
+/// Default cap on shipment buffers held across the ledger
+/// (`RuntimeConfig::with_ledger_capacity` overrides it).
+pub const DEFAULT_LEDGER_CAPACITY: usize = 4096;
 
 /// Outcome of filing one verified frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +59,9 @@ pub enum Filed {
 /// Reassembly state of one shipment.
 #[derive(Debug)]
 struct ShipmentBuffer {
+    /// Last-touched tick from the ledger's logical clock; the eviction
+    /// victim in a full shard is the smallest stamp.
+    stamp: u64,
     /// Chunk count announced by the frames.
     total: usize,
     /// FNV-64 of the full serialized message; a resubmitted shipment
@@ -65,11 +81,21 @@ struct ShipmentBuffer {
 #[derive(Debug)]
 pub struct ReassemblyLedger {
     shards: Vec<Mutex<HashMap<(SessionId, u64), ShipmentBuffer>>>,
+    /// Hard cap on buffers per shard (total capacity / SHARDS).
+    per_shard_cap: usize,
+    /// Logical clock stamping buffer touches, for LRU eviction.
+    clock: AtomicU64,
     /// Shipment buffers garbage-collected by [`forget_session`]
     /// (acknowledged checkpoints whose session committed).
     ///
     /// [`forget_session`]: ReassemblyLedger::forget_session
     pruned: AtomicU64,
+    /// Checkpoint buffers evicted by the capacity cap (distinct from
+    /// [`entries_pruned`]: these were *not* acknowledged — their
+    /// sessions will re-ship on resume).
+    ///
+    /// [`entries_pruned`]: ReassemblyLedger::entries_pruned
+    shed: AtomicU64,
 }
 
 impl Default for ReassemblyLedger {
@@ -79,11 +105,20 @@ impl Default for ReassemblyLedger {
 }
 
 impl ReassemblyLedger {
-    /// An empty ledger.
+    /// An empty ledger with the default capacity.
     pub fn new() -> ReassemblyLedger {
+        ReassemblyLedger::with_capacity(DEFAULT_LEDGER_CAPACITY)
+    }
+
+    /// An empty ledger holding at most `capacity` shipment buffers
+    /// (split evenly across the shards).
+    pub fn with_capacity(capacity: usize) -> ReassemblyLedger {
         ReassemblyLedger {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap: (capacity / SHARDS).max(1),
+            clock: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -105,14 +140,26 @@ impl ReassemblyLedger {
     ) -> BTreeSet<usize> {
         let message_fnv = fnv64(message);
         let mut map = self.shard(session).lock().unwrap();
+        if !map.contains_key(&(session, shipment)) && map.len() >= self.per_shard_cap {
+            // Full shard: shed the least-recently-touched checkpoint to
+            // make room. The evicted shipment re-ships from scratch if
+            // its session ever resumes; memory stays bounded either way.
+            if let Some(victim) = map.iter().min_by_key(|(_, b)| b.stamp).map(|(key, _)| *key) {
+                map.remove(&victim);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let buffer = map
             .entry((session, shipment))
             .or_insert_with(|| ShipmentBuffer {
+                stamp,
                 total,
                 message_fnv,
                 message: message.to_vec(),
                 chunks: BTreeMap::new(),
             });
+        buffer.stamp = stamp;
         if buffer.total != total || buffer.message_fnv != message_fnv {
             buffer.total = total;
             buffer.message_fnv = message_fnv;
@@ -193,6 +240,11 @@ impl ReassemblyLedger {
     /// lifetime — acknowledged checkpoint state released after commit.
     pub fn entries_pruned(&self) -> u64 {
         self.pruned.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint buffers evicted because a shard hit its capacity cap.
+    pub fn buffers_shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Chunks currently checkpointed for `session` across all shipments.
@@ -300,6 +352,46 @@ mod tests {
         assert!(ledger.stored_message(1, 0).is_none());
         assert_eq!(ledger.file(&frame(1, 0, 0, 1, b"a")), Filed::Stale);
         assert_eq!(ledger.checkpointed_chunks(2), 1);
+    }
+
+    #[test]
+    fn a_full_shard_sheds_its_least_recently_touched_checkpoint() {
+        // Capacity 16 → one buffer per shard; session ids 1 and 17 land
+        // in the same shard.
+        let ledger = ReassemblyLedger::with_capacity(16);
+        ledger.begin_shipment(1, 0, 1, b"a");
+        ledger.file(&frame(1, 0, 0, 1, b"a"));
+        assert_eq!(ledger.buffers_shed(), 0);
+        ledger.begin_shipment(17, 0, 1, b"b");
+        assert_eq!(ledger.buffers_shed(), 1, "the full shard evicted");
+        assert_eq!(
+            ledger.checkpointed_chunks(1),
+            0,
+            "session 1's checkpoint was the victim"
+        );
+        assert!(ledger.stored_message(17, 0).is_some());
+        // Re-opening the evicted shipment starts a fresh checkpoint —
+        // correctness is preserved, the chunks just re-ship.
+        let prior = ledger.begin_shipment(1, 0, 1, b"a");
+        assert!(prior.is_empty());
+        assert_eq!(ledger.buffers_shed(), 2);
+    }
+
+    #[test]
+    fn touching_a_buffer_protects_it_from_eviction() {
+        let ledger = ReassemblyLedger::with_capacity(32);
+        // Two buffers fill session-1's shard (ids 1 and 17, cap 2).
+        ledger.begin_shipment(1, 0, 1, b"a");
+        ledger.begin_shipment(17, 0, 1, b"b");
+        // Touch the older one: 17 becomes the LRU victim.
+        ledger.begin_shipment(1, 0, 1, b"a");
+        ledger.begin_shipment(33, 0, 1, b"c");
+        assert_eq!(ledger.buffers_shed(), 1);
+        assert!(
+            ledger.stored_message(1, 0).is_some(),
+            "touched buffer survives"
+        );
+        assert!(ledger.stored_message(17, 0).is_none(), "LRU buffer shed");
     }
 
     #[test]

@@ -58,21 +58,25 @@
 //! assert!(stats.plan_cache_hits > 0); // same shape, shared plan
 //! ```
 
+pub mod admission;
 pub mod breaker;
 pub mod cache;
 pub mod events;
+pub mod fair;
 pub mod ledger;
 pub mod registry;
 pub mod runtime;
 pub mod session;
 pub mod shipper;
 
+pub use admission::AdmissionController;
 pub use breaker::{BreakerTransition, CircuitBreaker};
 pub use cache::{plan_key, CachedPlan, PlanCache, PlanKey};
 pub use events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
-pub use ledger::{Filed, ReassemblyLedger};
+pub use fair::{FairQueue, Popped, DEFAULT_AGING_INTERVAL};
+pub use ledger::{Filed, ReassemblyLedger, DEFAULT_LEDGER_CAPACITY};
 pub use registry::{LinkRegistry, LinkSlot, LinkStats};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError, TenantStats};
 pub use session::{
     ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,
     SessionState, DEFAULT_SOURCE_ENDPOINT, DEFAULT_TARGET_ENDPOINT,

@@ -68,6 +68,7 @@ pub(crate) struct LinkCounters {
     pub(crate) chunks_retried: AtomicU64,
     pub(crate) sessions_completed: AtomicU64,
     pub(crate) sessions_failed: AtomicU64,
+    pub(crate) sessions_shed: AtomicU64,
 }
 
 /// One registered link: the simulated path for a `(source, target)`
@@ -114,6 +115,16 @@ impl LinkSlot {
         format!("{}→{}", self.source, self.target)
     }
 
+    /// Source endpoint of the pair.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Target endpoint of the pair.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
     /// The wire format currently negotiated for this pair.
     pub fn wire_format(&self) -> WireFormat {
         format_from_u8(self.wire_format.load(Ordering::Relaxed))
@@ -151,6 +162,7 @@ impl LinkSlot {
             chunks_retried: self.counters.chunks_retried.load(Ordering::Relaxed),
             sessions_completed: self.counters.sessions_completed.load(Ordering::Relaxed),
             sessions_failed: self.counters.sessions_failed.load(Ordering::Relaxed),
+            sessions_shed: self.counters.sessions_shed.load(Ordering::Relaxed),
             breaker_open: self.breaker.is_open(),
             peak_concurrent_shipments: self.local.peak(),
         }
@@ -185,6 +197,10 @@ pub struct LinkStats {
     pub sessions_completed: u64,
     /// Sessions routed over this link that failed.
     pub sessions_failed: u64,
+    /// Sessions routed over this link that load shedding dropped
+    /// without running them (open breaker at dequeue, or a breaker
+    /// opening draining the queue).
+    pub sessions_shed: u64,
     /// Whether this link's circuit breaker is currently open.
     pub breaker_open: bool,
     /// Most shipment windows ever simultaneously open on this link.

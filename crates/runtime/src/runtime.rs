@@ -2,25 +2,38 @@
 //!
 //! One [`Runtime`] hosts many concurrent exchanges against a single
 //! agreed-upon schema: requests are admitted into a bounded
-//! priority/FIFO queue, a fixed pool of workers plans them (through the
+//! weighted-fair queue (per-tenant lanes with priority aging — see
+//! [`crate::fair`]), a fixed pool of workers plans them (through the
 //! shared [`PlanCache`]) and executes them, and every cross-edge
 //! shipment rides the per-`(source, target)`-pair link resolved from
 //! the [`LinkRegistry`] — the paper's one-path-per-pair deployment.
 //! Sessions routed over distinct pairs ship fully in parallel; sessions
 //! sharing a pair contend realistically on that pair's link. Each link
 //! carries its own fault model, counters and circuit breaker.
+//!
+//! Under overload the runtime *sheds* instead of degrading: a
+//! submission whose deadline the [`crate::admission`] estimator says
+//! cannot be met is refused up front; a queued session whose deadline
+//! expired, or whose route's breaker opened, is shed at dequeue before
+//! burning a planning probe; and an opening breaker drains its route's
+//! queued sessions on the spot. Every queue in the system is bounded —
+//! admission, the resumable-checkpoint map, the reassembly ledger, the
+//! event/span rings, the latency window — so sustained 2× overload
+//! holds RSS flat (the `soak` bench mode asserts it).
 
+use crate::admission::AdmissionController;
 use crate::breaker::BreakerTransition;
 use crate::cache::{plan_key, CachedPlan, PlanCache};
 use crate::events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
-use crate::ledger::ReassemblyLedger;
-use crate::registry::{LinkRegistry, LinkStats};
+use crate::fair::{FairQueue, DEFAULT_AGING_INTERVAL};
+use crate::ledger::{ReassemblyLedger, DEFAULT_LEDGER_CAPACITY};
+use crate::registry::{LinkRegistry, LinkSlot, LinkStats};
 use crate::session::{
-    ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,
-    SessionShared, SessionState,
+    ExchangeRequest, SessionHandle, SessionId, SessionMetrics, SessionResult, SessionShared,
+    SessionState,
 };
 use crate::shipper::{FaultTolerantShipper, ShippingPolicy};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -119,6 +132,19 @@ pub struct RuntimeConfig {
     /// Cost-model calibration thresholds (drift factor, streak length,
     /// EWMA smoothing) driving plan-cache drift eviction.
     pub calibration: CalibrationConfig,
+    /// Priority-aging interval of the weighted-fair queue: a queued
+    /// session gains one priority class per interval waited, so nothing
+    /// starves behind a stream of higher-priority arrivals.
+    pub aging_interval: Duration,
+    /// Maximum shipment buffers the reassembly ledger checkpoints;
+    /// beyond it the least-recently-touched checkpoint is shed (the
+    /// session re-ships those chunks if resumed).
+    pub ledger_capacity: usize,
+    /// Maximum failed-session checkpoints kept for [`Runtime::resume`];
+    /// beyond it the oldest checkpoint is evicted (each holds a full
+    /// source database, so this bound is what keeps failure storms from
+    /// growing RSS).
+    pub max_resumables: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -140,6 +166,9 @@ impl Default for RuntimeConfig {
             trace_capacity: 65_536,
             event_capacity: DEFAULT_EVENT_CAPACITY,
             calibration: CalibrationConfig::default(),
+            aging_interval: DEFAULT_AGING_INTERVAL,
+            ledger_capacity: DEFAULT_LEDGER_CAPACITY,
+            max_resumables: 256,
         }
     }
 }
@@ -229,6 +258,24 @@ impl RuntimeConfig {
         self.calibration = calibration;
         self
     }
+
+    /// Sets the fair queue's priority-aging interval.
+    pub fn with_aging_interval(mut self, interval: Duration) -> RuntimeConfig {
+        self.aging_interval = interval;
+        self
+    }
+
+    /// Sets the reassembly-ledger checkpoint capacity.
+    pub fn with_ledger_capacity(mut self, capacity: usize) -> RuntimeConfig {
+        self.ledger_capacity = capacity;
+        self
+    }
+
+    /// Sets the failed-session checkpoint cap.
+    pub fn with_max_resumables(mut self, cap: usize) -> RuntimeConfig {
+        self.max_resumables = cap;
+        self
+    }
 }
 
 /// Why a submission was refused.
@@ -238,6 +285,20 @@ pub enum SubmitError {
     QueueFull {
         /// The bound that was hit.
         depth: usize,
+        /// How long the queue needs to drain a slot at its observed
+        /// dequeue rate — the client's back-off hint.
+        retry_after: Duration,
+    },
+    /// The admission estimator concluded the request's deadline cannot
+    /// be met at the current queue depth and service rate; running it
+    /// would only shed it at dequeue after wasting a queue slot.
+    DeadlineUnattainable {
+        /// The deadline the request carried.
+        deadline: Duration,
+        /// The estimated queue-to-completion turnaround.
+        estimated: Duration,
+        /// Back-off hint derived from the queue drain rate.
+        retry_after: Duration,
     },
     /// The circuit breaker of the *request's route* is open: too many
     /// consecutive shipment failures on that `(source, target)` pair.
@@ -260,9 +321,21 @@ pub enum SubmitError {
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::QueueFull { depth } => {
-                write!(f, "admission refused: queue full ({depth} sessions)")
+            SubmitError::QueueFull { depth, retry_after } => {
+                write!(
+                    f,
+                    "admission refused: queue full ({depth} sessions), retry in {retry_after:?}"
+                )
             }
+            SubmitError::DeadlineUnattainable {
+                deadline,
+                estimated,
+                retry_after,
+            } => write!(
+                f,
+                "admission refused: deadline {deadline:?} unattainable \
+                 (estimated turnaround {estimated:?}), retry in {retry_after:?}"
+            ),
             SubmitError::CircuitOpen { retry_after } => write!(
                 f,
                 "admission refused: link circuit open, retry in {retry_after:?}"
@@ -354,6 +427,39 @@ pub struct RuntimeStats {
     /// Acknowledged shipment buffers garbage-collected from the
     /// reassembly ledger after their session committed.
     pub ledger_entries_pruned: u64,
+    /// Sessions shed at dequeue because their deadline expired while
+    /// queued — failed *before* burning a planning probe.
+    pub sessions_shed_expired: u64,
+    /// Submissions shed at admission because the estimator found their
+    /// deadline unattainable at the current load.
+    pub sessions_shed_deadline: u64,
+    /// Queued sessions shed because their route's circuit breaker was
+    /// open (at dequeue, or drained when the breaker opened).
+    pub sessions_shed_breaker: u64,
+    /// Failed-session checkpoints evicted by the `max_resumables` cap.
+    pub resumables_evicted: u64,
+    /// Reassembly-ledger checkpoints evicted by the capacity cap.
+    pub ledger_buffers_shed: u64,
+    /// Sessions waiting in the admission queue at snapshot time.
+    pub queue_depth: usize,
+    /// Per-tenant fairness counters, sorted by tenant label.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Point-in-time fairness counters of one admission tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// The tenant label (explicit tag, or the route pair).
+    pub tenant: String,
+    /// The weighted-fair share weight (default 1.0).
+    pub weight: f64,
+    /// Sessions this tenant had admitted.
+    pub admitted: u64,
+    /// Sessions this tenant completed.
+    pub completed: u64,
+    /// Sessions of this tenant that load shedding dropped (unattainable
+    /// deadline, expired while queued, or breaker feedback).
+    pub shed: u64,
 }
 
 impl RuntimeStats {
@@ -375,11 +481,12 @@ impl RuntimeStats {
     }
 }
 
-/// A queued session, ordered by (priority, FIFO within priority).
+/// A queued session; ordering lives in the [`FairQueue`] it sits in.
 struct QueuedSession {
-    priority: Priority,
-    seq: u64,
     enqueued: Instant,
+    /// Resumed sessions are the operator's recovery probes: they bypass
+    /// breaker-feedback shedding the way `resume` bypasses `try_admit`.
+    resumed: bool,
     request: ExchangeRequest,
     /// Present for resumed sessions: the plan the failed run executed,
     /// replayed without probing or re-planning.
@@ -387,29 +494,8 @@ struct QueuedSession {
     shared: Arc<SessionShared>,
 }
 
-impl PartialEq for QueuedSession {
-    fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.seq == other.seq
-    }
-}
-impl Eq for QueuedSession {}
-impl PartialOrd for QueuedSession {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedSession {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher priority first, then lower seq (earlier
-        // submission) first.
-        self.priority
-            .cmp(&other.priority)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
 struct QueueState {
-    heap: BinaryHeap<QueuedSession>,
+    fair: FairQueue<QueuedSession>,
     open: bool,
 }
 
@@ -443,11 +529,37 @@ struct Aggregate {
     delta_patches_applied: u64,
     delta_full_chosen: u64,
     delta_full_fallbacks: u64,
-    latencies: Vec<Duration>,
+    shed_expired: u64,
+    shed_deadline: u64,
+    shed_breaker: u64,
+    resumables_evicted: u64,
+    /// Completed-session latencies, windowed to [`LATENCY_WINDOW`] so a
+    /// soak of millions of sessions cannot grow this unboundedly.
+    latencies: VecDeque<Duration>,
     /// Source-side engine counters, merged across finished sessions.
     source_counters: Counters,
     /// Target-side engine counters, merged across finished sessions.
     target_counters: Counters,
+}
+
+/// Most recent completed-session latencies retained for
+/// `RuntimeStats::latencies` (the histogram keeps the full
+/// distribution; this raw window is for tests and tail inspection).
+const LATENCY_WINDOW: usize = 65_536;
+
+/// Distinct tenants tracked individually; arrivals beyond this fold
+/// into one overflow bucket so a tenant-label flood cannot grow the
+/// stats map unboundedly.
+const MAX_TRACKED_TENANTS: usize = 1024;
+
+/// Overflow bucket label for tenants beyond [`MAX_TRACKED_TENANTS`].
+const TENANT_OVERFLOW: &str = "(other)";
+
+#[derive(Debug, Default)]
+struct TenantCounters {
+    admitted: u64,
+    completed: u64,
+    shed: u64,
 }
 
 struct Inner {
@@ -462,8 +574,19 @@ struct Inner {
     /// Checkpoints of failed sessions, kept for [`Runtime::resume`]. An
     /// entry is consumed by the resume (the same request cannot be
     /// resumed twice concurrently) and re-deposited if the retry fails
-    /// again.
-    resumables: Mutex<HashMap<SessionId, Resumable>>,
+    /// again. Each value carries its deposit stamp; the map is capped
+    /// at `config.max_resumables` and evicts the oldest stamp.
+    resumables: Mutex<HashMap<SessionId, (u64, Resumable)>>,
+    /// Logical clock stamping resumable deposits for oldest-first
+    /// eviction.
+    resumable_clock: AtomicU64,
+    /// Overload estimator feeding deadline shedding and retry hints.
+    admission: AdmissionController,
+    /// Weighted-fair share weights by tenant label (absent = 1.0).
+    tenant_weights: Mutex<HashMap<String, f64>>,
+    /// Per-tenant fairness counters (BTreeMap for sorted stats output);
+    /// bounded by [`MAX_TRACKED_TENANTS`].
+    tenant_stats: Mutex<BTreeMap<String, TenantCounters>>,
     next_id: AtomicU64,
     next_seq: AtomicU64,
     agg: Mutex<Aggregate>,
@@ -520,7 +643,7 @@ impl Runtime {
                 config.wire_format,
             ),
             queue: Mutex::new(QueueState {
-                heap: BinaryHeap::new(),
+                fair: FairQueue::new(config.aging_interval),
                 open: true,
             }),
             available: Condvar::new(),
@@ -529,8 +652,12 @@ impl Runtime {
                 None => PlanCache::new(),
             },
             events: EventLog::with_capacity(config.event_capacity),
-            ledger: ReassemblyLedger::new(),
+            ledger: ReassemblyLedger::with_capacity(config.ledger_capacity),
             resumables: Mutex::new(HashMap::new()),
+            resumable_clock: AtomicU64::new(0),
+            admission: AdmissionController::new(),
+            tenant_weights: Mutex::new(HashMap::new()),
+            tenant_stats: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             agg: Mutex::new(Aggregate::default()),
@@ -608,7 +735,7 @@ impl Runtime {
     /// bypasses the route's circuit breaker.
     pub fn resume(&self, session_id: SessionId) -> Result<SessionHandle, SubmitError> {
         let inner = &*self.inner;
-        let Resumable { mut request, plan } = inner
+        let (_, Resumable { mut request, plan }) = inner
             .resumables
             .lock()
             .unwrap()
@@ -623,14 +750,22 @@ impl Runtime {
             Err(refused) => {
                 // Not admitted: keep the checkpoint resumable.
                 let (e, request) = *refused;
-                inner
-                    .resumables
-                    .lock()
-                    .unwrap()
-                    .insert(session_id, Resumable { request, plan });
+                inner.remember_resumable(session_id, Resumable { request, plan });
                 Err(e)
             }
         }
+    }
+
+    /// Sets a tenant's weighted-fair share (default 1.0, clamped above
+    /// zero). Weights are relative: a backlogged tenant with weight 2
+    /// drains twice as often as one with weight 1. Applies from the
+    /// tenant's next admitted session.
+    pub fn set_tenant_weight(&self, tenant: &str, weight: f64) {
+        self.inner
+            .tenant_weights
+            .lock()
+            .unwrap()
+            .insert(tenant.to_string(), weight.max(0.01));
     }
 
     /// Swaps the fault model of *every* link — live and future — at
@@ -746,8 +881,8 @@ fn worker_loop(inner: &Inner) {
         let job = {
             let mut queue = inner.queue.lock().unwrap();
             loop {
-                if let Some(job) = queue.heap.pop() {
-                    break Some(job);
+                if let Some(popped) = queue.fair.pop() {
+                    break Some(popped.item);
                 }
                 if !queue.open {
                     break None;
@@ -756,7 +891,10 @@ fn worker_loop(inner: &Inner) {
             }
         };
         match job {
-            Some(job) => inner.run_session(job),
+            Some(job) => {
+                inner.admission.record_dequeue();
+                inner.run_session(job);
+            }
             None => return,
         }
     }
@@ -773,11 +911,14 @@ impl Inner {
         resumed: bool,
         plan: Option<Arc<CachedPlan>>,
     ) -> Result<SessionHandle, Box<(SubmitError, ExchangeRequest)>> {
+        let tenant = request.tenant_label();
         let mut queue = self.queue.lock().unwrap();
         if !queue.open {
             return Err(Box::new((SubmitError::ShutDown, request)));
         }
-        if queue.heap.len() >= self.config.max_queue_depth {
+        let depth = queue.fair.len();
+        if depth >= self.config.max_queue_depth {
+            drop(queue);
             self.agg.lock().unwrap().rejected += 1;
             self.events.push(
                 id,
@@ -788,9 +929,49 @@ impl Inner {
             return Err(Box::new((
                 SubmitError::QueueFull {
                     depth: self.config.max_queue_depth,
+                    retry_after: self.admission.retry_after(depth),
                 },
                 request,
             )));
+        }
+        // Deadline shedding at admission: when the estimator already
+        // knows the turnaround cannot beat the deadline, refuse now —
+        // the session would only be shed at dequeue after occupying a
+        // queue slot. A cold estimator returns None and we admit
+        // optimistically. Resumed sessions carry no deadline, so they
+        // are never shed here.
+        if let Some(deadline) = request.deadline {
+            let estimated = self.admission.estimated_turnaround(
+                depth,
+                self.config.workers,
+                self.calibration.global_ns_per_unit(),
+            );
+            if let Some(estimated) = estimated.filter(|est| *est > deadline) {
+                drop(queue);
+                {
+                    let mut agg = self.agg.lock().unwrap();
+                    agg.rejected += 1;
+                    agg.shed_deadline += 1;
+                }
+                self.tenant_entry(&tenant, |t| t.shed += 1);
+                self.events.push(
+                    id,
+                    NO_SPAN,
+                    EventKind::Shed,
+                    format!(
+                        "{}: deadline {deadline:?} unattainable (estimated {estimated:?})",
+                        request.name
+                    ),
+                );
+                return Err(Box::new((
+                    SubmitError::DeadlineUnattainable {
+                        deadline,
+                        estimated,
+                        retry_after: self.admission.retry_after(depth),
+                    },
+                    request,
+                )));
+            }
         }
         // The root span is allocated at admission so every child span
         // and correlated event can point at it; it is recorded (with
@@ -809,20 +990,162 @@ impl Inner {
             format!("{} ({:?})", request.name, request.priority),
         );
         self.agg.lock().unwrap().admitted += 1;
-        queue.heap.push(QueuedSession {
-            priority: request.priority,
-            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
-            enqueued: Instant::now(),
-            request,
-            plan,
-            shared: Arc::clone(&shared),
-        });
+        self.tenant_entry(&tenant, |t| t.admitted += 1);
+        let weight = self.tenant_weight(&tenant);
+        let now = Instant::now();
+        queue.fair.push(
+            &tenant,
+            weight,
+            request.priority,
+            self.next_seq.fetch_add(1, Ordering::Relaxed),
+            now,
+            QueuedSession {
+                enqueued: now,
+                resumed,
+                request,
+                plan,
+                shared: Arc::clone(&shared),
+            },
+        );
         drop(queue);
         self.available.notify_one();
         Ok(SessionHandle { shared })
     }
 
+    /// The weighted-fair share weight of `tenant` (1.0 unless set).
+    fn tenant_weight(&self, tenant: &str) -> f64 {
+        self.tenant_weights
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Applies `update` to `tenant`'s fairness counters, folding
+    /// arrivals beyond [`MAX_TRACKED_TENANTS`] into the overflow bucket.
+    fn tenant_entry(&self, tenant: &str, update: impl FnOnce(&mut TenantCounters)) {
+        let mut map = self.tenant_stats.lock().unwrap();
+        let key = if map.contains_key(tenant) || map.len() < MAX_TRACKED_TENANTS {
+            tenant
+        } else {
+            TENANT_OVERFLOW
+        };
+        update(map.entry(key.to_string()).or_default());
+    }
+
+    /// Deposits a failed session's checkpoint, evicting the oldest
+    /// deposits beyond `max_resumables` — each checkpoint holds a full
+    /// source database, so an unbounded map would defeat the soak's
+    /// flat-RSS guarantee.
+    fn remember_resumable(&self, id: SessionId, resumable: Resumable) {
+        let mut evicted = 0u64;
+        {
+            let mut map = self.resumables.lock().unwrap();
+            let stamp = self.resumable_clock.fetch_add(1, Ordering::Relaxed);
+            map.insert(id, (stamp, resumable));
+            while map.len() > self.config.max_resumables.max(1) {
+                let oldest = map
+                    .iter()
+                    .min_by_key(|(_, (s, _))| *s)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty over-cap map has an oldest entry");
+                map.remove(&oldest);
+                evicted += 1;
+                self.events.push(
+                    oldest,
+                    NO_SPAN,
+                    EventKind::Shed,
+                    "resumable checkpoint evicted (cap reached)",
+                );
+            }
+        }
+        if evicted > 0 {
+            self.agg.lock().unwrap().resumables_evicted += evicted;
+        }
+    }
+
+    /// Breaker feedback into the queue: when a route's breaker opens,
+    /// its queued (non-resumed) sessions would only burn planning
+    /// probes and retry budgets to learn what the breaker already
+    /// knows — drain and shed them now. Resumed sessions stay queued:
+    /// resume is the operator's probe and intentionally bypasses the
+    /// breaker.
+    fn shed_queued_route(&self, slot: &LinkSlot) {
+        let pair = slot.pair();
+        let drained = {
+            let mut queue = self.queue.lock().unwrap();
+            queue.fair.drain_matching(|qs: &QueuedSession| {
+                !qs.resumed
+                    && qs.request.source_endpoint == slot.source()
+                    && qs.request.target_endpoint == slot.target()
+            })
+        };
+        if drained.is_empty() {
+            return;
+        }
+        let retry = slot
+            .breaker
+            .cooldown_remaining()
+            .unwrap_or(self.config.breaker_cooldown);
+        for qs in drained {
+            let QueuedSession {
+                enqueued,
+                request,
+                plan,
+                shared,
+                ..
+            } = qs;
+            let tenant = request.tenant_label();
+            let metrics = SessionMetrics {
+                queue_wait: enqueued.elapsed(),
+                route: pair.clone(),
+                tenant: tenant.clone(),
+                ..SessionMetrics::default()
+            };
+            slot.counters.sessions_shed.fetch_add(1, Ordering::Relaxed);
+            self.agg.lock().unwrap().shed_breaker += 1;
+            self.tenant_entry(&tenant, |t| t.shed += 1);
+            self.events.push(
+                shared.id,
+                shared.root_span,
+                EventKind::Shed,
+                format!(
+                    "{}: drained from queue, circuit open on {pair}, retry in {retry:?}",
+                    shared.name
+                ),
+            );
+            self.remember_resumable(shared.id, Resumable { request, plan });
+            self.finish(
+                &shared,
+                enqueued,
+                SessionState::Failed,
+                metrics,
+                None,
+                Some(format!("shed: circuit open on {pair}")),
+            );
+        }
+    }
+
     fn stats(&self) -> RuntimeStats {
+        // Lock order is queue → agg (enqueue holds the queue lock while
+        // touching aggregates), so the queue depth and tenant tables are
+        // read *before* taking the aggregate lock.
+        let queue_depth = self.queue.lock().unwrap().fair.len();
+        let tenants: Vec<TenantStats> = {
+            let stats = self.tenant_stats.lock().unwrap();
+            let weights = self.tenant_weights.lock().unwrap();
+            stats
+                .iter()
+                .map(|(tenant, c)| TenantStats {
+                    tenant: tenant.clone(),
+                    weight: weights.get(tenant).copied().unwrap_or(1.0),
+                    admitted: c.admitted,
+                    completed: c.completed,
+                    shed: c.shed,
+                })
+                .collect()
+        };
         let agg = self.agg.lock().unwrap();
         RuntimeStats {
             admitted: agg.admitted,
@@ -831,6 +1154,13 @@ impl Inner {
             failed: agg.failed,
             cancelled: agg.cancelled,
             resumed: agg.resumed,
+            sessions_shed_expired: agg.shed_expired,
+            sessions_shed_deadline: agg.shed_deadline,
+            sessions_shed_breaker: agg.shed_breaker,
+            resumables_evicted: agg.resumables_evicted,
+            ledger_buffers_shed: self.ledger.buffers_shed(),
+            queue_depth,
+            tenants,
             plan_cache_hits: self.cache.hits(),
             plan_cache_misses: self.cache.misses(),
             plan_cache_expired: self.cache.expired(),
@@ -847,7 +1177,7 @@ impl Inner {
             chunks_retried: agg.chunks_retried,
             links: self.registry.snapshot(),
             peak_concurrent_shipments: self.registry.peak_concurrent_shipments(),
-            latencies: agg.latencies.clone(),
+            latencies: agg.latencies.iter().copied().collect(),
             latency_histogram: self.latency_hist.snapshot(),
             dropped_events: self.events.dropped(),
             dropped_spans: self.trace.dropped(),
@@ -873,6 +1203,20 @@ impl Inner {
             ("xdx_sessions_failed_total", stats.failed),
             ("xdx_sessions_cancelled_total", stats.cancelled),
             ("xdx_sessions_resumed_total", stats.resumed),
+            (
+                "xdx_sessions_shed_expired_total",
+                stats.sessions_shed_expired,
+            ),
+            (
+                "xdx_sessions_shed_deadline_total",
+                stats.sessions_shed_deadline,
+            ),
+            (
+                "xdx_sessions_shed_breaker_total",
+                stats.sessions_shed_breaker,
+            ),
+            ("xdx_resumables_evicted_total", stats.resumables_evicted),
+            ("xdx_ledger_buffers_shed_total", stats.ledger_buffers_shed),
             ("xdx_plan_cache_hits_total", stats.plan_cache_hits),
             ("xdx_plan_cache_misses_total", stats.plan_cache_misses),
             ("xdx_plan_cache_expired_total", stats.plan_cache_expired),
@@ -909,8 +1253,17 @@ impl Inner {
         ] {
             m.counter(name).set(value);
         }
-        m.gauge("xdx_queue_depth")
-            .set(self.queue.lock().unwrap().heap.len() as f64);
+        m.gauge("xdx_queue_depth").set(stats.queue_depth as f64);
+        // Per-tenant fairness rollups, labelled by tenant.
+        for t in &stats.tenants {
+            let label = |base: &str| format!("{base}{{tenant=\"{}\"}}", t.tenant);
+            m.counter(&label("xdx_tenant_admitted_total"))
+                .set(t.admitted);
+            m.counter(&label("xdx_tenant_completed_total"))
+                .set(t.completed);
+            m.counter(&label("xdx_tenant_shed_total")).set(t.shed);
+            m.gauge(&label("xdx_tenant_weight")).set(t.weight);
+        }
         m.gauge("xdx_peak_concurrent_shipments")
             .set(stats.peak_concurrent_shipments as f64);
         // The relational engines' own counters, re-emitted per side.
@@ -954,6 +1307,8 @@ impl Inner {
                 .set(link.sessions_completed);
             m.counter(&label("xdx_link_sessions_failed_total"))
                 .set(link.sessions_failed);
+            m.counter(&label("xdx_link_sessions_shed_total"))
+                .set(link.sessions_shed);
             m.gauge(&label("xdx_link_utilization"))
                 .set(if uptime > 0.0 {
                     link.busy.as_secs_f64() / uptime
@@ -969,11 +1324,12 @@ impl Inner {
     fn run_session(&self, job: QueuedSession) {
         let QueuedSession {
             enqueued,
+            resumed,
             mut request,
             plan: stored_plan,
             shared,
-            ..
         } = job;
+        let tenant = request.tenant_label();
         // Resolve the route's link up front: its negotiated wire format
         // feeds the cost model (and the plan-cache key), so placement
         // decisions see the bytes the link will actually carry.
@@ -992,6 +1348,7 @@ impl Inner {
         let mut metrics = SessionMetrics {
             queue_wait: enqueued.elapsed(),
             route: format!("{}→{}", request.source_endpoint, request.target_endpoint),
+            tenant: tenant.clone(),
             wire_format,
             ..SessionMetrics::default()
         };
@@ -1015,6 +1372,11 @@ impl Inner {
             );
             return;
         }
+        // Fast-fail: a deadline that expired while the session sat in
+        // the queue is shed *before* planning — it never burns a
+        // statistics probe or an optimizer call on work that is already
+        // lost. The breaker is untouched (an expired deadline says
+        // nothing about link health).
         if shared.deadline_exceeded() {
             self.events.push(
                 shared.id,
@@ -1022,7 +1384,15 @@ impl Inner {
                 EventKind::DeadlineExceeded,
                 "while queued",
             );
-            self.resumables.lock().unwrap().insert(
+            self.events.push(
+                shared.id,
+                shared.root_span,
+                EventKind::Shed,
+                "expired while queued: shed before planning",
+            );
+            self.agg.lock().unwrap().shed_expired += 1;
+            self.tenant_entry(&tenant, |t| t.shed += 1);
+            self.remember_resumable(
                 shared.id,
                 Resumable {
                     request,
@@ -1035,7 +1405,44 @@ impl Inner {
                 SessionState::Failed,
                 metrics,
                 None,
-                Some("deadline exceeded while queued".into()),
+                Some("deadline exceeded while queued: shed before planning".into()),
+            );
+            return;
+        }
+        // Breaker feedback at dequeue: a session whose route's breaker
+        // is open would only fail after burning a planning probe and a
+        // full retry budget — shed it now, keeping it resumable.
+        // Resumed sessions pass: resume is the operator's explicit
+        // probe and deliberately bypasses the breaker.
+        if !resumed && slot.breaker.is_open() {
+            let pair = slot.pair();
+            let retry = slot
+                .breaker
+                .cooldown_remaining()
+                .unwrap_or(self.config.breaker_cooldown);
+            self.events.push(
+                shared.id,
+                shared.root_span,
+                EventKind::Shed,
+                format!("circuit open on {pair}, retry in {retry:?}"),
+            );
+            slot.counters.sessions_shed.fetch_add(1, Ordering::Relaxed);
+            self.agg.lock().unwrap().shed_breaker += 1;
+            self.tenant_entry(&tenant, |t| t.shed += 1);
+            self.remember_resumable(
+                shared.id,
+                Resumable {
+                    request,
+                    plan: stored_plan,
+                },
+            );
+            self.finish(
+                &shared,
+                enqueued,
+                SessionState::Failed,
+                metrics,
+                None,
+                Some(format!("shed: circuit open on {pair}")),
             );
             return;
         }
@@ -1190,6 +1597,10 @@ impl Inner {
             }
         };
         metrics.planning = planning_started.elapsed();
+        // Feed the admission estimator: the plan's predicted cost units,
+        // scaled by calibration's ns-per-unit, is one of its two
+        // turnaround estimators.
+        self.admission.record_plan_cost(plan.cost);
         self.planning_hist.record_duration_ns(metrics.planning);
         self.trace.record_with_id(
             plan_span,
@@ -1226,7 +1637,7 @@ impl Inner {
                 EventKind::DeadlineExceeded,
                 "after planning",
             );
-            self.resumables.lock().unwrap().insert(
+            self.remember_resumable(
                 shared.id,
                 Resumable {
                     request,
@@ -1556,13 +1967,17 @@ impl Inner {
                                 self.config.breaker_cooldown
                             ),
                         );
+                        // The breaker just opened: everything queued for
+                        // this route would fail the same way. Drain and
+                        // shed it now instead of one session at a time.
+                        self.shed_queued_route(&slot);
                     }
                 }
                 // Keep the session resumable: the checkpointed plan and
                 // the shipping ledger (with its persisted serialized
                 // messages) make the retry probe-free and
                 // serialization-free.
-                self.resumables.lock().unwrap().insert(
+                self.remember_resumable(
                     shared.id,
                     Resumable {
                         request,
@@ -1613,7 +2028,15 @@ impl Inner {
             match state {
                 SessionState::Done => {
                     agg.completed += 1;
-                    agg.latencies.push(metrics.total_wall);
+                    agg.latencies.push_back(metrics.total_wall);
+                    // The latency window is bounded: a soak pushing
+                    // hundreds of thousands of sessions must not grow
+                    // the aggregate without limit. Percentile math runs
+                    // over this sliding window; the lossless histogram
+                    // keeps the full distribution.
+                    if agg.latencies.len() > LATENCY_WINDOW {
+                        agg.latencies.pop_front();
+                    }
                 }
                 SessionState::Failed => agg.failed += 1,
                 SessionState::Cancelled => agg.cancelled += 1,
@@ -1622,6 +2045,14 @@ impl Inner {
         }
         if state == SessionState::Done {
             self.latency_hist.record_duration_ns(metrics.total_wall);
+            // Feed the admission estimator with the observed service
+            // time (wall minus queue wait — the queue's own delay is
+            // modeled separately from depth).
+            self.admission
+                .record_service(metrics.total_wall.saturating_sub(metrics.queue_wait));
+            if !metrics.tenant.is_empty() {
+                self.tenant_entry(&metrics.tenant, |t| t.completed += 1);
+            }
         }
         if metrics.delta_patch_bytes
             + metrics.delta_patches_applied

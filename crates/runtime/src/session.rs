@@ -24,7 +24,7 @@ pub type SessionId = u64;
 
 /// Scheduling priority. Higher priorities are dequeued first; within a
 /// priority class the queue is FIFO.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Background work: bulk refreshes, backfills.
     Low,
@@ -108,6 +108,11 @@ pub struct ExchangeRequest {
     pub source_endpoint: String,
     /// Target endpoint of the route (see `source_endpoint`).
     pub target_endpoint: String,
+    /// Admission-fairness tenant this session bills to. `None` (the
+    /// default) bills to the route pair, so one hot `(source, target)`
+    /// pair competes as a single tenant; an explicit tag groups
+    /// sessions across routes (e.g. per customer).
+    pub tenant: Option<String>,
     /// Per-session optimizer override; `None` plans with the runtime's
     /// configured default.
     pub optimizer: Option<Optimizer>,
@@ -142,6 +147,7 @@ impl ExchangeRequest {
             deadline: None,
             source_endpoint: DEFAULT_SOURCE_ENDPOINT.into(),
             target_endpoint: DEFAULT_TARGET_ENDPOINT.into(),
+            tenant: None,
             optimizer: None,
             wire_format: None,
             base_version: None,
@@ -182,6 +188,24 @@ impl ExchangeRequest {
     pub fn with_base_version(mut self, version: u64) -> ExchangeRequest {
         self.base_version = Some(version);
         self
+    }
+
+    /// Bills the session to an explicit admission-fairness tenant
+    /// instead of its route pair. The weighted-fair queue guarantees
+    /// each backlogged tenant its share of dequeues, so no tag — and no
+    /// route — can starve the rest of the fleet.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> ExchangeRequest {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// The fairness tenant this request bills to: the explicit
+    /// [`with_tenant`](ExchangeRequest::with_tenant) tag, or the route
+    /// pair (`source→target`) when untagged.
+    pub fn tenant_label(&self) -> String {
+        self.tenant
+            .clone()
+            .unwrap_or_else(|| format!("{}→{}", self.source_endpoint, self.target_endpoint))
     }
 
     /// Sets the scheduling priority.
@@ -227,6 +251,9 @@ pub struct SessionMetrics {
     /// The `(source, target)` route the session shipped over, as
     /// `source→target`.
     pub route: String,
+    /// The admission-fairness tenant the session billed to (explicit
+    /// tag, or the route pair).
+    pub tenant: String,
     /// The wire format this session's cross-edge messages were encoded
     /// in (negotiated by the route, or the request's override).
     pub wire_format: WireFormat,
@@ -421,6 +448,22 @@ mod tests {
         assert!(Priority::High > Priority::Normal);
         assert!(Priority::Normal > Priority::Low);
         assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn tenant_label_defaults_to_the_route_pair() {
+        let schema = xdx_xmark::schema();
+        let req = ExchangeRequest::new(
+            "t",
+            Database::default(),
+            xdx_xmark::mf(&schema),
+            xdx_xmark::lf(&schema),
+        );
+        assert_eq!(req.tenant_label(), "source→target");
+        let routed = req.with_route("a", "b");
+        assert_eq!(routed.tenant_label(), "a→b");
+        let tagged = routed.with_tenant("acme");
+        assert_eq!(tagged.tenant_label(), "acme");
     }
 
     #[test]

@@ -262,8 +262,9 @@ fn admission_control_rejects_when_queue_is_full() {
             lf.clone(),
         )) {
             Ok(handle) => handles.push(handle),
-            Err(SubmitError::QueueFull { depth }) => {
+            Err(SubmitError::QueueFull { depth, retry_after }) => {
                 assert_eq!(depth, 2);
+                assert!(retry_after > Duration::ZERO, "hint must be actionable");
                 rejections += 1;
             }
             Err(e) => panic!("unexpected submit error: {e}"),

@@ -1,0 +1,140 @@
+//! Property tests for the weighted-fair admission queue: FIFO order
+//! within a `(tenant, priority)` lane, per-tenant throughput shares
+//! bounded by declared weights while every lane stays backlogged, and
+//! no starvation — an aged low-priority entry overtakes a steady stream
+//! of fresh high-priority traffic within a bounded number of pops.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use xdx_runtime::{FairQueue, Priority, DEFAULT_AGING_INTERVAL};
+
+fn priority_of(class: u8) -> Priority {
+    match class {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        _ => Priority::High,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Entries sharing a tenant and a priority class leave the queue in
+    /// push order, no matter how tenants and classes interleave. All
+    /// entries are pushed and popped at one instant, so aging cannot
+    /// reorder classes and the property isolates pure FIFO discipline.
+    #[test]
+    fn fifo_holds_within_each_tenant_and_class(
+        entries in proptest::collection::vec((0u8..3, 0u8..3), 1..60),
+    ) {
+        let base = Instant::now();
+        let mut queue: FairQueue<u64> = FairQueue::new(DEFAULT_AGING_INTERVAL);
+        for (seq, &(tenant, class)) in entries.iter().enumerate() {
+            let seq = seq as u64;
+            queue.push(
+                &format!("t{tenant}"),
+                1.0,
+                priority_of(class),
+                seq,
+                base,
+                seq,
+            );
+        }
+        let mut last_seq: HashMap<(String, Priority), u64> = HashMap::new();
+        let mut popped = 0usize;
+        while let Some(entry) = queue.pop_at(base) {
+            popped += 1;
+            prop_assert_eq!(entry.seq, entry.item);
+            let key = (entry.tenant.clone(), entry.priority);
+            if let Some(&prev) = last_seq.get(&key) {
+                prop_assert!(
+                    entry.seq > prev,
+                    "lane {:?} popped seq {} after {}",
+                    key, entry.seq, prev
+                );
+            }
+            last_seq.insert(key, entry.seq);
+        }
+        prop_assert_eq!(popped, entries.len());
+        prop_assert!(queue.is_empty());
+    }
+
+    /// While every tenant stays backlogged, each tenant's share of the
+    /// pops stays within 2x of its declared fair share `w / sum(w)` —
+    /// the bounded-fairness contract the runtime's admission relies on.
+    #[test]
+    fn backlogged_tenants_share_pops_by_weight(
+        weights in proptest::collection::vec(1u8..5, 2..5),
+        pops in 12usize..48,
+    ) {
+        let base = Instant::now();
+        let mut queue: FairQueue<usize> = FairQueue::new(DEFAULT_AGING_INTERVAL);
+        let total_weight: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+        // Each tenant's backlog covers every pop, so no lane can drain
+        // mid-run and distort the shares.
+        for (t, &w) in weights.iter().enumerate() {
+            for i in 0..pops {
+                queue.push(
+                    &format!("t{t}"),
+                    f64::from(w),
+                    Priority::Normal,
+                    (t * pops + i) as u64,
+                    base,
+                    t,
+                );
+            }
+        }
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..pops {
+            let entry = queue.pop_at(base).expect("lanes stay backlogged");
+            counts[entry.item] += 1;
+        }
+        for (t, &w) in weights.iter().enumerate() {
+            let fair = pops as f64 * f64::from(w) / total_weight;
+            // One pop of slack absorbs rounding at small pop counts.
+            prop_assert!(
+                (counts[t] as f64) <= 2.0 * fair + 1.0,
+                "tenant {} took {} of {} pops, fair share {:.1}",
+                t, counts[t], pops, fair
+            );
+            prop_assert!(
+                (counts[t] as f64) + 1.0 >= fair / 2.0,
+                "tenant {} starved: {} of {} pops, fair share {:.1}",
+                t, counts[t], pops, fair
+            );
+        }
+    }
+
+    /// No starvation across classes: a low-priority entry facing a
+    /// steady stream of fresh high-priority work on the same lane is
+    /// promoted by aging and pops within a bounded number of rounds
+    /// (score = class + waited/aging, so once it has waited past
+    /// 2 x aging it outscores any fresh high entry).
+    #[test]
+    fn aged_low_entry_overtakes_fresh_high_traffic(
+        aging_ms in 5u64..200,
+        rounds in 5u64..20,
+    ) {
+        let base = Instant::now();
+        let aging = Duration::from_millis(aging_ms);
+        let mut queue: FairQueue<&'static str> = FairQueue::new(aging);
+        queue.push("t", 1.0, Priority::Low, 0, base, "low");
+        let mut low_popped_at = None;
+        for round in 1..=rounds {
+            let now = base + aging * u32::try_from(round).unwrap();
+            queue.push("t", 1.0, Priority::High, round, now, "high");
+            let entry = queue.pop_at(now).expect("queue is never empty here");
+            if entry.item == "low" {
+                low_popped_at = Some(round);
+                break;
+            }
+        }
+        let popped = low_popped_at.expect("low entry starved for every round");
+        prop_assert!(
+            popped <= 4,
+            "low entry waited {} rounds before promotion", popped
+        );
+    }
+}
