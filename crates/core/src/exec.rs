@@ -240,6 +240,186 @@ pub fn execute_with_transport(
         target.rollback_staged();
         return Err(e);
     }
+    commit_and_index(program, target, &mut outcome)?;
+    Ok(outcome)
+}
+
+/// One cross-edge port of a placed program: produced at the source,
+/// consumed at the target, shipped as its own message (or batch stream).
+#[derive(Debug, Clone)]
+pub struct CrossPort {
+    /// The producing port.
+    pub port: PortRef,
+    /// The region name used as the shipment label.
+    pub label: String,
+}
+
+/// Everything the source side of a phase-split execution produced: the
+/// feeds sitting on cross edges (trimmed to exactly those — intermediate
+/// feeds are dropped) and the cross-edge ports in deterministic
+/// first-consumer order, which pipelined runtimes use as the shipment
+/// numbering across runs and resumes.
+#[derive(Debug)]
+pub struct SourcePhase {
+    /// Cross-edge feeds, keyed by producing port.
+    pub feeds: HashMap<PortRef, Feed>,
+    /// Cross-edge ports in the order the target first consumes them.
+    pub cross_ports: Vec<CrossPort>,
+}
+
+/// Runs every *source*-located node of `program` — the CPU half of a
+/// phase-split execution. Because placed programs admit no
+/// target→source edges (enforced here exactly as in
+/// [`execute_with_transport`]), any valid program splits cleanly into a
+/// source phase, one ship-everything boundary, and a target phase: the
+/// seam an event-driven runtime parks sessions at while frames are on
+/// the wire.
+pub fn execute_source_phase(
+    schema: &SchemaTree,
+    source_frag: &Fragmentation,
+    target_frag: &Fragmentation,
+    program: &Program,
+    source: &mut Database,
+    selection: Option<(&Selection, &BTreeSet<WireDewey>)>,
+) -> Result<(SourcePhase, ExecOutcome)> {
+    execute_source_phase_streaming(
+        schema,
+        source_frag,
+        target_frag,
+        program,
+        source,
+        selection,
+        &mut |_| {},
+    )
+}
+
+/// Cross-edge ports of a placed program in the order the target first
+/// consumes them — the deterministic shipment numbering pipelined
+/// runtimes and resumes share. Depends only on the program, so a
+/// streaming caller can compute it before execution starts.
+pub fn cross_ports_in_consumer_order(schema: &SchemaTree, program: &Program) -> Vec<CrossPort> {
+    let mut cross_ports: Vec<CrossPort> = Vec::new();
+    for node in &program.nodes {
+        if node.location != Location::Target {
+            continue;
+        }
+        for p in &node.inputs {
+            if program.nodes[p.node].location == Location::Source
+                && !cross_ports.iter().any(|c| c.port == *p)
+            {
+                cross_ports.push(CrossPort {
+                    port: *p,
+                    label: program
+                        .port_region(*p)
+                        .map(|r| r.name(schema))
+                        .unwrap_or_default(),
+                });
+            }
+        }
+    }
+    cross_ports
+}
+
+/// [`execute_source_phase`] with a streaming hook: `on_cross_feed` is
+/// invoked with the current feed map each time a node completes that
+/// produces a cross-edge feed — while later source nodes are still
+/// running. A cross feed is final the moment its producer finishes
+/// (downstream nodes only read it), so a pipelined runtime can put the
+/// first frames on the wire before the source phase returns. The hook
+/// sees the feeds shared and must not rely on being called in
+/// consumer order; feeds it skips remain in the returned
+/// [`SourcePhase`].
+pub fn execute_source_phase_streaming(
+    schema: &SchemaTree,
+    source_frag: &Fragmentation,
+    target_frag: &Fragmentation,
+    program: &Program,
+    source: &mut Database,
+    selection: Option<(&Selection, &BTreeSet<WireDewey>)>,
+    on_cross_feed: &mut dyn FnMut(&HashMap<PortRef, Feed>),
+) -> Result<(SourcePhase, ExecOutcome)> {
+    program.validate()?;
+    program.validate_placement()?;
+    let cross_ports = cross_ports_in_consumer_order(schema, program);
+    let mut outcome = ExecOutcome::default();
+    let mut feeds: HashMap<PortRef, Feed> = HashMap::new();
+    for i in 0..program.nodes.len() {
+        let node = &program.nodes[i];
+        if node.location != Location::Source {
+            continue;
+        }
+        let mut inputs: Vec<Feed> = Vec::with_capacity(node.inputs.len());
+        for p in &node.inputs {
+            if program.nodes[p.node].location == Location::Target {
+                return Err(Error::InvalidProgram {
+                    detail: "target→source edge at runtime".into(),
+                });
+            }
+            inputs.push(
+                feeds
+                    .get(p)
+                    .ok_or_else(|| Error::InvalidProgram {
+                        detail: format!("missing feed for port {p:?}"),
+                    })?
+                    .clone(),
+            );
+        }
+        apply_op(
+            schema,
+            source_frag,
+            target_frag,
+            program,
+            i,
+            source,
+            inputs,
+            selection,
+            &mut feeds,
+            &mut outcome,
+        )?;
+        if cross_ports.iter().any(|c| c.port.node == i) {
+            on_cross_feed(&feeds);
+        }
+    }
+    feeds.retain(|p, _| cross_ports.iter().any(|c| c.port == *p));
+    Ok((SourcePhase { feeds, cross_ports }, outcome))
+}
+
+/// Runs every *target*-located node of `program` against feeds already
+/// delivered across the cross edges, then commits the staged writes and
+/// rebuilds the key indexes — the back half of a phase-split execution.
+/// A failure anywhere rolls the staged writes back, leaving the target
+/// exactly as it was.
+pub fn execute_target_phase(
+    schema: &SchemaTree,
+    source_frag: &Fragmentation,
+    target_frag: &Fragmentation,
+    program: &Program,
+    target: &mut Database,
+    delivered: &HashMap<PortRef, Feed>,
+    outcome: &mut ExecOutcome,
+) -> Result<()> {
+    let result = run_target_nodes(
+        schema,
+        source_frag,
+        target_frag,
+        program,
+        target,
+        delivered,
+        outcome,
+    );
+    if let Err(e) = result {
+        target.rollback_staged();
+        return Err(e);
+    }
+    commit_and_index(program, target, outcome)
+}
+
+/// The commit + index epilogue shared by every execution path.
+pub fn commit_and_index(
+    program: &Program,
+    target: &mut Database,
+    outcome: &mut ExecOutcome,
+) -> Result<()> {
     let start = Instant::now();
     target.commit_staged();
     let wall = start.elapsed();
@@ -251,8 +431,6 @@ pub fn execute_with_transport(
         started: start,
         wall,
     });
-
-    // Final step: rebuild the target's key indexes.
     let start = Instant::now();
     target.build_all_key_indexes()?;
     let wall = start.elapsed();
@@ -264,7 +442,204 @@ pub fn execute_with_transport(
         started: start,
         wall,
     });
-    Ok(outcome)
+    Ok(())
+}
+
+fn run_target_nodes(
+    schema: &SchemaTree,
+    source_frag: &Fragmentation,
+    target_frag: &Fragmentation,
+    program: &Program,
+    target: &mut Database,
+    delivered: &HashMap<PortRef, Feed>,
+    outcome: &mut ExecOutcome,
+) -> Result<()> {
+    let mut feeds: HashMap<PortRef, Feed> = HashMap::new();
+    for i in 0..program.nodes.len() {
+        let node = &program.nodes[i];
+        if node.location != Location::Target {
+            continue;
+        }
+        let mut inputs: Vec<Feed> = Vec::with_capacity(node.inputs.len());
+        for p in &node.inputs {
+            let map = if program.nodes[p.node].location == Location::Source {
+                delivered
+            } else {
+                &feeds
+            };
+            inputs.push(
+                map.get(p)
+                    .ok_or_else(|| Error::InvalidProgram {
+                        detail: format!("missing feed for port {p:?}"),
+                    })?
+                    .clone(),
+            );
+        }
+        apply_op(
+            schema,
+            source_frag,
+            target_frag,
+            program,
+            i,
+            target,
+            inputs,
+            None,
+            &mut feeds,
+            outcome,
+        )?;
+    }
+    Ok(())
+}
+
+/// Splits a Dewey-sorted feed into row batches of at most `batch_rows`
+/// rows, preserving order. An empty feed yields one empty batch, so
+/// every cross port ships at least one frame. Deterministic: the same
+/// feed and batch size always produce the same batches — resumed
+/// sessions replay the identical shipment sequence.
+pub fn feed_batches(feed: &Feed, batch_rows: usize) -> Vec<Feed> {
+    let n = batch_rows.max(1);
+    if feed.rows.is_empty() {
+        return vec![Feed::new(feed.schema.clone())];
+    }
+    feed.rows
+        .chunks(n)
+        .map(|rows| Feed {
+            schema: feed.schema.clone(),
+            rows: rows.to_vec(),
+        })
+        .collect()
+}
+
+/// True when every target-located node is a `Write` fed directly by
+/// cross edges: each delivered batch can then be *staged on arrival* —
+/// the target begins its transactional load while the source is still
+/// producing — instead of waiting for the whole feed.
+pub fn writes_stream_directly(program: &Program) -> bool {
+    program.nodes.iter().all(|n| {
+        n.location != Location::Target
+            || (matches!(n.op, Op::Write { .. })
+                && n.inputs
+                    .iter()
+                    .all(|p| program.nodes[p.node].location == Location::Source))
+    })
+}
+
+/// For a program where [`writes_stream_directly`], the `(node index,
+/// target table)` each cross port feeds — what a streaming runtime
+/// needs to stage arriving batches without running the node loop.
+pub fn direct_write_tables(
+    program: &Program,
+    target_frag: &Fragmentation,
+) -> HashMap<PortRef, (usize, String)> {
+    let mut map = HashMap::new();
+    for (i, node) in program.nodes.iter().enumerate() {
+        if node.location != Location::Target {
+            continue;
+        }
+        if let Op::Write { fragment } = node.op {
+            if let Some(port) = node.inputs.first() {
+                map.insert(*port, (i, target_frag.fragments[fragment].name.clone()));
+            }
+        }
+    }
+    map
+}
+
+/// Executes one placed node: resolves the operator, times it, files its
+/// output feeds, and records the [`OpSample`]. Shared by the blocking
+/// node loop and both phase-split halves so operator semantics cannot
+/// diverge between them.
+#[allow(clippy::too_many_arguments)]
+fn apply_op(
+    schema: &SchemaTree,
+    source_frag: &Fragmentation,
+    target_frag: &Fragmentation,
+    program: &Program,
+    i: usize,
+    db: &mut Database,
+    inputs: Vec<Feed>,
+    selection: Option<(&Selection, &BTreeSet<WireDewey>)>,
+    feeds: &mut HashMap<PortRef, Feed>,
+    outcome: &mut ExecOutcome,
+) -> Result<()> {
+    let node = &program.nodes[i];
+    let loc = node.location;
+    let start = Instant::now();
+    match &node.op {
+        Op::Scan { fragment } => {
+            let name = &source_frag.fragments[*fragment].name;
+            let mut feed = db.scan(name)?;
+            if let Some((sel, qualifying)) = selection {
+                feed = sel.filter_feed(schema, &feed, qualifying);
+            }
+            feeds.insert(PortRef { node: i, port: 0 }, feed);
+            outcome.times.source_queries += start.elapsed();
+        }
+        Op::Combine { anchor } => {
+            let anchor_name = schema.name(*anchor);
+            let combined = {
+                let (table_counters, parent, child) = (&mut db.counters, &inputs[0], &inputs[1]);
+                merge_combine(parent, child, anchor_name, table_counters)?
+            };
+            feeds.insert(PortRef { node: i, port: 0 }, combined);
+            match loc {
+                Location::Source => outcome.times.source_queries += start.elapsed(),
+                _ => outcome.times.target_queries += start.elapsed(),
+            }
+        }
+        Op::Split => {
+            let input_region = program
+                .port_region(node.inputs[0])
+                .expect("validated program")
+                .clone();
+            let specs: Vec<SplitSpec> = node
+                .outputs
+                .iter()
+                .map(|r| {
+                    let anchor_element = if r.root == input_region.root {
+                        None
+                    } else {
+                        schema
+                            .node(r.root)
+                            .parent
+                            .map(|p| schema.name(p).to_string())
+                    };
+                    SplitSpec {
+                        root_element: schema.name(r.root).to_string(),
+                        anchor_element,
+                        elements: r
+                            .elements
+                            .iter()
+                            .map(|&e| schema.name(e).to_string())
+                            .collect(),
+                    }
+                })
+                .collect();
+            let outs = split(&inputs[0], &specs, &mut db.counters)?;
+            for (port, feed) in outs.into_iter().enumerate() {
+                feeds.insert(PortRef { node: i, port }, feed);
+            }
+            match loc {
+                Location::Source => outcome.times.source_queries += start.elapsed(),
+                _ => outcome.times.target_queries += start.elapsed(),
+            }
+        }
+        Op::Write { fragment } => {
+            let name = target_frag.fragments[*fragment].name.clone();
+            let feed = inputs.into_iter().next().expect("write has one input");
+            outcome.rows_loaded += feed.len() as u64;
+            db.load_staged(&name, feed)?;
+            outcome.times.loading += start.elapsed();
+        }
+    }
+    outcome.op_samples.push(OpSample {
+        node: i,
+        op: node.op.kind(),
+        location: loc,
+        started: start,
+        wall: start.elapsed(),
+    });
+    Ok(())
 }
 
 /// The node loop of [`execute_with_transport`]: every `Write` lands in
@@ -364,87 +739,23 @@ fn run_nodes(
             inputs.push(feed);
         }
 
-        let start = Instant::now();
         let db: &mut Database = match loc {
             Location::Source => source,
             Location::Target => target,
             Location::Unassigned => unreachable!("validated placement"),
         };
-        match &node.op {
-            Op::Scan { fragment } => {
-                let name = &source_frag.fragments[*fragment].name;
-                let mut feed = db.scan(name)?;
-                if let Some((sel, qualifying)) = selection {
-                    feed = sel.filter_feed(schema, &feed, qualifying);
-                }
-                feeds.insert(PortRef { node: i, port: 0 }, feed);
-                outcome.times.source_queries += start.elapsed();
-            }
-            Op::Combine { anchor } => {
-                let anchor_name = schema.name(*anchor);
-                let combined = {
-                    let (table_counters, parent, child) =
-                        (&mut db.counters, &inputs[0], &inputs[1]);
-                    merge_combine(parent, child, anchor_name, table_counters)?
-                };
-                feeds.insert(PortRef { node: i, port: 0 }, combined);
-                match loc {
-                    Location::Source => outcome.times.source_queries += start.elapsed(),
-                    _ => outcome.times.target_queries += start.elapsed(),
-                }
-            }
-            Op::Split => {
-                let input_region = program
-                    .port_region(node.inputs[0])
-                    .expect("validated program")
-                    .clone();
-                let specs: Vec<SplitSpec> = node
-                    .outputs
-                    .iter()
-                    .map(|r| {
-                        let anchor_element = if r.root == input_region.root {
-                            None
-                        } else {
-                            schema
-                                .node(r.root)
-                                .parent
-                                .map(|p| schema.name(p).to_string())
-                        };
-                        SplitSpec {
-                            root_element: schema.name(r.root).to_string(),
-                            anchor_element,
-                            elements: r
-                                .elements
-                                .iter()
-                                .map(|&e| schema.name(e).to_string())
-                                .collect(),
-                        }
-                    })
-                    .collect();
-                let outs = split(&inputs[0], &specs, &mut db.counters)?;
-                for (port, feed) in outs.into_iter().enumerate() {
-                    feeds.insert(PortRef { node: i, port }, feed);
-                }
-                match loc {
-                    Location::Source => outcome.times.source_queries += start.elapsed(),
-                    _ => outcome.times.target_queries += start.elapsed(),
-                }
-            }
-            Op::Write { fragment } => {
-                let name = target_frag.fragments[*fragment].name.clone();
-                let feed = inputs.into_iter().next().expect("write has one input");
-                outcome.rows_loaded += feed.len() as u64;
-                db.load_staged(&name, feed)?;
-                outcome.times.loading += start.elapsed();
-            }
-        }
-        outcome.op_samples.push(OpSample {
-            node: i,
-            op: node.op.kind(),
-            location: loc,
-            started: start,
-            wall: start.elapsed(),
-        });
+        apply_op(
+            schema,
+            source_frag,
+            target_frag,
+            program,
+            i,
+            db,
+            inputs,
+            selection,
+            &mut feeds,
+            outcome,
+        )?;
     }
     Ok(())
 }

@@ -413,6 +413,23 @@ impl Link {
         label: impl Into<String>,
         payload: &[u8],
     ) -> (Duration, Delivery) {
+        let (duration, delivery) = self.transmit_faulty_nowait(label, payload);
+        self.pace(duration);
+        (duration, delivery)
+    }
+
+    /// [`Link::transmit_faulty`] without the pacing sleep: the fault
+    /// draws, accounting and delivery outcome are computed immediately
+    /// and the *caller* owns the paced wait. Event-driven shippers use
+    /// this so a paced transmission never blocks a thread inside the
+    /// link lock — they read [`Link::pacing`], release the lock, and
+    /// model the wire occupancy `duration × pacing` as a deadline on
+    /// their own timer instead.
+    pub fn transmit_faulty_nowait(
+        &mut self,
+        label: impl Into<String>,
+        payload: &[u8],
+    ) -> (Duration, Delivery) {
         let bytes = payload.len() as u64;
         let base = self.profile.transfer_time(bytes);
         let p = self.fault_profile;
@@ -482,7 +499,6 @@ impl Link {
             )
         };
         self.account(label, bytes, duration);
-        self.pace(duration);
         (duration, delivery)
     }
 

@@ -35,12 +35,22 @@ const COLD_RETRY_AFTER: Duration = Duration::from_millis(25);
 const MIN_RETRY_AFTER: Duration = Duration::from_millis(1);
 const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
 
+/// Ceiling on the pipelining-overlap factor. With pacing off the wire is
+/// simulated (near-zero wall), which would report absurd overlap; a
+/// capped divisor keeps the wait estimate merely optimistic, not zero.
+const MAX_OVERLAP: f64 = 64.0;
+
 #[derive(Default)]
 struct State {
     ewma_service_ns: f64,
     service_samples: u64,
     ewma_cost_units: f64,
     cost_samples: u64,
+    /// Observed pipelining overlap: session wall over wall *not* hidden
+    /// behind the wire (≥ 1). Queued sessions behind a pipelined fleet
+    /// wait for the exposed fraction of service, not all of it.
+    ewma_overlap: f64,
+    overlap_samples: u64,
     dequeues: VecDeque<Instant>,
 }
 
@@ -85,6 +95,24 @@ impl AdmissionController {
         s.cost_samples += 1;
     }
 
+    /// Feeds one pipelined session's overlap factor — wall time over
+    /// wall time *not* hidden behind in-flight shipping — into the
+    /// EWMA. Factors are clamped to `[1, MAX_OVERLAP]`; non-finite
+    /// samples are dropped.
+    pub fn record_overlap(&self, factor: f64) {
+        if !factor.is_finite() {
+            return;
+        }
+        let factor = factor.clamp(1.0, MAX_OVERLAP);
+        let mut s = self.state.lock().unwrap();
+        s.ewma_overlap = if s.overlap_samples == 0 {
+            factor
+        } else {
+            ALPHA * factor + (1.0 - ALPHA) * s.ewma_overlap
+        };
+        s.overlap_samples += 1;
+    }
+
     /// Stamps one dequeue into the drain-rate window.
     pub fn record_dequeue(&self) {
         let mut s = self.state.lock().unwrap();
@@ -118,7 +146,17 @@ impl AdmissionController {
             (None, Some(b)) => b,
             (None, None) => return None,
         };
-        let wait_ns = service_ns * depth as f64 / workers.max(1) as f64;
+        // Pipelined sessions hide most of their service behind the wire,
+        // so the queue drains faster than serial service would suggest:
+        // discount the *wait* term by the observed overlap. The entering
+        // session still pays its own full service time. Defaults to 1
+        // (no discount) until a pipelined session reports.
+        let overlap = if s.overlap_samples > 0 {
+            s.ewma_overlap.max(1.0)
+        } else {
+            1.0
+        };
+        let wait_ns = service_ns * depth as f64 / workers.max(1) as f64 / overlap;
         Some(Duration::from_nanos((wait_ns + service_ns) as u64))
     }
 
@@ -196,6 +234,27 @@ mod tests {
             "deeper queue hinted {deep:?} <= shallow {shallow:?}"
         );
         assert!(deep <= MAX_RETRY_AFTER);
+    }
+
+    #[test]
+    fn overlap_discounts_the_wait_term_only() {
+        let c = AdmissionController::new();
+        c.record_service(Duration::from_millis(10));
+        // Saturate the EWMA at 2× overlap.
+        for _ in 0..200 {
+            c.record_overlap(2.0);
+        }
+        // depth 4 on 2 workers: wait 20ms / 2 overlap = 10ms, plus the
+        // session's own undiscounted 10ms of service.
+        let est = c.estimated_turnaround(4, 2, 0.0).unwrap();
+        assert!(
+            est > Duration::from_millis(19) && est < Duration::from_millis(21),
+            "overlap-discounted estimate was {est:?}"
+        );
+        // Garbage overlap samples are dropped or clamped, never panic.
+        c.record_overlap(f64::NAN);
+        c.record_overlap(0.0);
+        c.record_overlap(1e12);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 pub mod admission;
 pub mod breaker;
 pub mod cache;
+pub(crate) mod engine;
 pub mod events;
 pub mod fair;
 pub mod ledger;
@@ -68,6 +69,7 @@ pub mod registry;
 pub mod runtime;
 pub mod session;
 pub mod shipper;
+pub mod wheel;
 
 pub use admission::AdmissionController;
 pub use breaker::{BreakerTransition, CircuitBreaker};
@@ -82,6 +84,7 @@ pub use session::{
     SessionState, DEFAULT_SOURCE_ENDPOINT, DEFAULT_TARGET_ENDPOINT,
 };
 pub use shipper::ShippingPolicy;
+pub use wheel::TimerWheel;
 pub use xdx_core::WireFormat;
 pub use xdx_trace::{
     CalibrationConfig, CalibrationReport, CommCalibration, DeltaCalibration, HistogramSnapshot,

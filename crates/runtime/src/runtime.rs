@@ -24,6 +24,7 @@
 use crate::admission::AdmissionController;
 use crate::breaker::BreakerTransition;
 use crate::cache::{plan_key, CachedPlan, PlanCache};
+use crate::engine::{BatchResult, ShipEngine, ShipRequest};
 use crate::events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 use crate::fair::{FairQueue, DEFAULT_AGING_INTERVAL};
 use crate::ledger::{ReassemblyLedger, DEFAULT_LEDGER_CAPACITY};
@@ -35,19 +36,25 @@ use crate::session::{
 use crate::shipper::{FaultTolerantShipper, ShippingPolicy};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xdx_codec::{decode_patch, encode_patch};
-use xdx_core::exec::{execute_with_transport, LoopbackTransport, Transport};
+use xdx_codec::{decode_any, decode_patch, encode_in_format_into, encode_patch};
+use xdx_core::exec::{
+    commit_and_index, cross_ports_in_consumer_order, direct_write_tables,
+    execute_source_phase_streaming, execute_target_phase, execute_with_transport, feed_batches,
+    writes_stream_directly, ExecOutcome, LoopbackTransport, OpSample, Transport,
+};
+use xdx_core::program::PortRef;
 use xdx_core::{DataExchange, Location, Optimizer, WireFormat, PATCH_STEP_FACTOR};
 use xdx_delta::{db_tables, diff_snapshots, Snapshot, SnapshotStore};
+use xdx_net::http::Request;
 use xdx_net::{FaultProfile, NetworkProfile};
-use xdx_relational::{stage_patch, Counters, Database};
+use xdx_relational::{stage_patch, Counters, Database, Feed};
 use xdx_trace::{
     CalibrationConfig, CalibrationReport, CalibrationTracker, Histogram, HistogramSnapshot,
-    MetricsRegistry, TraceSink, NO_SPAN,
+    MetricsRegistry, SpanId, TraceSink, NO_SPAN,
 };
 use xdx_xml::SchemaTree;
 
@@ -145,6 +152,29 @@ pub struct RuntimeConfig {
     /// source database, so this bound is what keeps failure storms from
     /// growing RSS).
     pub max_resumables: usize,
+    /// Whether non-delta sessions run on the event-driven pipelined
+    /// path: the source phase streams Dewey-sorted operator batches
+    /// through the shipping engine while the worker moves on to other
+    /// runnable work, and the target stages each batch as it lands. Off,
+    /// every session executes on the classic blocking shipper.
+    pub pipeline: bool,
+    /// Rows per streamed operator batch on the pipelined path. Feeds
+    /// smaller than one batch ship as a single message, so small
+    /// exchanges keep their one-message-per-cross-edge shape.
+    pub batch_rows: usize,
+    /// Batches of one session allowed in flight at once — the bound of
+    /// the per-session batch channel between encoder and shipper. Frame
+    /// `k+1` is encoded while frame `k` is on the wire; depth caps how
+    /// far the encoder may run ahead of the slowest link.
+    pub pipeline_depth: usize,
+    /// Pipelined sessions each worker may hold in flight beyond the one
+    /// it is actively driving. The pool keeps at most `workers ×
+    /// pipeline_sessions_per_worker` sessions parked mid-exchange;
+    /// arrivals beyond that wait in the admission queue, so overload
+    /// still produces a visible backlog (and breaker-open shedding
+    /// still finds queued sessions to drain) instead of unbounded
+    /// in-flight state.
+    pub pipeline_sessions_per_worker: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -169,6 +199,10 @@ impl Default for RuntimeConfig {
             aging_interval: DEFAULT_AGING_INTERVAL,
             ledger_capacity: DEFAULT_LEDGER_CAPACITY,
             max_resumables: 256,
+            pipeline: true,
+            batch_rows: 1024,
+            pipeline_depth: 4,
+            pipeline_sessions_per_worker: 4,
         }
     }
 }
@@ -274,6 +308,31 @@ impl RuntimeConfig {
     /// Sets the failed-session checkpoint cap.
     pub fn with_max_resumables(mut self, cap: usize) -> RuntimeConfig {
         self.max_resumables = cap;
+        self
+    }
+
+    /// Turns the event-driven pipelined execution path on or off.
+    pub fn with_pipeline(mut self, enabled: bool) -> RuntimeConfig {
+        self.pipeline = enabled;
+        self
+    }
+
+    /// Sets the rows per streamed operator batch (clamped to ≥ 1).
+    pub fn with_batch_rows(mut self, rows: usize) -> RuntimeConfig {
+        self.batch_rows = rows.max(1);
+        self
+    }
+
+    /// Sets the per-session in-flight batch bound (clamped to ≥ 1).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> RuntimeConfig {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Sets how many pipelined sessions each worker may hold parked
+    /// mid-exchange (clamped to ≥ 1).
+    pub fn with_pipeline_sessions_per_worker(mut self, sessions: usize) -> RuntimeConfig {
+        self.pipeline_sessions_per_worker = sessions.max(1);
         self
     }
 }
@@ -496,7 +555,110 @@ struct QueuedSession {
 
 struct QueueState {
     fair: FairQueue<QueuedSession>,
+    /// Parked pipelined sessions with fresh batch results to service.
+    /// Lives *inside* the queue lock so a completion can never slip
+    /// between a worker's emptiness check and its condvar wait.
+    runnable: VecDeque<SessionId>,
     open: bool,
+}
+
+/// One not-yet-submitted operator batch of a pipelined session, encoded
+/// lazily at submission so frame `k+1` is produced while frame `k` is on
+/// the wire.
+struct PendingBatch {
+    /// Ledger shipment sequence: port order × batch index, deterministic
+    /// across failure and resume.
+    seq: u64,
+    label: String,
+    feed: Feed,
+}
+
+/// Shipping tallies folded into [`SessionMetrics`] at settlement — one
+/// shape for both the blocking shipper's stats and the pipelined path's
+/// per-batch accumulation.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShipRollup {
+    wire_bytes: u64,
+    bytes_encoded: u64,
+    encode_ns: u64,
+    messages_serialized: u64,
+    retry_backoff: Duration,
+    chunks_shipped: u64,
+    chunks_resumed: u64,
+    chunks_deduped: u64,
+    chunks_retried: u64,
+    link_gave_up: bool,
+}
+
+/// The shipping window of a pipelined session: exactly the state the
+/// pump needs to keep frames flowing. Split from [`PipelinedSession`]
+/// so frames can ship *during* the source phase, while the session's
+/// request and plan are still borrowed by the executor.
+struct ShipWindow {
+    shared: Arc<SessionShared>,
+    slot: Arc<LinkSlot>,
+    wire_format: WireFormat,
+    exec_span: SpanId,
+    /// Batches not yet handed to the engine, in shipment-seq order.
+    pending: VecDeque<PendingBatch>,
+    /// `seq → producing port` for every batch of the session.
+    port_of: HashMap<u64, PortRef>,
+    /// Completed batch results, deposited by engine callbacks; shared so
+    /// a result can land while a worker holds the session out of the
+    /// map.
+    inbox: Arc<Mutex<Vec<BatchResult>>>,
+    /// Retry budget shared by every batch of the session.
+    budget: Arc<AtomicI64>,
+    inflight: usize,
+    /// Next shipment seq to assign: cross ports in first-consumer
+    /// order × batch index, deterministic across runs and resumes.
+    next_seq: u64,
+    rollup: ShipRollup,
+    /// First failure (diagnostic, link_gave_up); stops the pump, the
+    /// session settles once in-flight batches drain.
+    failure: Option<String>,
+    /// Reused encode buffer, as on the blocking path.
+    encode_buf: Vec<u8>,
+}
+
+/// A session parked mid-exchange on the pipelined path: its source phase
+/// ran (or still runs), its batches flow through the shipping engine,
+/// and whichever worker picks it off the runnable queue decodes and
+/// stages what landed. No thread blocks on it — the struct *is* the
+/// session's resumable state machine.
+struct PipelinedSession {
+    shared: Arc<SessionShared>,
+    enqueued: Instant,
+    request: ExchangeRequest,
+    plan: Arc<CachedPlan>,
+    plan_shape: Option<u64>,
+    slot: Arc<LinkSlot>,
+    wire_format: WireFormat,
+    feed_route: String,
+    metrics: SessionMetrics,
+    /// Source-phase outcome, growing ship/stage tallies as batches land.
+    outcome: ExecOutcome,
+    target: Database,
+    exec_span: SpanId,
+    exec_started: Instant,
+    /// The pumpable shipping state (pending batches, in-flight count,
+    /// tallies, failure flag).
+    window: ShipWindow,
+    /// Decoded batches that arrived ahead of the staging cursor.
+    decoded: BTreeMap<u64, Feed>,
+    /// Next shipment seq to stage — batches apply in order even when
+    /// the wire completes them out of order.
+    next_stage_seq: u64,
+    /// `Some` when every target node is a source-fed `Write`: batches
+    /// stage straight into their table as they land (`port → (node,
+    /// table)`), and commit+index is the only finalization left.
+    stream_tables: Option<HashMap<PortRef, (usize, String)>>,
+    /// Per-write-node staging wall, folded into one op sample each at
+    /// finalization.
+    write_walls: HashMap<usize, (Instant, Duration)>,
+    /// General path: delivered feeds accumulate per port until the
+    /// target phase runs over them at finalization.
+    delivered: HashMap<PortRef, Feed>,
 }
 
 /// A failed session's checkpoint: the original request plus the plan it
@@ -569,8 +731,22 @@ struct Inner {
     queue: Mutex<QueueState>,
     available: Condvar,
     cache: PlanCache,
-    events: EventLog,
-    ledger: ReassemblyLedger,
+    events: Arc<EventLog>,
+    ledger: Arc<ReassemblyLedger>,
+    /// The event-driven shipping engine: every pipelined batch, and the
+    /// parked deadlines of every paced wait, live here instead of on a
+    /// blocked worker thread.
+    engine: Arc<ShipEngine>,
+    /// Parked pipelined sessions, keyed by id. A worker *removes* the
+    /// session while servicing it (no double-service), re-inserting it
+    /// if batches remain in flight.
+    pipelines: Mutex<HashMap<SessionId, PipelinedSession>>,
+    /// Pipelined sessions started and not yet settled — workers refuse
+    /// to exit at shutdown while any remain.
+    pipelines_outstanding: AtomicUsize,
+    /// Workers currently executing or servicing a session — the
+    /// occupancy gauge's numerator.
+    busy_workers: AtomicUsize,
     /// Checkpoints of failed sessions, kept for [`Runtime::resume`]. An
     /// entry is consumed by the resume (the same request cannot be
     /// resumed twice concurrently) and re-deposited if the retry fails
@@ -591,7 +767,7 @@ struct Inner {
     next_seq: AtomicU64,
     agg: Mutex<Aggregate>,
     /// Span sink; its epoch doubles as the runtime's start instant.
-    trace: TraceSink,
+    trace: Arc<TraceSink>,
     /// Named metrics (counters, gauges, histograms) with Prometheus
     /// text exposition via [`Runtime::metrics_text`].
     metrics: MetricsRegistry,
@@ -617,6 +793,9 @@ struct Inner {
 pub struct Runtime {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// The engine's dedicated driver thread, joined after the workers so
+    /// every parked pipeline settles before the engine drains.
+    engine_driver: Option<JoinHandle<()>>,
 }
 
 impl Runtime {
@@ -631,6 +810,10 @@ impl Runtime {
         let planning_hist = metrics.histogram("xdx_planning_ns");
         let latency_hist = metrics.histogram("xdx_session_latency_ns");
         let encode_hist = metrics.histogram("xdx_encode_ns");
+        let events = Arc::new(EventLog::with_capacity(config.event_capacity));
+        let ledger = Arc::new(ReassemblyLedger::with_capacity(config.ledger_capacity));
+        let trace = Arc::new(TraceSink::new(config.tracing, config.trace_capacity));
+        let engine = ShipEngine::new(Arc::clone(&events), Arc::clone(&ledger), Arc::clone(&trace));
         let inner = Arc::new(Inner {
             config,
             schema,
@@ -644,6 +827,7 @@ impl Runtime {
             ),
             queue: Mutex::new(QueueState {
                 fair: FairQueue::new(config.aging_interval),
+                runnable: VecDeque::new(),
                 open: true,
             }),
             available: Condvar::new(),
@@ -651,8 +835,12 @@ impl Runtime {
                 Some(ttl) => PlanCache::with_ttl(ttl),
                 None => PlanCache::new(),
             },
-            events: EventLog::with_capacity(config.event_capacity),
-            ledger: ReassemblyLedger::with_capacity(config.ledger_capacity),
+            events,
+            ledger,
+            engine: Arc::clone(&engine),
+            pipelines: Mutex::new(HashMap::new()),
+            pipelines_outstanding: AtomicUsize::new(0),
+            busy_workers: AtomicUsize::new(0),
             resumables: Mutex::new(HashMap::new()),
             resumable_clock: AtomicU64::new(0),
             admission: AdmissionController::new(),
@@ -661,7 +849,7 @@ impl Runtime {
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             agg: Mutex::new(Aggregate::default()),
-            trace: TraceSink::new(config.tracing, config.trace_capacity),
+            trace,
             metrics,
             calibration: CalibrationTracker::new(config.calibration),
             snapshots: SnapshotStore::new(),
@@ -679,7 +867,15 @@ impl Runtime {
                     .expect("spawn worker")
             })
             .collect();
-        Runtime { inner, workers }
+        let engine_driver = std::thread::Builder::new()
+            .name("xdx-ship-engine".into())
+            .spawn(move || engine.drive_forever())
+            .expect("spawn engine driver");
+        Runtime {
+            inner,
+            workers,
+            engine_driver: Some(engine_driver),
+        }
     }
 
     /// Admits a request. Returns the session handle, or an error when
@@ -864,8 +1060,15 @@ impl Runtime {
     fn close_and_join(&mut self) {
         self.inner.queue.lock().unwrap().open = false;
         self.inner.available.notify_all();
+        // Workers drain the fair queue *and* settle every parked
+        // pipeline before exiting, so by the time they are joined the
+        // engine holds no tasks and its driver exits on shutdown.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        self.inner.engine.shutdown();
+        if let Some(driver) = self.engine_driver.take() {
+            let _ = driver.join();
         }
     }
 }
@@ -876,27 +1079,49 @@ impl Drop for Runtime {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+/// What a worker picked up: a fresh session off the fair queue, or a
+/// parked pipelined session with batch results to service. Runnable
+/// work drains first — finishing in-flight exchanges beats starting new
+/// ones, and it is what bounds the pipelines map.
+enum WorkItem {
+    Job(Box<QueuedSession>),
+    Service(SessionId),
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
     loop {
-        let job = {
+        let work = {
             let mut queue = inner.queue.lock().unwrap();
             loop {
-                if let Some(popped) = queue.fair.pop() {
-                    break Some(popped.item);
+                if let Some(sid) = queue.runnable.pop_front() {
+                    break Some(WorkItem::Service(sid));
                 }
-                if !queue.open {
+                // New work only while the parked-session pool has room:
+                // beyond the cap, arrivals wait in the admission queue,
+                // so overload stays a visible backlog (sheddable when a
+                // breaker opens) instead of unbounded in-flight state.
+                let session_cap = inner.config.workers * inner.config.pipeline_sessions_per_worker;
+                if inner.pipelines_outstanding.load(Ordering::SeqCst) < session_cap {
+                    if let Some(popped) = queue.fair.pop() {
+                        break Some(WorkItem::Job(Box::new(popped.item)));
+                    }
+                }
+                if !queue.open && inner.pipelines_outstanding.load(Ordering::SeqCst) == 0 {
                     break None;
                 }
                 queue = inner.available.wait(queue).unwrap();
             }
         };
-        match job {
-            Some(job) => {
+        let Some(work) = work else { return };
+        inner.busy_workers.fetch_add(1, Ordering::Relaxed);
+        match work {
+            WorkItem::Job(job) => {
                 inner.admission.record_dequeue();
-                inner.run_session(job);
+                inner.run_session(inner, *job);
             }
-            None => return,
+            WorkItem::Service(sid) => inner.service_pipeline(inner, sid),
         }
+        inner.busy_workers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -1254,6 +1479,15 @@ impl Inner {
             m.counter(name).set(value);
         }
         m.gauge("xdx_queue_depth").set(stats.queue_depth as f64);
+        // Batches in flight through the shipping engine right now — how
+        // deep the pipeline actually runs.
+        m.gauge("xdx_pipeline_depth")
+            .set(self.engine.inflight() as f64);
+        // Fraction of the worker pool currently executing or servicing a
+        // session (the rest are waiting on the queue).
+        m.gauge("xdx_worker_occupancy").set(
+            self.busy_workers.load(Ordering::Relaxed) as f64 / self.config.workers.max(1) as f64,
+        );
         // Per-tenant fairness rollups, labelled by tenant.
         for t in &stats.tenants {
             let label = |base: &str| format!("{base}{{tenant=\"{}\"}}", t.tenant);
@@ -1320,8 +1554,11 @@ impl Inner {
         }
     }
 
-    /// Runs one session start to finish on the calling worker thread.
-    fn run_session(&self, job: QueuedSession) {
+    /// Runs one session on the calling worker thread: start to finish on
+    /// the blocking path, start to *park* on the pipelined path (`arc`
+    /// is this same `Inner`, threaded through for the engine callbacks a
+    /// parked session leaves behind).
+    fn run_session(&self, arc: &Arc<Inner>, job: QueuedSession) {
         let QueuedSession {
             enqueued,
             resumed,
@@ -1668,6 +1905,28 @@ impl Inner {
             format!("estimated cost {:.1} via {}", plan.cost, metrics.route),
         );
         let mut target = Database::new(format!("{}-target", shared.name));
+        // Non-delta sessions take the pipelined path: run the source
+        // phase here, hand the batches to the shipping engine, park.
+        // Delta sessions keep the blocking path — a patch is one small
+        // message, and its fallback ladder needs the full feeds anyway.
+        if self.config.pipeline && delta_base.is_none() {
+            self.start_pipeline(
+                arc,
+                shared,
+                enqueued,
+                request,
+                plan,
+                plan_shape,
+                slot,
+                wire_format,
+                feed_route,
+                metrics,
+                target,
+                exec_span,
+                exec_started,
+            );
+            return;
+        }
         let mut shipper = FaultTolerantShipper::with_wire_format(
             Arc::clone(&slot),
             self.config.shipping,
@@ -1676,7 +1935,8 @@ impl Inner {
             &self.ledger,
             wire_format,
         )
-        .with_telemetry(&self.trace, exec_span, Arc::clone(&self.encode_hist));
+        .with_telemetry(&self.trace, exec_span, Arc::clone(&self.encode_hist))
+        .with_engine(Arc::clone(&self.engine));
         // Delta path first, when eligible: compute the head feeds
         // locally over a loopback transport, diff them against the base
         // snapshot in one Dewey merge pass, and ship the checksummed
@@ -1803,6 +2063,59 @@ impl Inner {
             )
         };
         let ship = shipper.stats;
+        let rollup = ShipRollup {
+            wire_bytes: ship.wire_bytes,
+            bytes_encoded: ship.bytes_encoded,
+            encode_ns: ship.encode_ns,
+            messages_serialized: ship.messages_serialized,
+            retry_backoff: ship.retry_backoff,
+            chunks_shipped: ship.chunks_shipped,
+            chunks_resumed: ship.chunks_resumed,
+            chunks_deduped: ship.chunks_deduped,
+            chunks_retried: ship.chunks_retried,
+            link_gave_up: ship.link_gave_up,
+        };
+        drop(shipper);
+        self.settle_exec(
+            &shared,
+            enqueued,
+            request,
+            &plan,
+            plan_shape,
+            &slot,
+            wire_format,
+            &feed_route,
+            exec_span,
+            exec_started,
+            metrics,
+            target,
+            outcome.map_err(|e| e.to_string()),
+            rollup,
+        );
+    }
+
+    /// Folds the shipping rollup into the session's metrics and settles
+    /// the exchange into its terminal state — shared verbatim by the
+    /// blocking path and the pipelined finalization, so both report
+    /// identical accounting, calibration, snapshots and resumability.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_exec(
+        &self,
+        shared: &Arc<SessionShared>,
+        enqueued: Instant,
+        request: ExchangeRequest,
+        plan: &Arc<CachedPlan>,
+        plan_shape: Option<u64>,
+        slot: &Arc<LinkSlot>,
+        wire_format: WireFormat,
+        feed_route: &str,
+        exec_span: SpanId,
+        exec_started: Instant,
+        mut metrics: SessionMetrics,
+        target: Database,
+        outcome: std::result::Result<ExecOutcome, String>,
+        ship: ShipRollup,
+    ) {
         metrics.communication = match &outcome {
             Ok(out) => out.times.communication,
             Err(_) => Duration::ZERO,
@@ -1908,7 +2221,7 @@ impl Inner {
                 // Advance the route's versioned feed log: the committed
                 // target feeds become the snapshot the next delta
                 // session diffs against.
-                self.snapshots.record(&feed_route, db_tables(&target));
+                self.snapshots.record(feed_route, db_tables(&target));
                 // The checkpoint served its purpose; drop it.
                 self.ledger.forget_session(shared.id);
                 slot.counters
@@ -1923,7 +2236,7 @@ impl Inner {
                     );
                 }
                 self.finish(
-                    &shared,
+                    shared,
                     enqueued,
                     SessionState::Done,
                     metrics,
@@ -1935,7 +2248,7 @@ impl Inner {
                 let diagnostic = e.to_string();
                 if shared.is_cancelled() {
                     self.finish(
-                        &shared,
+                        shared,
                         enqueued,
                         SessionState::Cancelled,
                         metrics,
@@ -1970,7 +2283,7 @@ impl Inner {
                         // The breaker just opened: everything queued for
                         // this route would fail the same way. Drain and
                         // shed it now instead of one session at a time.
-                        self.shed_queued_route(&slot);
+                        self.shed_queued_route(slot);
                     }
                 }
                 // Keep the session resumable: the checkpointed plan and
@@ -1981,13 +2294,13 @@ impl Inner {
                     shared.id,
                     Resumable {
                         request,
-                        plan: Some(Arc::clone(&plan)),
+                        plan: Some(Arc::clone(plan)),
                     },
                 );
                 // The rolled-back target travels with the result as
                 // observable proof that no partial tables survived.
                 self.finish(
-                    &shared,
+                    shared,
                     enqueued,
                     SessionState::Failed,
                     metrics,
@@ -1996,6 +2309,475 @@ impl Inner {
                 );
             }
         }
+    }
+
+    /// The pipelined execution path: run the source phase on this
+    /// worker, streaming each cross-edge feed into the shipping engine
+    /// *the moment its producing operator completes* — frame `k` rides
+    /// the wire while later source operators still compute — then
+    /// *park*: the worker returns to the queue while the remaining
+    /// frames drain. Batch completions wake whichever worker is free
+    /// next via the runnable queue.
+    #[allow(clippy::too_many_arguments)]
+    fn start_pipeline(
+        &self,
+        arc: &Arc<Inner>,
+        shared: Arc<SessionShared>,
+        enqueued: Instant,
+        mut request: ExchangeRequest,
+        plan: Arc<CachedPlan>,
+        plan_shape: Option<u64>,
+        slot: Arc<LinkSlot>,
+        wire_format: WireFormat,
+        feed_route: String,
+        metrics: SessionMetrics,
+        target: Database,
+        exec_span: SpanId,
+        exec_started: Instant,
+    ) {
+        // Deterministic shipment numbering: cross ports in first-consumer
+        // order (the blocking path's shipping order), each feed split
+        // into batches in Dewey order. The same seq names the same bytes
+        // across failed runs and resumes, so the ledger's checkpoints
+        // line up — overlapping the wire with the source phase changes
+        // *when* a frame ships, never its seq or its bytes.
+        let cross = cross_ports_in_consumer_order(&self.schema, &plan.program);
+        let mut window = ShipWindow {
+            shared: Arc::clone(&shared),
+            slot: Arc::clone(&slot),
+            wire_format,
+            exec_span,
+            pending: VecDeque::new(),
+            port_of: HashMap::new(),
+            inbox: Arc::new(Mutex::new(Vec::new())),
+            budget: Arc::new(AtomicI64::new(i64::from(self.config.shipping.retry_budget))),
+            inflight: 0,
+            next_seq: 0,
+            rollup: ShipRollup::default(),
+            failure: None,
+            encode_buf: Vec::new(),
+        };
+        // Leading cross ports (consumer order) already batched into the
+        // window by the streaming hook.
+        let mut streamed = 0usize;
+        let batch_rows = self.config.batch_rows;
+        let source = execute_source_phase_streaming(
+            &self.schema,
+            &request.source_frag,
+            &request.target_frag,
+            &plan.program,
+            &mut request.source,
+            None,
+            &mut |feeds| {
+                // A cross feed is final the instant its producer runs —
+                // downstream source operators only read it. Flush the
+                // maximal *ready prefix* so seqs stay in consumer order,
+                // then top the engine up: the wire carries these frames
+                // while the rest of the source phase computes.
+                while let Some(c) = cross.get(streamed) {
+                    let Some(feed) = feeds.get(&c.port) else {
+                        break;
+                    };
+                    for batch in feed_batches(feed, batch_rows) {
+                        window.port_of.insert(window.next_seq, c.port);
+                        window.pending.push_back(PendingBatch {
+                            seq: window.next_seq,
+                            label: c.label.clone(),
+                            feed: batch,
+                        });
+                        window.next_seq += 1;
+                    }
+                    streamed += 1;
+                }
+                self.pump_pipeline(arc, &mut window);
+            },
+        );
+        let settled = match source {
+            Ok((phase, outcome)) => {
+                // Stragglers the prefix rule held back (a port whose
+                // producer finished after a still-pending predecessor)
+                // batch now, with the seqs the blocking path would have
+                // assigned.
+                let mut missing = None;
+                for c in cross.iter().skip(streamed) {
+                    let Some(feed) = phase.feeds.get(&c.port) else {
+                        missing = Some(format!("missing feed for port {:?}", c.port));
+                        break;
+                    };
+                    for batch in feed_batches(feed, batch_rows) {
+                        window.port_of.insert(window.next_seq, c.port);
+                        window.pending.push_back(PendingBatch {
+                            seq: window.next_seq,
+                            label: c.label.clone(),
+                            feed: batch,
+                        });
+                        window.next_seq += 1;
+                    }
+                }
+                match missing {
+                    None => Ok(outcome),
+                    Some(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        let outcome = match settled {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                if window.next_seq == 0 {
+                    // Nothing reached the wire: settle directly, exactly
+                    // as the blocking path would.
+                    self.settle_exec(
+                        &shared,
+                        enqueued,
+                        request,
+                        &plan,
+                        plan_shape,
+                        &slot,
+                        wire_format,
+                        &feed_route,
+                        exec_span,
+                        exec_started,
+                        metrics,
+                        target,
+                        Err(e),
+                        window.rollup,
+                    );
+                    return;
+                }
+                // Frames already shipped (and may have staged rows):
+                // record the failure and fall through — the session
+                // parks until in-flight results drain, then
+                // `finalize_pipeline` rolls every staged batch back.
+                window.failure.get_or_insert(e);
+                ExecOutcome::default()
+            }
+        };
+        let stream_tables = writes_stream_directly(&plan.program)
+            .then(|| direct_write_tables(&plan.program, &request.target_frag));
+        let mut ps = PipelinedSession {
+            shared,
+            enqueued,
+            request,
+            plan,
+            plan_shape,
+            slot,
+            wire_format,
+            feed_route,
+            metrics,
+            outcome,
+            target,
+            exec_span,
+            exec_started,
+            window,
+            decoded: BTreeMap::new(),
+            next_stage_seq: 0,
+            stream_tables,
+            write_walls: HashMap::new(),
+            delivered: HashMap::new(),
+        };
+        self.pipelines_outstanding.fetch_add(1, Ordering::SeqCst);
+        if ps.window.failure.is_none() && !(ps.window.pending.is_empty() && ps.window.inflight == 0)
+        {
+            ps.shared.set_state(SessionState::Shipping);
+            self.pump_pipeline(arc, &mut ps.window);
+        }
+        if ps.window.inflight == 0 && (ps.window.pending.is_empty() || ps.window.failure.is_some())
+        {
+            // No cross edges, or a failed exec with nothing left on the
+            // wire: finalize on this worker.
+            self.finalize_pipeline(ps);
+            return;
+        }
+        let sid = ps.shared.id;
+        let inbox = Arc::clone(&ps.window.inbox);
+        self.pipelines.lock().unwrap().insert(sid, ps);
+        // A batch that completed before the session reached the map had
+        // its runnable wakeup consumed as a no-op — re-arm it.
+        if !inbox.lock().unwrap().is_empty() {
+            self.queue.lock().unwrap().runnable.push_back(sid);
+            self.available.notify_all();
+        }
+    }
+
+    /// Keeps the session's submission window full: encodes and submits
+    /// pending batches until `pipeline_depth` are in flight. Frame `k+1`
+    /// is encoded here while frame `k` rides the wire — and, via the
+    /// streaming hook in [`Inner::start_pipeline`], while the source
+    /// phase is still producing frame `k+2`.
+    fn pump_pipeline(&self, arc: &Arc<Inner>, w: &mut ShipWindow) {
+        while w.failure.is_none() && w.inflight < self.config.pipeline_depth {
+            let Some(batch) = w.pending.pop_front() else {
+                break;
+            };
+            // Checkpoint replay first: a resumed session re-ships the
+            // exact bytes the failed run built; only a ledger miss
+            // serializes (mirrors the blocking transport's
+            // `checkpointed_message` contract).
+            let message = match self.ledger.stored_message(w.shared.id, batch.seq) {
+                Some(stored) => stored,
+                None => {
+                    let start = Instant::now();
+                    let len = encode_in_format_into(&mut w.encode_buf, &batch.feed, w.wire_format);
+                    let ns = start.elapsed().as_nanos() as u64;
+                    w.rollup.messages_serialized += 1;
+                    w.rollup.bytes_encoded += len as u64;
+                    w.rollup.encode_ns += ns;
+                    w.slot
+                        .counters
+                        .bytes_encoded
+                        .fetch_add(len as u64, Ordering::Relaxed);
+                    w.slot.counters.encode_ns.fetch_add(ns, Ordering::Relaxed);
+                    self.encode_hist.record(ns);
+                    self.trace.record(
+                        "encode",
+                        w.shared.id,
+                        w.exec_span,
+                        start,
+                        Duration::from_nanos(ns),
+                        format!("{len} bytes"),
+                    );
+                    Request::soap_post("/exchange", &batch.label, w.encode_buf.clone()).to_bytes()
+                }
+            };
+            w.inflight += 1;
+            let sid = w.shared.id;
+            let inbox = Arc::clone(&w.inbox);
+            let waker = Arc::clone(arc);
+            self.engine.submit(ShipRequest {
+                session: Arc::clone(&w.shared),
+                slot: Arc::clone(&w.slot),
+                seq: batch.seq,
+                label: batch.label,
+                message,
+                policy: self.config.shipping,
+                budget: Arc::clone(&w.budget),
+                parent_span: w.exec_span,
+                on_done: Box::new(move |result| {
+                    // Deposit the result, then make the session runnable
+                    // — strictly in that order, and the runnable queue
+                    // lives inside the queue lock, so a worker that saw
+                    // the wakeup always finds the result.
+                    inbox.lock().unwrap().push(result);
+                    waker.queue.lock().unwrap().runnable.push_back(sid);
+                    waker.available.notify_all();
+                }),
+            });
+        }
+    }
+
+    /// Services a parked pipelined session: absorbs every deposited
+    /// batch result, refills the submission window, and either re-parks
+    /// the session or finalizes it. The session is *removed* from the
+    /// map while serviced, so two workers can never service it at once;
+    /// stale runnable entries for an absent session are no-ops.
+    fn service_pipeline(&self, arc: &Arc<Inner>, sid: SessionId) {
+        loop {
+            let Some(mut ps) = self.pipelines.lock().unwrap().remove(&sid) else {
+                return;
+            };
+            let results = std::mem::take(&mut *ps.window.inbox.lock().unwrap());
+            for result in results {
+                self.absorb_batch(&mut ps, result);
+            }
+            self.pump_pipeline(arc, &mut ps.window);
+            if ps.window.inflight == 0
+                && (ps.window.pending.is_empty() || ps.window.failure.is_some())
+            {
+                self.finalize_pipeline(ps);
+                return;
+            }
+            let inbox = Arc::clone(&ps.window.inbox);
+            self.pipelines.lock().unwrap().insert(sid, ps);
+            // A result deposited while the session was out of the map
+            // consumed its wakeup against the empty map — service it now
+            // instead of stranding a parked session. (Batches remain in
+            // flight here, so the session cannot have been finalized.)
+            if inbox.lock().unwrap().is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Folds one completed batch into the parked session: shipping
+    /// tallies always; on delivery, decode and stage in shipment order;
+    /// on failure, record the first diagnostic and stop the pump.
+    fn absorb_batch(&self, ps: &mut PipelinedSession, result: BatchResult) {
+        ps.window.inflight -= 1;
+        let stats = result.stats;
+        ps.window.rollup.wire_bytes += stats.wire_bytes;
+        ps.window.rollup.chunks_shipped += stats.chunks_shipped;
+        ps.window.rollup.chunks_resumed += stats.chunks_resumed;
+        ps.window.rollup.chunks_deduped += stats.chunks_deduped;
+        ps.window.rollup.chunks_retried += stats.chunks_retried;
+        ps.window.rollup.retry_backoff += stats.retry_backoff;
+        match result.outcome {
+            Ok(delivered) => {
+                ps.outcome.times.communication += result.elapsed;
+                ps.outcome.messages += 1;
+                // Decode what actually arrived — link damage surfaces as
+                // an explicit error here, exactly as on the blocking
+                // path.
+                let decoded = Request::parse(&delivered)
+                    .map_err(|e| e.to_string())
+                    .and_then(|arrived| decode_any(&arrived.body).map_err(|e| e.to_string()));
+                match decoded {
+                    Ok(feed) => {
+                        ps.decoded.insert(result.seq, feed);
+                        if let Err(e) = self.stage_ready(ps) {
+                            ps.window.failure.get_or_insert(e);
+                        }
+                    }
+                    Err(e) => {
+                        ps.window
+                            .failure
+                            .get_or_insert(format!("batch {} corrupt: {e}", result.seq));
+                    }
+                }
+            }
+            Err(e) => {
+                ps.window.rollup.link_gave_up |= result.link_gave_up;
+                ps.window.failure.get_or_insert(e);
+            }
+        }
+    }
+
+    /// Applies decoded batches in shipment-seq order from the staging
+    /// cursor: direct-write programs stage rows into their target table
+    /// *now* — transactional loading starts before the source finishes
+    /// producing — while general programs accumulate the delivery for
+    /// the target phase at finalization.
+    fn stage_ready(&self, ps: &mut PipelinedSession) -> std::result::Result<(), String> {
+        while let Some(feed) = ps.decoded.remove(&ps.next_stage_seq) {
+            let seq = ps.next_stage_seq;
+            ps.next_stage_seq += 1;
+            let port = *ps
+                .window
+                .port_of
+                .get(&seq)
+                .ok_or_else(|| format!("no port for shipment {seq}"))?;
+            if let Some(tables) = &ps.stream_tables {
+                let (node, table) = tables
+                    .get(&port)
+                    .cloned()
+                    .ok_or_else(|| format!("no write table for port {port:?}"))?;
+                let start = Instant::now();
+                ps.outcome.rows_loaded += feed.len() as u64;
+                ps.target
+                    .load_staged(&table, feed)
+                    .map_err(|e| e.to_string())?;
+                let wall = start.elapsed();
+                ps.outcome.times.loading += wall;
+                let slot = ps
+                    .write_walls
+                    .entry(node)
+                    .or_insert((start, Duration::ZERO));
+                slot.1 += wall;
+            } else if let Some(existing) = ps.delivered.get_mut(&port) {
+                existing.rows.extend(feed.rows);
+            } else {
+                ps.delivered.insert(port, feed);
+            }
+        }
+        Ok(())
+    }
+
+    /// The last batch drained (or the first failure did): run the
+    /// target's half, settle the session, and release the worker-exit
+    /// latch. A failure rolls every staged batch back — the target
+    /// leaves exactly as it arrived, never torn.
+    fn finalize_pipeline(&self, ps: PipelinedSession) {
+        let PipelinedSession {
+            shared,
+            enqueued,
+            request,
+            plan,
+            plan_shape,
+            slot,
+            wire_format,
+            feed_route,
+            metrics,
+            mut outcome,
+            mut target,
+            exec_span,
+            exec_started,
+            window,
+            mut write_walls,
+            stream_tables,
+            delivered,
+            ..
+        } = ps;
+        let ShipWindow {
+            rollup, failure, ..
+        } = window;
+        let settled: std::result::Result<ExecOutcome, String> = match failure {
+            Some(diagnostic) => {
+                target.rollback_staged();
+                Err(diagnostic)
+            }
+            None => {
+                let finishing = if stream_tables.is_some() {
+                    // Streaming path: every batch is already staged; one
+                    // Write sample per node, then the shared
+                    // commit+index epilogue.
+                    let mut nodes: Vec<usize> = write_walls.keys().copied().collect();
+                    nodes.sort_unstable();
+                    for node in nodes {
+                        let (started, wall) = write_walls.remove(&node).expect("keyed");
+                        outcome.op_samples.push(OpSample {
+                            node,
+                            op: "Write",
+                            location: Location::Target,
+                            started,
+                            wall,
+                        });
+                    }
+                    commit_and_index(&plan.program, &mut target, &mut outcome)
+                        .map_err(|e| e.to_string())
+                } else {
+                    execute_target_phase(
+                        &self.schema,
+                        &request.source_frag,
+                        &request.target_frag,
+                        &plan.program,
+                        &mut target,
+                        &delivered,
+                        &mut outcome,
+                    )
+                    .map_err(|e| e.to_string())
+                };
+                finishing.map(|()| outcome)
+            }
+        };
+        if let Ok(out) = &settled {
+            // How much of the session's wall the wire hid: feeds the
+            // admission estimator's turnaround model, so queue-wait
+            // predictions reflect pipelined (not serial) service.
+            let wall = exec_started.elapsed();
+            let comm = out.times.communication;
+            let exposed = wall.saturating_sub(comm).max(Duration::from_micros(1));
+            self.admission
+                .record_overlap(wall.as_secs_f64() / exposed.as_secs_f64());
+        }
+        self.pipelines_outstanding.fetch_sub(1, Ordering::SeqCst);
+        // Workers parked on an empty queue re-check the exit condition.
+        self.available.notify_all();
+        self.settle_exec(
+            &shared,
+            enqueued,
+            request,
+            &plan,
+            plan_shape,
+            &slot,
+            wire_format,
+            &feed_route,
+            exec_span,
+            exec_started,
+            metrics,
+            target,
+            settled,
+            rollup,
+        );
     }
 
     fn finish(

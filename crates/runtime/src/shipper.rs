@@ -110,7 +110,7 @@ pub(crate) struct ShipStats {
 /// Bounded: the link's deferred queue holds at most a handful of frames,
 /// so a parked chunk reappears within that many transmissions. The cap
 /// turns a hypothetically livelocked loop into a counted failure.
-const MAX_STALLS_PER_CHUNK: u32 = 32;
+pub(crate) const MAX_STALLS_PER_CHUNK: u32 = 32;
 
 /// The runtime's [`Transport`]: chunked, checksummed, checkpointed,
 /// retrying shipment over the session's per-pair link.
@@ -141,6 +141,11 @@ pub(crate) struct FaultTolerantShipper<'a> {
     current_span: SpanId,
     /// Shared encode-latency histogram (absent in bare tests).
     encode_hist: Option<Arc<Histogram>>,
+    /// The runtime's shipping engine, when one is running. A backing-off
+    /// shipper *volunteers its wait* to the engine — driving other
+    /// sessions' parked shipments instead of sleeping — so retry backoff
+    /// never burns a worker slot even on this fallback blocking path.
+    engine: Option<Arc<crate::engine::ShipEngine>>,
     pub(crate) stats: ShipStats,
 }
 
@@ -183,8 +188,19 @@ impl<'a> FaultTolerantShipper<'a> {
             parent_span: NO_SPAN,
             current_span: NO_SPAN,
             encode_hist: None,
+            engine: None,
             stats: ShipStats::default(),
         }
+    }
+
+    /// Attaches the runtime's shipping engine so paced retry backoff is
+    /// spent driving parked shipments instead of sleeping.
+    pub(crate) fn with_engine(
+        mut self,
+        engine: Arc<crate::engine::ShipEngine>,
+    ) -> FaultTolerantShipper<'a> {
+        self.engine = Some(engine);
+        self
     }
 
     /// Attaches the runtime's telemetry: `ship` and `encode` spans are
@@ -309,11 +325,18 @@ impl<'a> FaultTolerantShipper<'a> {
             elapsed += backoff;
             // A paced link makes simulated time observable on the wall
             // clock; backoff must obey the same clock or retries ship
-            // faster than the link they are backing off from. Slept
+            // faster than the link they are backing off from. Waited
             // here, outside the link lock, so other sessions sharing
-            // the pair keep transmitting while this one waits.
+            // the pair keep transmitting while this one waits — and
+            // when the shipping engine is running, the wait is spent
+            // *driving it* (timer-wheel deadlines, parked shipments)
+            // instead of sleeping, so backoff never idles a worker.
             if self.pacing > 0.0 {
-                std::thread::sleep(backoff.mul_f64(self.pacing));
+                let wait = backoff.mul_f64(self.pacing);
+                match &self.engine {
+                    Some(engine) => engine.drive_until(Instant::now() + wait),
+                    None => std::thread::sleep(wait),
+                }
             }
             self.events.push(
                 session_id,

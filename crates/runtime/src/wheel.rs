@@ -1,0 +1,187 @@
+//! A hashed timing wheel: the scheduler's clock.
+//!
+//! Every wait in the event-driven shipping engine — wire occupancy of a
+//! paced link, retry backoff, lane contention — becomes a *deadline*
+//! filed here instead of a `thread::sleep` burning a worker. The wheel
+//! hashes each deadline into a slot by tick; expiry drains the slots the
+//! cursor sweeps past and returns the due task ids. Entries more than
+//! one rotation out simply stay in their slot until their stored
+//! deadline actually passes (the classic hashed-wheel rotation check),
+//! so the wheel needs no hierarchy for the occasional multi-second
+//! backoff cap.
+//!
+//! Single-owner by design: the engine mutates the wheel under its state
+//! lock, so the wheel itself carries no synchronization.
+
+use std::time::{Duration, Instant};
+
+/// Default tick granularity. Paced waits in the fleet are hundreds of
+/// microseconds to low milliseconds; half a millisecond keeps expiry
+/// error below the noise of thread wakeup latency.
+pub const DEFAULT_TICK: Duration = Duration::from_micros(500);
+
+/// Default slot count: one rotation covers ~512 ms at the default tick,
+/// longer waits ride the rotation check.
+pub const DEFAULT_SLOTS: usize = 1024;
+
+/// A hashed timing wheel over opaque `u64` task ids.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<(Instant, u64)>>,
+    /// Absolute tick index the cursor last swept to.
+    cursor: u64,
+    /// The instant tick 0 started.
+    epoch: Instant,
+    /// Entries currently filed (across all slots).
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> TimerWheel {
+        TimerWheel::new(DEFAULT_TICK, DEFAULT_SLOTS)
+    }
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` slots of `tick` granularity each.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        TimerWheel {
+            tick: tick.max(Duration::from_micros(1)),
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            epoch: Instant::now(),
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.epoch).as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Files `id` to come due at `deadline`. Deadlines in the past land
+    /// in the very next expiry sweep. A task parks on at most one
+    /// deadline at a time; the wheel does not deduplicate.
+    pub fn schedule(&mut self, deadline: Instant, id: u64) {
+        // Round the slot *up* one tick so the cursor never sweeps past a
+        // slot whose entry is a sub-tick away from due: by the time the
+        // sweep reaches tick `t+1`, any deadline hashed there from tick
+        // `t` has certainly passed.
+        let t = self.tick_of(deadline) + 1;
+        let t = t.max(self.cursor);
+        let slot = (t % self.slots.len() as u64) as usize;
+        self.slots[slot].push((deadline, id));
+        self.len += 1;
+    }
+
+    /// Sweeps the cursor up to `now` and returns every id whose deadline
+    /// passed. Entries hashed into swept slots for a *later* rotation
+    /// stay put.
+    pub fn expire(&mut self, now: Instant) -> Vec<u64> {
+        if self.len == 0 {
+            self.cursor = self.tick_of(now);
+            return Vec::new();
+        }
+        let now_tick = self.tick_of(now);
+        let mut due = Vec::new();
+        // Sweep [cursor, now_tick + 1] — one tick past `now`, because
+        // scheduling rounds slots *up* a tick (see [`schedule`]) and an
+        // already-due entry may sit there. The per-entry deadline check
+        // keeps not-yet-due entries in place. A gap longer than one
+        // rotation is clamped to a single full scan.
+        let span = (now_tick.saturating_sub(self.cursor) + 2).min(self.slots.len() as u64);
+        for i in 0..span {
+            let slot = ((self.cursor + i) % self.slots.len() as u64) as usize;
+            self.slots[slot].retain(|(deadline, id)| {
+                if *deadline <= now {
+                    due.push(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.cursor = now_tick;
+        self.len -= due.len();
+        due
+    }
+
+    /// The earliest filed deadline, if any — what an idle driver sleeps
+    /// until. Linear in filed entries; the engine only asks when it has
+    /// nothing runnable.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|(deadline, _)| *deadline)
+            .min()
+    }
+
+    /// Entries currently filed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is filed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_in_deadline_order_across_slots() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 16);
+        let now = Instant::now();
+        wheel.schedule(now + Duration::from_millis(5), 5);
+        wheel.schedule(now + Duration::from_millis(2), 2);
+        wheel.schedule(now + Duration::from_millis(40), 40); // beyond one 16 ms rotation
+        assert_eq!(wheel.len(), 3);
+        assert!(wheel.expire(now).is_empty(), "nothing due yet");
+        let due = wheel.expire(now + Duration::from_millis(3));
+        assert_eq!(due, vec![2]);
+        let due = wheel.expire(now + Duration::from_millis(10));
+        assert_eq!(due, vec![5]);
+        // The 40 ms entry shares slots with the first rotation but only
+        // comes due on its own deadline.
+        assert!(wheel.expire(now + Duration::from_millis(39)).is_empty());
+        assert_eq!(wheel.expire(now + Duration::from_millis(41)), vec![40]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_sweep() {
+        let mut wheel = TimerWheel::default();
+        let now = Instant::now();
+        wheel.schedule(now - Duration::from_millis(5), 1);
+        assert_eq!(wheel.expire(now), vec![1]);
+    }
+
+    #[test]
+    fn long_idle_gap_still_drains_every_slot() {
+        let mut wheel = TimerWheel::new(Duration::from_micros(100), 8);
+        let now = Instant::now();
+        for id in 0..20 {
+            wheel.schedule(now + Duration::from_micros(150 * (id + 1)), id);
+        }
+        // One sweep far past every deadline (many rotations later) must
+        // still find all of them despite the clamped scan.
+        let due = wheel.expire(now + Duration::from_secs(1));
+        assert_eq!(due.len(), 20);
+        assert!(wheel.next_deadline().is_none());
+    }
+
+    #[test]
+    fn next_deadline_is_the_minimum() {
+        let mut wheel = TimerWheel::default();
+        let now = Instant::now();
+        assert!(wheel.next_deadline().is_none());
+        wheel.schedule(now + Duration::from_millis(9), 9);
+        wheel.schedule(now + Duration::from_millis(3), 3);
+        let next = wheel.next_deadline().unwrap();
+        assert!(next <= now + Duration::from_millis(3) + Duration::from_micros(1));
+    }
+}

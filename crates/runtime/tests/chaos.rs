@@ -611,6 +611,14 @@ fn overloaded_fleet_sheds_the_degraded_route_and_keeps_the_healthy_one_clean() {
         RuntimeConfig::default()
             .with_workers(2)
             .with_breaker(2, Duration::from_secs(60))
+            // Cap in-flight sessions at one per worker: the pipelined
+            // scheduler parks sessions mid-wire and frees their workers,
+            // and at the default cap (4/worker) the whole twelve-session
+            // burst fits in the parked pool — the queue drains before the
+            // breaker opens and there is no backlog left to shed. With
+            // the cap at 2 the overload stays a visible queue, which is
+            // the scenario under test.
+            .with_pipeline_sessions_per_worker(1)
             .with_shipping(ShippingPolicy {
                 chunk_bytes: 2 * 1024,
                 max_attempts_per_chunk: 2,
@@ -867,4 +875,208 @@ fn mixed_format_fleet_falls_back_per_pair_and_stays_byte_identical() {
         columnar.bytes_encoded,
         legacy.bytes_encoded
     );
+}
+
+/// The adversarial matrix again, but with the pipeline streaming *many
+/// small batches* per cross edge (tiny `batch_rows`, depth 3): faults
+/// now land mid-stream — between batches of one session, inside a
+/// chunked batch, across interleaved sessions — and every surviving
+/// target must still be byte-identical to the healthy baseline in both
+/// wire formats. This is the pipelined counterpart of the blocking
+/// matrix above.
+#[test]
+fn pipelined_batch_streams_survive_the_adversarial_matrix() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(8_000));
+    let reference = wire_state(&reference_target(&doc));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    for format in [WireFormat::Xml, WireFormat::Columnar] {
+        let mut total_retried = 0;
+        let mut total_messages = 0;
+        for (name, profile) in adversarial_profiles(0x1CDE_2004) {
+            let runtime = Runtime::start(
+                schema.clone(),
+                RuntimeConfig::default()
+                    .with_workers(2)
+                    .with_wire_format(format)
+                    .with_fault_profile(profile)
+                    .with_pipeline(true)
+                    .with_batch_rows(64)
+                    .with_pipeline_depth(3)
+                    .with_shipping(ShippingPolicy {
+                        chunk_bytes: 2 * 1024,
+                        backoff_base: Duration::from_millis(1),
+                        ..ShippingPolicy::default()
+                    }),
+            );
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let source = load_source(&doc, &schema, &mf).unwrap();
+                    runtime
+                        .submit(ExchangeRequest::new(
+                            format!("pipe-{name}-{format}-{i}"),
+                            source,
+                            mf.clone(),
+                            lf.clone(),
+                        ))
+                        .unwrap()
+                })
+                .collect();
+            for handle in handles {
+                let session = handle.name().to_string();
+                let result = handle.wait();
+                assert_eq!(
+                    result.state,
+                    SessionState::Done,
+                    "{session}: {:?}",
+                    result.diagnostic
+                );
+                // Tiny batches: the session genuinely streamed many
+                // frames, it did not degenerate to one message per edge.
+                assert!(
+                    result.metrics.messages > 4,
+                    "{session}: only {} messages — not pipelined",
+                    result.metrics.messages
+                );
+                total_messages += result.metrics.messages;
+                let target = result.target.expect("done sessions carry their target");
+                assert_eq!(
+                    wire_state(&target),
+                    reference,
+                    "{session}: pipelined target diverged from the healthy baseline"
+                );
+            }
+            let stats = runtime.shutdown();
+            assert_eq!(stats.completed, 2, "pipelined {name}/{format}");
+            total_retried += stats.chunks_retried;
+        }
+        assert!(
+            total_retried > 0,
+            "{format}: the matrix never forced a retry"
+        );
+        assert!(total_messages > 0);
+    }
+}
+
+/// A pipelined session dies mid-stream — some batches landed and were
+/// staged, later ones defeated the retry policy — and the contract
+/// holds end to end: the target rolls back to zero rows (no torn
+/// applies), the breaker opens between batches, and after repair
+/// `resume` re-ships only the never-acknowledged chunks, re-encoding
+/// only the batches the failed run never submitted.
+#[test]
+fn mid_stream_failure_rolls_back_and_resume_reships_only_unacked_batches() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(8_000));
+    let reference = wire_state(&reference_target(&doc));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let shipping = ShippingPolicy {
+        chunk_bytes: 1024,
+        max_attempts_per_chunk: 3,
+        retry_budget: 16,
+        backoff_base: Duration::from_millis(1),
+        ..ShippingPolicy::default()
+    };
+    let config = || {
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_pipeline(true)
+            .with_batch_rows(64)
+            .with_pipeline_depth(3)
+            .with_breaker(1, Duration::from_secs(60))
+            .with_shipping(shipping)
+    };
+
+    // Healthy pipelined baseline: total chunks and per-batch messages.
+    let healthy = Runtime::start(schema.clone(), config());
+    let baseline = healthy
+        .submit(ExchangeRequest::new(
+            "pipe-baseline",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(baseline.state, SessionState::Done);
+    assert!(
+        baseline.metrics.messages > 4,
+        "baseline must stream multiple batches, got {}",
+        baseline.metrics.messages
+    );
+    let total_chunks = baseline.metrics.chunks_shipped;
+    healthy.shutdown();
+
+    // A link lossy enough to defeat 3 attempts × 16 budget mid-stream.
+    let runtime = Runtime::start(schema.clone(), config());
+    runtime.set_fault_profile(FaultProfile {
+        drop_probability: 0.35,
+        seed: 3,
+        ..FaultProfile::healthy()
+    });
+    let handle = runtime
+        .submit(ExchangeRequest::new(
+            "pipe-checkpointed",
+            load_source(&doc, &schema, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap();
+    let session_id = handle.id();
+    let failed = handle.wait();
+    assert_eq!(
+        failed.state,
+        SessionState::Failed,
+        "{:?}",
+        failed.diagnostic
+    );
+    let landed = failed.metrics.chunks_shipped;
+    assert!(
+        landed > 0 && landed < total_chunks,
+        "need a mid-stream failure: {landed}/{total_chunks} chunks landed"
+    );
+    // Batches staged before the failure are rolled back with everything
+    // else: the target carries zero rows, never a torn prefix.
+    assert_eq!(
+        failed.target.expect("rollback travels").total_rows(),
+        0,
+        "staged batches survived the rollback"
+    );
+    // The failure was the link's fault, between/inside batches, so the
+    // breaker (threshold 1) opened on it.
+    let events = runtime.events();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::CircuitOpened),
+        "mid-stream link failure did not open the breaker"
+    );
+
+    // Repair and resume: bypasses the open breaker by design.
+    runtime.set_fault_profile(FaultProfile::healthy());
+    let result = runtime
+        .resume(session_id)
+        .expect("failed pipelined session is resumable")
+        .wait();
+    assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+
+    // Only never-acknowledged chunks crossed again.
+    assert_eq!(result.metrics.chunks_resumed, landed);
+    assert_eq!(result.metrics.chunks_shipped, total_chunks - landed);
+    // Exactly-once encoding per batch across failure + resume: batches
+    // the failed run submitted were checkpointed and replay verbatim;
+    // the resume encodes only the remainder.
+    assert!(failed.metrics.messages_serialized > 0);
+    assert_eq!(
+        failed.metrics.messages_serialized + result.metrics.messages_serialized,
+        baseline.metrics.messages_serialized,
+        "a batch was encoded twice across failure and resume"
+    );
+    assert!(
+        result.metrics.messages_serialized < baseline.metrics.messages_serialized,
+        "resume replayed no checkpointed batch"
+    );
+    // And the streamed, resumed target is exactly the reference.
+    assert_eq!(wire_state(&result.target.unwrap()), reference);
 }

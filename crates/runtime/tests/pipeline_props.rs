@@ -1,0 +1,217 @@
+//! Property tests for the streamed batch pipeline: splitting a
+//! Dewey-sorted feed into operator batches, encoding each batch as its
+//! own frame, and reassembling whatever arrives must be observationally
+//! identical to the classic materialize-then-encode path — for both
+//! wire formats, for empty feeds, and for the single-batch degenerate
+//! case (where the frames must be *byte*-identical). On top of the
+//! codec-level properties, the whole runtime is run A/B (pipelined vs
+//! blocking) and the resulting targets compared wire-byte for wire-byte.
+
+use proptest::prelude::*;
+use xdx_codec::{decode_any, encode_in_format_into, WireFormat};
+use xdx_core::exec::feed_batches;
+use xdx_relational::{ColRole, Database, Dewey, Feed, FeedColumn, FeedSchema, Value};
+use xdx_runtime::{ExchangeRequest, Runtime, RuntimeConfig};
+use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+
+/// Cell vocabulary biased toward the dictionary codec's sweet spot,
+/// plus the awkward cases.
+const VOCAB: &[&str] = &[
+    "",
+    " ",
+    "shipping included in price",
+    "credit card",
+    " leading and trailing ",
+    "tab\there newline\nthere",
+    "ünïcode tökens",
+];
+
+const MAX_ARITY: usize = 5;
+
+fn cell_strategy() -> impl Strategy<Value = Value> {
+    (
+        0u8..8,
+        any::<i64>(),
+        proptest::collection::vec(0u32..500, 0..5),
+        0usize..VOCAB.len(),
+    )
+        .prop_map(|(kind, n, path, word)| match kind {
+            0 => Value::Null,
+            1 | 2 => Value::Int(n),
+            3 | 4 => Value::Dewey(Dewey(path)),
+            _ => Value::Str(VOCAB[word].to_string()),
+        })
+}
+
+fn feed_strategy() -> impl Strategy<Value = Feed> {
+    (
+        proptest::collection::vec(0u8..3, MAX_ARITY..=MAX_ARITY),
+        proptest::collection::vec(
+            proptest::collection::vec(cell_strategy(), MAX_ARITY..=MAX_ARITY),
+            0..40,
+        ),
+    )
+        .prop_map(|(roles, rows)| {
+            let columns = roles
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    let role = match r {
+                        0 => ColRole::NodeId,
+                        1 => ColRole::ParentRef,
+                        _ => ColRole::Value,
+                    };
+                    FeedColumn::new(format!("c{i}"), role)
+                })
+                .collect();
+            let mut feed = Feed::new(FeedSchema::new("site", columns));
+            feed.rows = rows;
+            feed
+        })
+}
+
+fn formats() -> [WireFormat; 2] {
+    [WireFormat::Xml, WireFormat::Columnar]
+}
+
+/// Encode → decode one feed in `format`, asserting the round trip.
+fn round_trip(feed: &Feed, format: WireFormat) -> Feed {
+    let mut buf = Vec::new();
+    encode_in_format_into(&mut buf, feed, format);
+    decode_any(&buf).expect("own encoding decodes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batching splits rows without loss, reorder, or duplication: the
+    /// concatenation of the batches is the original feed, every batch
+    /// shares the schema, and no batch except possibly the last is
+    /// undersized. An empty feed still produces exactly one (empty)
+    /// batch, so every cross edge ships at least one frame.
+    #[test]
+    fn batches_partition_the_feed(feed in feed_strategy(), batch_rows in 1usize..17) {
+        let batches = feed_batches(&feed, batch_rows);
+        prop_assert!(!batches.is_empty());
+        if feed.rows.is_empty() {
+            prop_assert_eq!(batches.len(), 1);
+            prop_assert!(batches[0].rows.is_empty());
+        }
+        let mut rebuilt = Feed::new(feed.schema.clone());
+        for (i, batch) in batches.iter().enumerate() {
+            prop_assert_eq!(&batch.schema, &feed.schema);
+            if i + 1 < batches.len() {
+                prop_assert_eq!(batch.rows.len(), batch_rows);
+            }
+            rebuilt.rows.extend(batch.rows.iter().cloned());
+        }
+        prop_assert_eq!(&rebuilt, &feed);
+    }
+
+    /// The streamed pipeline — encode each batch as its own frame,
+    /// decode what arrives, append in order — reconstructs exactly the
+    /// feed the materialize-then-encode path would have delivered, in
+    /// both wire formats.
+    #[test]
+    fn streamed_frames_reassemble_to_the_materialized_feed(
+        feed in feed_strategy(),
+        batch_rows in 1usize..17,
+    ) {
+        for format in formats() {
+            let materialized = round_trip(&feed, format);
+            let mut streamed: Option<Feed> = None;
+            for batch in feed_batches(&feed, batch_rows) {
+                let arrived = round_trip(&batch, format);
+                match &mut streamed {
+                    None => streamed = Some(arrived),
+                    Some(acc) => acc.rows.extend(arrived.rows),
+                }
+            }
+            let streamed = streamed.expect("at least one batch");
+            prop_assert_eq!(&streamed, &materialized, "format {:?}", format);
+        }
+    }
+
+    /// When the whole feed fits in one batch (including the empty
+    /// feed), the pipelined path must put the *identical bytes* on the
+    /// wire that the blocking path would have: same frame, bit for bit,
+    /// in both formats.
+    #[test]
+    fn single_batch_frames_are_byte_identical(feed in feed_strategy()) {
+        let batch_rows = feed.rows.len().max(1);
+        for format in formats() {
+            let mut whole = Vec::new();
+            encode_in_format_into(&mut whole, &feed, format);
+            let batches = feed_batches(&feed, batch_rows);
+            prop_assert_eq!(batches.len(), 1);
+            let mut framed = Vec::new();
+            encode_in_format_into(&mut framed, &batches[0], format);
+            prop_assert_eq!(&framed, &whole, "format {:?}", format);
+        }
+    }
+}
+
+/// Serializes a database to its canonical wire form for byte-exact
+/// comparison.
+fn wire_state(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    for name in db.table_names() {
+        out.extend_from_slice(name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(db.table(name).unwrap().data.to_wire().as_bytes());
+    }
+    out
+}
+
+fn run_exchange(doc: &str, config: RuntimeConfig) -> Database {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(schema.clone(), config);
+    let source = load_source(doc, &schema, &mf).unwrap();
+    let handle = runtime
+        .submit(ExchangeRequest::new("ab", source, mf, lf))
+        .unwrap();
+    let result = handle.wait();
+    assert!(
+        result.state == xdx_runtime::SessionState::Done,
+        "exchange failed: {:?}",
+        result.diagnostic
+    );
+    let target = result.target.expect("done session carries its target");
+    runtime.shutdown();
+    target
+}
+
+/// End to end: the pipelined runtime (small batches, so multiple frames
+/// stream per cross edge) delivers a target wire-identical to the
+/// blocking runtime's, in both wire formats.
+#[test]
+fn pipelined_and_blocking_targets_are_wire_identical() {
+    let doc = generate(GenConfig::sized(6_000));
+    for format in formats() {
+        let blocking = run_exchange(
+            &doc,
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_wire_format(format)
+                .with_pipeline(false),
+        );
+        for batch_rows in [1usize, 7, 1024] {
+            let pipelined = run_exchange(
+                &doc,
+                RuntimeConfig::default()
+                    .with_workers(2)
+                    .with_wire_format(format)
+                    .with_pipeline(true)
+                    .with_batch_rows(batch_rows)
+                    .with_pipeline_depth(3),
+            );
+            assert_eq!(
+                wire_state(&pipelined),
+                wire_state(&blocking),
+                "divergence at format {format:?}, batch_rows {batch_rows}"
+            );
+        }
+    }
+}

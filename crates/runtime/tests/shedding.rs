@@ -192,6 +192,13 @@ fn an_opening_breaker_drains_and_sheds_its_queued_route() {
         RuntimeConfig::default()
             .with_workers(1)
             .with_breaker(1, Duration::from_secs(60))
+            // Blocking path: the drain scenario needs the single worker
+            // *occupied* until the first doomed session settles and
+            // opens the breaker. The pipelined scheduler parks that
+            // session mid-wire and would race the next one onto the
+            // condemned link before the breaker opens (covered by the
+            // chaos matrix); here the subject is the drain itself.
+            .with_pipeline(false)
             .with_shipping(ShippingPolicy {
                 max_attempts_per_chunk: 2,
                 retry_budget: 1,
