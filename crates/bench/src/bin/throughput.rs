@@ -88,14 +88,37 @@
 //! gate fails (16-worker sessions/sec ≥ 1.6× 4-worker, pipelined p50
 //! below full materialization time, parked-session win ≥ 2×). Defaults:
 //! 4 sessions per client, ~60 KB docs, 2% drops.
+//!
+//! A fifth mode measures 1→N multicast publish:
+//!
+//! ```text
+//! throughput fanout [subscribers] [doc_bytes] [rounds]
+//! ```
+//!
+//! Two experiments on a healthy LAN fleet:
+//!
+//! * **encode bill** — one 1→1 publish vs one 1→`subscribers` publish:
+//!   the fanout group plans once per (shape, format) and encodes each
+//!   batch once into a shared frame ring, so quadrupling (or
+//!   octupling) the audience must not grow the encode bytes beyond
+//!   1.2× the single-subscriber bill.
+//! * **delivered feeds** — `rounds` rounds of `workers` concurrent
+//!   publish groups vs the same routes served by independent two-site
+//!   sessions at equal workers: the multicast path pays probe, plan,
+//!   source phase and encode once per group instead of once per
+//!   subscriber, so delivered feeds/sec must be ≥ 4× the independent
+//!   fleet's.
+//!
+//! Everything lands in `BENCH_PR9.json`; the mode exits nonzero when a
+//! gate fails. Defaults: 8 subscribers, ~60 KB docs, 4 rounds.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use xdx_core::Optimizer;
 use xdx_net::{FaultProfile, NetworkProfile};
 use xdx_runtime::{
-    CalibrationReport, ExchangeRequest, Runtime, RuntimeConfig, RuntimeStats, SessionState,
-    ShippingPolicy, SubmitError, WireFormat,
+    CalibrationReport, ExchangeRequest, PublishRequest, Runtime, RuntimeConfig, RuntimeStats,
+    SessionState, ShippingPolicy, SubmitError, WireFormat,
 };
 use xdx_xmark::{churn, generate, lf, load_source, mf, schema, GenConfig};
 
@@ -103,7 +126,8 @@ const USAGE: &str = "usage: throughput [sessions] [doc_bytes] [drop_probability]
                      [forward|mixed] [greedy|optimal[:cap]] [pairs] [xml|columnar|both]\n   \
                      or: throughput resync [rounds] [doc_bytes] [churn_pct]\n   \
                      or: throughput soak [sessions] [overload] [tenants] [doc_bytes]\n   \
-                     or: throughput pipeline [sessions_per_client] [doc_bytes] [drop_probability]";
+                     or: throughput pipeline [sessions_per_client] [doc_bytes] [drop_probability]\n   \
+                     or: throughput fanout [subscribers] [doc_bytes] [rounds]";
 
 fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
     match args.next() {
@@ -1198,6 +1222,309 @@ fn pipeline_main(mut args: impl Iterator<Item = String>) {
     }
 }
 
+/// LAN profile for the fanout mode — [`NetworkProfile::lan`] spelled
+/// as a const: fast enough that the CPU work the multicast path
+/// amortizes (probe, plan, source phase, encode) is the scarce
+/// resource rather than the wire.
+const FANOUT_LAN: NetworkProfile = NetworkProfile {
+    bandwidth_bytes_per_sec: 100_000_000.0,
+    latency: Duration::from_micros(200),
+};
+
+/// One 1→`fanout` publish on a fresh single-worker fleet; returns the
+/// fleet's aggregate stats (encode bytes, shared-frame reuses, ...).
+fn one_publish(
+    schema: &xdx_xml::SchemaTree,
+    source_db: &xdx_relational::Database,
+    mf: &xdx_core::Fragmentation,
+    lf: &xdx_core::Fragmentation,
+    fanout: usize,
+) -> RuntimeStats {
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_network(FANOUT_LAN),
+    );
+    let results = runtime
+        .publish(PublishRequest::new(
+            "encode-bill",
+            source_db.clone(),
+            mf.clone(),
+            lf.clone(),
+            (0..fanout).map(|i| format!("sub-{i}")).collect(),
+        ))
+        .expect("publish admitted")
+        .wait();
+    for result in &results {
+        assert_eq!(
+            result.state,
+            SessionState::Done,
+            "publish lane failed on a healthy link: {:?}",
+            result.diagnostic
+        );
+    }
+    runtime.shutdown()
+}
+
+/// `rounds` rounds of `groups` concurrent 1→`fanout` publishes (each
+/// group on its own endpoint routes) on one fleet; returns delivered
+/// feeds/sec and the fleet stats.
+#[allow(clippy::too_many_arguments)]
+fn publish_fleet(
+    schema: &xdx_xml::SchemaTree,
+    source_db: &xdx_relational::Database,
+    mf: &xdx_core::Fragmentation,
+    lf: &xdx_core::Fragmentation,
+    workers: usize,
+    groups: usize,
+    fanout: usize,
+    rounds: usize,
+) -> (f64, RuntimeStats) {
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(workers)
+            .with_network(FANOUT_LAN),
+    );
+    let start = Instant::now();
+    for round in 0..rounds {
+        let handles: Vec<_> = (0..groups)
+            .map(|g| {
+                runtime
+                    .publish(
+                        PublishRequest::new(
+                            format!("pub-r{round}-g{g}"),
+                            source_db.clone(),
+                            mf.clone(),
+                            lf.clone(),
+                            (0..fanout).map(|i| format!("g{g}-sub-{i}")).collect(),
+                        )
+                        .with_source_endpoint(format!("origin-{g}")),
+                    )
+                    .expect("publish admitted")
+            })
+            .collect();
+        for handle in handles {
+            for result in handle.wait() {
+                assert_eq!(
+                    result.state,
+                    SessionState::Done,
+                    "publish lane failed on a healthy link: {:?}",
+                    result.diagnostic
+                );
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let feeds = (rounds * groups * fanout) as f64;
+    (feeds / wall.max(1e-9), runtime.shutdown())
+}
+
+/// The same routes served the pre-multicast way: every (group,
+/// subscriber) pair is an independent two-site session re-probing,
+/// re-planning, re-executing and re-encoding the same source. Equal
+/// workers, equal links, equal bytes on the wire.
+#[allow(clippy::too_many_arguments)]
+fn independent_fleet(
+    schema: &xdx_xml::SchemaTree,
+    source_db: &xdx_relational::Database,
+    mf: &xdx_core::Fragmentation,
+    lf: &xdx_core::Fragmentation,
+    workers: usize,
+    groups: usize,
+    fanout: usize,
+    rounds: usize,
+) -> (f64, RuntimeStats) {
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(workers)
+            .with_network(FANOUT_LAN),
+    );
+    let start = Instant::now();
+    for round in 0..rounds {
+        let handles: Vec<_> = (0..groups)
+            .flat_map(|g| (0..fanout).map(move |i| (g, i)))
+            .map(|(g, i)| {
+                runtime
+                    .submit(
+                        ExchangeRequest::new(
+                            format!("ind-r{round}-g{g}-s{i}"),
+                            source_db.clone(),
+                            mf.clone(),
+                            lf.clone(),
+                        )
+                        .with_route(format!("origin-{g}"), format!("g{g}-sub-{i}")),
+                    )
+                    .expect("session admitted")
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.wait();
+            assert_eq!(
+                result.state,
+                SessionState::Done,
+                "independent session failed on a healthy link: {:?}",
+                result.diagnostic
+            );
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let feeds = (rounds * groups * fanout) as f64;
+    (feeds / wall.max(1e-9), runtime.shutdown())
+}
+
+/// The `fanout` mode: multicast encode bill and delivered-feeds
+/// throughput vs independent sessions. Writes `BENCH_PR9.json` and
+/// exits nonzero if a gate fails.
+fn fanout_main(mut args: impl Iterator<Item = String>) {
+    let fanout: usize = arg(&mut args, "subscribers", 8);
+    let doc_bytes: usize = arg(&mut args, "doc_bytes", 60_000);
+    let rounds: usize = arg(&mut args, "rounds", 4);
+    if fanout < 2 || rounds == 0 {
+        eprintln!("error: subscribers ≥ 2, rounds ≥ 1");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let workers = 2;
+    let groups = workers;
+
+    let schema = schema();
+    let doc = generate(GenConfig::sized(doc_bytes));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let source_db = load_source(&doc, &schema, &mf).expect("load source");
+
+    println!(
+        "# fanout: 1→{fanout} multicast of ~{} KB docs, {rounds} rounds of {groups} \
+         groups at {workers} workers",
+        doc_bytes / 1024,
+    );
+
+    // -- Encode bill: 1→1 vs 1→fanout, one publish each. --
+    let single = one_publish(&schema, &source_db, &mf, &lf, 1);
+    let multi = one_publish(&schema, &source_db, &mf, &lf, fanout);
+    let encode_ratio = multi.bytes_encoded as f64 / single.bytes_encoded.max(1) as f64;
+    println!(
+        "# encode bill: 1→1 {} bytes vs 1→{fanout} {} bytes ({encode_ratio:.3}x), \
+         {} shared-frame reuses, {} ring fallbacks",
+        single.bytes_encoded,
+        multi.bytes_encoded,
+        multi.multicast_encode_shared,
+        multi.multicast_encode_fallback,
+    );
+
+    // -- Delivered feeds: publish groups vs independent sessions. --
+    let (publish_fps, publish_stats) = (0..2)
+        .map(|_| {
+            publish_fleet(
+                &schema, &source_db, &mf, &lf, workers, groups, fanout, rounds,
+            )
+        })
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("two trials");
+    let (indep_fps, indep_stats) = (0..2)
+        .map(|_| {
+            independent_fleet(
+                &schema, &source_db, &mf, &lf, workers, groups, fanout, rounds,
+            )
+        })
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("two trials");
+    let feeds_win = publish_fps / indep_fps.max(1e-9);
+    println!(
+        "# delivered feeds: multicast {publish_fps:.1}/s vs independent {indep_fps:.1}/s \
+         ({feeds_win:.2}x) — encodes {} vs {}",
+        publish_stats.messages_serialized, indep_stats.messages_serialized,
+    );
+
+    let encode_gate = encode_ratio <= 1.2;
+    let sharing_gate = multi.multicast_encode_shared > 0 && multi.multicast_encode_fallback == 0;
+    let feeds_gate = feeds_win >= 4.0;
+    let pass = encode_gate && sharing_gate && feeds_gate;
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fanout\",");
+    let _ = writeln!(out, "  \"subscribers\": {fanout},");
+    let _ = writeln!(out, "  \"doc_bytes\": {doc_bytes},");
+    let _ = writeln!(out, "  \"rounds\": {rounds},");
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"groups_per_round\": {groups},");
+    let _ = writeln!(
+        out,
+        "  \"lan_bandwidth_bytes_per_sec\": {},",
+        FANOUT_LAN.bandwidth_bytes_per_sec
+    );
+    out.push_str("  \"encode_bill\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"single_bytes_encoded\": {},",
+        single.bytes_encoded
+    );
+    let _ = writeln!(
+        out,
+        "    \"fanout_bytes_encoded\": {},",
+        multi.bytes_encoded
+    );
+    let _ = writeln!(
+        out,
+        "    \"single_messages_serialized\": {},",
+        single.messages_serialized
+    );
+    let _ = writeln!(
+        out,
+        "    \"fanout_messages_serialized\": {},",
+        multi.messages_serialized
+    );
+    let _ = writeln!(
+        out,
+        "    \"shared_frame_reuses\": {},",
+        multi.multicast_encode_shared
+    );
+    let _ = writeln!(
+        out,
+        "    \"ring_fallbacks\": {},",
+        multi.multicast_encode_fallback
+    );
+    let _ = writeln!(out, "    \"ratio\": {encode_ratio:.4}");
+    out.push_str("  },\n");
+    out.push_str("  \"delivered_feeds\": {\n");
+    let _ = writeln!(out, "    \"multicast_feeds_per_sec\": {publish_fps:.3},");
+    let _ = writeln!(out, "    \"independent_feeds_per_sec\": {indep_fps:.3},");
+    let _ = writeln!(
+        out,
+        "    \"multicast_messages_serialized\": {},",
+        publish_stats.messages_serialized
+    );
+    let _ = writeln!(
+        out,
+        "    \"independent_messages_serialized\": {},",
+        indep_stats.messages_serialized
+    );
+    let _ = writeln!(
+        out,
+        "    \"multicast_fanout_subscribers\": {},",
+        publish_stats.fanout_subscribers
+    );
+    let _ = writeln!(out, "    \"win\": {feeds_win:.4}");
+    out.push_str("  },\n");
+    out.push_str("  \"gates\": {\n");
+    let _ = writeln!(out, "    \"encode_bytes_within_1p2x\": {encode_gate},");
+    let _ = writeln!(out, "    \"frames_shared_no_fallback\": {sharing_gate},");
+    let _ = writeln!(out, "    \"delivered_feeds_4x\": {feeds_gate}");
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"pass\": {pass}");
+    out.push_str("}\n");
+    std::fs::write("BENCH_PR9.json", &out).expect("write BENCH_PR9.json");
+
+    println!("# wrote BENCH_PR9.json (pass: {pass})");
+    if !pass {
+        eprintln!("error: fanout gates failed — see BENCH_PR9.json");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("resync") {
@@ -1213,6 +1540,11 @@ fn main() {
     if args.peek().map(String::as_str) == Some("pipeline") {
         args.next();
         pipeline_main(args);
+        return;
+    }
+    if args.peek().map(String::as_str) == Some("fanout") {
+        args.next();
+        fanout_main(args);
         return;
     }
     let sessions: usize = arg(&mut args, "sessions", 24);

@@ -18,6 +18,7 @@
 //! * [`cost`] — the cost model, system profiles, statistics (§4.1)
 //! * [`optimal`] — exhaustive cost-based placement, `Cost_Based_Optim` (§4.2)
 //! * [`greedy`] — greedy ordering + placement heuristics (§4.3)
+//! * [`ksite`] — k-site placement for 1→N publish groups (§6 future work)
 //! * [`exec`] — the runtime: executes a placed program against real stores
 //!   over a simulated link (§5.2)
 //! * [`exec_parallel`] — component-parallel execution (the parallelism
@@ -43,6 +44,7 @@ pub mod exec_parallel;
 pub mod fragment;
 pub mod gen;
 pub mod greedy;
+pub mod ksite;
 pub mod mapping;
 pub mod optimal;
 pub mod pm;
@@ -61,6 +63,9 @@ pub use exec::{
     CrossPort, ExecOutcome, LoopbackTransport, OpSample, SourcePhase, Transport,
 };
 pub use fragment::{Fragment, Fragmentation};
+pub use ksite::{
+    ksite_greedy, ksite_optimal, ksite_program_cost, multicast_bytes, MULTICAST_LEG_FACTOR,
+};
 pub use mapping::Mapping;
 pub use program::{Location, Op, OpNode, Program};
 pub use report::{ExchangeReport, StepTimes};

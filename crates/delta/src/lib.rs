@@ -25,12 +25,22 @@
 //! Any irregularity — unsorted rows, non-Dewey keys, schema drift
 //! between versions — is an error, and errors mean "fall back to a full
 //! re-ship", never a wrong patch.
+//!
+//! Beyond the snapshot window the store also keeps a *chain* of
+//! per-step patches `v(i) → v(i+1)`, computed as each head is recorded
+//! (while both versions are still in hand) and retained several times
+//! longer than the snapshots themselves — a patch is orders of
+//! magnitude smaller than the table set it describes. A base version
+//! that aged out of the snapshot window can then be *reconstructed* by
+//! composing the chain from its anchor ([`SnapshotStore::reconstruct`])
+//! instead of falling straight back to a full re-ship.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use xdx_relational::patch::key_column;
 use xdx_relational::{
-    Database, DeltaPatch, Dewey, Error, Feed, PatchStep, Result, StepKind, TablePatch, Value,
+    apply_table_patch, Database, DeltaPatch, Dewey, Error, Feed, PatchStep, Result, StepKind,
+    TablePatch, Value,
 };
 
 /// One route's table set at one version.
@@ -39,10 +49,22 @@ pub type Snapshot = Arc<Vec<(String, Feed)>>;
 /// Snapshots kept per route; older bases fall back to a full re-ship.
 pub const DEFAULT_RETAIN: usize = 4;
 
+/// Per-step patches kept per snapshot retained: the chain reaches
+/// `retain × STEP_RETAIN_FACTOR` versions back, at patch-sized cost.
+pub const STEP_RETAIN_FACTOR: usize = 4;
+
 #[derive(Debug, Default)]
 struct SnapshotLog {
     head: u64,
     snapshots: VecDeque<(u64, Snapshot)>,
+    /// Per-step patches keyed by their base version: entry `(v, p)`
+    /// rewrites version `v` into `v + 1`. Contiguous by construction
+    /// (a break clears the chain).
+    steps: VecDeque<(u64, Arc<DeltaPatch>)>,
+    /// The table set at the oldest retained step's base version — the
+    /// starting point [`SnapshotStore::reconstruct`] composes from.
+    /// Advanced by applying each step the retention window evicts.
+    anchor: Option<(u64, Snapshot)>,
 }
 
 /// Thread-shared map from route key to its versioned snapshot log.
@@ -51,8 +73,22 @@ struct SnapshotLog {
 #[derive(Debug)]
 pub struct SnapshotStore {
     retain: usize,
+    step_retain: usize,
     logs: Mutex<HashMap<String, SnapshotLog>>,
+    /// Recent step diffs keyed by the identity of the two snapshots
+    /// (plus the base version baked into the patch). Fan-out groups
+    /// record the same shared table set under many routes whose heads
+    /// advance in lockstep, so the same transition diffs once instead
+    /// of once per subscriber. Keys hold `Arc` clones, so an address
+    /// can't be recycled while its memo entry lives.
+    diff_memo: Mutex<VecDeque<(DiffMemoKey, Arc<DeltaPatch>)>>,
 }
+
+/// The two snapshots a memoized step diff was computed between, plus
+/// the base version baked into the patch.
+type DiffMemoKey = (Snapshot, Snapshot, u64);
+
+const DIFF_MEMO_CAP: usize = 8;
 
 impl SnapshotStore {
     /// An empty store with the default retention window.
@@ -61,12 +97,21 @@ impl SnapshotStore {
     }
 
     /// An empty store keeping the `retain` most recent snapshots per
-    /// route.
+    /// route (and `retain ×` [`STEP_RETAIN_FACTOR`] per-step patches).
     pub fn with_retention(retain: usize) -> SnapshotStore {
+        let retain = retain.max(1);
         SnapshotStore {
-            retain: retain.max(1),
+            retain,
+            step_retain: retain * STEP_RETAIN_FACTOR,
             logs: Mutex::new(HashMap::new()),
+            diff_memo: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Builder: overrides how many per-step patches each route keeps.
+    pub fn with_step_retention(mut self, steps: usize) -> SnapshotStore {
+        self.step_retain = steps;
+        self
     }
 
     /// Current head version of a route (0 when never synced).
@@ -86,22 +131,155 @@ impl SnapshotStore {
 
     /// Records a route's committed table set as the next version and
     /// returns it. The oldest snapshot beyond the retention window is
-    /// dropped.
+    /// dropped — but not before its outgoing per-step patch was chained,
+    /// so [`reconstruct`](SnapshotStore::reconstruct) can still compose
+    /// it. An undiffable transition (schema drift, irregular feeds)
+    /// breaks the chain rather than risking a wrong composition.
     pub fn record(&self, route: &str, tables: Vec<(String, Feed)>) -> u64 {
+        self.record_shared(route, Arc::new(tables))
+    }
+
+    /// [`record`](SnapshotStore::record), but the table set arrives
+    /// already shared. A fan-out group commits byte-identical content on
+    /// every lane: the group snapshots its tables once and each
+    /// subscriber route records the same `Arc`, and the step diff
+    /// between two shared snapshots is memoized by identity so the
+    /// transition diffs once instead of once per subscriber.
+    pub fn record_shared(&self, route: &str, tables: Snapshot) -> u64 {
         let mut logs = self.logs.lock().unwrap();
         let log = logs.entry(route.to_string()).or_default();
+        if let Some((prev_version, prev)) = log.snapshots.back().map(|(v, s)| (*v, Arc::clone(s))) {
+            let memoized = self
+                .diff_memo
+                .lock()
+                .unwrap()
+                .iter()
+                .find(|((a, b, v), _)| {
+                    *v == prev_version && Arc::ptr_eq(a, &prev) && Arc::ptr_eq(b, &tables)
+                })
+                .map(|(_, p)| Arc::clone(p));
+            let step = match memoized {
+                Some(patch) => Ok(patch),
+                None => {
+                    diff_snapshots(&prev, &tables, prev_version, prev_version + 1).map(|patch| {
+                        let patch = Arc::new(patch);
+                        let mut memo = self.diff_memo.lock().unwrap();
+                        memo.push_back((
+                            (Arc::clone(&prev), Arc::clone(&tables), prev_version),
+                            Arc::clone(&patch),
+                        ));
+                        if memo.len() > DIFF_MEMO_CAP {
+                            memo.pop_front();
+                        }
+                        patch
+                    })
+                }
+            };
+            match step {
+                Ok(patch) => {
+                    if log.steps.is_empty() {
+                        log.anchor = Some((prev_version, prev));
+                    }
+                    log.steps.push_back((prev_version, patch));
+                }
+                Err(_) => {
+                    log.steps.clear();
+                    log.anchor = None;
+                }
+            }
+        }
         log.head += 1;
-        log.snapshots.push_back((log.head, Arc::new(tables)));
+        log.snapshots.push_back((log.head, tables));
         while log.snapshots.len() > self.retain {
             log.snapshots.pop_front();
         }
+        while log.steps.len() > self.step_retain.max(1) {
+            // Evicting the oldest step advances the anchor past it, so
+            // the chain's reachable range slides instead of shrinking.
+            let (base, patch) = log.steps.pop_front().expect("len checked");
+            let advanced = log.anchor.take().and_then(|(av, atables)| {
+                if av != base {
+                    return None;
+                }
+                apply_patch_tables(&atables, &patch)
+                    .ok()
+                    .map(|t| (base + 1, Arc::new(t)))
+            });
+            match advanced {
+                Some(a) => log.anchor = Some(a),
+                None => {
+                    log.steps.clear();
+                    break;
+                }
+            }
+        }
         log.head
+    }
+
+    /// The table set at `version`, recovered any way the store can: the
+    /// retained snapshot directly (`composed == false`), or — when the
+    /// version aged out of the snapshot window — by composing the
+    /// retained per-step patch chain from its anchor
+    /// (`composed == true`). `None` when the version predates the chain
+    /// too, or the chain was broken by an undiffable transition: the
+    /// caller's full re-ship fallback.
+    pub fn reconstruct(&self, route: &str, version: u64) -> Option<(Snapshot, bool)> {
+        let logs = self.logs.lock().unwrap();
+        let log = logs.get(route)?;
+        if let Some((_, s)) = log.snapshots.iter().find(|(v, _)| *v == version) {
+            return Some((Arc::clone(s), false));
+        }
+        let (anchor_version, anchor) = log.anchor.as_ref()?;
+        if version < *anchor_version || version > log.head {
+            return None;
+        }
+        let mut tables: Vec<(String, Feed)> = (**anchor).clone();
+        let mut at = *anchor_version;
+        while at < version {
+            let (_, patch) = log.steps.iter().find(|(b, _)| *b == at)?;
+            tables = apply_patch_tables(&tables, patch).ok()?;
+            at += 1;
+        }
+        Some((Arc::new(tables), true))
+    }
+
+    /// Length of a route's per-step patch chain (diagnostics/tests).
+    pub fn chained_steps(&self, route: &str) -> usize {
+        self.logs
+            .lock()
+            .unwrap()
+            .get(route)
+            .map_or(0, |l| l.steps.len())
     }
 
     /// Number of routes with at least one recorded version.
     pub fn routes(&self) -> usize {
         self.logs.lock().unwrap().len()
     }
+}
+
+/// Applies a snapshot-level patch to a snapshot table set, returning
+/// the rewritten set — the composition step
+/// [`SnapshotStore::reconstruct`] folds over the chain. A table the
+/// patch introduces starts from an empty feed of the payload's schema;
+/// a table the patch empties stays present (and empty), matching what
+/// [`xdx_relational::stage_patch`] leaves in a target database.
+pub fn apply_patch_tables(
+    base: &[(String, Feed)],
+    patch: &DeltaPatch,
+) -> Result<Vec<(String, Feed)>> {
+    let mut out: Vec<(String, Feed)> = base.to_vec();
+    for tp in &patch.tables {
+        match out.iter_mut().find(|(n, _)| n == &tp.table) {
+            Some((_, feed)) => *feed = apply_table_patch(feed, tp)?,
+            None => {
+                let empty = Feed::new(tp.payload.schema.clone());
+                out.push((tp.table.clone(), apply_table_patch(&empty, tp)?));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
 }
 
 impl Default for SnapshotStore {
@@ -379,6 +557,69 @@ mod tests {
         assert_eq!(snap[0].1.rows[0][1], Value::Dewey(Dewey(vec![1, 1, 1, 4])));
         assert_eq!(store.routes(), 1);
         assert_eq!(store.head("other"), 0, "routes are independent");
+    }
+
+    #[test]
+    fn aged_out_base_reconstructs_from_the_step_chain() {
+        let store = SnapshotStore::with_retention(2);
+        let at = |v: u32| vec![("T".to_string(), item_feed(&[(v, "x"), (9, "tail")]))];
+        for v in 1..=6u64 {
+            store.record("r", at(v as u32));
+        }
+        // Versions 1–4 aged out of the snapshot window (only 5 and 6
+        // are retained) …
+        assert!(store.snapshot("r", 3).is_none());
+        // … but the chain still reaches them.
+        let (composed, was_composed) = store.reconstruct("r", 3).expect("chain covers v3");
+        assert!(was_composed);
+        assert_eq!(*composed, at(3));
+        // A retained snapshot comes back directly, not composed.
+        let (direct, was_composed) = store.reconstruct("r", 6).expect("head retained");
+        assert!(!was_composed);
+        assert_eq!(*direct, at(6));
+        // Beyond both windows there is nothing to compose from.
+        assert!(store.reconstruct("r", 99).is_none());
+    }
+
+    #[test]
+    fn step_eviction_slides_the_anchor() {
+        let store = SnapshotStore::with_retention(1).with_step_retention(2);
+        let at = |v: u32| vec![("T".to_string(), item_feed(&[(v, "x")]))];
+        for v in 1..=5u64 {
+            store.record("r", at(v as u32));
+        }
+        assert_eq!(store.chained_steps("r"), 2, "chain bounded");
+        // Steps 3→4 and 4→5 retained; the anchor slid to v3.
+        let (composed, was_composed) = store.reconstruct("r", 4).expect("still chained");
+        assert!(was_composed);
+        assert_eq!(*composed, at(4));
+        assert!(store.reconstruct("r", 2).is_none(), "evicted past reach");
+    }
+
+    #[test]
+    fn undiffable_transition_breaks_the_chain() {
+        let store = SnapshotStore::with_retention(1);
+        let sorted = vec![("T".to_string(), item_feed(&[(1, "a"), (2, "b")]))];
+        let mut unsorted_feed = item_feed(&[(1, "a"), (2, "b")]);
+        unsorted_feed.rows.reverse();
+        let unsorted = vec![("T".to_string(), unsorted_feed)];
+        store.record("r", sorted.clone());
+        store.record("r", sorted.clone());
+        assert_eq!(store.chained_steps("r"), 1);
+        store.record("r", unsorted);
+        assert_eq!(store.chained_steps("r"), 0, "broken chain cleared");
+        assert!(store.reconstruct("r", 1).is_none());
+    }
+
+    #[test]
+    fn apply_patch_tables_round_trips_table_set_changes() {
+        let base = vec![("A".to_string(), item_feed(&[(1, "a")]))];
+        let head = vec![("B".to_string(), item_feed(&[(2, "b")]))];
+        let patch = diff_snapshots(&base, &head, 1, 2).unwrap();
+        let applied = apply_patch_tables(&base, &patch).unwrap();
+        assert_eq!(applied.len(), 2);
+        assert!(applied[0].1.is_empty(), "dropped table emptied");
+        assert_eq!(applied[1].1, head[0].1, "new table materialized");
     }
 
     #[test]

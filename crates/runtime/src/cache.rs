@@ -197,8 +197,29 @@ pub fn plan_key(
     optimizer: Optimizer,
     versions: Option<(u64, u64)>,
 ) -> PlanKey {
+    plan_key_with_fanout(source, target, model, optimizer, versions, 1)
+}
+
+/// [`plan_key`] for a 1→`fanout` publish group: the subscriber count
+/// changes the k-site placement trade-off, so groups of different sizes
+/// must not share a cached program. `fanout <= 1` contributes no bytes
+/// to the hash — a group of one keys identically to [`plan_key`], which
+/// is what lets the N=1 degenerate case reuse (and be reused by)
+/// ordinary two-site sessions.
+pub fn plan_key_with_fanout(
+    source: &Fragmentation,
+    target: &Fragmentation,
+    model: &CostModel,
+    optimizer: Optimizer,
+    versions: Option<(u64, u64)>,
+    fanout: usize,
+) -> PlanKey {
     let mut shape = Vec::with_capacity(256);
     let push = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+    if fanout > 1 {
+        push(&mut shape, 0x4D);
+        push(&mut shape, fanout as u64);
+    }
     if let Some((base, head)) = versions {
         push(&mut shape, 0x44);
         push(&mut shape, base);
@@ -369,6 +390,25 @@ mod tests {
         );
         // The stats half is untouched by versions.
         assert_eq!(full.stats, d34.stats);
+    }
+
+    #[test]
+    fn fanout_discriminates_but_one_is_degenerate() {
+        let s = schema();
+        let mf = Fragmentation::most_fragmented("MF", &s);
+        let lf = Fragmentation::least_fragmented("LF", &s);
+        let m = model(&s, 0.05);
+        let two_site = plan_key(&mf, &lf, &m, Optimizer::Greedy, None);
+        let group_of_one = plan_key_with_fanout(&mf, &lf, &m, Optimizer::Greedy, None, 1);
+        assert_eq!(two_site, group_of_one, "N=1 keys identically");
+        let group_of_eight = plan_key_with_fanout(&mf, &lf, &m, Optimizer::Greedy, None, 8);
+        assert_ne!(two_site.shape, group_of_eight.shape, "fanout is shape");
+        assert_ne!(
+            group_of_eight.shape,
+            plan_key_with_fanout(&mf, &lf, &m, Optimizer::Greedy, None, 4).shape,
+            "different group sizes do not share a plan"
+        );
+        assert_eq!(two_site.stats, group_of_eight.stats, "stats untouched");
     }
 
     #[test]

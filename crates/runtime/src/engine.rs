@@ -86,7 +86,10 @@ pub(crate) struct ShipRequest {
     /// checkpoints.
     pub seq: u64,
     pub label: String,
-    pub message: Vec<u8>,
+    /// The serialized message, refcounted: a 1→N publish submits the
+    /// *same* frame buffer once per subscriber lane, so fan-out never
+    /// copies (or re-encodes) the payload.
+    pub message: Arc<Vec<u8>>,
     pub policy: ShippingPolicy,
     /// Retry budget shared by every batch of the session.
     pub budget: Arc<AtomicI64>,
@@ -120,7 +123,7 @@ struct Task {
     slot: Arc<LinkSlot>,
     seq: u64,
     label: String,
-    message: Vec<u8>,
+    message: Arc<Vec<u8>>,
     policy: ShippingPolicy,
     budget: Arc<AtomicI64>,
     parent_span: SpanId,
@@ -633,7 +636,7 @@ impl ShipEngine {
                     });
                 };
                 debug_assert_eq!(
-                    assembled, task.message,
+                    assembled, *task.message,
                     "verified chunks reassemble exactly"
                 );
                 StepOutcome::Done(BatchResult {
@@ -690,7 +693,7 @@ mod tests {
             slot: Arc::clone(slot),
             seq,
             label: format!("batch {seq}"),
-            message,
+            message: Arc::new(message),
             policy,
             budget: Arc::clone(budget),
             parent_span: 0,

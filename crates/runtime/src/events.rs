@@ -67,6 +67,10 @@ pub enum EventKind {
     /// A delta-planned session fell back to a full re-ship (missing
     /// snapshot, diff failure, cost, or a failed precondition).
     DeltaFellBack,
+    /// The requested base snapshot aged out of the retention window but
+    /// was reconstructed by composing retained per-step patches, so the
+    /// session still shipped a delta instead of the full feeds.
+    DeltaChainComposed,
     /// The session reached `Done`.
     Completed,
     /// The session reached `Failed`.
@@ -97,6 +101,7 @@ impl EventKind {
             EventKind::CircuitClosed => "circuit_closed",
             EventKind::DeltaApplied => "delta_applied",
             EventKind::DeltaFellBack => "delta_fell_back",
+            EventKind::DeltaChainComposed => "delta_chain_composed",
             EventKind::Completed => "completed",
             EventKind::Failed => "failed",
             EventKind::Cancelled => "cancelled",

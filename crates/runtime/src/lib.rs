@@ -73,15 +73,19 @@ pub mod wheel;
 
 pub use admission::AdmissionController;
 pub use breaker::{BreakerTransition, CircuitBreaker};
-pub use cache::{plan_key, CachedPlan, PlanCache, PlanKey};
+pub use cache::{plan_key, plan_key_with_fanout, CachedPlan, PlanCache, PlanKey};
 pub use events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 pub use fair::{FairQueue, Popped, DEFAULT_AGING_INTERVAL};
 pub use ledger::{Filed, ReassemblyLedger, DEFAULT_LEDGER_CAPACITY};
 pub use registry::{LinkRegistry, LinkSlot, LinkStats};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError, TenantStats};
+pub use runtime::{
+    ConsolidationOutcome, PublishHandle, Runtime, RuntimeConfig, RuntimeStats, SubmitError,
+    TenantStats,
+};
 pub use session::{
-    ExchangeRequest, Priority, SessionHandle, SessionId, SessionMetrics, SessionResult,
-    SessionState, DEFAULT_SOURCE_ENDPOINT, DEFAULT_TARGET_ENDPOINT,
+    ExchangeRequest, Priority, PublishRequest, SessionHandle, SessionId, SessionMetrics,
+    SessionResult, SessionState, DEFAULT_PUBLISH_LAG_CAP, DEFAULT_SOURCE_ENDPOINT,
+    DEFAULT_TARGET_ENDPOINT,
 };
 pub use shipper::ShippingPolicy;
 pub use wheel::TimerWheel;

@@ -23,15 +23,15 @@
 
 use crate::admission::AdmissionController;
 use crate::breaker::BreakerTransition;
-use crate::cache::{plan_key, CachedPlan, PlanCache};
+use crate::cache::{plan_key, plan_key_with_fanout, CachedPlan, PlanCache};
 use crate::engine::{BatchResult, ShipEngine, ShipRequest};
 use crate::events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 use crate::fair::{FairQueue, DEFAULT_AGING_INTERVAL};
 use crate::ledger::{ReassemblyLedger, DEFAULT_LEDGER_CAPACITY};
 use crate::registry::{LinkRegistry, LinkSlot, LinkStats};
 use crate::session::{
-    ExchangeRequest, SessionHandle, SessionId, SessionMetrics, SessionResult, SessionShared,
-    SessionState,
+    ExchangeRequest, PublishRequest, SessionHandle, SessionId, SessionMetrics, SessionResult,
+    SessionShared, SessionState,
 };
 use crate::shipper::{FaultTolerantShipper, ShippingPolicy};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -47,7 +47,10 @@ use xdx_core::exec::{
     writes_stream_directly, ExecOutcome, LoopbackTransport, OpSample, Transport,
 };
 use xdx_core::program::PortRef;
-use xdx_core::{DataExchange, Location, Optimizer, WireFormat, PATCH_STEP_FACTOR};
+use xdx_core::{
+    ksite_greedy, ksite_optimal, CostModel, DataExchange, Location, Optimizer, Program, WireFormat,
+    PATCH_STEP_FACTOR,
+};
 use xdx_delta::{db_tables, diff_snapshots, Snapshot, SnapshotStore};
 use xdx_net::http::Request;
 use xdx_net::{FaultProfile, NetworkProfile};
@@ -409,6 +412,47 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Caller-side view of an admitted 1→N publish group: one
+/// [`SessionHandle`] per subscriber, index-aligned with
+/// `PublishRequest::subscribers`.
+pub struct PublishHandle {
+    /// Per-subscriber session handles.
+    pub handles: Vec<SessionHandle>,
+}
+
+impl PublishHandle {
+    /// Number of subscriber lanes in the group.
+    pub fn fanout(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Blocks until every lane settles and returns the per-subscriber
+    /// results, in subscriber order.
+    pub fn wait(self) -> Vec<SessionResult> {
+        self.handles.into_iter().map(SessionHandle::wait).collect()
+    }
+}
+
+/// Outcome of an N→1 [`Runtime::consolidate`]: the merged target plus
+/// per-source dispositions.
+#[derive(Debug)]
+pub struct ConsolidationOutcome {
+    /// The consolidated target database; holds exactly the tables of
+    /// the sources that committed (each staged and committed as one
+    /// transaction).
+    pub target: Database,
+    /// Sources whose exchange completed and whose staging committed.
+    pub applied: usize,
+    /// Sources refused, failed, or rolled back during staging.
+    pub failed: usize,
+    /// Per-source disposition, in request order: metrics on success, a
+    /// diagnostic on refusal/failure.
+    pub results: Vec<(String, std::result::Result<SessionMetrics, String>)>,
+    /// Key-index rebuild failure over the merged tables (e.g. duplicate
+    /// keys across sources); the rows are committed either way.
+    pub index_error: Option<String>,
+}
+
 /// Aggregate counters across the runtime's lifetime, with per-link
 /// rollups in [`RuntimeStats::links`].
 #[derive(Debug, Clone, Default)]
@@ -483,6 +527,19 @@ pub struct RuntimeStats {
     /// non-cost reason (missing snapshot, diff/decode failure, stale
     /// version precondition).
     pub delta_full_fallbacks: u64,
+    /// Delta-eligible sessions whose aged-out base snapshot was
+    /// reconstructed by composing retained per-step patches (a subset of
+    /// the sessions that would otherwise be `delta_full_fallbacks`).
+    pub delta_chain_composed: u64,
+    /// Subscriber lanes admitted across all 1→N publish groups.
+    pub fanout_subscribers: u64,
+    /// Multicast frame submissions served from an already-encoded shared
+    /// buffer — each one is an encode the fan-out never ran.
+    pub multicast_encode_shared: u64,
+    /// Subscriber lanes dropped from the shared frame buffer (lag cap
+    /// exceeded or lane failure) onto the per-subscriber
+    /// re-encode/full-ship fallback.
+    pub multicast_encode_fallback: u64,
     /// Acknowledged shipment buffers garbage-collected from the
     /// reassembly ledger after their session committed.
     pub ledger_entries_pruned: u64,
@@ -559,7 +616,24 @@ struct QueueState {
     /// Lives *inside* the queue lock so a completion can never slip
     /// between a worker's emptiness check and its condvar wait.
     runnable: VecDeque<SessionId>,
+    /// Admitted 1→N publish groups, FIFO. A group occupies one worker
+    /// end to end (its paced waits are volunteered to the engine), so
+    /// it rides its own lane instead of the per-tenant fair queue.
+    publish: VecDeque<PublishJob>,
     open: bool,
+}
+
+/// An admitted publish group waiting for (or held by) a worker: the
+/// request plus the per-subscriber session cells created at admission.
+struct PublishJob {
+    enqueued: Instant,
+    request: PublishRequest,
+    /// One session per subscriber, index-aligned with
+    /// `request.subscribers`.
+    shareds: Vec<Arc<SessionShared>>,
+    /// The group's trace span; every lane's root span is a sibling, and
+    /// the span closes when the last lane settles.
+    group_span: SpanId,
 }
 
 /// One not-yet-submitted operator batch of a pipelined session, encoded
@@ -670,6 +744,121 @@ struct Resumable {
     plan: Option<Arc<CachedPlan>>,
 }
 
+/// One subscriber lane of a running 1→N publish group: the lane's
+/// session cell, its own link/ledger/budget, its shipping cursor over
+/// the group's shared frame ring, and its target-side staging state.
+/// Everything per-subscriber lives here; the only thing lanes share is
+/// the ring of already-encoded frames.
+struct PublishLane {
+    subscriber: String,
+    shared: Arc<SessionShared>,
+    slot: Arc<LinkSlot>,
+    wire_format: WireFormat,
+    feed_route: String,
+    metrics: SessionMetrics,
+    target: Database,
+    /// Completed batch results deposited by engine callbacks.
+    inbox: Arc<Mutex<Vec<BatchResult>>>,
+    /// Per-lane retry budget — one broken subscriber exhausts only its
+    /// own budget.
+    budget: Arc<AtomicI64>,
+    inflight: usize,
+    /// Next shared-frame index this lane submits.
+    cursor: usize,
+    /// Frames fully absorbed (delivered or failed) — the lag metric the
+    /// cap compares against the group's fastest lane.
+    completed: usize,
+    rollup: ShipRollup,
+    failure: Option<String>,
+    cancelled: bool,
+    /// True when the lane fell `lag_cap` frames behind and was dropped
+    /// from the shared ring onto the per-subscriber fallback.
+    lagged: bool,
+    decoded: BTreeMap<u64, Feed>,
+    next_stage_seq: u64,
+    outcome: ExecOutcome,
+    delivered: HashMap<PortRef, Feed>,
+    write_walls: HashMap<usize, (Instant, Duration)>,
+    settled: bool,
+}
+
+/// The independent two-site request a failed publish lane checkpoints
+/// as: `Runtime::resume` re-admits it as an ordinary session replaying
+/// the group's k-site plan, so its ledger acks line up and only the
+/// frames that never landed cross the wire (re-encoded per subscriber —
+/// the fallback ladder's last rung).
+fn publish_lane_request(request: &PublishRequest, subscriber: &str) -> ExchangeRequest {
+    ExchangeRequest {
+        name: format!("{}→{subscriber}", request.name),
+        source: request.source.clone(),
+        source_frag: request.source_frag.clone(),
+        target_frag: request.target_frag.clone(),
+        priority: request.priority,
+        source_profile: request.source_profile,
+        target_profile: request.target_profile,
+        deadline: None,
+        source_endpoint: request.source_endpoint.clone(),
+        target_endpoint: subscriber.to_string(),
+        tenant: request.tenant.clone(),
+        optimizer: request.optimizer,
+        wire_format: request.wire_format,
+        base_version: None,
+    }
+}
+
+/// What one format group's source phase cost: the source counters it
+/// added on top of whatever earlier groups already ran.
+fn counters_delta(now: Counters, before: Counters) -> Counters {
+    Counters {
+        rows_read: now.rows_read - before.rows_read,
+        rows_out: now.rows_out - before.rows_out,
+        rows_written: now.rows_written - before.rows_written,
+        comparisons: now.comparisons - before.comparisons,
+        hash_probes: now.hash_probes - before.hash_probes,
+        index_inserts: now.index_inserts - before.index_inserts,
+        bytes_out: now.bytes_out - before.bytes_out,
+    }
+}
+
+/// Applies a lane's decoded batches in shipment-seq order from its
+/// staging cursor — the per-lane analog of [`Inner::stage_ready`].
+fn stage_publish_lane(
+    lane: &mut PublishLane,
+    stream_tables: Option<&HashMap<PortRef, (usize, String)>>,
+    port_of: &HashMap<u64, PortRef>,
+) -> std::result::Result<(), String> {
+    while let Some(feed) = lane.decoded.remove(&lane.next_stage_seq) {
+        let seq = lane.next_stage_seq;
+        lane.next_stage_seq += 1;
+        let port = *port_of
+            .get(&seq)
+            .ok_or_else(|| format!("no port for shipment {seq}"))?;
+        if let Some(tables) = stream_tables {
+            let (node, table) = tables
+                .get(&port)
+                .cloned()
+                .ok_or_else(|| format!("no write table for port {port:?}"))?;
+            let start = Instant::now();
+            lane.outcome.rows_loaded += feed.len() as u64;
+            lane.target
+                .load_staged(&table, feed)
+                .map_err(|e| e.to_string())?;
+            let wall = start.elapsed();
+            lane.outcome.times.loading += wall;
+            let slot = lane
+                .write_walls
+                .entry(node)
+                .or_insert((start, Duration::ZERO));
+            slot.1 += wall;
+        } else if let Some(existing) = lane.delivered.get_mut(&port) {
+            existing.rows.extend(feed.rows);
+        } else {
+            lane.delivered.insert(port, feed);
+        }
+    }
+    Ok(())
+}
+
 #[derive(Default)]
 struct Aggregate {
     admitted: u64,
@@ -691,6 +880,10 @@ struct Aggregate {
     delta_patches_applied: u64,
     delta_full_chosen: u64,
     delta_full_fallbacks: u64,
+    delta_chain_composed: u64,
+    fanout_subscribers: u64,
+    multicast_encode_shared: u64,
+    multicast_encode_fallback: u64,
     shed_expired: u64,
     shed_deadline: u64,
     shed_breaker: u64,
@@ -828,6 +1021,7 @@ impl Runtime {
             queue: Mutex::new(QueueState {
                 fair: FairQueue::new(config.aging_interval),
                 runnable: VecDeque::new(),
+                publish: VecDeque::new(),
                 open: true,
             }),
             available: Condvar::new(),
@@ -950,6 +1144,177 @@ impl Runtime {
                 Err(e)
             }
         }
+    }
+
+    /// Admits a 1→N publish group: one source shipping the same exchange
+    /// to every subscriber endpoint. The runtime plans once per distinct
+    /// `(shape, wire format)` with the k-site cost model, executes the
+    /// source phase once per format, encodes each operator batch once
+    /// per format into a shared refcounted frame, and ships those same
+    /// bytes over each subscriber's own link lane — per-subscriber
+    /// ledger acks, retry budgets, breakers and resume stay fully
+    /// independent, and a slow or broken subscriber never stalls the
+    /// others (beyond the request's lag cap it is dropped to the
+    /// per-subscriber re-encode/full-ship fallback and left resumable).
+    ///
+    /// Returns one [`SessionHandle`] per subscriber, wrapped in a
+    /// [`PublishHandle`]. An empty subscriber list yields an empty
+    /// handle without touching the queue.
+    pub fn publish(&self, request: PublishRequest) -> Result<PublishHandle, SubmitError> {
+        let inner = &*self.inner;
+        if request.subscribers.is_empty() {
+            return Ok(PublishHandle {
+                handles: Vec::new(),
+            });
+        }
+        let mut queue = inner.queue.lock().unwrap();
+        if !queue.open {
+            return Err(SubmitError::ShutDown);
+        }
+        let depth = queue.fair.len() + queue.publish.len();
+        if depth >= inner.config.max_queue_depth {
+            drop(queue);
+            inner.agg.lock().unwrap().rejected += 1;
+            inner.events.push(
+                0,
+                NO_SPAN,
+                EventKind::Rejected,
+                format!("{}: queue full (publish group)", request.name),
+            );
+            return Err(SubmitError::QueueFull {
+                depth: inner.config.max_queue_depth,
+                retry_after: inner.admission.retry_after(depth),
+            });
+        }
+        let group_span = inner.trace.allocate_id();
+        let fanout = request.subscribers.len();
+        let mut shareds = Vec::with_capacity(fanout);
+        let mut handles = Vec::with_capacity(fanout);
+        for subscriber in &request.subscribers {
+            let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+            let root_span = inner.trace.allocate_id();
+            let shared = SessionShared::new(
+                id,
+                format!("{}→{subscriber}", request.name),
+                None,
+                root_span,
+            );
+            inner.events.push(
+                id,
+                root_span,
+                EventKind::Submitted,
+                format!(
+                    "{}→{subscriber} ({:?}, publish group of {fanout})",
+                    request.name, request.priority
+                ),
+            );
+            inner.tenant_entry(&request.lane_tenant(subscriber), |t| t.admitted += 1);
+            handles.push(SessionHandle {
+                shared: Arc::clone(&shared),
+            });
+            shareds.push(shared);
+        }
+        {
+            let mut agg = inner.agg.lock().unwrap();
+            agg.admitted += fanout as u64;
+            agg.fanout_subscribers += fanout as u64;
+        }
+        queue.publish.push_back(PublishJob {
+            enqueued: Instant::now(),
+            request,
+            shareds,
+            group_span,
+        });
+        drop(queue);
+        inner.available.notify_one();
+        Ok(PublishHandle { handles })
+    }
+
+    /// N→1 consolidation: runs every request as an ordinary session
+    /// (concurrently, across the worker pool), then folds each completed
+    /// target into one consolidated database with *transactional
+    /// per-source staging* — a source's tables stage together and commit
+    /// together, so a failing source leaves zero of its rows behind and
+    /// concurrent applies never tear. Blocks until every source settled.
+    ///
+    /// Sources refused at admission (queue full, open breaker, shutdown)
+    /// are reported in the outcome rather than failing the whole
+    /// consolidation.
+    pub fn consolidate(
+        &self,
+        name: impl Into<String>,
+        requests: Vec<ExchangeRequest>,
+    ) -> ConsolidationOutcome {
+        let name = name.into();
+        let mut pending: Vec<(String, std::result::Result<SessionHandle, SubmitError>)> = requests
+            .into_iter()
+            .map(|request| {
+                let source = request.name.clone();
+                (source, self.submit(request))
+            })
+            .collect();
+        let mut target = Database::new(format!("{name}-consolidated"));
+        let mut outcome = ConsolidationOutcome {
+            target: Database::default(),
+            applied: 0,
+            failed: 0,
+            results: Vec::with_capacity(pending.len()),
+            index_error: None,
+        };
+        for (source, admitted) in pending.drain(..) {
+            let result = match admitted {
+                Ok(handle) => handle.wait(),
+                Err(e) => {
+                    outcome.failed += 1;
+                    outcome
+                        .results
+                        .push((source, Err(format!("not admitted: {e}"))));
+                    continue;
+                }
+            };
+            match (result.state, &result.target) {
+                (SessionState::Done, Some(db)) => {
+                    // Stage the whole source, then commit it as one
+                    // transaction: either every table of this source
+                    // lands, or none do.
+                    let mut staged = Ok(());
+                    for (table, feed) in db_tables(db) {
+                        if let Err(e) = target.load_staged(&table, feed) {
+                            staged = Err(e.to_string());
+                            break;
+                        }
+                    }
+                    match staged {
+                        Ok(()) => {
+                            target.commit_staged();
+                            outcome.applied += 1;
+                            outcome.results.push((source, Ok(result.metrics)));
+                        }
+                        Err(e) => {
+                            target.rollback_staged();
+                            outcome.failed += 1;
+                            outcome
+                                .results
+                                .push((source, Err(format!("staging failed: {e}"))));
+                        }
+                    }
+                }
+                _ => {
+                    outcome.failed += 1;
+                    let diag = result
+                        .diagnostic
+                        .unwrap_or_else(|| format!("{:?}", result.state));
+                    outcome.results.push((source, Err(diag)));
+                }
+            }
+        }
+        if outcome.applied > 0 {
+            if let Err(e) = target.build_all_key_indexes() {
+                outcome.index_error = Some(e.to_string());
+            }
+        }
+        outcome.target = target;
+        outcome
     }
 
     /// Sets a tenant's weighted-fair share (default 1.0, clamped above
@@ -1086,6 +1451,7 @@ impl Drop for Runtime {
 enum WorkItem {
     Job(Box<QueuedSession>),
     Service(SessionId),
+    Publish(Box<PublishJob>),
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
@@ -1095,6 +1461,9 @@ fn worker_loop(inner: &Arc<Inner>) {
             loop {
                 if let Some(sid) = queue.runnable.pop_front() {
                     break Some(WorkItem::Service(sid));
+                }
+                if let Some(job) = queue.publish.pop_front() {
+                    break Some(WorkItem::Publish(Box::new(job)));
                 }
                 // New work only while the parked-session pool has room:
                 // beyond the cap, arrivals wait in the admission queue,
@@ -1120,6 +1489,10 @@ fn worker_loop(inner: &Arc<Inner>) {
                 inner.run_session(inner, *job);
             }
             WorkItem::Service(sid) => inner.service_pipeline(inner, sid),
+            WorkItem::Publish(job) => {
+                inner.admission.record_dequeue();
+                inner.run_publish(*job);
+            }
         }
         inner.busy_workers.fetch_sub(1, Ordering::Relaxed);
     }
@@ -1410,6 +1783,10 @@ impl Inner {
             delta_patches_applied: agg.delta_patches_applied,
             delta_full_chosen: agg.delta_full_chosen,
             delta_full_fallbacks: agg.delta_full_fallbacks,
+            delta_chain_composed: agg.delta_chain_composed,
+            fanout_subscribers: agg.fanout_subscribers,
+            multicast_encode_shared: agg.multicast_encode_shared,
+            multicast_encode_fallback: agg.multicast_encode_fallback,
             ledger_entries_pruned: self.ledger.entries_pruned(),
         }
     }
@@ -1471,6 +1848,13 @@ impl Inner {
             ),
             ("xdx_delta_full_chosen_total", stats.delta_full_chosen),
             ("xdx_delta_full_fallbacks_total", stats.delta_full_fallbacks),
+            ("xdx_delta_chain_composed_total", stats.delta_chain_composed),
+            ("xdx_fanout_subscribers", stats.fanout_subscribers),
+            ("xdx_multicast_encode_shared", stats.multicast_encode_shared),
+            (
+                "xdx_multicast_encode_fallback",
+                stats.multicast_encode_fallback,
+            ),
             (
                 "xdx_ledger_entries_pruned_total",
                 stats.ledger_entries_pruned,
@@ -1694,12 +2078,28 @@ impl Inner {
             &request.source_frag.name,
             &request.target_frag.name,
         );
-        let mut delta_base: Option<(u64, u64, Snapshot)> = None;
+        let mut delta_base: Option<(u64, u64, Snapshot, bool)> = None;
         if let Some(base) = request.base_version {
-            match self.snapshots.snapshot(&feed_route, base) {
-                Some(snap) => {
+            // `reconstruct` serves a retained snapshot directly, or — when
+            // the base aged out of the retention window — composes the
+            // retained per-step patches v(i)→v(i+1) back up to it, so an
+            // old subscriber still gets a delta instead of a full re-ship.
+            match self.snapshots.reconstruct(&feed_route, base) {
+                Some((snap, composed)) => {
                     let head = self.snapshots.head(&feed_route) + 1;
-                    delta_base = Some((base, head, snap));
+                    delta_base = Some((base, head, snap, composed));
+                    if composed {
+                        metrics.delta_chain_composed += 1;
+                        self.events.push(
+                            shared.id,
+                            shared.root_span,
+                            EventKind::DeltaChainComposed,
+                            format!(
+                                "base v{base} aged out: composed from retained step patches \
+                                 for {feed_route}"
+                            ),
+                        );
+                    }
                 }
                 None => {
                     metrics.delta_full_fallbacks += 1;
@@ -1712,7 +2112,7 @@ impl Inner {
                 }
             }
         }
-        let versions = delta_base.as_ref().map(|&(b, h, _)| (b, h));
+        let versions = delta_base.as_ref().map(|&(b, h, _, _)| (b, h));
 
         // Plan (Figure 2, Steps 2–3), consulting the shared cache — or,
         // for a resumed session, replaying the checkpointed plan with
@@ -1945,7 +2345,7 @@ impl Inner {
         // precondition, malformed steps) rolls the staged patch back
         // and falls through to the full re-ship — the fallback ladder.
         let outcome = 'exec: {
-            if let Some((base_ver, head_ver, snapshot)) = delta_base.as_ref() {
+            if let Some((base_ver, head_ver, snapshot, chain_composed)) = delta_base.as_ref() {
                 let mut loopback = LoopbackTransport::new(wire_format);
                 let mut head_db = Database::new(format!("{}-head", shared.name));
                 let mut head_outcome = match execute_with_transport(
@@ -1982,12 +2382,23 @@ impl Inner {
                             match shipper.ship("delta-patch", &bytes) {
                                 Ok((wire, delivered)) => {
                                     let staged = decode_patch(&delivered).and_then(|decoded| {
+                                        // An ordinary patch must be based on the route
+                                        // head (a non-head base means the subscriber's
+                                        // precondition is stale). A chain-composed
+                                        // patch is *deliberately* based below the head;
+                                        // for it the precondition is that no concurrent
+                                        // session advanced the route since planning.
                                         let head_now = self.snapshots.head(&feed_route);
-                                        if head_now != decoded.base_version {
+                                        let expected_head = if *chain_composed {
+                                            *head_ver - 1
+                                        } else {
+                                            decoded.base_version
+                                        };
+                                        if head_now != expected_head {
                                             return Err(xdx_relational::Error::SchemaMismatch {
                                                 detail: format!(
                                                     "stale patch: route head v{head_now} ≠ \
-                                                     patch base v{}",
+                                                     expected v{expected_head} (patch base v{})",
                                                     decoded.base_version
                                                 ),
                                             });
@@ -2514,7 +2925,7 @@ impl Inner {
             // exact bytes the failed run built; only a ledger miss
             // serializes (mirrors the blocking transport's
             // `checkpointed_message` contract).
-            let message = match self.ledger.stored_message(w.shared.id, batch.seq) {
+            let message = Arc::new(match self.ledger.stored_message(w.shared.id, batch.seq) {
                 Some(stored) => stored,
                 None => {
                     let start = Instant::now();
@@ -2539,7 +2950,7 @@ impl Inner {
                     );
                     Request::soap_post("/exchange", &batch.label, w.encode_buf.clone()).to_bytes()
                 }
-            };
+            });
             w.inflight += 1;
             let sid = w.shared.id;
             let inbox = Arc::clone(&w.inbox);
@@ -2780,6 +3191,927 @@ impl Inner {
         );
     }
 
+    /// Runs one admitted 1→N publish group end to end on this worker.
+    ///
+    /// Planning happens once per distinct wire format: the source is
+    /// probed once, the k-site placement model prices target-side work
+    /// × fanout and multicast-amortized shipping, and the plan lands in
+    /// the shared cache under a fanout-tagged key. The source phase then
+    /// runs once per format group and every frame is encoded *once*
+    /// into a refcounted ring shared by all of the group's lanes —
+    /// subscribers ship the same `Arc`'d bytes over their own links,
+    /// with their own ledgers, retry budgets and breakers. Lanes settle
+    /// independently: a broken subscriber fails (staying resumable as a
+    /// two-site session replaying this group's plan, so its ledger acks
+    /// line up) without stalling the healthy ones, and a lane trailing
+    /// the group's fastest by more than `lag_cap` frames is dropped
+    /// from the ring so the shared buffer stays bounded. Paced waits
+    /// are volunteered to the shipping engine, so the worker this group
+    /// occupies still drives the fleet's wire.
+    fn run_publish(&self, job: PublishJob) {
+        let PublishJob {
+            enqueued,
+            mut request,
+            shareds,
+            group_span,
+        } = job;
+        let group_sid = shareds.first().map(|s| s.id).unwrap_or(0);
+        let queue_wait = enqueued.elapsed();
+        let optimizer = request.optimizer.unwrap_or(self.config.optimizer);
+        let lag_cap = request.lag_cap.max(1);
+        let depth = self.config.pipeline_depth;
+        let batch_rows = self.config.batch_rows;
+
+        // Lane setup: resolve each subscriber's link, apply the same
+        // pre-planning gates an ordinary session gets at dequeue
+        // (cancellation, open breaker). Gated lanes settle here; the
+        // group continues with whoever survives.
+        let mut lanes: Vec<PublishLane> = Vec::new();
+        for (i, subscriber) in request.subscribers.iter().enumerate() {
+            let shared = Arc::clone(&shareds[i]);
+            let tenant = request.lane_tenant(subscriber);
+            let (slot, created) = self.registry.resolve(&request.source_endpoint, subscriber);
+            if created {
+                self.events.push(
+                    shared.id,
+                    shared.root_span,
+                    EventKind::LinkCreated,
+                    slot.pair(),
+                );
+            }
+            let wire_format = request.wire_format.unwrap_or_else(|| slot.wire_format());
+            let metrics = SessionMetrics {
+                queue_wait,
+                route: format!("{}→{subscriber}", request.source_endpoint),
+                tenant: tenant.clone(),
+                wire_format,
+                ..SessionMetrics::default()
+            };
+            self.queue_wait_hist.record_duration_ns(queue_wait);
+            self.trace.record(
+                "queued",
+                shared.id,
+                shared.root_span,
+                enqueued,
+                queue_wait,
+                format!("publish group ({:?})", request.priority),
+            );
+            if shared.is_cancelled() {
+                self.finish(
+                    &shared,
+                    enqueued,
+                    SessionState::Cancelled,
+                    metrics,
+                    None,
+                    Some("cancelled while queued".into()),
+                );
+                continue;
+            }
+            if slot.breaker.is_open() {
+                let pair = slot.pair();
+                let retry = slot
+                    .breaker
+                    .cooldown_remaining()
+                    .unwrap_or(self.config.breaker_cooldown);
+                self.events.push(
+                    shared.id,
+                    shared.root_span,
+                    EventKind::Shed,
+                    format!("circuit open on {pair}, retry in {retry:?}"),
+                );
+                slot.counters.sessions_shed.fetch_add(1, Ordering::Relaxed);
+                self.agg.lock().unwrap().shed_breaker += 1;
+                self.tenant_entry(&tenant, |t| t.shed += 1);
+                self.remember_resumable(
+                    shared.id,
+                    Resumable {
+                        request: publish_lane_request(&request, subscriber),
+                        plan: None,
+                    },
+                );
+                self.finish(
+                    &shared,
+                    enqueued,
+                    SessionState::Failed,
+                    metrics,
+                    None,
+                    Some(format!("shed: circuit open on {pair}")),
+                );
+                continue;
+            }
+            let feed_route = route_key(
+                &request.source_endpoint,
+                subscriber,
+                &request.source_frag.name,
+                &request.target_frag.name,
+            );
+            let target = Database::new(format!("{}-target", shared.name));
+            lanes.push(PublishLane {
+                subscriber: subscriber.clone(),
+                shared,
+                slot,
+                wire_format,
+                feed_route,
+                metrics,
+                target,
+                inbox: Arc::new(Mutex::new(Vec::new())),
+                budget: Arc::new(AtomicI64::new(i64::from(self.config.shipping.retry_budget))),
+                inflight: 0,
+                cursor: 0,
+                completed: 0,
+                rollup: ShipRollup::default(),
+                failure: None,
+                cancelled: false,
+                lagged: false,
+                decoded: BTreeMap::new(),
+                next_stage_seq: 0,
+                outcome: ExecOutcome::default(),
+                delivered: HashMap::new(),
+                write_walls: HashMap::new(),
+                settled: false,
+            });
+        }
+        if lanes.is_empty() {
+            self.trace.record_with_id(
+                group_span,
+                "publish-group",
+                group_sid,
+                NO_SPAN,
+                enqueued,
+                enqueued.elapsed(),
+                format!("{}: no live lanes", request.name),
+            );
+            return;
+        }
+
+        // Plan once per distinct wire format: one statistics probe for
+        // the whole group, then a k-site placement per format, cached
+        // under the fanout-tagged key so the next group with this shape
+        // plans for free.
+        for lane in &lanes {
+            lane.shared.set_state(SessionState::Planning);
+        }
+        let plan_span = self.trace.allocate_id();
+        self.events.push(
+            group_sid,
+            plan_span,
+            EventKind::PlanningStarted,
+            &request.name,
+        );
+        let planning_started = Instant::now();
+        let mut probe_exchange = DataExchange::new(
+            &self.schema,
+            request.source_frag.clone(),
+            request.target_frag.clone(),
+        )
+        .with_optimizer(optimizer)
+        .with_profiles(request.source_profile, request.target_profile)
+        .with_wire_format(lanes[0].wire_format);
+        probe_exchange.w_comm = self.config.w_comm;
+        lanes[0].metrics.planning_probes = 1;
+        let base_model = match probe_exchange.probe(&request.source) {
+            Ok(model) => model,
+            Err(e) => {
+                let planning = planning_started.elapsed();
+                let diag = format!("statistics probe failed: {e}");
+                for mut lane in lanes {
+                    lane.metrics.planning = planning;
+                    let metrics = std::mem::take(&mut lane.metrics);
+                    self.finish(
+                        &lane.shared,
+                        enqueued,
+                        SessionState::Failed,
+                        metrics,
+                        None,
+                        Some(diag.clone()),
+                    );
+                }
+                self.trace.record_with_id(
+                    group_span,
+                    "publish-group",
+                    group_sid,
+                    NO_SPAN,
+                    enqueued,
+                    enqueued.elapsed(),
+                    format!("{}: {diag}", request.name),
+                );
+                return;
+            }
+        };
+        // Group lanes by wire format, preserving subscriber order.
+        let mut groups: Vec<(WireFormat, Vec<usize>)> = Vec::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            match groups.iter_mut().find(|(f, _)| *f == lane.wire_format) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((lane.wire_format, vec![i])),
+            }
+        }
+        let mut planned: Vec<(WireFormat, Vec<usize>, Arc<CachedPlan>, bool)> = Vec::new();
+        let mut plan_err: Option<String> = None;
+        for (fmt, members) in &groups {
+            let mut model = base_model.clone();
+            model.wire_format = *fmt;
+            let fanout = members.len();
+            let key = plan_key_with_fanout(
+                &request.source_frag,
+                &request.target_frag,
+                &model,
+                optimizer,
+                None,
+                fanout,
+            );
+            let (plan, hit) = match self.cache.lookup(key) {
+                Some(cached) => (cached, true),
+                None => match self.plan_ksite(&model, &request, optimizer, fanout) {
+                    Ok((program, cost)) => {
+                        let op_costs: Vec<f64> = (0..program.nodes.len())
+                            .map(|i| model.comp_cost(&program, i, program.nodes[i].location))
+                            .collect();
+                        let mut comm_bytes = 0.0;
+                        for (i, node) in program.nodes.iter().enumerate() {
+                            for port in &node.inputs {
+                                comm_bytes += model.comm_cost(&self.schema, &program, *port, i);
+                            }
+                        }
+                        let cached = self.cache.insert(
+                            key,
+                            CachedPlan {
+                                program,
+                                cost,
+                                op_costs,
+                                comm_bytes: comm_bytes as u64,
+                            },
+                        );
+                        (cached, false)
+                    }
+                    Err(e) => {
+                        plan_err = Some(format!("planning failed: {e}"));
+                        break;
+                    }
+                },
+            };
+            for &li in members {
+                self.events.push(
+                    lanes[li].shared.id,
+                    plan_span,
+                    if hit {
+                        EventKind::PlanCacheHit
+                    } else {
+                        EventKind::PlanCacheMiss
+                    },
+                    format!("key {:016x}/{:016x} fanout {fanout}", key.shape, key.stats),
+                );
+            }
+            planned.push((*fmt, members.clone(), plan, hit));
+        }
+        let planning = planning_started.elapsed();
+        if let Some(diag) = plan_err {
+            for mut lane in lanes {
+                lane.metrics.planning = planning;
+                let metrics = std::mem::take(&mut lane.metrics);
+                self.finish(
+                    &lane.shared,
+                    enqueued,
+                    SessionState::Failed,
+                    metrics,
+                    None,
+                    Some(diag.clone()),
+                );
+            }
+            self.trace.record_with_id(
+                group_span,
+                "publish-group",
+                group_sid,
+                NO_SPAN,
+                enqueued,
+                enqueued.elapsed(),
+                format!("{}: {diag}", request.name),
+            );
+            return;
+        }
+        self.planning_hist.record_duration_ns(planning);
+        self.trace.record_with_id(
+            plan_span,
+            "plan",
+            group_sid,
+            group_span,
+            planning_started,
+            planning,
+            format!(
+                "{} format group(s) over {} lanes",
+                planned.len(),
+                lanes.len()
+            ),
+        );
+
+        // Execute per format group: one source phase, one shared frame
+        // ring, every member lane shipping from it.
+        let mut group_encodes = ShipRollup::default();
+        let mut shared_reuse: u64 = 0;
+        let mut ring_fallbacks: u64 = 0;
+        for (fmt, members, plan, cache_hit) in &planned {
+            let fmt = *fmt;
+            let primary = members[0];
+            let exec_span = self.trace.allocate_id();
+            let exec_started = Instant::now();
+            for &li in members {
+                let lane = &mut lanes[li];
+                lane.metrics.planning = planning;
+                lane.metrics.plan_cache_hit = *cache_hit;
+                lane.shared.set_state(SessionState::Executing);
+                self.events.push(
+                    lane.shared.id,
+                    exec_span,
+                    EventKind::ExecutionStarted,
+                    format!(
+                        "estimated cost {:.1} via {} (publish fanout {})",
+                        plan.cost,
+                        lane.metrics.route,
+                        members.len()
+                    ),
+                );
+            }
+            self.admission.record_plan_cost(plan.cost);
+            let counters_before = request.source.counters;
+            let cross = cross_ports_in_consumer_order(&self.schema, &plan.program);
+            let source = execute_source_phase_streaming(
+                &self.schema,
+                &request.source_frag,
+                &request.target_frag,
+                &plan.program,
+                &mut request.source,
+                None,
+                &mut |_feeds| {},
+            );
+            let mut batches: Vec<PendingBatch> = Vec::new();
+            let mut port_of: HashMap<u64, PortRef> = HashMap::new();
+            let mut stream_tables: Option<HashMap<PortRef, (usize, String)>> = None;
+            match source {
+                Ok((phase, group_outcome)) => {
+                    let mut missing = None;
+                    for c in &cross {
+                        let Some(feed) = phase.feeds.get(&c.port) else {
+                            missing = Some(format!("missing feed for port {:?}", c.port));
+                            break;
+                        };
+                        for batch in feed_batches(feed, batch_rows) {
+                            let seq = batches.len() as u64;
+                            port_of.insert(seq, c.port);
+                            batches.push(PendingBatch {
+                                seq,
+                                label: c.label.clone(),
+                                feed: batch,
+                            });
+                        }
+                    }
+                    match missing {
+                        None => {
+                            // The group's one source phase (and one
+                            // probe) bill to the primary lane, so the
+                            // aggregate sees them exactly once.
+                            lanes[primary].outcome = group_outcome;
+                            lanes[primary].metrics.source_counters =
+                                counters_delta(request.source.counters, counters_before);
+                            stream_tables = writes_stream_directly(&plan.program)
+                                .then(|| direct_write_tables(&plan.program, &request.target_frag));
+                        }
+                        Some(e) => {
+                            for &li in members {
+                                lanes[li].failure.get_or_insert(e.clone());
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    let diag = e.to_string();
+                    for &li in members {
+                        lanes[li].failure.get_or_insert(diag.clone());
+                    }
+                }
+            }
+            // The shared frame ring: frames[i] is encoded by the first
+            // lane to need it and dropped once every active lane moved
+            // past it, so resident frames are bounded by the spread
+            // between the fastest and slowest lane (≤ lag_cap).
+            let mut frames: Vec<Option<Arc<Vec<u8>>>> = vec![None; batches.len()];
+            let mut ring_floor = 0usize;
+            let mut encode_buf: Vec<u8> = Vec::new();
+            let primary_slot = Arc::clone(&lanes[primary].slot);
+            // Decode-once cache: every lane receives byte-identical
+            // frames (the shipper checksums end to end), so the group
+            // parses each delivered frame once and hands later lanes a
+            // clone of the decoded feed — the decode bill, like the
+            // encode bill, is per *frame*, not per subscriber. An entry
+            // dies with its last expected absorption; a lane that fails
+            // before absorbing strands its count, bounded by the batch
+            // list and freed when the group retires.
+            let mut decoded_cache: HashMap<u64, (Feed, usize)> = HashMap::new();
+            // Snapshot-once cache, same argument: every successful lane
+            // commits identical content, so the first lane to settle
+            // clones its committed tables into a shared snapshot and
+            // the rest record the same `Arc` under their own routes.
+            let mut group_snapshot: Option<Snapshot> = None;
+            loop {
+                let mut progressed = false;
+                for &li in members {
+                    if lanes[li].settled {
+                        continue;
+                    }
+                    {
+                        let lane = &mut lanes[li];
+                        if lane.shared.is_cancelled() && lane.failure.is_none() {
+                            lane.cancelled = true;
+                        }
+                        // Keep the lane's window full from the ring.
+                        while lane.failure.is_none()
+                            && !lane.cancelled
+                            && lane.inflight < depth
+                            && lane.cursor < batches.len()
+                        {
+                            let idx = lane.cursor;
+                            let frame = match &frames[idx] {
+                                Some(frame) => {
+                                    shared_reuse += 1;
+                                    Arc::clone(frame)
+                                }
+                                None => {
+                                    let batch = &batches[idx];
+                                    let start = Instant::now();
+                                    let len =
+                                        encode_in_format_into(&mut encode_buf, &batch.feed, fmt);
+                                    let ns = start.elapsed().as_nanos() as u64;
+                                    group_encodes.messages_serialized += 1;
+                                    group_encodes.bytes_encoded += len as u64;
+                                    group_encodes.encode_ns += ns;
+                                    primary_slot
+                                        .counters
+                                        .bytes_encoded
+                                        .fetch_add(len as u64, Ordering::Relaxed);
+                                    primary_slot
+                                        .counters
+                                        .encode_ns
+                                        .fetch_add(ns, Ordering::Relaxed);
+                                    self.encode_hist.record(ns);
+                                    self.trace.record(
+                                        "encode",
+                                        lane.shared.id,
+                                        exec_span,
+                                        start,
+                                        Duration::from_nanos(ns),
+                                        format!("{len} bytes, shared ×{}", members.len()),
+                                    );
+                                    let frame = Arc::new(
+                                        Request::soap_post(
+                                            "/exchange",
+                                            &batch.label,
+                                            encode_buf.clone(),
+                                        )
+                                        .to_bytes(),
+                                    );
+                                    frames[idx] = Some(Arc::clone(&frame));
+                                    frame
+                                }
+                            };
+                            let inbox = Arc::clone(&lane.inbox);
+                            self.engine.submit(ShipRequest {
+                                session: Arc::clone(&lane.shared),
+                                slot: Arc::clone(&lane.slot),
+                                seq: batches[idx].seq,
+                                label: batches[idx].label.clone(),
+                                message: frame,
+                                policy: self.config.shipping,
+                                budget: Arc::clone(&lane.budget),
+                                parent_span: exec_span,
+                                on_done: Box::new(move |result| {
+                                    inbox.lock().unwrap().push(result);
+                                }),
+                            });
+                            lane.inflight += 1;
+                            lane.cursor += 1;
+                            lane.shared.set_state(SessionState::Shipping);
+                            progressed = true;
+                        }
+                        // Absorb whatever landed.
+                        let results = std::mem::take(&mut *lane.inbox.lock().unwrap());
+                        for result in results {
+                            progressed = true;
+                            lane.inflight -= 1;
+                            lane.completed += 1;
+                            let stats = result.stats;
+                            lane.rollup.wire_bytes += stats.wire_bytes;
+                            lane.rollup.chunks_shipped += stats.chunks_shipped;
+                            lane.rollup.chunks_resumed += stats.chunks_resumed;
+                            lane.rollup.chunks_deduped += stats.chunks_deduped;
+                            lane.rollup.chunks_retried += stats.chunks_retried;
+                            lane.rollup.retry_backoff += stats.retry_backoff;
+                            match result.outcome {
+                                Ok(delivered) => {
+                                    lane.outcome.times.communication += result.elapsed;
+                                    lane.outcome.messages += 1;
+                                    let decoded = match decoded_cache.entry(result.seq) {
+                                        std::collections::hash_map::Entry::Occupied(mut cached) => {
+                                            cached.get_mut().1 -= 1;
+                                            if cached.get().1 == 0 {
+                                                Ok(cached.remove().0)
+                                            } else {
+                                                Ok(cached.get().0.clone())
+                                            }
+                                        }
+                                        std::collections::hash_map::Entry::Vacant(vacant) => {
+                                            Request::parse(&delivered)
+                                                .map_err(|e| e.to_string())
+                                                .and_then(|arrived| {
+                                                    decode_any(&arrived.body)
+                                                        .map_err(|e| e.to_string())
+                                                })
+                                                .inspect(|feed| {
+                                                    if members.len() > 1 {
+                                                        vacant.insert((
+                                                            feed.clone(),
+                                                            members.len() - 1,
+                                                        ));
+                                                    }
+                                                })
+                                        }
+                                    };
+                                    match decoded {
+                                        Ok(feed) => {
+                                            lane.decoded.insert(result.seq, feed);
+                                            if let Err(e) = stage_publish_lane(
+                                                lane,
+                                                stream_tables.as_ref(),
+                                                &port_of,
+                                            ) {
+                                                lane.failure.get_or_insert(e);
+                                            }
+                                        }
+                                        Err(e) => {
+                                            lane.failure.get_or_insert(format!(
+                                                "batch {} corrupt: {e}",
+                                                result.seq
+                                            ));
+                                        }
+                                    }
+                                }
+                                Err(e) => {
+                                    lane.rollup.link_gave_up |= result.link_gave_up;
+                                    lane.failure.get_or_insert(e);
+                                }
+                            }
+                        }
+                    }
+                    // Settle a lane the moment it is done — healthy
+                    // lanes commit and report without waiting for the
+                    // group's stragglers.
+                    if !lanes[li].settled
+                        && lanes[li].inflight == 0
+                        && (lanes[li].cursor >= batches.len()
+                            || lanes[li].failure.is_some()
+                            || lanes[li].cancelled)
+                    {
+                        self.settle_publish_lane(
+                            &mut lanes[li],
+                            enqueued,
+                            plan,
+                            stream_tables.as_ref(),
+                            &request,
+                            exec_span,
+                            exec_started,
+                            &mut group_snapshot,
+                        );
+                        progressed = true;
+                    }
+                }
+                // Lag-cap enforcement: a lane trailing the group's
+                // fastest by more than `lag_cap` frames is ejected from
+                // the shared ring (it fails with a diagnostic and stays
+                // resumable as its own two-site re-ship), so one stuck
+                // subscriber can neither stall the others nor grow the
+                // ring without bound.
+                let lead = members
+                    .iter()
+                    .filter(|&&li| !lanes[li].settled)
+                    .map(|&li| lanes[li].completed)
+                    .max()
+                    .unwrap_or(0);
+                for &li in members {
+                    let lane = &mut lanes[li];
+                    if lane.settled || lane.failure.is_some() || lane.cancelled {
+                        continue;
+                    }
+                    let lag = lead.saturating_sub(lane.completed);
+                    if lag > lag_cap {
+                        lane.lagged = true;
+                        ring_fallbacks += 1;
+                        self.events.push(
+                            lane.shared.id,
+                            exec_span,
+                            EventKind::Shed,
+                            format!(
+                                "publish lane {} frames behind the group (cap {lag_cap}): \
+                                 dropped to per-subscriber re-ship",
+                                lag
+                            ),
+                        );
+                        lane.failure = Some(format!(
+                            "fell {lag} frames behind the publish group (cap {lag_cap})"
+                        ));
+                    }
+                }
+                // Advance the ring floor past frames every live
+                // shared-path lane has already submitted.
+                let min_cursor = members
+                    .iter()
+                    .filter(|&&li| {
+                        !lanes[li].settled && lanes[li].failure.is_none() && !lanes[li].cancelled
+                    })
+                    .map(|&li| lanes[li].cursor)
+                    .min();
+                if let Some(mc) = min_cursor {
+                    for frame in frames.iter_mut().take(mc).skip(ring_floor) {
+                        *frame = None;
+                    }
+                    ring_floor = ring_floor.max(mc);
+                }
+                if members.iter().all(|&li| lanes[li].settled) {
+                    break;
+                }
+                if !progressed {
+                    // Volunteer this worker to the engine while the
+                    // group's frames ride the wire.
+                    self.engine
+                        .drive_until(Instant::now() + Duration::from_micros(200));
+                }
+            }
+        }
+        // Shared-encode accounting lands once, at group scope: lane
+        // metrics carry no serialization tallies (a lane did not encode
+        // its frames — the group did).
+        {
+            let mut agg = self.agg.lock().unwrap();
+            agg.messages_serialized += group_encodes.messages_serialized;
+            agg.bytes_encoded += group_encodes.bytes_encoded;
+            agg.encode_ns += group_encodes.encode_ns;
+            agg.multicast_encode_shared += shared_reuse;
+            agg.multicast_encode_fallback += ring_fallbacks;
+        }
+        self.available.notify_all();
+        self.trace.record_with_id(
+            group_span,
+            "publish-group",
+            group_sid,
+            NO_SPAN,
+            enqueued,
+            enqueued.elapsed(),
+            format!(
+                "{}: {} lanes in {} format group(s), {} shared-frame reuses, {} ring fallbacks",
+                request.name,
+                lanes.len(),
+                planned.len(),
+                shared_reuse,
+                ring_fallbacks
+            ),
+        );
+    }
+
+    /// K-site planning for a publish format group: enumerate orderings
+    /// exactly as the two-site planner does, but place each one with
+    /// the fanout-aware cost model (target work × k, multicast-
+    /// amortized shipping). At `fanout ≤ 1` the k-site placers delegate
+    /// to the two-site ones, so a single-subscriber publish reproduces
+    /// the ordinary session's plan byte for byte.
+    fn plan_ksite(
+        &self,
+        model: &CostModel,
+        request: &PublishRequest,
+        optimizer: Optimizer,
+        fanout: usize,
+    ) -> xdx_core::Result<(Program, f64)> {
+        let gen =
+            xdx_core::gen::Generator::new(&self.schema, &request.source_frag, &request.target_frag);
+        match optimizer {
+            Optimizer::Greedy => {
+                let program = xdx_core::greedy::greedy_program(&gen, model)?;
+                ksite_greedy(&self.schema, model, &program, fanout)
+            }
+            Optimizer::Optimal { ordering_cap } => {
+                let orderings = match gen.enumerate_orderings(ordering_cap) {
+                    Ok(orderings) if !orderings.is_empty() => orderings,
+                    _ => vec![xdx_core::greedy::greedy_program(&gen, model)?],
+                };
+                let mut best: Option<(Program, f64)> = None;
+                for program in &orderings {
+                    let (placed, cost) = ksite_optimal(&self.schema, model, program, fanout)?;
+                    if best.as_ref().map(|(_, b)| cost < *b).unwrap_or(true) {
+                        best = Some((placed, cost));
+                    }
+                }
+                best.ok_or(xdx_core::Error::Unplaceable {
+                    detail: "no orderings to place".into(),
+                })
+            }
+        }
+    }
+
+    /// Settles one publish lane into its terminal state: the lane-local
+    /// analog of [`Inner::settle_exec`]. Runs the lane's target half
+    /// (commit+index for direct-write plans, the target phase
+    /// otherwise), folds its shipping rollup into its metrics, advances
+    /// its route's snapshot log, and keeps a failed lane resumable as an
+    /// independent two-site session replaying the group's k-site plan.
+    /// Serialization tallies are absent by design — the group encoded
+    /// the frames, once, and accounts for them at group scope.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_publish_lane(
+        &self,
+        lane: &mut PublishLane,
+        enqueued: Instant,
+        plan: &Arc<CachedPlan>,
+        stream_tables: Option<&HashMap<PortRef, (usize, String)>>,
+        request: &PublishRequest,
+        exec_span: SpanId,
+        exec_started: Instant,
+        group_snapshot: &mut Option<Snapshot>,
+    ) {
+        lane.settled = true;
+        let mut metrics = std::mem::take(&mut lane.metrics);
+        let mut target = std::mem::take(&mut lane.target);
+        let mut outcome = std::mem::take(&mut lane.outcome);
+        let rollup = lane.rollup;
+        metrics.retry_backoff = rollup.retry_backoff;
+        metrics.bytes_shipped = rollup.wire_bytes;
+        metrics.chunks_shipped = rollup.chunks_shipped;
+        metrics.chunks_resumed = rollup.chunks_resumed;
+        metrics.chunks_deduped = rollup.chunks_deduped;
+        metrics.chunks_retried = rollup.chunks_retried;
+        if lane.cancelled && lane.failure.is_none() {
+            target.rollback_staged();
+            metrics.target_counters = target.counters;
+            self.finish(
+                &lane.shared,
+                enqueued,
+                SessionState::Cancelled,
+                metrics,
+                None,
+                Some("cancelled mid-publish".into()),
+            );
+            return;
+        }
+        let settled: std::result::Result<ExecOutcome, String> = match lane.failure.take() {
+            Some(diagnostic) => {
+                target.rollback_staged();
+                Err(diagnostic)
+            }
+            None => {
+                let finishing = if stream_tables.is_some() {
+                    let mut nodes: Vec<usize> = lane.write_walls.keys().copied().collect();
+                    nodes.sort_unstable();
+                    for node in nodes {
+                        let (started, wall) = lane.write_walls.remove(&node).expect("keyed");
+                        outcome.op_samples.push(OpSample {
+                            node,
+                            op: "Write",
+                            location: Location::Target,
+                            started,
+                            wall,
+                        });
+                    }
+                    commit_and_index(&plan.program, &mut target, &mut outcome)
+                        .map_err(|e| e.to_string())
+                } else {
+                    execute_target_phase(
+                        &self.schema,
+                        &request.source_frag,
+                        &request.target_frag,
+                        &plan.program,
+                        &mut target,
+                        &lane.delivered,
+                        &mut outcome,
+                    )
+                    .map_err(|e| e.to_string())
+                };
+                finishing.map(|()| outcome)
+            }
+        };
+        metrics.communication = match &settled {
+            Ok(out) => out.times.communication,
+            Err(_) => Duration::ZERO,
+        };
+        metrics.target_counters = target.counters;
+        self.trace.record(
+            "lane",
+            lane.shared.id,
+            exec_span,
+            exec_started,
+            exec_started.elapsed(),
+            format!(
+                "{} → {} [{}]",
+                if settled.is_ok() { "ok" } else { "failed" },
+                lane.subscriber,
+                format_name(lane.wire_format)
+            ),
+        );
+        match settled {
+            Ok(out) => {
+                metrics.messages = out.messages;
+                metrics.rows_loaded = out.rows_loaded;
+                let fmt = format_name(lane.wire_format);
+                for s in &out.op_samples {
+                    let loc = location_name(s.location);
+                    self.trace.record(
+                        s.op,
+                        lane.shared.id,
+                        exec_span,
+                        s.started,
+                        s.wall,
+                        format!("node {} @{loc}", s.node),
+                    );
+                    self.metrics
+                        .histogram(&format!(
+                            "xdx_op_wall_ns{{op=\"{}\",location=\"{loc}\"}}",
+                            s.op
+                        ))
+                        .record_duration_ns(s.wall);
+                    if let Some(&predicted) = plan.op_costs.get(s.node) {
+                        self.calibration.record_op(
+                            s.op,
+                            loc,
+                            fmt,
+                            predicted,
+                            s.wall.as_nanos() as u64,
+                        );
+                    }
+                }
+                let tables =
+                    Arc::clone(group_snapshot.get_or_insert_with(|| Arc::new(db_tables(&target))));
+                self.snapshots.record_shared(&lane.feed_route, tables);
+                self.ledger.forget_session(lane.shared.id);
+                lane.slot
+                    .counters
+                    .sessions_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(BreakerTransition::Closed) = lane.slot.breaker.record_success() {
+                    self.events.push(
+                        lane.shared.id,
+                        lane.shared.root_span,
+                        EventKind::CircuitClosed,
+                        format!("{}: probe succeeded", lane.slot.pair()),
+                    );
+                }
+                self.finish(
+                    &lane.shared,
+                    enqueued,
+                    SessionState::Done,
+                    metrics,
+                    Some(target),
+                    None,
+                );
+            }
+            Err(diagnostic) => {
+                lane.slot
+                    .counters
+                    .sessions_failed
+                    .fetch_add(1, Ordering::Relaxed);
+                if rollup.link_gave_up {
+                    if let Some(BreakerTransition::Opened) = lane.slot.breaker.record_failure() {
+                        self.events.push(
+                            lane.shared.id,
+                            lane.shared.root_span,
+                            EventKind::CircuitOpened,
+                            format!(
+                                "{}: cooldown {:?}",
+                                lane.slot.pair(),
+                                self.config.breaker_cooldown
+                            ),
+                        );
+                        self.shed_queued_route(&lane.slot);
+                    }
+                }
+                // The lane resumes as an ordinary two-site session
+                // replaying this group's k-site plan: identical program
+                // → identical shipment seqs and bytes, so its ledger's
+                // acknowledged frames are skipped and only what never
+                // landed is re-encoded — per subscriber, the fallback
+                // ladder's last rung.
+                self.remember_resumable(
+                    lane.shared.id,
+                    Resumable {
+                        request: publish_lane_request(request, &lane.subscriber),
+                        plan: Some(Arc::clone(plan)),
+                    },
+                );
+                self.finish(
+                    &lane.shared,
+                    enqueued,
+                    SessionState::Failed,
+                    metrics,
+                    Some(target),
+                    Some(diagnostic),
+                );
+            }
+        }
+    }
+
     fn finish(
         &self,
         shared: &SessionShared,
@@ -2805,6 +4137,7 @@ impl Inner {
             agg.delta_patches_applied += metrics.delta_patches_applied;
             agg.delta_full_chosen += metrics.delta_full_chosen;
             agg.delta_full_fallbacks += metrics.delta_full_fallbacks;
+            agg.delta_chain_composed += metrics.delta_chain_composed;
             agg.source_counters.merge(&metrics.source_counters);
             agg.target_counters.merge(&metrics.target_counters);
             match state {

@@ -232,6 +232,144 @@ impl ExchangeRequest {
     }
 }
 
+/// A 1→N publish: one source shipping the *same* exchange to a set of
+/// subscriber endpoints as a single publish group.
+///
+/// The runtime plans the group once per distinct `(shape, wire format)`
+/// with the k-site placement model ([`xdx_core::ksite`]), runs the
+/// source phase once, encodes every operator batch once per format into
+/// a shared refcounted frame, and ships those same bytes over each
+/// subscriber's own link lane. Per-subscriber ledger acks, retry
+/// budgets, circuit breakers and resume stay fully independent: a slow
+/// or broken subscriber never stalls the others — beyond
+/// [`lag_cap`](PublishRequest::lag_cap) frames of lag it is dropped
+/// from the shared buffer and left resumable as an ordinary two-site
+/// session (the per-subscriber re-encode/full-ship fallback).
+#[derive(Debug)]
+pub struct PublishRequest {
+    /// Human-readable group name (subscriber sessions are named
+    /// `{name}→{subscriber}`).
+    pub name: String,
+    /// The source system's stored fragments (owned: the group's source
+    /// phase mutates scan counters).
+    pub source: Database,
+    /// Source fragmentation (Step-1 registration).
+    pub source_frag: Fragmentation,
+    /// Target fragmentation every subscriber registered.
+    pub target_frag: Fragmentation,
+    /// Source endpoint of every lane's route.
+    pub source_endpoint: String,
+    /// Subscriber target endpoints; each gets its own session, link
+    /// lane, ledger and result.
+    pub subscribers: Vec<String>,
+    /// Scheduling priority of the group.
+    pub priority: Priority,
+    /// Source system capabilities/speed.
+    pub source_profile: SystemProfile,
+    /// Subscriber capabilities/speed (uniform across the group; the
+    /// k-site cost model replicates target work per subscriber).
+    pub target_profile: SystemProfile,
+    /// Admission-fairness tenant the lanes bill to; `None` bills each
+    /// lane to its own route pair.
+    pub tenant: Option<String>,
+    /// Per-group optimizer override; `None` plans with the runtime's
+    /// configured default.
+    pub optimizer: Option<Optimizer>,
+    /// Per-group wire-format override applied to every lane; `None`
+    /// lets each lane ship in its route's negotiated format (lanes are
+    /// planned and encoded per distinct format).
+    pub wire_format: Option<WireFormat>,
+    /// Frames a subscriber may trail the group's fastest lane before it
+    /// is dropped from the shared frame buffer: the buffer ring only
+    /// retains frames between the slowest and fastest active lanes, so
+    /// this cap bounds its memory. A dropped lane fails with a
+    /// diagnostic and stays resumable as an independent two-site
+    /// session (re-encoding only the frames its ledger never saw).
+    pub lag_cap: usize,
+}
+
+/// Default [`PublishRequest::lag_cap`]: deep enough that transient
+/// retries never eject a lane, shallow enough to bound the shared ring.
+pub const DEFAULT_PUBLISH_LAG_CAP: usize = 64;
+
+impl PublishRequest {
+    /// A normal-priority publish of `source` to `subscribers`.
+    pub fn new(
+        name: impl Into<String>,
+        source: Database,
+        source_frag: Fragmentation,
+        target_frag: Fragmentation,
+        subscribers: Vec<String>,
+    ) -> PublishRequest {
+        PublishRequest {
+            name: name.into(),
+            source,
+            source_frag,
+            target_frag,
+            source_endpoint: DEFAULT_SOURCE_ENDPOINT.into(),
+            subscribers,
+            priority: Priority::Normal,
+            source_profile: SystemProfile::default(),
+            target_profile: SystemProfile::default(),
+            tenant: None,
+            optimizer: None,
+            wire_format: None,
+            lag_cap: DEFAULT_PUBLISH_LAG_CAP,
+        }
+    }
+
+    /// Sets the source endpoint every lane routes from.
+    pub fn with_source_endpoint(mut self, endpoint: impl Into<String>) -> PublishRequest {
+        self.source_endpoint = endpoint.into();
+        self
+    }
+
+    /// Overrides the optimizer for this group alone.
+    pub fn with_optimizer(mut self, optimizer: Optimizer) -> PublishRequest {
+        self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// Overrides the wire format of every lane, bypassing per-route
+    /// negotiation.
+    pub fn with_wire_format(mut self, format: WireFormat) -> PublishRequest {
+        self.wire_format = Some(format);
+        self
+    }
+
+    /// Sets the system profiles the k-site planner costs against.
+    pub fn with_profiles(mut self, source: SystemProfile, target: SystemProfile) -> PublishRequest {
+        self.source_profile = source;
+        self.target_profile = target;
+        self
+    }
+
+    /// Bills every lane to an explicit admission-fairness tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> PublishRequest {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> PublishRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the shared-buffer lag cap (clamped to ≥ 1).
+    pub fn with_lag_cap(mut self, cap: usize) -> PublishRequest {
+        self.lag_cap = cap.max(1);
+        self
+    }
+
+    /// The fairness tenant a lane to `subscriber` bills to.
+    pub fn lane_tenant(&self, subscriber: &str) -> String {
+        self.tenant
+            .clone()
+            .unwrap_or_else(|| format!("{}→{subscriber}", self.source_endpoint))
+    }
+}
+
 /// Everything measured about one session.
 #[derive(Debug, Clone, Default)]
 pub struct SessionMetrics {
@@ -295,6 +433,10 @@ pub struct SessionMetrics {
     /// non-cost reason: missing/aged-out snapshot, diff failure, patch
     /// decode failure, or a stale version precondition.
     pub delta_full_fallbacks: u64,
+    /// Delta-eligible sessions whose base snapshot had aged out of the
+    /// retention window but was reconstructed by composing the retained
+    /// per-step patches — the session still shipped a delta (0 or 1).
+    pub delta_chain_composed: u64,
     /// Source engine counters after the run.
     pub source_counters: Counters,
     /// Target engine counters after the run.

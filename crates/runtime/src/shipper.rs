@@ -252,12 +252,26 @@ impl<'a> FaultTolerantShipper<'a> {
                     "deadline exceeded while shipping {chunk_label}"
                 )));
             }
+            // Draw the fault outcome under the lock, but settle the
+            // paced wire occupancy *outside* it: holding the pair's
+            // link across the settle wait would stall every other
+            // session sharing the lane (and the engine's try_lock
+            // probes). The wait itself is volunteered to the engine —
+            // driving parked shipments, exactly like retry backoff —
+            // so the blocking path never idles a worker on the wire.
             let (duration, delivery) = self
                 .slot
                 .link
                 .lock()
                 .unwrap()
-                .transmit_faulty(chunk_label, frame);
+                .transmit_faulty_nowait(chunk_label, frame);
+            if self.pacing > 0.0 {
+                let settle = duration.mul_f64(self.pacing);
+                match &self.engine {
+                    Some(engine) => engine.drive_until(Instant::now() + settle),
+                    None => std::thread::sleep(settle),
+                }
+            }
             elapsed += duration;
             self.stats.wire_bytes += frame.len() as u64;
             self.slot

@@ -526,3 +526,92 @@ fn delta_fleet_races_link_faults_without_torn_applies() {
         "no acknowledged shipment state was pruned after commit"
     );
 }
+
+/// Chained-delta follow-up: a subscriber whose base version aged out of
+/// the snapshot retention window still gets a delta. Six full sessions
+/// advance the route to v6, evicting the v1 snapshot (retention is 4);
+/// a session then declaring `with_base_version(1)` must *compose* the
+/// retained per-step patches back to v1 instead of falling back to a
+/// full re-ship — observable as `delta_chain_composed`, exactly one
+/// applied patch, and a target byte-identical to the full exchange.
+#[test]
+fn aged_out_base_composes_retained_step_patches() {
+    let schema = schema();
+    let doc = generate(GenConfig::sized(12_000));
+    let final_doc = churn(&doc, 5, 7);
+    assert_ne!(doc, final_doc);
+    let reference = wire_state(&reference_target(&final_doc));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let runtime = Runtime::start(
+        schema.clone(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_shipping(ShippingPolicy {
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+
+    // v1 is the original document; five more full sessions (each a
+    // small churn of it) advance the head to v6, pushing v1 out of the
+    // 4-deep snapshot window while its step patches stay retained.
+    for (i, version_doc) in std::iter::once(doc.clone())
+        .chain((1..=5).map(|i| churn(&doc, 2, i)))
+        .enumerate()
+    {
+        let result = runtime
+            .submit(ExchangeRequest::new(
+                format!("full-v{}", i + 1),
+                load_source(&version_doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            ))
+            .unwrap()
+            .wait();
+        assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+    }
+    assert_eq!(default_route_version(&runtime, &mf.name, &lf.name), 6);
+
+    // The old subscriber asks for a delta from v1.
+    let chained = runtime
+        .submit(
+            ExchangeRequest::new(
+                "chained",
+                load_source(&final_doc, &schema, &mf).unwrap(),
+                mf.clone(),
+                lf.clone(),
+            )
+            .with_base_version(1),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(
+        chained.state,
+        SessionState::Done,
+        "{:?}",
+        chained.diagnostic
+    );
+    assert_eq!(
+        chained.metrics.delta_chain_composed, 1,
+        "the aged-out base must be reconstructed from step patches"
+    );
+    assert_eq!(chained.metrics.delta_patches_applied, 1);
+    assert_eq!(
+        chained.metrics.delta_full_fallbacks, 0,
+        "a retained chain must not fall back to a full re-ship"
+    );
+    assert_eq!(
+        wire_state(&chained.target.expect("done sessions carry their target")),
+        reference,
+        "chain-composed patch diverged from the full exchange"
+    );
+    assert!(runtime
+        .events()
+        .iter()
+        .any(|e| e.kind == EventKind::DeltaChainComposed));
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.delta_chain_composed, 1);
+    assert_eq!(stats.delta_patches_applied, 1);
+}
