@@ -111,6 +111,21 @@
 //!
 //! Everything lands in `BENCH_PR9.json`; the mode exits nonzero when a
 //! gate fails. Defaults: 8 subscribers, ~60 KB docs, 4 rounds.
+//!
+//! A sixth mode prices the full observability surface:
+//!
+//! ```text
+//! throughput observability [sessions] [doc_bytes] [trials]
+//! ```
+//!
+//! The identical mixed fleet — two endpoint pairs plus a 1→3 multicast
+//! publish, on an unpaced link so the CPU (and thus the instrumentation)
+//! is the scarce resource — runs with span tracing + trace-context
+//! propagation + the flight recorder all ON and again with all of them
+//! OFF, interleaved trial by trial so machine drift hits both arms
+//! equally. The medians land in `BENCH_PR10.json`; the mode exits
+//! nonzero when observability costs more than 5% of sessions/sec.
+//! Defaults: 32 sessions, ~40 KB docs, 5 trials.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -127,7 +142,8 @@ const USAGE: &str = "usage: throughput [sessions] [doc_bytes] [drop_probability]
                      or: throughput resync [rounds] [doc_bytes] [churn_pct]\n   \
                      or: throughput soak [sessions] [overload] [tenants] [doc_bytes]\n   \
                      or: throughput pipeline [sessions_per_client] [doc_bytes] [drop_probability]\n   \
-                     or: throughput fanout [subscribers] [doc_bytes] [rounds]";
+                     or: throughput fanout [subscribers] [doc_bytes] [rounds]\n   \
+                     or: throughput observability [sessions] [doc_bytes] [trials]";
 
 fn arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, name: &str, default: T) -> T {
     match args.next() {
@@ -1525,6 +1541,160 @@ fn fanout_main(mut args: impl Iterator<Item = String>) {
     }
 }
 
+/// The `observability` mode: what the whole telemetry surface — span
+/// tracing, trace-context propagation in the shipped frames, and the
+/// flight-recorder rings — costs in sessions/sec. The same mixed fleet
+/// (two endpoint pairs plus a 1→3 multicast publish) runs on an
+/// unpaced link with everything ON and everything OFF, interleaved
+/// trial by trial so machine drift lands on both arms equally; the
+/// medians and the overhead verdict go to `BENCH_PR10.json`, and the
+/// mode exits nonzero when the cost exceeds 5%.
+fn observability_main(mut args: impl Iterator<Item = String>) {
+    let sessions: usize = arg(&mut args, "sessions", 32);
+    let doc_bytes: usize = arg(&mut args, "doc_bytes", 40_000);
+    let trials: usize = arg(&mut args, "trials", 5);
+    if sessions == 0 || trials == 0 {
+        eprintln!("error: sessions and trials must be ≥ 1");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let schema = schema();
+    let doc = generate(GenConfig::sized(doc_bytes));
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+
+    // One fleet run: `sessions` mixed-direction exchanges round-robin
+    // over two disjoint pairs, concurrent with one 1→3 multicast
+    // publish (shared frames, so the context-stamped encode path and
+    // the lane ring both get exercised). Sources are shredded outside
+    // the measured window; the unpaced link keeps the CPU — and thus
+    // the instrumentation — the scarce resource.
+    let run_fleet = |observability: bool| -> f64 {
+        let legs: Vec<_> = (0..sessions)
+            .map(|i| {
+                let (from, to) = if i % 2 == 1 { (&lf, &mf) } else { (&mf, &lf) };
+                let source = load_source(&doc, &schema, from).expect("load source");
+                (source, from.clone(), to.clone(), i % 2)
+            })
+            .collect();
+        let publish_source = load_source(&doc, &schema, &mf).expect("load source");
+        let runtime = Runtime::start(
+            schema.clone(),
+            RuntimeConfig::default()
+                .with_workers(4)
+                .with_max_queue_depth(sessions + 4)
+                .with_tracing(observability)
+                .with_flight_recorder(observability)
+                .with_shipping(ShippingPolicy {
+                    chunk_bytes: 8 * 1024,
+                    ..ShippingPolicy::default()
+                }),
+        );
+        let started = Instant::now();
+        let publish = runtime
+            .publish(PublishRequest::new(
+                "obs-publish",
+                publish_source,
+                mf.clone(),
+                lf.clone(),
+                (0..3).map(|i| format!("obs-sub-{i}")).collect(),
+            ))
+            .expect("publish admitted");
+        let handles: Vec<_> = legs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (source, from, to, pair))| {
+                runtime
+                    .submit(
+                        ExchangeRequest::new(format!("obs-{i}"), source, from, to)
+                            .with_route(format!("src{pair}"), format!("dst{pair}")),
+                    )
+                    .expect("queue sized to hold every session")
+            })
+            .collect();
+        for result in publish.wait() {
+            assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+        }
+        for handle in handles {
+            let result = handle.wait();
+            assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+        }
+        let wall = started.elapsed();
+        let stats = runtime.shutdown();
+        stats.sessions_per_sec(wall)
+    };
+
+    println!(
+        "# observability overhead: {sessions} mixed sessions + 1→3 publish, \
+         ~{} KB docs, {trials} interleaved trials",
+        doc_bytes / 1024,
+    );
+    // Warm-up run (untimed): page in the binary, the allocator and the
+    // generated document before either arm is measured.
+    run_fleet(false);
+
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for trial in 0..trials {
+        on.push(run_fleet(true));
+        off.push(run_fleet(false));
+        println!(
+            "# trial {trial}: on {:.1} vs off {:.1} sessions/s",
+            on[trial], off[trial],
+        );
+    }
+    let median = |xs: &[f64]| -> f64 {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        sorted[sorted.len() / 2]
+    };
+    let on_median = median(&on);
+    let off_median = median(&off);
+    let overhead_pct = if off_median > 0.0 {
+        (off_median - on_median) / off_median * 100.0
+    } else {
+        0.0
+    };
+    let pass = overhead_pct <= 5.0;
+    println!(
+        "# median: on {on_median:.1} vs off {off_median:.1} sessions/s \
+         ({overhead_pct:+.2}% overhead, gate ≤ 5%)"
+    );
+
+    let fmt_rates = |xs: &[f64]| {
+        xs.iter()
+            .map(|r| format!("{r:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"observability_overhead\",");
+    let _ = writeln!(out, "  \"sessions\": {sessions},");
+    let _ = writeln!(out, "  \"doc_bytes\": {doc_bytes},");
+    let _ = writeln!(out, "  \"trials\": {trials},");
+    let _ = writeln!(out, "  \"workers\": 4,");
+    let _ = writeln!(out, "  \"subscribers\": 3,");
+    let _ = writeln!(out, "  \"on\": {{");
+    let _ = writeln!(out, "    \"sessions_per_sec\": {on_median:.3},");
+    let _ = writeln!(out, "    \"trials\": [{}]", fmt_rates(&on));
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"off\": {{");
+    let _ = writeln!(out, "    \"sessions_per_sec\": {off_median:.3},");
+    let _ = writeln!(out, "    \"trials\": [{}]", fmt_rates(&off));
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"overhead_pct\": {overhead_pct:.3},");
+    let _ = writeln!(out, "  \"gates\": {{\"overhead_within_5pct\": {pass}}},");
+    let _ = writeln!(out, "  \"pass\": {pass}");
+    out.push_str("}\n");
+    std::fs::write("BENCH_PR10.json", &out).expect("write BENCH_PR10.json");
+    println!("# wrote BENCH_PR10.json (pass: {pass})");
+    if !pass {
+        eprintln!("error: observability overhead gate failed — see BENCH_PR10.json");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("resync") {
@@ -1545,6 +1715,11 @@ fn main() {
     if args.peek().map(String::as_str) == Some("fanout") {
         args.next();
         fanout_main(args);
+        return;
+    }
+    if args.peek().map(String::as_str) == Some("observability") {
+        args.next();
+        observability_main(args);
         return;
     }
     let sessions: usize = arg(&mut args, "sessions", 24);

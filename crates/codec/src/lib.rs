@@ -42,10 +42,77 @@ use xdx_relational::{
 /// [`is_columnar`] checks all eight for robustness.
 pub const COLUMNAR_MAGIC: &[u8; 8] = b"XDXCOLF1";
 
+/// Frame magic of a columnar frame carrying the optional trace-context
+/// extension: 16 bytes of `(trace_id, parent_span)` immediately after
+/// the magic, inside the checksummed region. Context-free frames keep
+/// the V1 magic and stay byte-identical to pre-extension encoders, so
+/// old decoders keep working on everything new encoders emit without a
+/// context, and new decoders accept both versions.
+pub const COLUMNAR_MAGIC_V2: &[u8; 8] = b"XDXCOLF2";
+
 /// Frame magic of the delta-exchange `Patch` format; distinct in its
 /// first bytes from both `XDXCOLF1` and `#feed` text so receivers sniff
 /// all three frame kinds with one prefix check.
 pub const PATCH_MAGIC: &[u8; 8] = b"XDXPATF1";
+
+/// Patch-frame magic with the trace-context extension (see
+/// [`COLUMNAR_MAGIC_V2`]).
+pub const PATCH_MAGIC_V2: &[u8; 8] = b"XDXPATF2";
+
+/// Distributed trace context a shipped frame carries across the wire so
+/// receiver-side spans (decode, stage, settle, snapshot) stitch under
+/// the publishing session's tree.
+///
+/// Columnar and patch frames embed it behind the version-bumped magic
+/// ([`COLUMNAR_MAGIC_V2`]/[`PATCH_MAGIC_V2`]); XML-text shipments, which
+/// have no frame header, carry it in the shipment label instead
+/// ([`label_with_context`]/[`split_label_context`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Root of the distributed trace tree: the publishing session's (or
+    /// publish group's) root span id. Every lane of a multicast publish
+    /// shares one trace id.
+    pub trace_id: u64,
+    /// The sender-side span receiver-side work should parent under
+    /// (the session's exec span).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The label suffix carrying this context on XML-text shipments.
+    pub fn label_suffix(&self) -> String {
+        format!(" ctx={:016x}:{:016x}", self.trace_id, self.parent_span)
+    }
+}
+
+/// Appends the trace context to a shipment label (the XML-text
+/// propagation channel); [`split_label_context`] is the exact inverse.
+pub fn label_with_context(label: &str, ctx: TraceContext) -> String {
+    format!("{label}{}", ctx.label_suffix())
+}
+
+/// Splits a shipment label into its base and the trace context its
+/// suffix carries, if any. Labels without a well-formed ` ctx=` suffix
+/// come back verbatim with `None`.
+pub fn split_label_context(label: &str) -> (&str, Option<TraceContext>) {
+    if let Some(at) = label.rfind(" ctx=") {
+        let suffix = &label[at + 5..];
+        if suffix.len() == 33 && suffix.as_bytes()[16] == b':' {
+            let trace = u64::from_str_radix(&suffix[..16], 16);
+            let span = u64::from_str_radix(&suffix[17..], 16);
+            if let (Ok(trace_id), Ok(parent_span)) = (trace, span) {
+                return (
+                    &label[..at],
+                    Some(TraceContext {
+                        trace_id,
+                        parent_span,
+                    }),
+                );
+            }
+        }
+    }
+    (label, None)
+}
 
 /// Arity-zero feeds carry no per-row bytes, so the row count in a frame
 /// cannot be validated against the frame length; this caps it instead.
@@ -168,7 +235,8 @@ pub fn encode_feed(feed: &Feed) -> Vec<u8> {
 /// Frame layout (all counts LEB128 varints):
 ///
 /// ```text
-/// magic            8 bytes  "XDXCOLF1"
+/// magic            8 bytes  "XDXCOLF1" (or "XDXCOLF2" with context)
+/// trace context    V2 only: trace id + parent span, 8 bytes LE each
 /// schema           root element, column count, per column
 ///                  (element, role byte 0=ID 1=PARENT 2=VALUE)
 /// schema digest    8 bytes LE, FNV-64 of the schema section
@@ -188,8 +256,24 @@ pub fn encode_feed(feed: &Feed) -> Vec<u8> {
 /// checksum         8 bytes LE, FNV-64 of everything above
 /// ```
 pub fn encode_feed_into(buf: &mut Vec<u8>, feed: &Feed) {
+    encode_feed_with_context_into(buf, feed, None);
+}
+
+/// [`encode_feed_into`] with an optional trace context. `None` emits a
+/// V1 frame byte-identical to pre-extension encoders; `Some` bumps the
+/// magic to [`COLUMNAR_MAGIC_V2`] and embeds the context inside the
+/// checksummed region, so damaged context bytes fail the whole-frame
+/// checksum like any other corruption.
+pub fn encode_feed_with_context_into(buf: &mut Vec<u8>, feed: &Feed, ctx: Option<TraceContext>) {
     buf.clear();
-    buf.extend_from_slice(COLUMNAR_MAGIC);
+    match ctx {
+        None => buf.extend_from_slice(COLUMNAR_MAGIC),
+        Some(ctx) => {
+            buf.extend_from_slice(COLUMNAR_MAGIC_V2);
+            buf.extend_from_slice(&ctx.trace_id.to_le_bytes());
+            buf.extend_from_slice(&ctx.parent_span.to_le_bytes());
+        }
+    }
 
     // Schema section + digest.
     let schema_start = buf.len();
@@ -297,11 +381,11 @@ pub fn encode_feed_into(buf: &mut Vec<u8>, feed: &Feed) {
 // Decoding
 // ----------------------------------------------------------------------
 
-/// True when `bytes` starts with the columnar frame magic. XML-text
-/// feeds start with `#feed`, so one sniff routes a received body to the
-/// right decoder.
+/// True when `bytes` starts with a columnar frame magic (either
+/// version). XML-text feeds start with `#feed`, so one sniff routes a
+/// received body to the right decoder.
 pub fn is_columnar(bytes: &[u8]) -> bool {
-    bytes.len() >= COLUMNAR_MAGIC.len() && &bytes[..COLUMNAR_MAGIC.len()] == COLUMNAR_MAGIC
+    bytes.len() >= 8 && (&bytes[..8] == COLUMNAR_MAGIC || &bytes[..8] == COLUMNAR_MAGIC_V2)
 }
 
 /// Bounds-checked cursor over a frame body.
@@ -364,11 +448,18 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes a columnar frame back into a [`Feed`]. The trailing checksum
-/// is verified before any parsing: a frame damaged anywhere — payload,
-/// schema, header, the checksum itself — fails loudly with a decode
-/// error and is never accepted.
+/// Decodes a columnar frame back into a [`Feed`], dropping any embedded
+/// trace context; see [`decode_feed_ctx`].
 pub fn decode_feed(bytes: &[u8]) -> Result<Feed> {
+    decode_feed_ctx(bytes).map(|(feed, _)| feed)
+}
+
+/// Decodes a columnar frame (either magic version) back into a [`Feed`]
+/// plus the trace context a V2 frame carries. The trailing checksum is
+/// verified before any parsing: a frame damaged anywhere — payload,
+/// schema, header, context extension, the checksum itself — fails
+/// loudly with a decode error and is never accepted.
+pub fn decode_feed_ctx(bytes: &[u8]) -> Result<(Feed, Option<TraceContext>)> {
     if !is_columnar(bytes) {
         return Err(decode_err("missing columnar frame magic"));
     }
@@ -386,6 +477,14 @@ pub fn decode_feed(bytes: &[u8]) -> Result<Feed> {
     let mut r = Reader {
         buf: &body[COLUMNAR_MAGIC.len()..],
         pos: 0,
+    };
+    let ctx = if &bytes[..8] == COLUMNAR_MAGIC_V2 {
+        Some(TraceContext {
+            trace_id: r.u64_le("trace id")?,
+            parent_span: r.u64_le("parent span")?,
+        })
+    } else {
+        None
     };
 
     // Schema section, re-digested over the exact bytes read.
@@ -502,35 +601,56 @@ pub fn decode_feed(bytes: &[u8]) -> Result<Feed> {
 
     let mut feed = Feed::new(FeedSchema::new(root, columns));
     feed.rows = table;
-    Ok(feed)
+    Ok((feed, ctx))
 }
 
 /// Encodes `feed` in the given format into `buf` (clearing it first) and
 /// returns the frame length — the one call sites use so the format stays
 /// a value, not a code path.
 pub fn encode_in_format_into(buf: &mut Vec<u8>, feed: &Feed, format: WireFormat) -> usize {
+    encode_in_format_with_context_into(buf, feed, format, None)
+}
+
+/// [`encode_in_format_into`] with an optional trace context. Only the
+/// columnar format has a frame header to embed the context in; XML text
+/// carries it in the shipment label instead ([`label_with_context`]),
+/// so `ctx` is ignored here for XML bodies.
+pub fn encode_in_format_with_context_into(
+    buf: &mut Vec<u8>,
+    feed: &Feed,
+    format: WireFormat,
+    ctx: Option<TraceContext>,
+) -> usize {
     match format {
         WireFormat::Xml => {
             buf.clear();
             buf.extend_from_slice(feed.to_wire().as_bytes());
         }
-        WireFormat::Columnar => encode_feed_into(buf, feed),
+        WireFormat::Columnar => encode_feed_with_context_into(buf, feed, ctx),
     }
     buf.len()
 }
 
 /// Decodes a received body in whichever format it sniffs as — columnar
-/// frames by magic, everything else as XML text.
+/// frames by magic, everything else as XML text — dropping any embedded
+/// trace context.
 pub fn decode_any(body: &[u8]) -> Result<Feed> {
+    decode_any_ctx(body).map(|(feed, _)| feed)
+}
+
+/// [`decode_any`] returning the trace context a V2 columnar frame
+/// carries (`None` for V1 frames and XML text, whose context rides the
+/// shipment label).
+pub fn decode_any_ctx(body: &[u8]) -> Result<(Feed, Option<TraceContext>)> {
     if is_patch(body) {
         return Err(decode_err("body is a Patch frame, not a feed"));
     }
     if is_columnar(body) {
-        decode_feed(body)
+        decode_feed_ctx(body)
     } else {
         let text = std::str::from_utf8(body)
             .map_err(|_| decode_err("feed body is neither columnar nor UTF-8 text"))?;
-        Feed::from_wire(text)
+        Feed::from_wire(text).map(|feed| (feed, None))
     }
 }
 
@@ -538,9 +658,9 @@ pub fn decode_any(body: &[u8]) -> Result<Feed> {
 // Patch frames
 // ----------------------------------------------------------------------
 
-/// True when `bytes` starts with the `Patch` frame magic.
+/// True when `bytes` starts with a `Patch` frame magic (either version).
 pub fn is_patch(bytes: &[u8]) -> bool {
-    bytes.len() >= PATCH_MAGIC.len() && &bytes[..PATCH_MAGIC.len()] == PATCH_MAGIC
+    bytes.len() >= 8 && (&bytes[..8] == PATCH_MAGIC || &bytes[..8] == PATCH_MAGIC_V2)
 }
 
 /// Encodes a [`DeltaPatch`] into a fresh frame; see
@@ -560,7 +680,8 @@ pub fn encode_patch(patch: &DeltaPatch, format: WireFormat) -> Vec<u8> {
 /// Frame layout (all counts LEB128 varints):
 ///
 /// ```text
-/// magic            8 bytes  "XDXPATF1"
+/// magic            8 bytes  "XDXPATF1" (or "XDXPATF2" with context)
+/// trace context    V2 only: trace id + parent span, 8 bytes LE each
 /// base version     varint   precondition: target must hold this
 /// head version     varint   version after a successful apply
 /// table count      varint
@@ -570,8 +691,29 @@ pub fn encode_patch(patch: &DeltaPatch, format: WireFormat) -> Vec<u8> {
 /// checksum         8 bytes LE, FNV-64 of everything above
 /// ```
 pub fn encode_patch_into(buf: &mut Vec<u8>, patch: &DeltaPatch, format: WireFormat) -> usize {
+    encode_patch_with_context_into(buf, patch, format, None)
+}
+
+/// [`encode_patch_into`] with an optional trace context; `None` keeps
+/// the V1 magic and byte-identical output, `Some` bumps the magic to
+/// [`PATCH_MAGIC_V2`] and embeds the context inside the checksummed
+/// region. The embedded payload feeds stay context-free either way —
+/// one context per shipped frame is enough to stitch the trace.
+pub fn encode_patch_with_context_into(
+    buf: &mut Vec<u8>,
+    patch: &DeltaPatch,
+    format: WireFormat,
+    ctx: Option<TraceContext>,
+) -> usize {
     buf.clear();
-    buf.extend_from_slice(PATCH_MAGIC);
+    match ctx {
+        None => buf.extend_from_slice(PATCH_MAGIC),
+        Some(ctx) => {
+            buf.extend_from_slice(PATCH_MAGIC_V2);
+            buf.extend_from_slice(&ctx.trace_id.to_le_bytes());
+            buf.extend_from_slice(&ctx.parent_span.to_le_bytes());
+        }
+    }
     put_varint(buf, patch.base_version);
     put_varint(buf, patch.head_version);
     put_varint(buf, patch.tables.len() as u64);
@@ -596,11 +738,18 @@ pub fn encode_patch_into(buf: &mut Vec<u8>, patch: &DeltaPatch, format: WireForm
     buf.len()
 }
 
-/// Decodes a `Patch` frame. The trailing checksum is verified before
+/// Decodes a `Patch` frame, dropping any embedded trace context; see
+/// [`decode_patch_ctx`].
+pub fn decode_patch(bytes: &[u8]) -> Result<DeltaPatch> {
+    decode_patch_ctx(bytes).map(|(patch, _)| patch)
+}
+
+/// Decodes a `Patch` frame (either magic version) plus the trace
+/// context a V2 frame carries. The trailing checksum is verified before
 /// any parsing, so a frame damaged anywhere is rejected *before* the
 /// target considers applying it; the embedded payload feeds then pass
 /// through their own format decoders (each with its own checksum).
-pub fn decode_patch(bytes: &[u8]) -> Result<DeltaPatch> {
+pub fn decode_patch_ctx(bytes: &[u8]) -> Result<(DeltaPatch, Option<TraceContext>)> {
     if !is_patch(bytes) {
         return Err(decode_err("missing patch frame magic"));
     }
@@ -617,6 +766,14 @@ pub fn decode_patch(bytes: &[u8]) -> Result<DeltaPatch> {
     let mut r = Reader {
         buf: &body[PATCH_MAGIC.len()..],
         pos: 0,
+    };
+    let ctx = if &bytes[..8] == PATCH_MAGIC_V2 {
+        Some(TraceContext {
+            trace_id: r.u64_le("trace id")?,
+            parent_span: r.u64_le("parent span")?,
+        })
+    } else {
+        None
     };
     let base_version = r.varint("base version")?;
     let head_version = r.varint("head version")?;
@@ -662,11 +819,14 @@ pub fn decode_patch(bytes: &[u8]) -> Result<DeltaPatch> {
             r.remaining()
         )));
     }
-    Ok(DeltaPatch {
-        base_version,
-        head_version,
-        tables,
-    })
+    Ok((
+        DeltaPatch {
+            base_version,
+            head_version,
+            tables,
+        },
+        ctx,
+    ))
 }
 
 #[cfg(test)]
@@ -919,6 +1079,122 @@ mod tests {
         assert_eq!(buf, encode_patch(&p, WireFormat::Xml));
         encode_patch_into(&mut buf, &p, WireFormat::Columnar);
         assert_eq!(decode_patch(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn context_frames_roundtrip_and_context_free_frames_stay_v1() {
+        let f = sample_feed();
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_cafe_f00d,
+            parent_span: 42,
+        };
+        let mut v2 = Vec::new();
+        encode_feed_with_context_into(&mut v2, &f, Some(ctx));
+        assert!(is_columnar(&v2));
+        assert_eq!(&v2[..8], COLUMNAR_MAGIC_V2);
+        assert_eq!(decode_feed_ctx(&v2).unwrap(), (f.clone(), Some(ctx)));
+        assert_eq!(decode_feed(&v2).unwrap(), f);
+        assert_eq!(decode_any_ctx(&v2).unwrap(), (f.clone(), Some(ctx)));
+
+        // Context-free encoding is byte-identical to the V1 encoder, so
+        // pre-extension decoders keep working on everything a new
+        // encoder emits without a context.
+        let mut v1 = Vec::new();
+        encode_feed_with_context_into(&mut v1, &f, None);
+        assert_eq!(v1, encode_feed(&f));
+        assert_eq!(&v1[..8], COLUMNAR_MAGIC);
+        assert_eq!(decode_feed_ctx(&v1).unwrap(), (f.clone(), None));
+
+        // The context costs exactly its 16 bytes.
+        assert_eq!(v2.len(), v1.len() + 16);
+    }
+
+    #[test]
+    fn context_patch_frames_roundtrip() {
+        let p = sample_patch();
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 9,
+        };
+        for format in [WireFormat::Xml, WireFormat::Columnar] {
+            let mut v2 = Vec::new();
+            encode_patch_with_context_into(&mut v2, &p, format, Some(ctx));
+            assert!(is_patch(&v2));
+            assert_eq!(&v2[..8], PATCH_MAGIC_V2);
+            assert_eq!(decode_patch_ctx(&v2).unwrap(), (p.clone(), Some(ctx)));
+            assert_eq!(decode_patch(&v2).unwrap(), p);
+            // A V2 patch frame still never decodes as a feed.
+            assert!(decode_any(&v2).is_err());
+        }
+        let mut v1 = Vec::new();
+        encode_patch_with_context_into(&mut v1, &p, WireFormat::Columnar, None);
+        assert_eq!(v1, encode_patch(&p, WireFormat::Columnar));
+    }
+
+    #[test]
+    fn context_byte_flips_are_detected() {
+        let mut frame = Vec::new();
+        encode_feed_with_context_into(
+            &mut frame,
+            &sample_feed(),
+            Some(TraceContext {
+                trace_id: u64::MAX,
+                parent_span: 1,
+            }),
+        );
+        for i in 0..frame.len() {
+            let mut damaged = frame.clone();
+            damaged[i] ^= 0x40;
+            assert!(
+                decode_feed_ctx(&damaged).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        // A V2 frame truncated into its context extension is rejected.
+        for len in 0..24 {
+            assert!(
+                decode_feed_ctx(&frame[..len]).is_err(),
+                "truncated at {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_context_roundtrips_and_rejects_malformed_suffixes() {
+        let ctx = TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef,
+            parent_span: u64::MAX,
+        };
+        let label = label_with_context("feed ITEM[0/4]", ctx);
+        assert_eq!(split_label_context(&label), ("feed ITEM[0/4]", Some(ctx)));
+        // Labels without (or with malformed) suffixes come back verbatim.
+        for plain in [
+            "feed ITEM",
+            "feed ctx=zz",
+            " ctx=0123",
+            "x ctx=0123456789abcdef:tooshort",
+            "x ctx=0123456789abcdef;0123456789abcdef",
+        ] {
+            assert_eq!(split_label_context(plain), (plain, None));
+        }
+        // An all-hex label containing " ctx=" mid-string: only a
+        // well-formed *suffix* parses.
+        let nested = label_with_context(
+            &label,
+            TraceContext {
+                trace_id: 1,
+                parent_span: 2,
+            },
+        );
+        let (base, parsed) = split_label_context(&nested);
+        assert_eq!(base, label.as_str());
+        assert_eq!(
+            parsed,
+            Some(TraceContext {
+                trace_id: 1,
+                parent_span: 2
+            })
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use proptest::prelude::*;
 use xdx_codec::{
-    decode_any, decode_feed, encode_feed, encode_in_format_into, is_columnar, WireFormat,
+    decode_any, decode_any_ctx, decode_feed, encode_feed, encode_in_format_into,
+    encode_in_format_with_context_into, is_columnar, label_with_context, split_label_context,
+    TraceContext, WireFormat,
 };
 use xdx_net::{Delivery, FaultProfile, Link, NetworkProfile};
 use xdx_relational::{ColRole, Dewey, Feed, FeedColumn, FeedSchema, Value};
@@ -191,5 +193,89 @@ proptest! {
     ) {
         let _ = decode_feed(&bytes);
         let _ = decode_any(&bytes);
+    }
+
+    #[test]
+    fn context_free_frames_stay_v1_and_decode_both_ways(
+        ncols in 0usize..=MAX_ARITY,
+        roles in roles_strategy(),
+        rows in rows_strategy(),
+    ) {
+        // The V2 extension is strictly opt-in: a context-free encode
+        // through the context-aware entry point is byte-identical to
+        // the V1 encoder, the V1 decoder reads it, and the V2 decoder
+        // reports no context.
+        let feed = build_feed(ncols, &roles, rows);
+        let mut v2_path = Vec::new();
+        encode_in_format_with_context_into(&mut v2_path, &feed, WireFormat::Columnar, None);
+        prop_assert_eq!(&v2_path, &encode_feed(&feed));
+        prop_assert_eq!(decode_any(&v2_path).expect("v1 decoder"), feed.clone());
+        let (back, ctx) = decode_any_ctx(&v2_path).expect("v2 decoder");
+        prop_assert_eq!(back, feed);
+        prop_assert!(ctx.is_none());
+    }
+
+    #[test]
+    fn context_frames_roundtrip_and_old_decoder_drops_context(
+        ncols in 0usize..=MAX_ARITY,
+        roles in roles_strategy(),
+        rows in rows_strategy(),
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+    ) {
+        // A frame carrying context decodes to the identical feed under
+        // both decoder generations: the V2 decoder recovers the exact
+        // context, the V1-era sniffing decoder ignores the extension.
+        let feed = build_feed(ncols, &roles, rows);
+        let ctx = TraceContext { trace_id, parent_span };
+        let mut frame = Vec::new();
+        encode_in_format_with_context_into(&mut frame, &feed, WireFormat::Columnar, Some(ctx));
+        prop_assert!(is_columnar(&frame));
+        let (back, rctx) = decode_any_ctx(&frame).expect("v2 decoder");
+        prop_assert_eq!(back, feed.clone());
+        prop_assert_eq!(rctx, Some(ctx));
+        prop_assert_eq!(decode_any(&frame).expect("v1 decoder drops context"), feed);
+    }
+
+    #[test]
+    fn corrupt_context_extension_bytes_fail_the_checksum(
+        ncols in 0usize..=MAX_ARITY,
+        roles in roles_strategy(),
+        rows in rows_strategy(),
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+        bit in 0usize..128,
+    ) {
+        // The 16 context bytes sit at offsets 8..24, inside the
+        // checksummed region: any bit flipped there must fail the
+        // whole-frame digest, never decode with a mangled trace id.
+        let feed = build_feed(ncols, &roles, rows);
+        let ctx = TraceContext { trace_id, parent_span };
+        let mut frame = Vec::new();
+        encode_in_format_with_context_into(&mut frame, &feed, WireFormat::Columnar, Some(ctx));
+        let mut damaged = frame.clone();
+        let pos = 8 + bit / 8;
+        damaged[pos] ^= 1 << (bit % 8);
+        prop_assert!(decode_any_ctx(&damaged).is_err());
+        prop_assert!(decode_any(&damaged).is_err());
+    }
+
+    #[test]
+    fn label_context_suffix_is_exactly_invertible(
+        label in "[a-zA-Z0-9 .→-]{0,40}",
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+    ) {
+        // The XML-text propagation channel: appending a context suffix
+        // to any shipment label and splitting it back recovers both
+        // halves exactly, and a bare label splits to no context.
+        let ctx = TraceContext { trace_id, parent_span };
+        let tagged = label_with_context(&label, ctx);
+        let (base, back) = split_label_context(&tagged);
+        prop_assert_eq!(base, label.as_str());
+        prop_assert_eq!(back, Some(ctx));
+        let (bare, none) = split_label_context(&label);
+        prop_assert_eq!(bare, label.as_str());
+        prop_assert!(none.is_none());
     }
 }

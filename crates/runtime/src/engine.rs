@@ -29,6 +29,7 @@
 //! the link lock — but parked, not blocked.
 
 use crate::events::{EventKind, EventLog};
+use crate::flight::{FlightRecorder, FlightSubsystem};
 use crate::ledger::{Filed, ReassemblyLedger};
 use crate::registry::LinkSlot;
 use crate::session::SessionShared;
@@ -218,6 +219,7 @@ pub(crate) struct ShipEngine {
     events: Arc<EventLog>,
     ledger: Arc<ReassemblyLedger>,
     trace: Arc<TraceSink>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl ShipEngine {
@@ -225,6 +227,7 @@ impl ShipEngine {
         events: Arc<EventLog>,
         ledger: Arc<ReassemblyLedger>,
         trace: Arc<TraceSink>,
+        flight: Arc<FlightRecorder>,
     ) -> Arc<ShipEngine> {
         Arc::new(ShipEngine {
             state: Mutex::new(EngineState {
@@ -240,7 +243,30 @@ impl ShipEngine {
             events,
             ledger,
             trace,
+            flight,
         })
+    }
+
+    /// Stall watchdog probe: a parked task whose wheel deadline is
+    /// overdue by more than `threshold` means no driver is expiring the
+    /// wheel — the engine is wedged, not merely busy. Returns how
+    /// overdue the nearest deadline is when stalled.
+    pub(crate) fn stall_check(&self, threshold: Duration) -> Option<Duration> {
+        let st = self.state.lock().unwrap();
+        if st.tasks.is_empty() {
+            return None;
+        }
+        let deadline = st.wheel.next_deadline()?;
+        let overdue = Instant::now().checked_duration_since(deadline)?;
+        drop(st);
+        if overdue > threshold {
+            self.flight.record(FlightSubsystem::Timer, || {
+                format!("stall: next deadline overdue by {overdue:?} with parked tasks")
+            });
+            Some(overdue)
+        } else {
+            None
+        }
     }
 
     /// Enqueues a batch shipment; returns immediately. The request's
@@ -358,6 +384,12 @@ impl ShipEngine {
         if task.opened {
             task.slot.close_shipment();
         }
+        self.flight.record(FlightSubsystem::Lane, || {
+            format!(
+                "{}: batch {} failed at chunk {}/{}: {diagnostic}",
+                task.pair, task.seq, task.index, task.total
+            )
+        });
         self.trace.record_with_id(
             task.span,
             "ship",
@@ -408,6 +440,12 @@ impl ShipEngine {
                 }
                 task.slot.open_shipment();
                 task.opened = true;
+                self.flight.record(FlightSubsystem::Lane, || {
+                    format!(
+                        "{}: batch {} open, {} chunks, session {}",
+                        task.pair, task.seq, task.total, task.session.id
+                    )
+                });
                 task.phase = Phase::NextChunk;
                 StepOutcome::Continue
             }
@@ -589,6 +627,12 @@ impl ShipEngine {
                     .counters
                     .chunks_retried
                     .fetch_add(1, Ordering::Relaxed);
+                self.flight.record(FlightSubsystem::Lane, || {
+                    format!(
+                        "{}: {} {cause}, retry {}",
+                        task.pair, task.chunk_label, task.failed_attempts
+                    )
+                });
                 let backoff = task.policy.backoff(task.failed_attempts);
                 task.stats.retry_backoff += backoff;
                 task.elapsed += backoff;
@@ -605,6 +649,12 @@ impl ShipEngine {
                 if task.pacing > 0.0 {
                     // Backoff obeys the same paced clock as the link —
                     // as a parked deadline, never a sleeping worker.
+                    self.flight.record(FlightSubsystem::Timer, || {
+                        format!(
+                            "{}: backoff {:?} before {}",
+                            task.pair, backoff, task.chunk_label
+                        )
+                    });
                     StepOutcome::Park(Instant::now() + backoff.mul_f64(task.pacing))
                 } else {
                     StepOutcome::Continue
@@ -614,6 +664,12 @@ impl ShipEngine {
                 if task.opened {
                     task.slot.close_shipment();
                 }
+                self.flight.record(FlightSubsystem::Lane, || {
+                    format!(
+                        "{}: batch {} ok, {} chunks, {} retried",
+                        task.pair, task.seq, task.total, task.stats.chunks_retried
+                    )
+                });
                 self.trace.record_with_id(
                     task.span,
                     "ship",
@@ -665,6 +721,7 @@ mod tests {
             Arc::new(EventLog::new()),
             Arc::new(ReassemblyLedger::new()),
             Arc::new(TraceSink::new(false, 16)),
+            Arc::new(FlightRecorder::new(true, 64)),
         )
     }
 
@@ -806,5 +863,38 @@ mod tests {
         assert_eq!(b.outcome.unwrap(), message);
         // Both batches observed simulated wire time.
         assert!(a.elapsed > Duration::ZERO && b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn stall_watchdog_detects_undriven_parked_task() {
+        // A paced transmit parks the task on the wheel; with nobody
+        // driving past that point, the deadline goes overdue and the
+        // watchdog must flag the engine as stalled.
+        let eng = engine();
+        let link = Link::new(NetworkProfile {
+            bandwidth_bytes_per_sec: 100_000.0,
+            latency: Duration::from_millis(2),
+        })
+        .with_pacing(1.0);
+        let slot = slot_for(link);
+        let budget = Arc::new(AtomicI64::new(256));
+        let policy = ShippingPolicy {
+            chunk_bytes: 4096,
+            ..ShippingPolicy::default()
+        };
+        let _rx = submit(&eng, &slot, 0, vec![3u8; 32 * 1024], policy, &budget);
+        // Step just far enough for the first chunk to park on its wire
+        // deadline, then stop driving entirely.
+        eng.drive_until(Instant::now() + Duration::from_millis(5));
+        assert!(eng.stall_check(Duration::from_secs(3600)).is_none());
+        std::thread::sleep(Duration::from_millis(120));
+        let overdue = eng
+            .stall_check(Duration::from_millis(50))
+            .expect("undriven engine reports a stall");
+        assert!(overdue >= Duration::from_millis(50));
+        // Resume driving: the shipment completes and the stall clears.
+        eng.drive_until(Instant::now() + Duration::from_secs(5));
+        assert!(eng.stall_check(Duration::ZERO).is_none());
+        assert_eq!(eng.inflight(), 0);
     }
 }

@@ -64,6 +64,8 @@ pub mod cache;
 pub(crate) mod engine;
 pub mod events;
 pub mod fair;
+pub mod flight;
+pub(crate) mod introspect;
 pub mod ledger;
 pub mod registry;
 pub mod runtime;
@@ -76,6 +78,10 @@ pub use breaker::{BreakerTransition, CircuitBreaker};
 pub use cache::{plan_key, plan_key_with_fanout, CachedPlan, PlanCache, PlanKey};
 pub use events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 pub use fair::{FairQueue, Popped, DEFAULT_AGING_INTERVAL};
+pub use flight::{
+    FlightEntry, FlightRecorder, FlightSubsystem, DEFAULT_FLIGHT_CAPACITY, SHED_SPIKE_THRESHOLD,
+    SHED_SPIKE_WINDOW,
+};
 pub use ledger::{Filed, ReassemblyLedger, DEFAULT_LEDGER_CAPACITY};
 pub use registry::{LinkRegistry, LinkSlot, LinkStats};
 pub use runtime::{
@@ -91,6 +97,7 @@ pub use shipper::ShippingPolicy;
 pub use wheel::TimerWheel;
 pub use xdx_core::WireFormat;
 pub use xdx_trace::{
-    CalibrationConfig, CalibrationReport, CommCalibration, DeltaCalibration, HistogramSnapshot,
-    OpCalibration, SpanId, SpanRecord,
+    critical_path, CalibrationConfig, CalibrationReport, CommCalibration, CriticalPathReport,
+    DeltaCalibration, HistogramSnapshot, OpCalibration, RoutePath, SessionPath, SpanId, SpanRecord,
+    STAGES,
 };

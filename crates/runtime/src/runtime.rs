@@ -27,6 +27,8 @@ use crate::cache::{plan_key, plan_key_with_fanout, CachedPlan, PlanCache};
 use crate::engine::{BatchResult, ShipEngine, ShipRequest};
 use crate::events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 use crate::fair::{FairQueue, DEFAULT_AGING_INTERVAL};
+use crate::flight::{FlightRecorder, FlightSubsystem, DEFAULT_FLIGHT_CAPACITY};
+use crate::introspect::{IntrospectReply, IntrospectServer};
 use crate::ledger::{ReassemblyLedger, DEFAULT_LEDGER_CAPACITY};
 use crate::registry::{LinkRegistry, LinkSlot, LinkStats};
 use crate::session::{
@@ -40,7 +42,10 @@ use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xdx_codec::{decode_any, decode_patch, encode_in_format_into, encode_patch};
+use xdx_codec::{
+    decode_any_ctx, decode_patch_ctx, encode_in_format_with_context_into,
+    encode_patch_with_context_into, label_with_context, split_label_context, TraceContext,
+};
 use xdx_core::exec::{
     commit_and_index, cross_ports_in_consumer_order, direct_write_tables,
     execute_source_phase_streaming, execute_target_phase, execute_with_transport, feed_batches,
@@ -78,6 +83,35 @@ fn format_name(format: WireFormat) -> &'static str {
         WireFormat::Xml => "xml",
         WireFormat::Columnar => "columnar",
     }
+}
+
+/// The distributed trace id a session's spans stitch under: the
+/// publish group's span for multicast lanes (so one publish is one
+/// tree), the session's own root span otherwise.
+fn session_trace_id(shared: &SessionShared) -> u64 {
+    if shared.root_parent != NO_SPAN {
+        shared.root_parent
+    } else {
+        shared.root_span
+    }
+}
+
+/// The trace context a shipment out of `shared` carries on the wire:
+/// columnar frames fold it into their header extension, XML-text
+/// shipments append it to the chunk label. `None` when tracing is off
+/// (frames stay byte-identical to the context-free form).
+fn wire_context(shared: &SessionShared, parent_span: SpanId) -> Option<TraceContext> {
+    (shared.root_span != NO_SPAN).then(|| TraceContext {
+        trace_id: session_trace_id(shared),
+        parent_span,
+    })
+}
+
+/// Trace context off a received SOAP request's `SOAPAction` header (the
+/// label channel XML-text shipments use; the header value is quoted on
+/// the wire).
+fn soap_action_context(request: &Request) -> Option<TraceContext> {
+    split_label_context(request.header("SOAPAction")?.trim_matches('"')).1
 }
 
 /// Stable identity of a route's versioned feed log: the endpoint pair
@@ -178,6 +212,26 @@ pub struct RuntimeConfig {
     /// still finds queued sessions to drain) instead of unbounded
     /// in-flight state.
     pub pipeline_sessions_per_worker: usize,
+    /// Whether the always-on flight recorder keeps its per-subsystem
+    /// transition rings (engine lanes, timer deadlines, breaker flips,
+    /// shed decisions). On by default; the throughput bench flips it
+    /// off together with tracing to measure observability overhead.
+    pub flight_recorder: bool,
+    /// Directory the flight recorder dumps its rings into (as JSONL) on
+    /// anomaly — session failure, breaker open, shed-rate spike, or the
+    /// stall watchdog. `None` records in memory only
+    /// ([`Runtime::flight_jsonl`] still serves the rings).
+    pub flight_dump_dir: Option<&'static str>,
+    /// How far the shipping engine's nearest wheel deadline may run
+    /// overdue (while tasks are parked) before the stall watchdog
+    /// declares the engine wedged.
+    pub stall_threshold: Duration,
+    /// Address the live introspection endpoint listens on (`None` —
+    /// the default — serves nothing). Port 0 binds an ephemeral port;
+    /// read the bound address back with [`Runtime::introspect_addr`].
+    /// The endpoint serves `/metrics`, `/healthz`, `/stats.json`,
+    /// `/traces`, `/calibration` and `/flight` over plain HTTP/1.1.
+    pub introspect_addr: Option<std::net::SocketAddr>,
 }
 
 impl Default for RuntimeConfig {
@@ -206,6 +260,10 @@ impl Default for RuntimeConfig {
             batch_rows: 1024,
             pipeline_depth: 4,
             pipeline_sessions_per_worker: 4,
+            flight_recorder: true,
+            flight_dump_dir: None,
+            stall_threshold: Duration::from_millis(250),
+            introspect_addr: None,
         }
     }
 }
@@ -336,6 +394,30 @@ impl RuntimeConfig {
     /// mid-exchange (clamped to ≥ 1).
     pub fn with_pipeline_sessions_per_worker(mut self, sessions: usize) -> RuntimeConfig {
         self.pipeline_sessions_per_worker = sessions.max(1);
+        self
+    }
+
+    /// Turns the flight recorder on or off.
+    pub fn with_flight_recorder(mut self, enabled: bool) -> RuntimeConfig {
+        self.flight_recorder = enabled;
+        self
+    }
+
+    /// Sets the directory flight-recorder anomaly dumps land in.
+    pub fn with_flight_dump_dir(mut self, dir: &'static str) -> RuntimeConfig {
+        self.flight_dump_dir = Some(dir);
+        self
+    }
+
+    /// Sets the stall watchdog's overdue-deadline threshold.
+    pub fn with_stall_threshold(mut self, threshold: Duration) -> RuntimeConfig {
+        self.stall_threshold = threshold;
+        self
+    }
+
+    /// Enables the live introspection endpoint on `addr`.
+    pub fn with_introspect_addr(mut self, addr: std::net::SocketAddr) -> RuntimeConfig {
+        self.introspect_addr = Some(addr);
         self
     }
 }
@@ -594,6 +676,107 @@ impl RuntimeStats {
             return 0.0;
         }
         self.completed as f64 / wall.as_secs_f64()
+    }
+
+    /// The full counter set as one JSON object — what the introspection
+    /// endpoint serves at `/stats.json`. Latencies collapse to their
+    /// histogram percentiles; links and tenants nest as arrays.
+    pub fn to_json(&self) -> String {
+        use crate::events::json_escape;
+        let mut out = String::with_capacity(2048);
+        out.push('{');
+        for (name, value) in [
+            ("admitted", self.admitted),
+            ("rejected", self.rejected),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("cancelled", self.cancelled),
+            ("resumed", self.resumed),
+            ("sessions_shed_expired", self.sessions_shed_expired),
+            ("sessions_shed_deadline", self.sessions_shed_deadline),
+            ("sessions_shed_breaker", self.sessions_shed_breaker),
+            ("resumables_evicted", self.resumables_evicted),
+            ("ledger_buffers_shed", self.ledger_buffers_shed),
+            ("plan_cache_hits", self.plan_cache_hits),
+            ("plan_cache_misses", self.plan_cache_misses),
+            ("plan_cache_expired", self.plan_cache_expired),
+            ("plan_cache_stats_evicted", self.plan_cache_stats_evicted),
+            ("plan_cache_drift_evicted", self.plan_cache_drift_evicted),
+            ("planning_probes", self.planning_probes),
+            ("messages_serialized", self.messages_serialized),
+            ("bytes_shipped", self.bytes_shipped),
+            ("bytes_encoded", self.bytes_encoded),
+            ("encode_ns", self.encode_ns),
+            ("chunks_shipped", self.chunks_shipped),
+            ("chunks_resumed", self.chunks_resumed),
+            ("chunks_deduped", self.chunks_deduped),
+            ("chunks_retried", self.chunks_retried),
+            ("peak_concurrent_shipments", self.peak_concurrent_shipments),
+            ("dropped_events", self.dropped_events),
+            ("dropped_spans", self.dropped_spans),
+            ("delta_patch_bytes", self.delta_patch_bytes),
+            ("delta_patches_applied", self.delta_patches_applied),
+            ("delta_full_chosen", self.delta_full_chosen),
+            ("delta_full_fallbacks", self.delta_full_fallbacks),
+            ("delta_chain_composed", self.delta_chain_composed),
+            ("fanout_subscribers", self.fanout_subscribers),
+            ("multicast_encode_shared", self.multicast_encode_shared),
+            ("multicast_encode_fallback", self.multicast_encode_fallback),
+            ("ledger_entries_pruned", self.ledger_entries_pruned),
+            ("queue_depth", self.queue_depth as u64),
+        ] {
+            out.push_str(&format!("\"{name}\":{value},"));
+        }
+        for (name, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+            let ns = self
+                .latency_percentile(p)
+                .map_or(0, |d| d.as_nanos() as u64);
+            out.push_str(&format!("\"latency_{name}_ns\":{ns},"));
+        }
+        out.push_str("\"tenants\":[");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"tenant\":\"{}\",\"weight\":{},\"admitted\":{},\"completed\":{},\
+                 \"shed\":{}}}",
+                json_escape(&t.tenant),
+                t.weight,
+                t.admitted,
+                t.completed,
+                t.shed
+            ));
+        }
+        out.push_str("],\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"link\":\"{}\",\"wire_format\":\"{}\",\"busy_ns\":{},\
+                 \"wire_bytes\":{},\"bytes_encoded\":{},\"encode_ns\":{},\
+                 \"chunks_shipped\":{},\"chunks_retried\":{},\
+                 \"sessions_completed\":{},\"sessions_failed\":{},\
+                 \"sessions_shed\":{},\"breaker_open\":{},\
+                 \"peak_concurrent_shipments\":{}}}",
+                json_escape(&l.pair()),
+                format_name(l.wire_format),
+                l.busy.as_nanos(),
+                l.wire_bytes,
+                l.bytes_encoded,
+                l.encode_ns,
+                l.chunks_shipped,
+                l.chunks_retried,
+                l.sessions_completed,
+                l.sessions_failed,
+                l.sessions_shed,
+                l.breaker_open,
+                l.peak_concurrent_shipments
+            ));
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -978,6 +1161,8 @@ struct Inner {
     planning_hist: Arc<Histogram>,
     latency_hist: Arc<Histogram>,
     encode_hist: Arc<Histogram>,
+    /// Bounded last-transitions rings, dumped on anomaly.
+    flight: Arc<FlightRecorder>,
 }
 
 /// A running multi-session exchange runtime. Dropping (or
@@ -989,6 +1174,8 @@ pub struct Runtime {
     /// The engine's dedicated driver thread, joined after the workers so
     /// every parked pipeline settles before the engine drains.
     engine_driver: Option<JoinHandle<()>>,
+    /// The live introspection listener, when configured.
+    introspect: Option<IntrospectServer>,
 }
 
 impl Runtime {
@@ -1006,7 +1193,19 @@ impl Runtime {
         let events = Arc::new(EventLog::with_capacity(config.event_capacity));
         let ledger = Arc::new(ReassemblyLedger::with_capacity(config.ledger_capacity));
         let trace = Arc::new(TraceSink::new(config.tracing, config.trace_capacity));
-        let engine = ShipEngine::new(Arc::clone(&events), Arc::clone(&ledger), Arc::clone(&trace));
+        let flight = Arc::new(FlightRecorder::new(
+            config.flight_recorder,
+            DEFAULT_FLIGHT_CAPACITY,
+        ));
+        if let Some(dir) = config.flight_dump_dir {
+            flight.set_dump_dir(Some(std::path::PathBuf::from(dir)));
+        }
+        let engine = ShipEngine::new(
+            Arc::clone(&events),
+            Arc::clone(&ledger),
+            Arc::clone(&trace),
+            Arc::clone(&flight),
+        );
         let inner = Arc::new(Inner {
             config,
             schema,
@@ -1051,6 +1250,7 @@ impl Runtime {
             planning_hist,
             latency_hist,
             encode_hist,
+            flight,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -1065,11 +1265,24 @@ impl Runtime {
             .name("xdx-ship-engine".into())
             .spawn(move || engine.drive_forever())
             .expect("spawn engine driver");
+        let introspect = config.introspect_addr.map(|addr| {
+            let inner = Arc::clone(&inner);
+            IntrospectServer::start(addr, move |path| inner.introspect_reply(path))
+                .expect("bind introspection endpoint")
+        });
         Runtime {
             inner,
             workers,
             engine_driver: Some(engine_driver),
+            introspect,
         }
+    }
+
+    /// The bound address of the live introspection endpoint, when
+    /// [`RuntimeConfig::with_introspect_addr`] enabled one. With port 0
+    /// this is where the ephemeral port shows up.
+    pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
+        self.introspect.as_ref().map(|s| s.addr())
     }
 
     /// Admits a request. Returns the session handle, or an error when
@@ -1193,11 +1406,16 @@ impl Runtime {
         for subscriber in &request.subscribers {
             let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
             let root_span = inner.trace.allocate_id();
-            let shared = SessionShared::new(
+            // Lane roots stitch under the publish group's span: the
+            // group span id doubles as the multicast trace id, so one
+            // publish produces one tree no matter how many
+            // subscribers fan out.
+            let shared = SessionShared::new_with_parent(
                 id,
                 format!("{}→{subscriber}", request.name),
                 None,
                 root_span,
+                group_span,
             );
             inner.events.push(
                 id,
@@ -1395,6 +1613,28 @@ impl Runtime {
         self.inner.calibration.report()
     }
 
+    /// The flight recorder's retained transition rings as JSONL, merged
+    /// in time order — what the engine, timers, breakers and shedder
+    /// were doing most recently.
+    pub fn flight_jsonl(&self) -> String {
+        self.inner.flight.to_jsonl()
+    }
+
+    /// Anomalies the flight recorder registered (session failures,
+    /// breaker opens, shed-rate spikes, stall-watchdog fires) and the
+    /// dump files it wrote.
+    pub fn flight_anomalies(&self) -> (u64, u64) {
+        (self.inner.flight.anomalies(), self.inner.flight.dumps())
+    }
+
+    /// Critical-path extraction over the finished span tree: for each
+    /// session, where its wall time went across the named stages
+    /// (queue → plan → compute → encode → wire → decode → stage →
+    /// settle), plus per-route dominant-stage rollups.
+    pub fn critical_path(&self) -> xdx_trace::CriticalPathReport {
+        xdx_trace::critical_path(&self.inner.trace.snapshot())
+    }
+
     /// Head version of the snapshot log for an endpoint + fragmentation
     /// pair — the feed version a target that just completed a session
     /// on this route holds, i.e. the `with_base_version` a follow-up
@@ -1434,6 +1674,9 @@ impl Runtime {
         self.inner.engine.shutdown();
         if let Some(driver) = self.engine_driver.take() {
             let _ = driver.join();
+        }
+        if let Some(mut server) = self.introspect.take() {
+            server.shutdown();
         }
     }
 }
@@ -1552,6 +1795,12 @@ impl Inner {
                     agg.shed_deadline += 1;
                 }
                 self.tenant_entry(&tenant, |t| t.shed += 1);
+                self.flight.shed(|| {
+                    format!(
+                        "{}: deadline {deadline:?} unattainable (estimated {estimated:?})",
+                        request.name
+                    )
+                });
                 self.events.push(
                     id,
                     NO_SPAN,
@@ -1704,6 +1953,12 @@ impl Inner {
             slot.counters.sessions_shed.fetch_add(1, Ordering::Relaxed);
             self.agg.lock().unwrap().shed_breaker += 1;
             self.tenant_entry(&tenant, |t| t.shed += 1);
+            self.flight.shed(|| {
+                format!(
+                    "{}: drained from queue, circuit open on {pair}",
+                    shared.name
+                )
+            });
             self.events.push(
                 shared.id,
                 shared.root_span,
@@ -1927,6 +2182,8 @@ impl Inner {
                 .set(link.sessions_failed);
             m.counter(&label("xdx_link_sessions_shed_total"))
                 .set(link.sessions_shed);
+            m.counter(&label("xdx_link_busy_ns_total"))
+                .set(link.busy.as_nanos() as u64);
             m.gauge(&label("xdx_link_utilization"))
                 .set(if uptime > 0.0 {
                     link.busy.as_secs_f64() / uptime
@@ -1935,7 +2192,109 @@ impl Inner {
                 });
             m.gauge(&label("xdx_link_breaker_open"))
                 .set(if link.breaker_open { 1.0 } else { 0.0 });
+            m.gauge(&label("xdx_link_peak_concurrent_shipments"))
+                .set(link.peak_concurrent_shipments as f64);
+            // Info-style gauge: which wire format the pair negotiated.
+            m.gauge(&format!(
+                "xdx_link_wire_format{{link=\"{pair}\",format=\"{}\"}}",
+                format_name(link.wire_format)
+            ))
+            .set(1.0);
         }
+        // Observability self-accounting: ring drops, flight-recorder
+        // anomalies/dumps, and the engine stall watchdog. The watchdog
+        // rides the metrics refresh (every scrape / stats call checks
+        // it), so a wedged engine surfaces without a dedicated thread.
+        m.gauge("xdx_dropped_spans").set(stats.dropped_spans as f64);
+        m.gauge("xdx_dropped_events")
+            .set(stats.dropped_events as f64);
+        m.counter("xdx_flight_anomalies_total")
+            .set(self.flight.anomalies());
+        m.counter("xdx_flight_dumps_total").set(self.flight.dumps());
+        let stalled = self.engine.stall_check(self.config.stall_threshold);
+        m.gauge("xdx_engine_stalled")
+            .set(if stalled.is_some() { 1.0 } else { 0.0 });
+        if let Some(overdue) = stalled {
+            self.flight.anomaly(&format!(
+                "engine stall: next deadline overdue by {overdue:?}"
+            ));
+        }
+    }
+
+    /// Routes one introspection-endpoint request. Every surface the
+    /// programmatic accessors expose is served here read-only; the
+    /// handler runs on the listener thread, so it takes the same locks
+    /// any other observer thread would.
+    fn introspect_reply(&self, path: &str) -> IntrospectReply {
+        let ok = |content_type: &'static str, body: String| IntrospectReply {
+            status: 200,
+            content_type,
+            body,
+        };
+        match path {
+            "/" => ok(
+                "text/plain",
+                "/healthz\n/metrics\n/stats.json\n/traces\n/critical-path\n/calibration\n/flight\n"
+                    .into(),
+            ),
+            "/metrics" => {
+                self.refresh_metrics();
+                ok("text/plain; version=0.0.4", self.metrics.render())
+            }
+            "/healthz" => {
+                let (healthy, body) = self.health_json();
+                IntrospectReply {
+                    status: if healthy { 200 } else { 503 },
+                    content_type: "application/json",
+                    body,
+                }
+            }
+            "/stats.json" => ok("application/json", self.stats().to_json()),
+            "/traces" => ok("application/x-ndjson", self.trace.to_jsonl()),
+            "/critical-path" => ok(
+                "application/json",
+                xdx_trace::critical_path(&self.trace.snapshot()).to_json(),
+            ),
+            "/calibration" => ok("application/json", self.calibration.report().to_json()),
+            "/flight" => ok("application/x-ndjson", self.flight.to_jsonl()),
+            _ => IntrospectReply {
+                status: 404,
+                content_type: "text/plain",
+                body: "not found\n".into(),
+            },
+        }
+    }
+
+    /// Liveness verdict plus the evidence: the stall watchdog's reading,
+    /// open breakers, queue depth and the flight recorder's anomaly
+    /// tally. Unhealthy (HTTP 503) means the engine sits on an overdue
+    /// deadline nobody is driving — sheds and breaker opens are load
+    /// conditions, reported but not fatal.
+    fn health_json(&self) -> (bool, String) {
+        use crate::events::json_escape;
+        let stalled = self.engine.stall_check(self.config.stall_threshold);
+        let open_breakers: Vec<String> = self
+            .registry
+            .snapshot()
+            .iter()
+            .filter(|l| l.breaker_open)
+            .map(|l| l.pair())
+            .collect();
+        let queue_depth = self.queue.lock().unwrap().fair.len();
+        let healthy = stalled.is_none();
+        let body = format!(
+            "{{\"healthy\":{healthy},\"stalled_overdue_ms\":{},\"open_breakers\":[{}],\
+             \"queue_depth\":{queue_depth},\"flight_anomalies\":{},\"flight_dumps\":{}}}",
+            stalled.map_or(0, |d| d.as_millis()),
+            open_breakers
+                .iter()
+                .map(|p| format!("\"{}\"", json_escape(p)))
+                .collect::<Vec<_>>()
+                .join(","),
+            self.flight.anomalies(),
+            self.flight.dumps()
+        );
+        (healthy, body)
     }
 
     /// Runs one session on the calling worker thread: start to finish on
@@ -2013,6 +2372,8 @@ impl Inner {
             );
             self.agg.lock().unwrap().shed_expired += 1;
             self.tenant_entry(&tenant, |t| t.shed += 1);
+            self.flight
+                .shed(|| format!("{}: expired while queued", shared.name));
             self.remember_resumable(
                 shared.id,
                 Resumable {
@@ -2050,6 +2411,8 @@ impl Inner {
             slot.counters.sessions_shed.fetch_add(1, Ordering::Relaxed);
             self.agg.lock().unwrap().shed_breaker += 1;
             self.tenant_entry(&tenant, |t| t.shed += 1);
+            self.flight
+                .shed(|| format!("{}: circuit open on {pair} at dequeue", shared.name));
             self.remember_resumable(
                 shared.id,
                 Resumable {
@@ -2156,6 +2519,18 @@ impl Inner {
                 Ok(model) => model,
                 Err(e) => {
                     metrics.planning = planning_started.elapsed();
+                    // The plan span is recorded even on failure, so the
+                    // trace tree accounts for where the wall time of a
+                    // failed session went.
+                    self.trace.record_with_id(
+                        plan_span,
+                        "plan",
+                        shared.id,
+                        shared.root_span,
+                        planning_started,
+                        metrics.planning,
+                        format!("statistics probe failed: {e}"),
+                    );
                     self.finish(
                         &shared,
                         enqueued,
@@ -2219,6 +2594,15 @@ impl Inner {
                         }
                         Err(e) => {
                             metrics.planning = planning_started.elapsed();
+                            self.trace.record_with_id(
+                                plan_span,
+                                "plan",
+                                shared.id,
+                                shared.root_span,
+                                planning_started,
+                                metrics.planning,
+                                format!("planning failed: {e}"),
+                            );
                             self.finish(
                                 &shared,
                                 enqueued,
@@ -2364,7 +2748,22 @@ impl Inner {
                 match diff_snapshots(snapshot, &db_tables(&head_db), *base_ver, *head_ver) {
                     Ok(patch) => {
                         let steps = patch.step_count();
-                        let bytes = encode_patch(&patch, wire_format);
+                        let mut bytes = Vec::new();
+                        encode_patch_with_context_into(
+                            &mut bytes,
+                            &patch,
+                            wire_format,
+                            wire_context(&shared, exec_span),
+                        );
+                        // A resumed patch session must re-ship frames
+                        // byte-identical to the failed run's — the
+                        // ledger checkpoint hashes the message, and a
+                        // fresh encode embeds *this* run's trace
+                        // context. Replay the persisted bytes instead,
+                        // exactly as the full path replays
+                        // `checkpointed_message`. The patch ship is
+                        // always the shipper's first shipment (seq 0).
+                        let bytes = self.ledger.stored_message(shared.id, 0).unwrap_or(bytes);
                         let patch_cost = self.config.w_comm * bytes.len() as f64
                             + PATCH_STEP_FACTOR * steps as f64 / request.target_profile.speed;
                         let full_cost = self.config.w_comm * plan.comm_bytes as f64;
@@ -2381,31 +2780,53 @@ impl Inner {
                         } else {
                             match shipper.ship("delta-patch", &bytes) {
                                 Ok((wire, delivered)) => {
-                                    let staged = decode_patch(&delivered).and_then(|decoded| {
-                                        // An ordinary patch must be based on the route
-                                        // head (a non-head base means the subscriber's
-                                        // precondition is stale). A chain-composed
-                                        // patch is *deliberately* based below the head;
-                                        // for it the precondition is that no concurrent
-                                        // session advanced the route since planning.
-                                        let head_now = self.snapshots.head(&feed_route);
-                                        let expected_head = if *chain_composed {
-                                            *head_ver - 1
-                                        } else {
-                                            decoded.base_version
-                                        };
-                                        if head_now != expected_head {
-                                            return Err(xdx_relational::Error::SchemaMismatch {
-                                                detail: format!(
+                                    let decode_started = Instant::now();
+                                    let staged =
+                                        decode_patch_ctx(&delivered).and_then(|(decoded, rctx)| {
+                                            if let Some(ctx) = rctx {
+                                                // Receiver-side decode span,
+                                                // stitched from the frame's
+                                                // propagated context.
+                                                self.trace.record_with_context(
+                                                    self.trace.allocate_id(),
+                                                    "decode",
+                                                    shared.id,
+                                                    ctx.parent_span,
+                                                    ctx.trace_id,
+                                                    decode_started,
+                                                    decode_started.elapsed(),
+                                                    format!(
+                                                        "patch v{}→v{}",
+                                                        decoded.base_version, decoded.head_version
+                                                    ),
+                                                );
+                                            }
+                                            // An ordinary patch must be based on the route
+                                            // head (a non-head base means the subscriber's
+                                            // precondition is stale). A chain-composed
+                                            // patch is *deliberately* based below the head;
+                                            // for it the precondition is that no concurrent
+                                            // session advanced the route since planning.
+                                            let head_now = self.snapshots.head(&feed_route);
+                                            let expected_head = if *chain_composed {
+                                                *head_ver - 1
+                                            } else {
+                                                decoded.base_version
+                                            };
+                                            if head_now != expected_head {
+                                                return Err(
+                                                    xdx_relational::Error::SchemaMismatch {
+                                                        detail: format!(
                                                     "stale patch: route head v{head_now} ≠ \
                                                      expected v{expected_head} (patch base v{})",
                                                     decoded.base_version
                                                 ),
-                                            });
-                                        }
-                                        stage_patch(snapshot, &decoded, &mut target)?;
-                                        Ok(())
-                                    });
+                                                    },
+                                                );
+                                            }
+                                            stage_patch(snapshot, &decoded, &mut target)?;
+                                            Ok(())
+                                        });
                                     match staged {
                                         Ok(()) => {
                                             let rows = target.commit_staged();
@@ -2527,6 +2948,7 @@ impl Inner {
         outcome: std::result::Result<ExecOutcome, String>,
         ship: ShipRollup,
     ) {
+        let settle_started = Instant::now();
         metrics.communication = match &outcome {
             Ok(out) => out.times.communication,
             Err(_) => Duration::ZERO,
@@ -2542,11 +2964,12 @@ impl Inner {
         metrics.chunks_retried = ship.chunks_retried;
         metrics.source_counters = request.source.counters;
         metrics.target_counters = target.counters;
-        self.trace.record_with_id(
+        self.trace.record_with_context(
             exec_span,
             "exec",
             shared.id,
             shared.root_span,
+            session_trace_id(shared),
             exec_started,
             exec_started.elapsed(),
             format!(
@@ -2632,13 +3055,27 @@ impl Inner {
                 // Advance the route's versioned feed log: the committed
                 // target feeds become the snapshot the next delta
                 // session diffs against.
+                let snapshot_started = Instant::now();
                 self.snapshots.record(feed_route, db_tables(&target));
+                self.trace.record_with_context(
+                    self.trace.allocate_id(),
+                    "snapshot",
+                    shared.id,
+                    exec_span,
+                    session_trace_id(shared),
+                    snapshot_started,
+                    snapshot_started.elapsed(),
+                    format!("route {feed_route} advanced"),
+                );
                 // The checkpoint served its purpose; drop it.
                 self.ledger.forget_session(shared.id);
                 slot.counters
                     .sessions_completed
                     .fetch_add(1, Ordering::Relaxed);
                 if let Some(BreakerTransition::Closed) = slot.breaker.record_success() {
+                    self.flight.record(FlightSubsystem::Breaker, || {
+                        format!("{}: closed (probe succeeded)", slot.pair())
+                    });
                     self.events.push(
                         shared.id,
                         shared.root_span,
@@ -2646,6 +3083,16 @@ impl Inner {
                         format!("{}: probe succeeded", slot.pair()),
                     );
                 }
+                self.trace.record_with_context(
+                    self.trace.allocate_id(),
+                    "settle",
+                    shared.id,
+                    exec_span,
+                    session_trace_id(shared),
+                    settle_started,
+                    settle_started.elapsed(),
+                    "committed".to_string(),
+                );
                 self.finish(
                     shared,
                     enqueued,
@@ -2681,6 +3128,13 @@ impl Inner {
                     .fetch_add(1, Ordering::Relaxed);
                 if ship.link_gave_up {
                     if let Some(BreakerTransition::Opened) = slot.breaker.record_failure() {
+                        self.flight.record(FlightSubsystem::Breaker, || {
+                            format!(
+                                "{}: opened, cooldown {:?}",
+                                slot.pair(),
+                                self.config.breaker_cooldown
+                            )
+                        });
                         self.events.push(
                             shared.id,
                             shared.root_span,
@@ -2695,6 +3149,8 @@ impl Inner {
                         // this route would fail the same way. Drain and
                         // shed it now instead of one session at a time.
                         self.shed_queued_route(slot);
+                        self.flight
+                            .anomaly(&format!("breaker open on {}", slot.pair()));
                     }
                 }
                 // Keep the session resumable: the checkpointed plan and
@@ -2707,6 +3163,16 @@ impl Inner {
                         request,
                         plan: Some(Arc::clone(plan)),
                     },
+                );
+                self.trace.record_with_context(
+                    self.trace.allocate_id(),
+                    "settle",
+                    shared.id,
+                    exec_span,
+                    session_trace_id(shared),
+                    settle_started,
+                    settle_started.elapsed(),
+                    "rolled back".to_string(),
                 );
                 // The rolled-back target travels with the result as
                 // observable proof that no partial tables survived.
@@ -2929,7 +3395,18 @@ impl Inner {
                 Some(stored) => stored,
                 None => {
                     let start = Instant::now();
-                    let len = encode_in_format_into(&mut w.encode_buf, &batch.feed, w.wire_format);
+                    // Trace context rides the shipment: columnar frames
+                    // carry it in their header extension, XML text in
+                    // the SOAPAction label — either way the receiver
+                    // stitches its decode/stage spans under this
+                    // session's exec span.
+                    let ctx = wire_context(&w.shared, w.exec_span);
+                    let len = encode_in_format_with_context_into(
+                        &mut w.encode_buf,
+                        &batch.feed,
+                        w.wire_format,
+                        ctx,
+                    );
                     let ns = start.elapsed().as_nanos() as u64;
                     w.rollup.messages_serialized += 1;
                     w.rollup.bytes_encoded += len as u64;
@@ -2948,7 +3425,11 @@ impl Inner {
                         Duration::from_nanos(ns),
                         format!("{len} bytes"),
                     );
-                    Request::soap_post("/exchange", &batch.label, w.encode_buf.clone()).to_bytes()
+                    let soap_label = match (w.wire_format, ctx) {
+                        (WireFormat::Xml, Some(ctx)) => label_with_context(&batch.label, ctx),
+                        _ => batch.label.clone(),
+                    };
+                    Request::soap_post("/exchange", &soap_label, w.encode_buf.clone()).to_bytes()
                 }
             });
             w.inflight += 1;
@@ -3028,15 +3509,51 @@ impl Inner {
                 ps.outcome.messages += 1;
                 // Decode what actually arrived — link damage surfaces as
                 // an explicit error here, exactly as on the blocking
-                // path.
+                // path. The frame (or the SOAPAction label, for XML
+                // text) carries the sender's trace context; the decode
+                // span stitches under it.
+                let decode_started = Instant::now();
                 let decoded = Request::parse(&delivered)
                     .map_err(|e| e.to_string())
-                    .and_then(|arrived| decode_any(&arrived.body).map_err(|e| e.to_string()));
+                    .and_then(|arrived| {
+                        let (feed, ctx) =
+                            decode_any_ctx(&arrived.body).map_err(|e| e.to_string())?;
+                        Ok((feed, ctx.or_else(|| soap_action_context(&arrived))))
+                    });
                 match decoded {
-                    Ok(feed) => {
+                    Ok((feed, ctx)) => {
+                        let (parent, trace_id) = ctx
+                            .map_or((ps.exec_span, session_trace_id(&ps.shared)), |c| {
+                                (c.parent_span, c.trace_id)
+                            });
+                        self.trace.record_with_context(
+                            self.trace.allocate_id(),
+                            "decode",
+                            ps.shared.id,
+                            parent,
+                            trace_id,
+                            decode_started,
+                            decode_started.elapsed(),
+                            format!("batch {}", result.seq),
+                        );
                         ps.decoded.insert(result.seq, feed);
+                        let stage_started = Instant::now();
+                        let staged_from = ps.next_stage_seq;
                         if let Err(e) = self.stage_ready(ps) {
                             ps.window.failure.get_or_insert(e);
+                        }
+                        let staged = ps.next_stage_seq - staged_from;
+                        if staged > 0 {
+                            self.trace.record_with_context(
+                                self.trace.allocate_id(),
+                                "stage",
+                                ps.shared.id,
+                                parent,
+                                trace_id,
+                                stage_started,
+                                stage_started.elapsed(),
+                                format!("{staged} batch(es) from seq {staged_from}"),
+                            );
                         }
                     }
                     Err(e) => {
@@ -3282,6 +3799,8 @@ impl Inner {
                 slot.counters.sessions_shed.fetch_add(1, Ordering::Relaxed);
                 self.agg.lock().unwrap().shed_breaker += 1;
                 self.tenant_entry(&tenant, |t| t.shed += 1);
+                self.flight
+                    .shed(|| format!("{}: circuit open on {pair} (publish lane)", shared.name));
                 self.remember_resumable(
                     shared.id,
                     Resumable {
@@ -3332,11 +3851,12 @@ impl Inner {
             });
         }
         if lanes.is_empty() {
-            self.trace.record_with_id(
+            self.trace.record_with_context(
                 group_span,
                 "publish-group",
                 group_sid,
                 NO_SPAN,
+                group_span,
                 enqueued,
                 enqueued.elapsed(),
                 format!("{}: no live lanes", request.name),
@@ -3374,6 +3894,15 @@ impl Inner {
             Err(e) => {
                 let planning = planning_started.elapsed();
                 let diag = format!("statistics probe failed: {e}");
+                self.trace.record_with_id(
+                    plan_span,
+                    "plan",
+                    group_sid,
+                    group_span,
+                    planning_started,
+                    planning,
+                    diag.clone(),
+                );
                 for mut lane in lanes {
                     lane.metrics.planning = planning;
                     let metrics = std::mem::take(&mut lane.metrics);
@@ -3386,11 +3915,12 @@ impl Inner {
                         Some(diag.clone()),
                     );
                 }
-                self.trace.record_with_id(
+                self.trace.record_with_context(
                     group_span,
                     "publish-group",
                     group_sid,
                     NO_SPAN,
+                    group_span,
                     enqueued,
                     enqueued.elapsed(),
                     format!("{}: {diag}", request.name),
@@ -3466,6 +3996,15 @@ impl Inner {
         }
         let planning = planning_started.elapsed();
         if let Some(diag) = plan_err {
+            self.trace.record_with_id(
+                plan_span,
+                "plan",
+                group_sid,
+                group_span,
+                planning_started,
+                planning,
+                diag.clone(),
+            );
             for mut lane in lanes {
                 lane.metrics.planning = planning;
                 let metrics = std::mem::take(&mut lane.metrics);
@@ -3478,11 +4017,12 @@ impl Inner {
                     Some(diag.clone()),
                 );
             }
-            self.trace.record_with_id(
+            self.trace.record_with_context(
                 group_span,
                 "publish-group",
                 group_sid,
                 NO_SPAN,
+                group_span,
                 enqueued,
                 enqueued.elapsed(),
                 format!("{}: {diag}", request.name),
@@ -3637,8 +4177,20 @@ impl Inner {
                                 None => {
                                     let batch = &batches[idx];
                                     let start = Instant::now();
-                                    let len =
-                                        encode_in_format_into(&mut encode_buf, &batch.feed, fmt);
+                                    // One context for the whole group:
+                                    // every subscriber's receiver spans
+                                    // stitch under the group's exec span
+                                    // and share the group-span trace id.
+                                    let ctx = (group_span != NO_SPAN).then_some(TraceContext {
+                                        trace_id: group_span,
+                                        parent_span: exec_span,
+                                    });
+                                    let len = encode_in_format_with_context_into(
+                                        &mut encode_buf,
+                                        &batch.feed,
+                                        fmt,
+                                        ctx,
+                                    );
                                     let ns = start.elapsed().as_nanos() as u64;
                                     group_encodes.messages_serialized += 1;
                                     group_encodes.bytes_encoded += len as u64;
@@ -3660,10 +4212,16 @@ impl Inner {
                                         Duration::from_nanos(ns),
                                         format!("{len} bytes, shared ×{}", members.len()),
                                     );
+                                    let soap_label = match (fmt, ctx) {
+                                        (WireFormat::Xml, Some(ctx)) => {
+                                            label_with_context(&batch.label, ctx)
+                                        }
+                                        _ => batch.label.clone(),
+                                    };
                                     let frame = Arc::new(
                                         Request::soap_post(
                                             "/exchange",
-                                            &batch.label,
+                                            &soap_label,
                                             encode_buf.clone(),
                                         )
                                         .to_bytes(),
@@ -3718,11 +4276,33 @@ impl Inner {
                                             }
                                         }
                                         std::collections::hash_map::Entry::Vacant(vacant) => {
+                                            let decode_started = Instant::now();
                                             Request::parse(&delivered)
                                                 .map_err(|e| e.to_string())
                                                 .and_then(|arrived| {
-                                                    decode_any(&arrived.body)
-                                                        .map_err(|e| e.to_string())
+                                                    let (feed, ctx) = decode_any_ctx(&arrived.body)
+                                                        .map_err(|e| e.to_string())?;
+                                                    let ctx = ctx
+                                                        .or_else(|| soap_action_context(&arrived));
+                                                    let (parent, trace_id) = ctx
+                                                        .map_or((exec_span, group_span), |c| {
+                                                            (c.parent_span, c.trace_id)
+                                                        });
+                                                    self.trace.record_with_context(
+                                                        self.trace.allocate_id(),
+                                                        "decode",
+                                                        lane.shared.id,
+                                                        parent,
+                                                        trace_id,
+                                                        decode_started,
+                                                        decode_started.elapsed(),
+                                                        format!(
+                                                            "batch {}, shared ×{}",
+                                                            result.seq,
+                                                            members.len()
+                                                        ),
+                                                    );
+                                                    Ok(feed)
                                                 })
                                                 .inspect(|feed| {
                                                     if members.len() > 1 {
@@ -3737,12 +4317,30 @@ impl Inner {
                                     match decoded {
                                         Ok(feed) => {
                                             lane.decoded.insert(result.seq, feed);
+                                            let stage_started = Instant::now();
+                                            let staged_from = lane.next_stage_seq;
                                             if let Err(e) = stage_publish_lane(
                                                 lane,
                                                 stream_tables.as_ref(),
                                                 &port_of,
                                             ) {
                                                 lane.failure.get_or_insert(e);
+                                            }
+                                            let staged = lane.next_stage_seq - staged_from;
+                                            if staged > 0 {
+                                                self.trace.record_with_context(
+                                                    self.trace.allocate_id(),
+                                                    "stage",
+                                                    lane.shared.id,
+                                                    exec_span,
+                                                    group_span,
+                                                    stage_started,
+                                                    stage_started.elapsed(),
+                                                    format!(
+                                                        "{staged} batch(es) from seq \
+                                                         {staged_from}"
+                                                    ),
+                                                );
                                             }
                                         }
                                         Err(e) => {
@@ -3803,6 +4401,12 @@ impl Inner {
                     if lag > lag_cap {
                         lane.lagged = true;
                         ring_fallbacks += 1;
+                        self.flight.shed(|| {
+                            format!(
+                                "{}: {lag} frames behind publish group (cap {lag_cap})",
+                                lane.shared.name
+                            )
+                        });
                         self.events.push(
                             lane.shared.id,
                             exec_span,
@@ -3843,6 +4447,23 @@ impl Inner {
                         .drive_until(Instant::now() + Duration::from_micros(200));
                 }
             }
+            // The format group's exec span: parent of every lane's
+            // shipping, decode and stage work, child of the group root.
+            self.trace.record_with_context(
+                exec_span,
+                "exec",
+                group_sid,
+                group_span,
+                group_span,
+                exec_started,
+                exec_started.elapsed(),
+                format!(
+                    "publish format group [{}] over {} lanes{}",
+                    format_name(fmt),
+                    members.len(),
+                    if *cache_hit { " (plan cache hit)" } else { "" }
+                ),
+            );
         }
         // Shared-encode accounting lands once, at group scope: lane
         // metrics carry no serialization tallies (a lane did not encode
@@ -3856,11 +4477,12 @@ impl Inner {
             agg.multicast_encode_fallback += ring_fallbacks;
         }
         self.available.notify_all();
-        self.trace.record_with_id(
+        self.trace.record_with_context(
             group_span,
             "publish-group",
             group_sid,
             NO_SPAN,
+            group_span,
             enqueued,
             enqueued.elapsed(),
             format!(
@@ -3957,6 +4579,7 @@ impl Inner {
             );
             return;
         }
+        let settle_started = Instant::now();
         let settled: std::result::Result<ExecOutcome, String> = match lane.failure.take() {
             Some(diagnostic) => {
                 target.rollback_staged();
@@ -4011,6 +4634,27 @@ impl Inner {
                 format_name(lane.wire_format)
             ),
         );
+        // The lane's receiver-side settle (target phase / commit+index)
+        // is a leaf of the stitched multicast tree: every subscriber
+        // contributes one under the group's exec span.
+        self.trace.record_with_context(
+            self.trace.allocate_id(),
+            "settle",
+            lane.shared.id,
+            exec_span,
+            session_trace_id(&lane.shared),
+            settle_started,
+            settle_started.elapsed(),
+            format!(
+                "{} @{}",
+                if settled.is_ok() {
+                    "committed"
+                } else {
+                    "rolled back"
+                },
+                lane.subscriber
+            ),
+        );
         match settled {
             Ok(out) => {
                 metrics.messages = out.messages;
@@ -4042,15 +4686,29 @@ impl Inner {
                         );
                     }
                 }
+                let snapshot_started = Instant::now();
                 let tables =
                     Arc::clone(group_snapshot.get_or_insert_with(|| Arc::new(db_tables(&target))));
                 self.snapshots.record_shared(&lane.feed_route, tables);
+                self.trace.record_with_context(
+                    self.trace.allocate_id(),
+                    "snapshot",
+                    lane.shared.id,
+                    exec_span,
+                    session_trace_id(&lane.shared),
+                    snapshot_started,
+                    snapshot_started.elapsed(),
+                    format!("route {} advanced", lane.feed_route),
+                );
                 self.ledger.forget_session(lane.shared.id);
                 lane.slot
                     .counters
                     .sessions_completed
                     .fetch_add(1, Ordering::Relaxed);
                 if let Some(BreakerTransition::Closed) = lane.slot.breaker.record_success() {
+                    self.flight.record(FlightSubsystem::Breaker, || {
+                        format!("{}: closed (probe succeeded)", lane.slot.pair())
+                    });
                     self.events.push(
                         lane.shared.id,
                         lane.shared.root_span,
@@ -4074,6 +4732,13 @@ impl Inner {
                     .fetch_add(1, Ordering::Relaxed);
                 if rollup.link_gave_up {
                     if let Some(BreakerTransition::Opened) = lane.slot.breaker.record_failure() {
+                        self.flight.record(FlightSubsystem::Breaker, || {
+                            format!(
+                                "{}: opened, cooldown {:?}",
+                                lane.slot.pair(),
+                                self.config.breaker_cooldown
+                            )
+                        });
                         self.events.push(
                             lane.shared.id,
                             lane.shared.root_span,
@@ -4085,6 +4750,8 @@ impl Inner {
                             ),
                         );
                         self.shed_queued_route(&lane.slot);
+                        self.flight
+                            .anomaly(&format!("breaker open on {}", lane.slot.pair()));
                     }
                 }
                 // The lane resumes as an ordinary two-site session
@@ -4193,16 +4860,31 @@ impl Inner {
                 metrics.rows_loaded, metrics.chunks_shipped, metrics.chunks_retried
             )
         });
+        if state == SessionState::Failed {
+            // A failed session is a flight-recorder anomaly: the rings
+            // dump (when a dump dir is configured) with the transitions
+            // that led up to it.
+            self.flight.anomaly(&format!(
+                "session {} ({}) failed: {}",
+                shared.id,
+                shared.name,
+                diagnostic.as_deref().unwrap_or("no diagnostic")
+            ));
+        }
         self.events.push(shared.id, shared.root_span, kind, detail);
         // The session's root span closes last, covering queue wait
         // through the terminal transition; its children (queued, plan,
         // exec, ship, encode, operators) were recorded before it, so
-        // FIFO eviction can never orphan a surviving child.
-        self.trace.record_with_id(
+        // FIFO eviction can never orphan a surviving child — and it is
+        // recorded for *every* terminal state, so failed and shed
+        // sessions keep their span subtrees too. Multicast lanes parent
+        // under their publish group's span and share its trace id.
+        self.trace.record_with_context(
             shared.root_span,
             "session",
             shared.id,
-            NO_SPAN,
+            shared.root_parent,
+            session_trace_id(shared),
             enqueued,
             metrics.total_wall,
             format!("{}: {state:?} via {}", shared.name, metrics.route),

@@ -478,6 +478,10 @@ pub(crate) struct SessionShared {
     /// Root trace span of this session (0 when tracing is off). Every
     /// child span and correlated event hangs off this id.
     pub(crate) root_span: xdx_trace::SpanId,
+    /// Span the root records *under* — [`xdx_trace::NO_SPAN`] for an
+    /// ordinary session; the publish group span for a fan-out lane, so
+    /// lane trees stitch into one distributed trace.
+    pub(crate) root_parent: xdx_trace::SpanId,
 }
 
 impl SessionShared {
@@ -486,6 +490,16 @@ impl SessionShared {
         name: String,
         deadline: Option<Duration>,
         root_span: xdx_trace::SpanId,
+    ) -> Arc<SessionShared> {
+        SessionShared::new_with_parent(id, name, deadline, root_span, xdx_trace::NO_SPAN)
+    }
+
+    pub(crate) fn new_with_parent(
+        id: SessionId,
+        name: String,
+        deadline: Option<Duration>,
+        root_span: xdx_trace::SpanId,
+        root_parent: xdx_trace::SpanId,
     ) -> Arc<SessionShared> {
         Arc::new(SessionShared {
             id,
@@ -497,6 +511,7 @@ impl SessionShared {
             cancelled: AtomicBool::new(false),
             result: Mutex::new(None),
             root_span,
+            root_parent,
         })
     }
 

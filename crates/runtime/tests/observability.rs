@@ -1,0 +1,566 @@
+//! Integration tests of the cross-site observability surface: trace
+//! context propagation and stitching across a multicast publish,
+//! critical-path extraction, the flight recorder's anomaly dumps, the
+//! live introspection endpoint, and the completeness audit of the
+//! Prometheus exposition against `RuntimeStats`/`LinkStats`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use xdx_net::{BurstLoss, FaultProfile};
+use xdx_runtime::{
+    ExchangeRequest, PublishRequest, Runtime, RuntimeConfig, SessionState, ShippingPolicy, STAGES,
+};
+use xdx_xmark::{generate, lf, load_source, mf, schema, GenConfig};
+
+/// Pulls the integer following `"key":` out of a JSONL line.
+fn json_u64(line: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let start = line
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{line}: no {key}"))
+        + needle.len();
+    line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{line}: {key} is not an integer"))
+}
+
+fn json_name(line: &str) -> String {
+    let start = line.find("\"name\":\"").expect("span line has a name") + 8;
+    line[start..].chars().take_while(|&c| c != '"').collect()
+}
+
+fn run_fleet(runtime: &Runtime, doc: &str, n: usize) {
+    let schema = schema();
+    let mf = mf(&schema);
+    let lf = lf(&schema);
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let source = load_source(doc, &schema, &mf).unwrap();
+            runtime
+                .submit(ExchangeRequest::new(
+                    format!("t{i}"),
+                    source,
+                    mf.clone(),
+                    lf.clone(),
+                ))
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        let result = handle.wait();
+        assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+    }
+}
+
+/// Completeness audit: every numeric `RuntimeStats` counter and every
+/// `LinkStats` field must surface as a Prometheus series — a field
+/// added to the structs without a series here is a bug, not a choice.
+#[test]
+fn every_runtime_and_link_stat_has_a_prometheus_series() {
+    let doc = generate(GenConfig::sized(20_000));
+    let runtime = Runtime::start(schema(), RuntimeConfig::default().with_workers(2));
+    run_fleet(&runtime, &doc, 3);
+
+    let text = runtime.metrics_text();
+    // RuntimeStats numeric fields → their series, in struct order.
+    let runtime_series = [
+        ("admitted", "xdx_sessions_admitted_total"),
+        ("rejected", "xdx_sessions_rejected_total"),
+        ("completed", "xdx_sessions_completed_total"),
+        ("failed", "xdx_sessions_failed_total"),
+        ("cancelled", "xdx_sessions_cancelled_total"),
+        ("resumed", "xdx_sessions_resumed_total"),
+        ("plan_cache_hits", "xdx_plan_cache_hits_total"),
+        ("plan_cache_misses", "xdx_plan_cache_misses_total"),
+        ("plan_cache_expired", "xdx_plan_cache_expired_total"),
+        (
+            "plan_cache_stats_evicted",
+            "xdx_plan_cache_stats_evicted_total",
+        ),
+        (
+            "plan_cache_drift_evicted",
+            "xdx_plan_cache_drift_evicted_total",
+        ),
+        ("planning_probes", "xdx_planning_probes_total"),
+        ("messages_serialized", "xdx_messages_serialized_total"),
+        ("bytes_shipped", "xdx_bytes_shipped_total"),
+        ("bytes_encoded", "xdx_bytes_encoded_total"),
+        ("encode_ns", "xdx_encode_ns_total"),
+        ("chunks_shipped", "xdx_chunks_shipped_total"),
+        ("chunks_resumed", "xdx_chunks_resumed_total"),
+        ("chunks_deduped", "xdx_chunks_deduped_total"),
+        ("chunks_retried", "xdx_chunks_retried_total"),
+        ("peak_concurrent_shipments", "xdx_peak_concurrent_shipments"),
+        ("latency_histogram", "xdx_session_latency_ns_bucket"),
+        ("dropped_events", "xdx_events_dropped_total"),
+        ("dropped_spans", "xdx_spans_dropped_total"),
+        ("delta_patch_bytes", "xdx_delta_patch_bytes_total"),
+        ("delta_patches_applied", "xdx_delta_patches_applied_total"),
+        ("delta_full_chosen", "xdx_delta_full_chosen_total"),
+        ("delta_full_fallbacks", "xdx_delta_full_fallbacks_total"),
+        ("delta_chain_composed", "xdx_delta_chain_composed_total"),
+        ("fanout_subscribers", "xdx_fanout_subscribers"),
+        ("multicast_encode_shared", "xdx_multicast_encode_shared"),
+        ("multicast_encode_fallback", "xdx_multicast_encode_fallback"),
+        ("ledger_entries_pruned", "xdx_ledger_entries_pruned_total"),
+        ("sessions_shed_expired", "xdx_sessions_shed_expired_total"),
+        ("sessions_shed_deadline", "xdx_sessions_shed_deadline_total"),
+        ("sessions_shed_breaker", "xdx_sessions_shed_breaker_total"),
+        ("resumables_evicted", "xdx_resumables_evicted_total"),
+        ("ledger_buffers_shed", "xdx_ledger_buffers_shed_total"),
+        ("queue_depth", "xdx_queue_depth"),
+    ];
+    for (field, series) in runtime_series {
+        assert!(
+            text.contains(series),
+            "RuntimeStats::{field} has no series {series}:\n{text}"
+        );
+    }
+    // TenantStats fields, labelled per tenant.
+    for series in [
+        "xdx_tenant_weight{tenant=",
+        "xdx_tenant_admitted_total{tenant=",
+        "xdx_tenant_completed_total{tenant=",
+        "xdx_tenant_shed_total{tenant=",
+    ] {
+        assert!(text.contains(series), "missing {series}:\n{text}");
+    }
+    // LinkStats fields, labelled per link pair.
+    let stats = runtime.stats();
+    assert!(!stats.links.is_empty());
+    for link in &stats.links {
+        let pair = link.pair();
+        let link_series = [
+            ("wire_bytes", "xdx_link_wire_bytes_total"),
+            ("bytes_encoded", "xdx_link_bytes_encoded_total"),
+            ("encode_ns", "xdx_link_encode_ns_total"),
+            ("busy", "xdx_link_busy_ns_total"),
+            ("busy", "xdx_link_utilization"),
+            ("chunks_shipped", "xdx_link_chunks_shipped_total"),
+            ("chunks_retried", "xdx_link_chunks_retried_total"),
+            ("sessions_completed", "xdx_link_sessions_completed_total"),
+            ("sessions_failed", "xdx_link_sessions_failed_total"),
+            ("sessions_shed", "xdx_link_sessions_shed_total"),
+            ("breaker_open", "xdx_link_breaker_open"),
+            (
+                "peak_concurrent_shipments",
+                "xdx_link_peak_concurrent_shipments",
+            ),
+        ];
+        for (field, series) in link_series {
+            let labelled = format!("{series}{{link=\"{pair}\"}}");
+            assert!(
+                text.contains(&labelled),
+                "LinkStats::{field} has no series {labelled}:\n{text}"
+            );
+        }
+        // The negotiated wire format, as an info-style gauge.
+        assert!(
+            text.contains(&format!("xdx_link_wire_format{{link=\"{pair}\",format=")),
+            "LinkStats::wire_format has no info gauge for {pair}:\n{text}"
+        );
+    }
+    // Observability self-accounting rides the same exposition.
+    for series in [
+        "xdx_dropped_spans",
+        "xdx_dropped_events",
+        "xdx_flight_anomalies_total",
+        "xdx_flight_dumps_total",
+        "xdx_engine_stalled",
+    ] {
+        assert!(text.contains(series), "missing {series}:\n{text}");
+    }
+    runtime.shutdown();
+}
+
+/// Record-at-completion must not lose the spans of sessions that die
+/// mid-exchange: a session failed by a dead link still flushes its
+/// root `session` span (with the Failed state in the detail) and its
+/// `plan` span, and the failure registers as a flight-recorder anomaly.
+#[test]
+fn failed_session_flushes_its_spans_and_counts_an_anomaly() {
+    let doc = generate(GenConfig::sized(16_000));
+    let runtime = Runtime::start(
+        schema(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 1024,
+                max_attempts_per_chunk: 2,
+                retry_budget: 2,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    // The link is dead from the start: every chunk drops, the retry
+    // budget exhausts, the session fails mid-exchange.
+    runtime.set_fault_profile(FaultProfile::drops(1.0, 7));
+    let schema_tree = schema();
+    let mf = mf(&schema_tree);
+    let lf = lf(&schema_tree);
+    let result = runtime
+        .submit(ExchangeRequest::new(
+            "doomed",
+            load_source(&doc, &schema_tree, &mf).unwrap(),
+            mf,
+            lf,
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(
+        result.state,
+        SessionState::Failed,
+        "{:?}",
+        result.diagnostic
+    );
+
+    let trace = runtime.trace_jsonl();
+    let mut names = std::collections::HashSet::new();
+    let mut failed_root = false;
+    for line in trace.lines() {
+        names.insert(json_name(line));
+        if json_name(line) == "session" && line.contains("Failed") {
+            failed_root = true;
+        }
+    }
+    assert!(
+        failed_root,
+        "failed session's root span must survive: {trace}"
+    );
+    for name in ["queued", "plan"] {
+        assert!(
+            names.contains(name),
+            "failed session lost its {name:?} span: {names:?}"
+        );
+    }
+    let (anomalies, _dumps) = runtime.flight_anomalies();
+    assert!(anomalies >= 1, "session failure must register an anomaly");
+    runtime.shutdown();
+}
+
+/// The tentpole acceptance: a 1→3 multicast publish over a
+/// Gilbert–Elliott bursty link produces ONE stitched trace tree — a
+/// `publish-group` root whose trace id every lane session, receiver
+/// `decode`/`stage` span and `settle` leaf carries, across all three
+/// subscribers.
+#[test]
+fn multicast_publish_stitches_one_trace_across_three_subscribers() {
+    let schema_tree = schema();
+    let doc = generate(GenConfig::sized(20_000));
+    let mf = mf(&schema_tree);
+    let lf = lf(&schema_tree);
+    let runtime = Runtime::start(
+        schema_tree.clone(),
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_shipping(ShippingPolicy {
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    // Bursty wide-area loss on every subscriber pair: retries and
+    // backoff exercise the wire, but the group still completes.
+    for i in 0..3 {
+        runtime.set_link_fault_profile(
+            xdx_runtime::DEFAULT_SOURCE_ENDPOINT,
+            &format!("sub-{i}"),
+            FaultProfile {
+                burst_loss: Some(BurstLoss {
+                    enter: 0.05,
+                    exit: 0.4,
+                    loss: 0.7,
+                }),
+                seed: 11 + i,
+                ..FaultProfile::healthy()
+            },
+        );
+    }
+    let results = runtime
+        .publish(PublishRequest::new(
+            "multicast",
+            load_source(&doc, &schema_tree, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+            (0..3).map(|i| format!("sub-{i}")).collect(),
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(results.len(), 3);
+    for result in &results {
+        assert_eq!(result.state, SessionState::Done, "{:?}", result.diagnostic);
+    }
+
+    // Lane handles resolve at settle; the group root records moments
+    // later on the worker — poll for it.
+    let mut trace = String::new();
+    for _ in 0..200 {
+        trace = runtime.trace_jsonl();
+        if trace.contains("\"name\":\"publish-group\"") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Exactly one publish-group root; its span id is the trace id.
+    let roots: Vec<&str> = trace
+        .lines()
+        .filter(|l| json_name(l) == "publish-group")
+        .collect();
+    assert_eq!(roots.len(), 1, "one group root: {trace}");
+    let trace_id = json_u64(roots[0], "trace");
+    assert_eq!(
+        json_u64(roots[0], "span"),
+        trace_id,
+        "the group span IS the trace id"
+    );
+    assert_eq!(json_u64(roots[0], "parent"), 0, "the group root is a root");
+
+    // All three lane sessions stitch under it: session roots parented
+    // on the group span, carrying its trace id.
+    let lane_sessions: Vec<u64> = trace
+        .lines()
+        .filter(|l| json_name(l) == "session" && json_u64(l, "trace") == trace_id)
+        .map(|l| json_u64(l, "tid"))
+        .collect();
+    assert_eq!(lane_sessions.len(), 3, "three lane roots: {trace}");
+
+    // Receiver-side stage and settle leaves on every lane, all inside
+    // the same distributed trace.
+    for name in ["stage", "settle"] {
+        let sessions_with: std::collections::HashSet<u64> = trace
+            .lines()
+            .filter(|l| json_name(l) == name && json_u64(l, "trace") == trace_id)
+            .map(|l| json_u64(l, "tid"))
+            .collect();
+        for sid in &lane_sessions {
+            assert!(
+                sessions_with.contains(sid),
+                "lane session {sid} has no {name:?} span in trace {trace_id}: {trace}"
+            );
+        }
+    }
+    // Each shared frame decodes once — on whichever lane got it first —
+    // and that decode span stitches into the group trace.
+    assert!(
+        trace
+            .lines()
+            .any(|l| json_name(l) == "decode" && json_u64(l, "trace") == trace_id),
+        "no decode span stitched into trace {trace_id}: {trace}"
+    );
+    // Every span in the stitched tree references a live parent.
+    let ids: std::collections::HashSet<u64> = trace.lines().map(|l| json_u64(l, "span")).collect();
+    for line in trace.lines().filter(|l| json_u64(l, "trace") == trace_id) {
+        let parent = json_u64(line, "parent");
+        assert!(
+            parent == 0 || ids.contains(&parent),
+            "orphaned span in stitched trace: {line}"
+        );
+    }
+    runtime.shutdown();
+}
+
+/// Critical-path extraction must attribute ≥95% of each completed
+/// session's wall to the named stages, and the per-route rollup names
+/// a dominant stage.
+#[test]
+fn critical_path_attributes_session_wall_to_named_stages() {
+    let doc = generate(GenConfig::sized(30_000));
+    let runtime = Runtime::start(schema(), RuntimeConfig::default().with_workers(2));
+    run_fleet(&runtime, &doc, 4);
+
+    let report = runtime.critical_path();
+    assert_eq!(report.sessions.len(), 4);
+    for s in &report.sessions {
+        assert!(
+            s.coverage >= 0.95,
+            "session {} coverage {:.3} < 0.95 (stages {:?})",
+            s.session,
+            s.coverage,
+            s.stage_ns
+        );
+        assert!(s.wall_ns > 0);
+        assert!(
+            STAGES.contains(&s.dominant),
+            "dominant {:?} is not a named stage",
+            s.dominant
+        );
+    }
+    assert!(!report.routes.is_empty());
+    for r in &report.routes {
+        assert!(STAGES.contains(&r.dominant));
+        assert_eq!(r.sessions, 4, "all sessions share the default route");
+    }
+    // The JSON export carries the same structure.
+    let json = report.to_json();
+    assert!(json.contains("\"sessions\":["));
+    assert!(json.contains("\"coverage\":"));
+    runtime.shutdown();
+}
+
+/// Killing a lane mid-exchange (every chunk drops once the session is
+/// in flight) fires the session-failure anomaly and auto-dumps the
+/// flight rings — the dump names the anomaly and holds that lane's
+/// last transitions.
+#[test]
+fn killed_lane_dumps_flight_rings_with_its_transitions() {
+    let dir = std::env::temp_dir().join(format!("xdx-observability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_str: &'static str = Box::leak(dir.to_str().unwrap().to_string().into_boxed_str());
+
+    let doc = generate(GenConfig::sized(16_000));
+    let runtime = Runtime::start(
+        schema(),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_flight_dump_dir(dir_str)
+            .with_shipping(ShippingPolicy {
+                chunk_bytes: 1024,
+                max_attempts_per_chunk: 2,
+                retry_budget: 2,
+                backoff_base: Duration::from_millis(1),
+                ..ShippingPolicy::default()
+            }),
+    );
+    let schema_tree = schema();
+    let mf = mf(&schema_tree);
+    let lf = lf(&schema_tree);
+    // Healthy warm-up proves the route works, then the lane is killed.
+    let warm = runtime
+        .submit(ExchangeRequest::new(
+            "warm",
+            load_source(&doc, &schema_tree, &mf).unwrap(),
+            mf.clone(),
+            lf.clone(),
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(warm.state, SessionState::Done, "{:?}", warm.diagnostic);
+    runtime.set_fault_profile(FaultProfile::drops(1.0, 13));
+    let killed = runtime
+        .submit(ExchangeRequest::new(
+            "killed",
+            load_source(&doc, &schema_tree, &mf).unwrap(),
+            mf,
+            lf,
+        ))
+        .unwrap()
+        .wait();
+    assert_eq!(killed.state, SessionState::Failed);
+
+    let (anomalies, dumps) = runtime.flight_anomalies();
+    assert!(anomalies >= 1, "lane death must register an anomaly");
+    assert!(dumps >= 1, "a dump directory is configured: must dump");
+    let dump_files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+        .collect();
+    assert!(!dump_files.is_empty(), "no flight-*.jsonl in {dir:?}");
+    let body = std::fs::read_to_string(dump_files[0].path()).unwrap();
+    let first = body.lines().next().unwrap();
+    assert!(
+        first.starts_with("{\"anomaly\":"),
+        "dump leads with the anomaly: {first}"
+    );
+    // The rings captured the killed lane's transitions.
+    assert!(
+        body.contains("\"subsystem\":\"lane\""),
+        "dump has no lane ring entries:\n{body}"
+    );
+    // The in-memory rings agree with what was dumped.
+    assert!(runtime.flight_jsonl().contains("\"subsystem\":\"lane\""));
+    runtime.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The live introspection endpoint serves every observability surface
+/// over plain HTTP while the runtime runs, and refuses what it should.
+#[test]
+fn introspection_endpoint_serves_all_routes() {
+    let doc = generate(GenConfig::sized(16_000));
+    let runtime = Runtime::start(
+        schema(),
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_introspect_addr("127.0.0.1:0".parse().unwrap()),
+    );
+    run_fleet(&runtime, &doc, 2);
+    let addr = runtime.introspect_addr().expect("endpoint enabled");
+
+    let fetch = |path: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: xdx\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, health) = fetch("/healthz");
+    assert_eq!(status, 200, "{health}");
+    assert!(health.contains("\"healthy\":true"), "{health}");
+    assert!(health.contains("\"open_breakers\":[]"), "{health}");
+
+    let (status, metrics) = fetch("/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("xdx_sessions_completed_total 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("# TYPE"), "exposition format: {metrics}");
+
+    let (status, stats) = fetch("/stats.json");
+    assert_eq!(status, 200);
+    assert!(stats.starts_with('{'), "{stats}");
+    assert!(stats.contains("\"completed\":2"), "{stats}");
+    assert!(stats.contains("\"links\":["), "{stats}");
+    assert!(stats.contains("\"latency_p50_ns\":"), "{stats}");
+
+    let (status, traces) = fetch("/traces");
+    assert_eq!(status, 200);
+    assert!(traces.contains("\"name\":\"session\""), "{traces}");
+
+    let (status, cp) = fetch("/critical-path");
+    assert_eq!(status, 200);
+    assert!(cp.contains("\"sessions\":["), "{cp}");
+
+    let (status, calib) = fetch("/calibration");
+    assert_eq!(status, 200);
+    assert!(calib.starts_with('{'), "{calib}");
+
+    let (status, _flight) = fetch("/flight");
+    assert_eq!(status, 200);
+
+    let (status, index) = fetch("/");
+    assert_eq!(status, 200);
+    assert!(index.contains("/metrics"), "{index}");
+
+    let (status, _) = fetch("/no-such-route");
+    assert_eq!(status, 404);
+
+    // Query strings are stripped before routing.
+    let (status, _) = fetch("/healthz?verbose=1");
+    assert_eq!(status, 200);
+
+    // The endpoint dies with the runtime.
+    runtime.shutdown();
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "endpoint still listening after shutdown"
+    );
+}

@@ -1,0 +1,413 @@
+//! Critical-path extraction over a finished span tree.
+//!
+//! [`critical_path`] folds a [`TraceSink`](crate::TraceSink) snapshot
+//! into per-session and per-route stage attributions: how much of each
+//! session's wall time the canonical exchange stages (queue → plan →
+//! compute → encode → wire → decode → stage → settle) account for, and
+//! which stage dominates. The analysis is interval-based, not a naive
+//! duration sum: overlapping spans (a pipelined session encodes batch
+//! *k+1* while batch *k* is on the wire) are merged before they are
+//! charged, so coverage never exceeds the wall and the report stays
+//! honest under concurrency. Compute time — operator execution inside
+//! the exec span that no leaf span names — is attributed as the exec
+//! tree's self time, so attribution stays near-complete without
+//! per-operator spans.
+//!
+//! This is the data the fragmentation advisor consumes: a route whose
+//! dominant stage is `wire` wants a smaller fragment fan-out; one
+//! dominated by `stage`/`settle` wants cheaper target-side indexing.
+
+use std::collections::HashMap;
+
+use crate::span::{SpanRecord, NO_SPAN};
+
+/// Canonical stage names, pipeline order. `compute` is the exec tree's
+/// self time (operator execution between shipments); the rest map 1:1
+/// from leaf span names.
+pub const STAGES: [&str; 8] = [
+    "queue", "plan", "compute", "encode", "wire", "decode", "stage", "settle",
+];
+
+/// Maps a recorded span name to the stage it is charged to. Container
+/// spans (`session`, `exec`, `lane`) and unknown names return `None`;
+/// their self time is what the `compute` stage measures.
+fn stage_of(name: &str) -> Option<usize> {
+    let stage = match name {
+        "queued" => "queue",
+        "plan" => "plan",
+        "encode" => "encode",
+        "ship" => "wire",
+        "decode" => "decode",
+        "stage" => "stage",
+        "settle" | "snapshot" => "settle",
+        _ => return None,
+    };
+    STAGES.iter().position(|s| *s == stage)
+}
+
+/// One session's stage attribution.
+#[derive(Debug, Clone)]
+pub struct SessionPath {
+    /// Session id (the root `session` span's tid).
+    pub session: u64,
+    /// Distributed trace the session belongs to (0 when untraced).
+    pub trace_id: u64,
+    /// Route parsed from the root span's `… via source→target` detail
+    /// (empty when absent).
+    pub route: String,
+    /// Root-span wall time.
+    pub wall_ns: u64,
+    /// Nanoseconds attributed to each of [`STAGES`], same order.
+    pub stage_ns: [u64; STAGES.len()],
+    /// The stage with the largest attribution.
+    pub dominant: &'static str,
+    /// Fraction of the wall the named stages cover (interval union,
+    /// clamped to the root span).
+    pub coverage: f64,
+}
+
+/// Aggregated attribution of every session sharing a route.
+#[derive(Debug, Clone)]
+pub struct RoutePath {
+    /// The `source→target` route label.
+    pub route: String,
+    /// Sessions aggregated.
+    pub sessions: usize,
+    /// Summed wall time.
+    pub wall_ns: u64,
+    /// Summed per-stage attributions, [`STAGES`] order.
+    pub stage_ns: [u64; STAGES.len()],
+    /// The stage with the largest summed attribution.
+    pub dominant: &'static str,
+}
+
+/// The full report: per-session paths (session order) plus per-route
+/// rollups (route order).
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPathReport {
+    pub sessions: Vec<SessionPath>,
+    pub routes: Vec<RoutePath>,
+}
+
+impl CriticalPathReport {
+    /// Hand-rolled JSON (std-only, like the rest of the telemetry
+    /// exports): `{"sessions":[…],"routes":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"sessions\":[");
+        for (i, s) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"session\":{},\"trace\":{},\"route\":\"{}\",\"wall_ns\":{},\
+                 \"dominant\":\"{}\",\"coverage\":{:.4},\"stages\":{{",
+                s.session,
+                s.trace_id,
+                crate::json_escape(&s.route),
+                s.wall_ns,
+                s.dominant,
+                s.coverage,
+            ));
+            push_stages(&mut out, &s.stage_ns);
+            out.push_str("}}");
+        }
+        out.push_str("],\"routes\":[");
+        for (i, r) in self.routes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"route\":\"{}\",\"sessions\":{},\"wall_ns\":{},\
+                 \"dominant\":\"{}\",\"stages\":{{",
+                crate::json_escape(&r.route),
+                r.sessions,
+                r.wall_ns,
+                r.dominant,
+            ));
+            push_stages(&mut out, &r.stage_ns);
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_stages(out: &mut String, stage_ns: &[u64; STAGES.len()]) {
+    for (i, (name, ns)) in STAGES.iter().zip(stage_ns).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{ns}"));
+    }
+}
+
+/// Half-open `[start, end)` nanosecond interval.
+type Iv = (u64, u64);
+
+/// Sorts and merges overlapping/adjacent intervals in place.
+fn merge(mut iv: Vec<Iv>) -> Vec<Iv> {
+    iv.sort_unstable();
+    let mut out: Vec<Iv> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some((_, last_e)) if s <= *last_e => *last_e = (*last_e).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn total(iv: &[Iv]) -> u64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// `base − minus`, both merged.
+fn subtract(base: &[Iv], minus: &[Iv]) -> Vec<Iv> {
+    let mut out = Vec::new();
+    for &(mut s, e) in base {
+        for &(ms, me) in minus {
+            if me <= s || ms >= e {
+                continue;
+            }
+            if ms > s {
+                out.push((s, ms));
+            }
+            s = me.max(s);
+            if s >= e {
+                break;
+            }
+        }
+        if s < e {
+            out.push((s, e));
+        }
+    }
+    out
+}
+
+/// Clamps `(start, end)` to the root's window; `None` when disjoint.
+fn clamp(start: u64, end: u64, root: Iv) -> Option<Iv> {
+    let s = start.max(root.0);
+    let e = end.min(root.1);
+    (s < e).then_some((s, e))
+}
+
+/// Extracts per-session and per-route critical paths from a span
+/// snapshot. Sessions without a recorded root `session` span (evicted
+/// from the ring, or still running) are skipped.
+pub fn critical_path(spans: &[SpanRecord]) -> CriticalPathReport {
+    let mut by_session: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for s in spans {
+        if s.session != 0 {
+            by_session.entry(s.session).or_default().push(s);
+        }
+    }
+    let mut session_ids: Vec<u64> = by_session.keys().copied().collect();
+    session_ids.sort_unstable();
+
+    let mut sessions = Vec::new();
+    for id in session_ids {
+        let spans = &by_session[&id];
+        let Some(root) = spans.iter().find(|s| s.name == "session") else {
+            continue;
+        };
+        let window = (root.start_ns, root.start_ns + root.dur_ns);
+        let wall_ns = root.dur_ns;
+
+        // Per-stage interval lists, plus the exec-tree containers whose
+        // self time becomes `compute`.
+        let mut stage_iv: Vec<Vec<Iv>> = vec![Vec::new(); STAGES.len()];
+        let mut containers: Vec<Iv> = Vec::new();
+        for s in spans.iter() {
+            let Some(iv) = clamp(s.start_ns, s.start_ns + s.dur_ns, window) else {
+                continue;
+            };
+            match stage_of(s.name) {
+                Some(idx) => stage_iv[idx].push(iv),
+                None if s.name == "exec" || s.name == "lane" => containers.push(iv),
+                None => {}
+            }
+        }
+        let compute_idx = STAGES.iter().position(|s| *s == "compute").unwrap();
+        let merged_stages: Vec<Vec<Iv>> = stage_iv.into_iter().map(merge).collect();
+        let inner: Vec<Iv> = merge(
+            merged_stages
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != compute_idx)
+                .flat_map(|(_, iv)| iv.iter().copied())
+                .collect(),
+        );
+        let compute = subtract(&merge(containers), &inner);
+
+        let mut stage_ns = [0u64; STAGES.len()];
+        let mut all: Vec<Iv> = compute.clone();
+        for (i, iv) in merged_stages.iter().enumerate() {
+            stage_ns[i] = total(iv);
+            all.extend(iv.iter().copied());
+        }
+        stage_ns[compute_idx] = total(&compute);
+        let covered = total(&merge(all));
+        let coverage = if wall_ns == 0 {
+            1.0
+        } else {
+            covered as f64 / wall_ns as f64
+        };
+        let dominant = STAGES[stage_ns
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, ns)| **ns)
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+
+        let route = root
+            .detail
+            .rsplit_once(" via ")
+            .map(|(_, r)| r.to_string())
+            .unwrap_or_default();
+        sessions.push(SessionPath {
+            session: id,
+            trace_id: if root.trace_id != NO_SPAN {
+                root.trace_id
+            } else {
+                root.id
+            },
+            route,
+            wall_ns,
+            stage_ns,
+            dominant,
+            coverage: coverage.min(1.0),
+        });
+    }
+
+    // Route rollup.
+    let mut by_route: HashMap<&str, RoutePath> = HashMap::new();
+    for s in &sessions {
+        if s.route.is_empty() {
+            continue;
+        }
+        let entry = by_route
+            .entry(s.route.as_str())
+            .or_insert_with(|| RoutePath {
+                route: s.route.clone(),
+                sessions: 0,
+                wall_ns: 0,
+                stage_ns: [0; STAGES.len()],
+                dominant: STAGES[0],
+            });
+        entry.sessions += 1;
+        entry.wall_ns += s.wall_ns;
+        for (acc, ns) in entry.stage_ns.iter_mut().zip(&s.stage_ns) {
+            *acc += ns;
+        }
+    }
+    let mut routes: Vec<RoutePath> = by_route.into_values().collect();
+    routes.sort_by(|a, b| a.route.cmp(&b.route));
+    for r in &mut routes {
+        r.dominant = STAGES[r
+            .stage_ns
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, ns)| **ns)
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+    }
+
+    CriticalPathReport { sessions, routes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        id: u64,
+        parent: u64,
+        session: u64,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        detail: &str,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            session,
+            trace_id: 0,
+            name,
+            start_ns,
+            dur_ns,
+            detail: detail.into(),
+        }
+    }
+
+    /// One synthetic session: 10ns queue, 10ns plan, 80ns exec holding
+    /// 20ns encode, 40ns wire (two overlapping ships merged from 45ns
+    /// of raw span time), the rest compute.
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            span(1, 0, 7, "session", 0, 100, "s7: Done via a→b"),
+            span(2, 1, 7, "queued", 0, 10, ""),
+            span(3, 1, 7, "plan", 10, 10, ""),
+            span(4, 1, 7, "exec", 20, 80, ""),
+            span(5, 4, 7, "encode", 20, 20, ""),
+            span(6, 4, 7, "ship", 40, 30, ""),
+            span(7, 4, 7, "ship", 65, 15, ""), // overlaps the first ship
+        ]
+    }
+
+    #[test]
+    fn attributes_stages_and_merges_overlap() {
+        let report = critical_path(&sample());
+        assert_eq!(report.sessions.len(), 1);
+        let s = &report.sessions[0];
+        assert_eq!(s.session, 7);
+        assert_eq!(s.route, "a→b");
+        assert_eq!(s.wall_ns, 100);
+        let get = |name: &str| s.stage_ns[STAGES.iter().position(|n| *n == name).unwrap()];
+        assert_eq!(get("queue"), 10);
+        assert_eq!(get("plan"), 10);
+        assert_eq!(get("encode"), 20);
+        // Two ships [40,70) and [65,80) merge to [40,80): 40ns, not 45.
+        assert_eq!(get("wire"), 40);
+        // Exec self time: [20,100) minus encode∪wire [20,80) = 20ns.
+        assert_eq!(get("compute"), 20);
+        assert_eq!(s.dominant, "wire");
+        assert!((s.coverage - 1.0).abs() < 1e-9, "{}", s.coverage);
+    }
+
+    #[test]
+    fn route_rollup_sums_sessions() {
+        let mut spans = sample();
+        let mut second = sample();
+        for s in &mut second {
+            s.id += 100;
+            s.parent = if s.parent == 0 { 0 } else { s.parent + 100 };
+            s.session = 8;
+        }
+        spans.extend(second);
+        spans.push(span(300, 0, 9, "session", 0, 50, "s9: Done via c→d"));
+        let report = critical_path(&spans);
+        assert_eq!(report.routes.len(), 2);
+        let ab = &report.routes[0];
+        assert_eq!(
+            (ab.route.as_str(), ab.sessions, ab.wall_ns),
+            ("a→b", 2, 200)
+        );
+        assert_eq!(ab.dominant, "wire");
+        // A bare root with no children attributes nothing but still
+        // reports.
+        let bare = &report.sessions.iter().find(|s| s.session == 9).unwrap();
+        assert_eq!(bare.coverage, 0.0);
+    }
+
+    #[test]
+    fn sessions_without_roots_are_skipped_and_json_renders() {
+        let spans = vec![span(2, 1, 3, "queued", 0, 10, "")];
+        let report = critical_path(&spans);
+        assert!(report.sessions.is_empty());
+        let json = critical_path(&sample()).to_json();
+        assert!(json.contains("\"dominant\":\"wire\""));
+        assert!(json.contains("\"route\":\"a→b\""));
+        assert!(json.contains("\"queue\":10"));
+    }
+}

@@ -11,8 +11,12 @@
 //! * [`calibration`] — predicted-vs-observed accounting for the cost
 //!   model: per-operator ratios, drift scores, and a sustained-drift
 //!   signal the runtime feeds into plan-cache eviction.
+//! * [`critical_path`] — per-session and per-route stage attribution
+//!   (queue → plan → compute → encode → wire → decode → stage → settle)
+//!   extracted from a finished span tree.
 
 pub mod calibration;
+pub mod critical_path;
 pub mod metrics;
 pub mod span;
 
@@ -20,6 +24,7 @@ pub use calibration::{
     CalibrationConfig, CalibrationReport, CalibrationTracker, CommCalibration, DeltaCalibration,
     OpCalibration,
 };
+pub use critical_path::{critical_path, CriticalPathReport, RoutePath, SessionPath, STAGES};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use span::{SpanId, SpanRecord, TraceSink, NO_SPAN};
 

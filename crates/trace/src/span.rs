@@ -35,6 +35,11 @@ pub struct SpanRecord {
     pub parent: SpanId,
     /// Owning session id (0 when not tied to a session).
     pub session: u64,
+    /// Distributed trace this span belongs to: the root span id of the
+    /// session (or publish group) tree, carried across the wire so
+    /// receiver-side spans group under the sender's trace. 0 for spans
+    /// recorded without an explicit trace id.
+    pub trace_id: u64,
     pub name: &'static str,
     /// Nanoseconds from the sink epoch to the span start.
     pub start_ns: u64,
@@ -95,6 +100,25 @@ impl TraceSink {
         dur: Duration,
         detail: String,
     ) {
+        self.record_with_context(id, name, session, parent, 0, start, dur, detail);
+    }
+
+    /// [`record_with_id`](TraceSink::record_with_id) with an explicit
+    /// trace id — the form used for spans that belong to a distributed
+    /// trace (session roots and receiver-side spans stitched from a
+    /// propagated wire context).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_context(
+        &self,
+        id: SpanId,
+        name: &'static str,
+        session: u64,
+        parent: SpanId,
+        trace_id: u64,
+        start: Instant,
+        dur: Duration,
+        detail: String,
+    ) {
         if !self.enabled || id == NO_SPAN {
             return;
         }
@@ -103,6 +127,7 @@ impl TraceSink {
             id,
             parent,
             session,
+            trace_id,
             name,
             start_ns,
             dur_ns: dur.as_nanos() as u64,
@@ -157,13 +182,15 @@ impl TraceSink {
         for s in self.snapshot() {
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"cat\":\"xdx\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
-                 \"pid\":1,\"tid\":{},\"args\":{{\"span\":{},\"parent\":{},\"detail\":\"{}\"}}}}\n",
+                 \"pid\":1,\"tid\":{},\"args\":{{\"span\":{},\"parent\":{},\"trace\":{},\
+                 \"detail\":\"{}\"}}}}\n",
                 json_escape(s.name),
                 s.start_ns as f64 / 1_000.0,
                 s.dur_ns as f64 / 1_000.0,
                 s.session,
                 s.id,
                 s.parent,
+                s.trace_id,
                 json_escape(&s.detail),
             ));
         }

@@ -5,19 +5,28 @@
 //! priorities, a per-request optimizer override, chunked fault-tolerant
 //! shipping, and the full telemetry surface: per-session and per-link
 //! metrics, a Prometheus text snapshot, the structured span trace as
-//! JSONL, the event flight recorder, and the cost-model calibration
-//! report. The machine-readable artifacts land in `telemetry/` (CI's
-//! `telemetry-smoke` job parses them).
+//! JSONL, the event log, the flight-recorder rings, the critical-path
+//! report, and the cost-model calibration report. After the two-site
+//! fleet, a 1→3 multicast publish over Gilbert–Elliott bursty links
+//! adds one stitched cross-site trace, and the example scrapes its own
+//! live introspection endpoint over plain HTTP — the same surface an
+//! operator's `curl` sees. The machine-readable artifacts land in
+//! `telemetry/` (CI's `telemetry-smoke` and `introspect-smoke` jobs
+//! parse them).
 //!
 //! ```sh
 //! cargo run --release --example runtime
 //! ```
 
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
 use xdx::core::Optimizer;
-use xdx::net::FaultProfile;
+use xdx::net::{BurstLoss, FaultProfile};
 use xdx::runtime::{
-    EventKind, ExchangeRequest, Priority, Runtime, RuntimeConfig, SessionState, ShippingPolicy,
-    WireFormat,
+    EventKind, ExchangeRequest, Priority, PublishRequest, Runtime, RuntimeConfig, SessionState,
+    ShippingPolicy, WireFormat, DEFAULT_SOURCE_ENDPOINT,
 };
 use xdx::xmark;
 
@@ -34,7 +43,8 @@ fn main() {
         .with_shipping(ShippingPolicy {
             chunk_bytes: 4 * 1024,
             ..ShippingPolicy::default()
-        });
+        })
+        .with_introspect_addr("127.0.0.1:0".parse().unwrap());
     let runtime = Runtime::start(schema.clone(), config);
 
     // Four sites exchange with a central registry over four distinct
@@ -89,13 +99,65 @@ fn main() {
         );
     }
 
+    // A 1→3 multicast publish over Gilbert–Elliott bursty subscriber
+    // links: one shared encode feeds three lanes, and the shipped
+    // frames carry the group's trace context, so the receiver-side
+    // decode/stage/settle spans on all three subscribers stitch under
+    // a single `publish-group` root — one distributed trace tree.
+    for i in 0..3 {
+        runtime.set_link_fault_profile(
+            DEFAULT_SOURCE_ENDPOINT,
+            &format!("mirror-{i}"),
+            FaultProfile {
+                burst_loss: Some(BurstLoss {
+                    enter: 0.05,
+                    exit: 0.4,
+                    loss: 0.7,
+                }),
+                seed: 41 + i,
+                ..FaultProfile::healthy()
+            },
+        );
+    }
+    let lanes = runtime
+        .publish(PublishRequest::new(
+            "mirror",
+            xmark::load_source(&doc, &schema, &mf).expect("load publish source"),
+            mf.clone(),
+            lf.clone(),
+            (0..3).map(|i| format!("mirror-{i}")).collect(),
+        ))
+        .expect("publish admitted")
+        .wait();
+    for lane in &lanes {
+        assert_eq!(lane.state, SessionState::Done, "{:?}", lane.diagnostic);
+    }
+    // Lane results resolve at settle; the group root records moments
+    // later on the worker thread — wait for it before capturing the
+    // trace, so the stitched tree in the artifact has no orphans.
+    let mut trace = String::new();
+    for _ in 0..200 {
+        trace = runtime.trace_jsonl();
+        if trace.contains("\"name\":\"publish-group\"") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        trace.contains("\"name\":\"publish-group\""),
+        "multicast group root never recorded"
+    );
+    println!(
+        "\nmulticast: 3 lanes settled over bursty links; stitched trace rooted at publish-group"
+    );
+
     // The whole telemetry surface, captured while the runtime is live:
     // a Prometheus text snapshot, the span trace and event log as
-    // JSONL, and the predicted-vs-observed calibration report. CI's
+    // JSONL, the flight-recorder rings, the critical-path report, and
+    // the predicted-vs-observed calibration report. CI's
     // `telemetry-smoke` job re-parses these files and fails on schema
     // drift.
     let metrics = runtime.metrics_text();
-    let trace = runtime.trace_jsonl();
     let events = runtime.events_jsonl();
     let calibration = runtime.calibration_report();
     std::fs::create_dir_all("telemetry").expect("create telemetry dir");
@@ -103,6 +165,41 @@ fn main() {
     std::fs::write("telemetry/trace.jsonl", &trace).expect("write trace");
     std::fs::write("telemetry/events.jsonl", &events).expect("write events");
     std::fs::write("telemetry/calibration.json", calibration.to_json()).expect("write calibration");
+    std::fs::write(
+        "telemetry/critical_path.json",
+        runtime.critical_path().to_json(),
+    )
+    .expect("write critical path");
+    std::fs::write("telemetry/flight.jsonl", runtime.flight_jsonl()).expect("write flight rings");
+
+    // Scrape the live introspection endpoint over plain HTTP — the
+    // exact bytes an operator's `curl` would see — and keep the
+    // replies as artifacts next to the directly-captured telemetry.
+    // CI's `introspect-smoke` job cross-checks both captures.
+    let addr = runtime
+        .introspect_addr()
+        .expect("introspection endpoint enabled");
+    let fetch = |path: &str| -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect introspection endpoint");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: xdx\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read reply");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{path}: {raw}");
+        raw.split_once("\r\n\r\n")
+            .expect("header/body split")
+            .1
+            .to_string()
+    };
+    let healthz = fetch("/healthz");
+    assert!(healthz.contains("\"healthy\":true"), "{healthz}");
+    std::fs::write("telemetry/introspect_healthz.json", &healthz).expect("write healthz");
+    std::fs::write("telemetry/introspect_metrics.prom", fetch("/metrics"))
+        .expect("write scraped metrics");
+    std::fs::write("telemetry/introspect_traces.jsonl", fetch("/traces"))
+        .expect("write scraped traces");
+    println!("introspection: http://{addr} scraped /healthz /metrics /traces -> telemetry/");
     println!(
         "\ntelemetry: {} metric lines, {} spans, {} events -> telemetry/",
         metrics.lines().count(),
